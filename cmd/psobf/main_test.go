@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	invokedeob "github.com/invoke-deobfuscation/invokedeob"
+)
+
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "encode-base64") {
+		t.Errorf("list = %q", stdout.String())
+	}
+}
+
+func TestObfuscateStack(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("write-host hello")
+	if err := run([]string{"-t", "concat,encode-bxor", "-seed", "9"}, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if strings.Contains(out, "write-host hello") {
+		t.Errorf("output not obfuscated: %q", out)
+	}
+	// Deobfuscating the CLI output recovers the payload.
+	res, err := invokedeob.Deobfuscate(out, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(res.Script), "write-host hello") {
+		t.Errorf("roundtrip failed: %q", res.Script)
+	}
+}
+
+func TestNoTechniques(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, strings.NewReader("x"), &stdout, &stderr); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestPartialApplication(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("write-host hello")
+	if err := run([]string{"-t", "random-name,concat"}, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "applied 1 of 2") {
+		t.Errorf("note missing: %q", stderr.String())
+	}
+}

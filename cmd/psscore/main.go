@@ -1,0 +1,81 @@
+// Command psscore reports the obfuscation techniques detected in a
+// PowerShell script and its obfuscation score (paper §IV-B2), plus the
+// key information it exposes.
+//
+// Usage:
+//
+//	psscore [script.ps1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	invokedeob "github.com/invoke-deobfuscation/invokedeob"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "psscore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("psscore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quiet := fs.Bool("q", false, "print only the numeric score")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	script, err := readInput(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	scoreValue := invokedeob.ObfuscationScore(script)
+	if *quiet {
+		fmt.Fprintln(stdout, scoreValue)
+		return nil
+	}
+	fmt.Fprintf(stdout, "score: %d\n", scoreValue)
+	for _, d := range invokedeob.AnalyzeObfuscation(script) {
+		fmt.Fprintf(stdout, "L%d  %-22s x%d\n", d.Level, d.Technique, d.Count)
+	}
+	iocs := invokedeob.ExtractIOCs(script)
+	if iocs.Count() > 0 {
+		fmt.Fprintln(stdout, "key information:")
+		for _, u := range iocs.URLs {
+			fmt.Fprintf(stdout, "  url  %s\n", u)
+		}
+		for _, ip := range iocs.IPs {
+			fmt.Fprintf(stdout, "  ip   %s\n", ip)
+		}
+		for _, p := range iocs.Ps1Files {
+			fmt.Fprintf(stdout, "  ps1  %s\n", p)
+		}
+		for _, c := range iocs.PowerShellCommands {
+			fmt.Fprintf(stdout, "  pwsh %s\n", c)
+		}
+	}
+	return nil
+}
+
+func readInput(args []string, stdin io.Reader) (string, error) {
+	if len(args) > 1 {
+		return "", fmt.Errorf("expected at most one script file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	b, err := io.ReadAll(stdin)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScoreOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("i`ex ('a'+'b') # http://score.test/x.ps1")
+	if err := run(nil, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "score:") {
+		t.Errorf("score missing: %q", out)
+	}
+	if !strings.Contains(out, "concat") || !strings.Contains(out, "ticking") {
+		t.Errorf("detections missing: %q", out)
+	}
+	if !strings.Contains(out, "http://score.test/x.ps1") {
+		t.Errorf("key info missing: %q", out)
+	}
+}
+
+func TestQuietMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("write-host clean")
+	if err := run([]string{"-q"}, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "0" {
+		t.Errorf("quiet score = %q", got)
+	}
+}

@@ -1,0 +1,57 @@
+package invokedeob
+
+import (
+	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
+)
+
+// CorpusSample is one generated wild-like malicious script with ground
+// truth, produced by GenerateCorpus (the paper's dataset substitute,
+// DESIGN.md §3).
+type CorpusSample struct {
+	// ID is a stable identifier.
+	ID string
+	// Source is the obfuscated script.
+	Source string
+	// Original is the clean script before obfuscation.
+	Original string
+	// Family is the behaviour shape (downloader, dropper, beacon, ...).
+	Family string
+	// Techniques is the applied obfuscation stack in order.
+	Techniques []string
+	// Layers counts wrapper layers; >= 2 means multi-layer.
+	Layers int
+	// HasNetwork reports whether the clean script touches the network.
+	HasNetwork bool
+	// IOCs is ground-truth key information from the clean script.
+	IOCs *IOCs
+}
+
+// GenerateCorpus deterministically generates n wild-like obfuscated
+// samples with ground truth. The same seed always yields the same
+// corpus.
+func GenerateCorpus(seed int64, n int) []CorpusSample {
+	samples := corpus.Generate(corpus.Config{Seed: seed, N: n})
+	out := make([]CorpusSample, 0, len(samples))
+	for _, s := range samples {
+		techniques := make([]string, len(s.Techniques))
+		for i, t := range s.Techniques {
+			techniques[i] = string(t)
+		}
+		out = append(out, CorpusSample{
+			ID:         s.ID,
+			Source:     s.Source,
+			Original:   s.Original,
+			Family:     string(s.Family),
+			Techniques: techniques,
+			Layers:     s.Layers,
+			HasNetwork: s.HasNetwork,
+			IOCs: &IOCs{
+				Ps1Files:           s.KeyInfo.Ps1,
+				PowerShellCommands: s.KeyInfo.PowerShell,
+				URLs:               s.KeyInfo.URLs,
+				IPs:                s.KeyInfo.IPs,
+			},
+		})
+	}
+	return out
+}

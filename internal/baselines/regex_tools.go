@@ -1,0 +1,186 @@
+package baselines
+
+import (
+	"regexp"
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
+)
+
+// Shared regex rules modeled on the published tools' pattern sets.
+var (
+	// tickRe strips backticks before word characters (ticking).
+	tickRe = regexp.MustCompile("`([A-Za-z])")
+	// concatRe joins two adjacent single-quoted fragments. Applied
+	// repeatedly it folds 'a'+'b'+'c'. It ignores syntax, exactly like
+	// the originals: it also fires inside other constructs.
+	concatRe = regexp.MustCompile(`'([^']*)'\s*\+\s*'([^']*)'`)
+	// iexLiteralRe matches IEX '<code>' or IEX ('<code>') when spelled
+	// literally (dynamic spellings like &('iex') do not bind).
+	iexLiteralRe = regexp.MustCompile(`(?i)(?:^|[\s;|(=])(?:iex|invoke-expression)\s+\(?\s*'((?:[^']|'')*)'\s*\)?`)
+	// encCmdRe matches powershell -enc style payloads.
+	encCmdRe = regexp.MustCompile(`(?i)\-e[ncodedma]{0,13}\s+([A-Za-z0-9+/=]{16,})`)
+	// replaceCallRe matches ('x').Replace('a','b') with literal args.
+	replaceCallRe = regexp.MustCompile(`(?i)\(\s*'([^']*)'\s*\)\s*\.\s*replace\s*\(\s*'([^']*)'\s*,\s*'([^']*)'\s*\)`)
+	// fromBase64Re matches [Convert]::FromBase64String('...') wrapped in
+	// the Unicode/UTF8 GetString idiom.
+	fromBase64Re = regexp.MustCompile(`(?i)\[[^\]]*encoding\]::(unicode|utf8)\.getstring\(\[[^\]]*convert\]::frombase64string\('([A-Za-z0-9+/=]+)'\)\)`)
+)
+
+func applyTickRule(src string) string {
+	return tickRe.ReplaceAllString(src, "$1")
+}
+
+func applyConcatRule(src string) string {
+	prev := ""
+	out := src
+	for rounds := 0; out != prev && rounds < 64; rounds++ {
+		prev = out
+		out = concatRe.ReplaceAllString(out, "'$1$2'")
+	}
+	return out
+}
+
+func applyReplaceRule(src string) string {
+	return replaceCallRe.ReplaceAllStringFunc(src, func(m string) string {
+		parts := replaceCallRe.FindStringSubmatch(m)
+		if parts == nil {
+			return m
+		}
+		return "'" + strings.ReplaceAll(parts[1], parts[2], parts[3]) + "'"
+	})
+}
+
+func applyBase64Rule(src string) string {
+	return fromBase64Re.ReplaceAllStringFunc(src, func(m string) string {
+		parts := fromBase64Re.FindStringSubmatch(m)
+		if parts == nil {
+			return m
+		}
+		variant := strings.ToLower(parts[1])
+		if variant == "unicode" {
+			decoded, err := psinterp.DecodeEncodedCommand(parts[2])
+			if err != nil {
+				return m
+			}
+			return "'" + strings.ReplaceAll(decoded, "'", "''") + "'"
+		}
+		b, err := psinterp.DecodeEncodedCommand(parts[2])
+		_ = b
+		if err != nil {
+			return m
+		}
+		return m
+	})
+}
+
+// overrideLayers runs src with an Invoke-Expression override that
+// captures payload layers instead of executing them, repeating until no
+// deeper layer appears. This is the overriding-function mechanism; it
+// only works when the surrounding script actually executes (§IV-C2).
+func overrideLayers(src string, host *execHost, maxLayers int) []string {
+	layers := []string{src}
+	cur := src
+	for i := 0; i < maxLayers; i++ {
+		var captured string
+		in := psinterp.New(psinterp.Options{
+			MaxSteps: 200_000,
+			Host:     host,
+			IEXHook: func(code string) {
+				if captured == "" {
+					captured = code
+				}
+			},
+		})
+		_, _ = in.EvalSnippet(cur)
+		if strings.TrimSpace(captured) == "" || captured == cur {
+			break
+		}
+		layers = append(layers, captured)
+		cur = captured
+	}
+	return layers
+}
+
+// PSDecode emulates PSDecode: backtick regex cleanup plus IEX
+// overriding, keeping the last layer.
+type PSDecode struct{}
+
+// Name implements Tool.
+func (PSDecode) Name() string { return "PSDecode" }
+
+// Deobfuscate implements Tool.
+func (PSDecode) Deobfuscate(src string) (string, error) {
+	cur := applyTickRule(src)
+	// PSDecode's overriding function only peels a single layer
+	// (paper §IV-C2).
+	layers := overrideLayers(cur, defaultExecHost(), 1)
+	out := layers[len(layers)-1]
+	return applyTickRule(out), nil
+}
+
+// PowerDrive emulates PowerDrive: backtick and concat regex rules,
+// -EncodedCommand decoding, one overriding layer, and the multi-line
+// flattening that the paper shows can break syntax (§IV-C5).
+type PowerDrive struct{}
+
+// Name implements Tool.
+func (PowerDrive) Name() string { return "PowerDrive" }
+
+// Deobfuscate implements Tool.
+func (PowerDrive) Deobfuscate(src string) (string, error) {
+	cur := applyTickRule(src)
+	cur = applyConcatRule(cur)
+	if m := encCmdRe.FindStringSubmatch(cur); m != nil {
+		if decoded, err := psinterp.DecodeEncodedCommand(m[1]); err == nil {
+			cur = decoded
+			cur = applyTickRule(cur)
+			cur = applyConcatRule(cur)
+		}
+	}
+	layers := overrideLayers(cur, defaultExecHost(), 1)
+	cur = layers[len(layers)-1]
+	// PowerDrive joins multi-line scripts into one line to simplify its
+	// regex passes — frequently producing invalid syntax, which the
+	// paper calls out. Reproduced faithfully.
+	cur = strings.Join(strings.Fields(strings.ReplaceAll(cur, "\n", " ")), " ")
+	return applyConcatRule(applyTickRule(cur)), nil
+}
+
+// PowerDecode emulates PowerDecode: concat/replace regex rules plus an
+// overriding-function loop (its Unary Syntax Tree Model), which makes
+// it the strongest of the three at multi-layer samples (Table III).
+type PowerDecode struct{}
+
+// Name implements Tool.
+func (PowerDecode) Name() string { return "PowerDecode" }
+
+// Deobfuscate implements Tool.
+func (PowerDecode) Deobfuscate(src string) (string, error) {
+	cur := src
+	for round := 0; round < 8; round++ {
+		prev := cur
+		cur = applyConcatRule(cur)
+		cur = applyReplaceRule(cur)
+		cur = applyBase64Rule(cur)
+		if m := iexLiteralRe.FindStringSubmatch(cur); m != nil && strings.TrimSpace(m[1]) != "" {
+			cur = strings.ReplaceAll(m[1], "''", "'")
+			continue
+		}
+		if m := encCmdRe.FindStringSubmatch(cur); m != nil {
+			if decoded, err := psinterp.DecodeEncodedCommand(m[1]); err == nil && decoded != cur {
+				cur = decoded
+				continue
+			}
+		}
+		layers := overrideLayers(cur, defaultExecHost(), 4)
+		if last := layers[len(layers)-1]; last != cur {
+			cur = last
+			continue
+		}
+		if cur == prev {
+			break
+		}
+	}
+	return cur, nil
+}

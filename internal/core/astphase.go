@@ -1,0 +1,788 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+// varEntry is one symbol-table record of the variable-tracing pass
+// (paper Algorithm 1): the traced value and the scope path where the
+// assignment happened.
+type varEntry struct {
+	value any
+	scope []int
+}
+
+// visitCtx carries the traversal context of Algorithm 1.
+type visitCtx struct {
+	scope       []int
+	inLoop      bool
+	inCond      bool
+	inFunc      bool
+	assignLHS   bool
+	assignRHS   bool
+	isStatement bool
+}
+
+type astState struct {
+	d       *Deobfuscator
+	src     string
+	stats   *Stats
+	depth   int
+	repl    map[psast.Node]string
+	vars    map[string]varEntry
+	scopeID int
+	// safeFuncs holds pure user-defined functions whose calls may be
+	// recovered when the FunctionTracing extension is enabled.
+	safeFuncs map[string]*psast.FunctionDefinition
+}
+
+// astPhase runs recovery based on AST over one script layer.
+func (d *Deobfuscator) astPhase(src string, stats *Stats, depth int) string {
+	root, err := psparser.Parse(src)
+	if err != nil {
+		return src
+	}
+	s := &astState{
+		d:         d,
+		src:       src,
+		stats:     stats,
+		depth:     depth,
+		repl:      make(map[psast.Node]string),
+		vars:      make(map[string]varEntry),
+		safeFuncs: make(map[string]*psast.FunctionDefinition),
+	}
+	if d.opts.FunctionTracing {
+		s.collectPureFunctions(root)
+	}
+	s.visit(root, visitCtx{scope: []int{0}})
+	out := s.textOf(root)
+	return validOrRevert(out, src)
+}
+
+// enterScope derives a child scope path.
+func (s *astState) enterScope(ctx visitCtx) visitCtx {
+	s.scopeID++
+	child := ctx
+	child.scope = append(append([]int(nil), ctx.scope...), s.scopeID)
+	return child
+}
+
+// scopeVisible reports whether a variable recorded at `recorded` is
+// visible from `current` (recorded path is a prefix of the current
+// path).
+func scopeVisible(recorded, current []int) bool {
+	if len(recorded) > len(current) {
+		return false
+	}
+	for i, id := range recorded {
+		if current[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// visit performs the post-order traversal of Algorithm 1: children
+// first (with scope/loop/conditional context updates), then node
+// processing.
+func (s *astState) visit(n psast.Node, ctx visitCtx) {
+	if n == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *psast.ScriptBlock:
+		inner := ctx
+		if x.Params != nil {
+			s.visit(x.Params, inner)
+		}
+		s.visit(x.Body, inner)
+	case *psast.NamedBlock:
+		inner := s.enterScope(ctx)
+		for _, st := range x.Statements {
+			stCtx := inner
+			stCtx.isStatement = true
+			s.visit(st, stCtx)
+		}
+	case *psast.StatementBlock:
+		inner := s.enterScope(ctx)
+		for _, st := range x.Statements {
+			stCtx := inner
+			stCtx.isStatement = true
+			s.visit(st, stCtx)
+		}
+	case *psast.If:
+		inner := s.enterScope(ctx)
+		for _, clause := range x.Clauses {
+			s.visit(clause.Cond, inner)
+			body := inner
+			body.inCond = true
+			s.visit(clause.Body, body)
+		}
+		if x.Else != nil {
+			body := inner
+			body.inCond = true
+			s.visit(x.Else, body)
+		}
+	case *psast.While:
+		inner := s.enterScope(ctx)
+		loop := inner
+		loop.inLoop = true
+		s.visit(x.Cond, loop)
+		s.visit(x.Body, loop)
+	case *psast.DoLoop:
+		inner := s.enterScope(ctx)
+		loop := inner
+		loop.inLoop = true
+		s.visit(x.Body, loop)
+		s.visit(x.Cond, loop)
+	case *psast.For:
+		inner := s.enterScope(ctx)
+		loop := inner
+		loop.inLoop = true
+		s.visit(x.Init, loop)
+		s.visit(x.Cond, loop)
+		s.visit(x.Iter, loop)
+		s.visit(x.Body, loop)
+	case *psast.ForEach:
+		inner := s.enterScope(ctx)
+		loop := inner
+		loop.inLoop = true
+		lhs := loop
+		lhs.assignLHS = true
+		s.visit(x.Variable, lhs)
+		s.visit(x.Collection, inner)
+		s.visit(x.Body, loop)
+	case *psast.Switch:
+		inner := s.enterScope(ctx)
+		s.visit(x.Cond, inner)
+		body := inner
+		body.inCond = true
+		for _, c := range x.Cases {
+			s.visit(c.Pattern, body)
+			s.visit(c.Body, body)
+		}
+		if x.Default != nil {
+			s.visit(x.Default, body)
+		}
+	case *psast.FunctionDefinition:
+		inner := s.enterScope(ctx)
+		inner.inFunc = true
+		for _, p := range x.Params {
+			s.visit(p, inner)
+		}
+		s.visit(x.Body, inner)
+	case *psast.Try:
+		inner := s.enterScope(ctx)
+		body := inner
+		body.inCond = true
+		s.visit(x.Body, body)
+		for _, c := range x.Catches {
+			s.visit(c, body)
+		}
+		if x.Finally != nil {
+			s.visit(x.Finally, body)
+		}
+	case *psast.Assignment:
+		lhs := ctx
+		lhs.assignLHS = true
+		lhs.isStatement = false
+		s.visit(x.Left, lhs)
+		rhs := ctx
+		rhs.isStatement = true
+		rhs.assignRHS = true
+		s.visit(x.Right, rhs)
+		s.processAssignment(x, ctx)
+		return
+	case *psast.ExpandableString:
+		// Parts are not spliced textually (quoting differs inside
+		// strings); the whole string is recovered via its parent
+		// recoverable node instead.
+		return
+	default:
+		childCtx := ctx
+		childCtx.isStatement = false
+		childCtx.assignLHS = false
+		// A pipeline that is itself a statement passes statement-ness to
+		// unwrapping; its children are expressions.
+		for _, c := range n.Children() {
+			s.visit(c, childCtx)
+		}
+	}
+	s.process(n, ctx)
+}
+
+// process applies Algorithm 1's per-node actions after the children are
+// done: variable inlining, recoverable-piece recovery and multi-layer
+// unwrapping.
+func (s *astState) process(n psast.Node, ctx visitCtx) {
+	if v, ok := n.(*psast.VariableExpression); ok {
+		s.processVariable(v, ctx)
+		return
+	}
+	if psast.IsRecoverableKind(n.Kind()) && !ctx.assignLHS {
+		s.tryRecover(n, ctx)
+	}
+	if p, ok := n.(*psast.Pipeline); ok && ctx.isStatement {
+		s.tryUnwrapPipeline(p, ctx)
+	}
+}
+
+// processVariable implements lines 8–25 of Algorithm 1 for reads.
+func (s *astState) processVariable(v *psast.VariableExpression, ctx visitCtx) {
+	if ctx.assignLHS || s.d.opts.DisableVariableTracing {
+		return
+	}
+	name := canonicalVarName(v.Name)
+	if name == "" {
+		return
+	}
+	if ctx.inLoop || ctx.inCond || ctx.inFunc {
+		// The value may differ per run; drop it (Algorithm 1, line 10).
+		delete(s.vars, name)
+		return
+	}
+	e, ok := s.vars[name]
+	if !ok || !scopeVisible(e.scope, ctx.scope) {
+		return
+	}
+	lit, ok := renderLiteral(e.value)
+	if !ok {
+		return
+	}
+	s.repl[v] = lit
+	s.stats.VariablesInlined++
+}
+
+// canonicalVarName returns the lower-cased plain variable name, or ""
+// for variables that must never be traced ($env:, automatic, special).
+func canonicalVarName(name string) string {
+	n := strings.ToLower(name)
+	for _, prefix := range []string{"global:", "script:", "local:", "private:", "variable:"} {
+		n = strings.TrimPrefix(n, prefix)
+	}
+	if strings.Contains(n, ":") {
+		return "" // env: and other drives
+	}
+	switch n {
+	case "_", "$", "?", "^", "args", "input", "this", "true", "false",
+		"null", "error", "matches", "pshome", "home", "pwd", "host",
+		"executioncontext", "psversiontable", "shellid", "pid", "ofs":
+		return ""
+	}
+	return n
+}
+
+// processAssignment implements lines 13–20 of Algorithm 1.
+func (s *astState) processAssignment(a *psast.Assignment, ctx visitCtx) {
+	if s.d.opts.DisableVariableTracing {
+		return
+	}
+	v, ok := a.Left.(*psast.VariableExpression)
+	if !ok {
+		return
+	}
+	name := canonicalVarName(v.Name)
+	if name == "" {
+		return
+	}
+	if ctx.inLoop || ctx.inCond || ctx.inFunc {
+		delete(s.vars, name)
+		return
+	}
+	value, ok := s.evaluateStatementValue(a.Right, ctx)
+	if !ok {
+		delete(s.vars, name)
+		return
+	}
+	if a.Operator != "=" {
+		old, exists := s.vars[name]
+		if !exists || !scopeVisible(old.scope, ctx.scope) {
+			delete(s.vars, name)
+			return
+		}
+		combined, ok := applyCompound(a.Operator, old.value, value)
+		if !ok {
+			delete(s.vars, name)
+			return
+		}
+		value = combined
+	}
+	if !isStringOrNumber(value) {
+		delete(s.vars, name)
+		return
+	}
+	s.vars[name] = varEntry{value: value, scope: append([]int(nil), ctx.scope...)}
+	s.stats.VariablesTraced++
+}
+
+// applyCompound folds a compound assignment over traced values.
+func applyCompound(op string, old, inc any) (any, bool) {
+	switch op {
+	case "+=":
+		if so, ok := old.(string); ok {
+			return so + psinterp.ToString(inc), true
+		}
+		no, errO := toNum(old)
+		ni, errI := toNum(inc)
+		if errO && errI {
+			return no + ni, true
+		}
+	case "-=", "*=", "/=", "%=":
+		// Rare in obfuscation; give up tracing rather than risk error.
+		return nil, false
+	}
+	return nil, false
+}
+
+func toNum(v any) (int64, bool) {
+	n, err := psinterp.ToInt(v)
+	return n, err == nil
+}
+
+// evaluateStatementValue evaluates an assignment RHS if safe, returning
+// (value, true) on success.
+func (s *astState) evaluateStatementValue(n psast.Node, ctx visitCtx) (any, bool) {
+	if n == nil {
+		return nil, false
+	}
+	text := s.textOf(n)
+	// Fast path: the RHS was already recovered to a literal.
+	if v, ok := literalValue(text); ok {
+		return v, true
+	}
+	if !s.isSafePiece(n, ctx) {
+		return nil, false
+	}
+	out, err := s.evalText(text, ctx)
+	if err != nil {
+		return nil, false
+	}
+	value := psinterp.Unwrap(out)
+	if value == nil {
+		return nil, false
+	}
+	return value, true
+}
+
+// tryRecover evaluates a recoverable node and replaces it in place when
+// the result is a string or number (paper §III-B2).
+func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
+	text := s.textOf(n)
+	if len(text) > s.d.opts.MaxPieceLen {
+		return
+	}
+	if isTrivialPiece(n, text) {
+		return
+	}
+	if !s.isSafePiece(n, ctx) {
+		return
+	}
+	s.stats.PiecesAttempted++
+	out, err := s.evalText(text, ctx)
+	if err != nil {
+		return
+	}
+	value := psinterp.Unwrap(out)
+	lit, ok := renderLiteral(value)
+	if !ok || lit == text {
+		return
+	}
+	if len(lit) > s.d.opts.MaxPieceLen {
+		return
+	}
+	s.repl[n] = lit
+	s.stats.PiecesRecovered++
+}
+
+// evalText runs a piece in a fresh bounded interpreter preloaded with
+// the traced symbol table (and, when the extension is on, the pure
+// decoder functions the script defines).
+func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
+	in := psinterp.New(psinterp.Options{
+		MaxSteps:   s.d.opts.StepBudget,
+		StrictVars: true,
+		Blocklist:  s.blocklistForEval(),
+	})
+	if !ctx.inFunc && !s.d.opts.DisableVariableTracing {
+		for name, e := range s.vars {
+			if scopeVisible(e.scope, ctx.scope) {
+				in.SetVar(name, e.value)
+			}
+		}
+	}
+	if len(s.safeFuncs) > 0 {
+		var defs strings.Builder
+		for _, fd := range s.safeFuncs {
+			defs.WriteString(fd.Extent().Text(s.src))
+			defs.WriteByte('\n')
+		}
+		defs.WriteString(text)
+		return in.EvalSnippet(defs.String())
+	}
+	return in.EvalSnippet(text)
+}
+
+// collectPureFunctions records user functions whose bodies are pure:
+// only safe commands, and no free variables beyond their parameters.
+// Calls to such functions are themselves recoverable (the FunctionTracing
+// extension; the paper leaves this to future work, §V-C).
+func (s *astState) collectPureFunctions(root psast.Node) {
+	psast.Walk(root, func(n psast.Node) bool {
+		fd, ok := n.(*psast.FunctionDefinition)
+		if !ok {
+			return true
+		}
+		if s.isPureFunction(fd) {
+			s.safeFuncs[strings.ToLower(fd.Name)] = fd
+		}
+		return true
+	}, nil)
+}
+
+// isPureFunction checks a function body for purity.
+func (s *astState) isPureFunction(fd *psast.FunctionDefinition) bool {
+	params := map[string]bool{}
+	for _, p := range fd.Params {
+		params[strings.ToLower(p.Name)] = true
+	}
+	if fd.Body != nil && fd.Body.Params != nil {
+		for _, p := range fd.Body.Params.Parameters {
+			params[strings.ToLower(p.Name)] = true
+		}
+	}
+	pure := true
+	var inspect func(node psast.Node, inScriptBlock bool)
+	inspect = func(node psast.Node, inScriptBlock bool) {
+		if node == nil || !pure {
+			return
+		}
+		switch x := node.(type) {
+		case *psast.Command:
+			name, ok := s.commandLiteralName(x)
+			if !ok || s.d.blocklist[psinterp.NormalizeCommandName(name)] ||
+				!safeCommands[psinterp.NormalizeCommandName(name)] {
+				pure = false
+				return
+			}
+		case *psast.VariableExpression:
+			lower := strings.ToLower(x.Name)
+			if params[lower] {
+				break
+			}
+			switch lower {
+			case "_", "args", "input":
+				if !inScriptBlock && lower == "_" {
+					pure = false
+				}
+			case "true", "false", "null":
+			default:
+				if !strings.HasPrefix(lower, "env:") {
+					// Assignments create locals; reads of outer state
+					// disqualify. A write-before-read analysis would be
+					// finer; reject only names never assigned locally.
+					if !assignedWithin(fd.Body, lower) {
+						pure = false
+					}
+				}
+			}
+		case *psast.ScriptBlockExpression:
+			if x.Body != nil {
+				for _, c := range x.Body.Children() {
+					inspect(c, true)
+				}
+			}
+			return
+		}
+		for _, c := range node.Children() {
+			inspect(c, inScriptBlock)
+		}
+	}
+	if fd.Body != nil {
+		inspect(fd.Body, false)
+	}
+	return pure
+}
+
+// assignedWithin reports whether a variable name is assigned anywhere in
+// the subtree.
+func assignedWithin(root psast.Node, lower string) bool {
+	found := false
+	psast.Walk(root, func(n psast.Node) bool {
+		if a, ok := n.(*psast.Assignment); ok {
+			if v, isVar := a.Left.(*psast.VariableExpression); isVar &&
+				strings.ToLower(v.Name) == lower {
+				found = true
+				return false
+			}
+		}
+		return !found
+	}, nil)
+	return found
+}
+
+func (s *astState) blocklistForEval() map[string]bool {
+	return s.d.blocklist
+}
+
+// isTrivialPiece reports pieces whose recovery cannot simplify anything:
+// bare literals, lone variables, or pipelines around them.
+func isTrivialPiece(n psast.Node, text string) bool {
+	switch x := n.(type) {
+	case *psast.Pipeline:
+		if len(x.Elements) != 1 {
+			return false
+		}
+		switch e := x.Elements[0].(type) {
+		case *psast.CommandExpression:
+			switch e.Expression.(type) {
+			case *psast.StringConstant, *psast.ConstantExpression,
+				*psast.VariableExpression:
+				return true
+			}
+		case *psast.Command:
+			// A lone command with a clean bare-word name is already
+			// deobfuscated at the pipeline level; its obfuscated
+			// arguments are recovered as child nodes. Replacing the
+			// command with its output would erase intent (the mistake
+			// the paper attributes to Li et al., §IV-C3).
+			if _, ok := e.Name.(*psast.StringConstant); ok {
+				return true
+			}
+		}
+		return false
+	}
+	if _, ok := literalValue(text); ok {
+		return true
+	}
+	return false
+}
+
+// safeCommands are commands that recovery code may execute: pure
+// transformations without observable side effects. Everything else
+// (plus the blocklist) aborts recovery of the piece, mirroring the
+// paper's blocklist design.
+var safeCommands = map[string]bool{
+	"foreach-object": true, "where-object": true, "sort-object": true,
+	"select-object": true, "write-output": true, "out-string": true,
+	"measure-object": true, "get-unique": true, "select-string": true,
+	"split-path": true, "join-path": true, "get-variable": true,
+	"get-command": true, "get-alias": true, "get-item": true,
+	"new-object": true, "convertto-securestring": true,
+	"convertfrom-securestring": true, "get-location": true,
+	"get-culture": true, "get-host": true, "invoke-command": true,
+}
+
+// isSafePiece checks that every command in the subtree is a safe pure
+// transformation and that every free variable is known, so executing
+// the piece can neither cause side effects nor produce wrong results
+// from missing context.
+func (s *astState) isSafePiece(n psast.Node, ctx visitCtx) bool {
+	safe := true
+	var inspect func(node psast.Node, inScriptBlock bool)
+	inspect = func(node psast.Node, inScriptBlock bool) {
+		if node == nil || !safe {
+			return
+		}
+		switch x := node.(type) {
+		case *psast.Command:
+			name, ok := s.commandLiteralName(x)
+			if !ok {
+				safe = false
+				return
+			}
+			canonical := psinterp.NormalizeCommandName(name)
+			if s.d.blocklist[canonical] {
+				safe = false
+				return
+			}
+			if !safeCommands[canonical] {
+				if _, pure := s.safeFuncs[canonical]; !pure {
+					safe = false
+					return
+				}
+			}
+		case *psast.VariableExpression:
+			if !s.variableKnown(x.Name, ctx, inScriptBlock) {
+				safe = false
+				return
+			}
+		case *psast.ScriptBlockExpression:
+			if x.Body != nil {
+				for _, c := range x.Body.Children() {
+					inspect(c, true)
+				}
+			}
+			return
+		case *psast.Assignment:
+			// Local assignments inside the piece are fine; they are
+			// scoped to the throwaway interpreter.
+		}
+		for _, c := range node.Children() {
+			inspect(c, inScriptBlock)
+		}
+	}
+	inspect(n, false)
+	return safe
+}
+
+// commandLiteralName resolves a command's name when it is statically
+// known: a bare word, a quoted literal, or an expression already
+// recovered to a string literal.
+func (s *astState) commandLiteralName(cmd *psast.Command) (string, bool) {
+	switch n := cmd.Name.(type) {
+	case *psast.StringConstant:
+		return n.Value, true
+	default:
+		text := s.textOf(cmd.Name)
+		if v, ok := literalValue(text); ok {
+			return psinterp.ToString(v), true
+		}
+		return "", false
+	}
+}
+
+// variableKnown reports whether a variable read inside a piece will
+// resolve during evaluation.
+func (s *astState) variableKnown(name string, ctx visitCtx, inScriptBlock bool) bool {
+	lower := strings.ToLower(name)
+	if strings.HasPrefix(lower, "env:") {
+		return true
+	}
+	switch lower {
+	case "_", "args", "input":
+		// Bound at runtime inside ForEach-Object-style blocks.
+		return inScriptBlock
+	case "true", "false", "null", "pshome", "home", "pwd", "shellid",
+		"pid", "psversiontable", "executioncontext", "ofs", "error",
+		"verbosepreference", "erroractionpreference", "host",
+		"psculture", "psuiculture":
+		return true
+	}
+	if s.d.opts.DisableVariableTracing || ctx.inFunc {
+		return false
+	}
+	key := canonicalVarName(name)
+	if key == "" {
+		return false
+	}
+	e, ok := s.vars[key]
+	return ok && scopeVisible(e.scope, ctx.scope)
+}
+
+// textOf returns the node's current text with all recorded replacements
+// spliced in (the paper's reconstruction by post-order splicing,
+// §III-B5).
+func (s *astState) textOf(n psast.Node) string {
+	if r, ok := s.repl[n]; ok {
+		return r
+	}
+	ext := n.Extent()
+	if _, isExpandable := n.(*psast.ExpandableString); isExpandable {
+		return ext.Text(s.src)
+	}
+	children := n.Children()
+	if len(children) == 0 {
+		return ext.Text(s.src)
+	}
+	sorted := make([]psast.Node, 0, len(children))
+	for _, c := range children {
+		ce := c.Extent()
+		if ce.Start >= ext.Start && ce.End <= ext.End {
+			sorted = append(sorted, c)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Extent().Start < sorted[j].Extent().Start
+	})
+	var sb strings.Builder
+	last := ext.Start
+	for _, c := range sorted {
+		ce := c.Extent()
+		if ce.Start < last {
+			continue // overlapping (defensive)
+		}
+		sb.WriteString(s.src[last:ce.Start])
+		sb.WriteString(s.textOf(c))
+		last = ce.End
+	}
+	sb.WriteString(s.src[last:ext.End])
+	return sb.String()
+}
+
+// renderLiteral renders a recovered value as PowerShell source, only
+// for string- and number-typed results (paper §III-B2).
+func renderLiteral(v any) (string, bool) {
+	switch x := v.(type) {
+	case string:
+		return QuoteSingle(x), true
+	case psinterp.Char:
+		return QuoteSingle(string(rune(x))), true
+	case int64:
+		return strconv.FormatInt(x, 10), true
+	case int:
+		return strconv.Itoa(x), true
+	case float64:
+		return psinterp.ToString(x), true
+	}
+	return "", false
+}
+
+func isStringOrNumber(v any) bool {
+	switch v.(type) {
+	case string, int64, int, float64, psinterp.Char:
+		return true
+	}
+	return false
+}
+
+// QuoteSingle renders s as a single-quoted PowerShell string literal.
+func QuoteSingle(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// literalValue parses text and, when it is a single string/number
+// literal (possibly parenthesized), returns its value.
+func literalValue(text string) (any, bool) {
+	trimmed := strings.TrimSpace(text)
+	if trimmed == "" {
+		return nil, false
+	}
+	root, err := psparser.Parse(trimmed)
+	if err != nil || root.Body == nil || len(root.Body.Statements) != 1 {
+		return nil, false
+	}
+	pipe, ok := root.Body.Statements[0].(*psast.Pipeline)
+	if !ok || len(pipe.Elements) != 1 {
+		return nil, false
+	}
+	ce, ok := pipe.Elements[0].(*psast.CommandExpression)
+	if !ok {
+		return nil, false
+	}
+	return constantOf(ce.Expression)
+}
+
+func constantOf(n psast.Node) (any, bool) {
+	switch x := n.(type) {
+	case *psast.StringConstant:
+		if x.Bare {
+			return nil, false
+		}
+		return x.Value, true
+	case *psast.ConstantExpression:
+		return x.Value, true
+	case *psast.ParenExpression:
+		if p, ok := x.Pipeline.(*psast.Pipeline); ok && len(p.Elements) == 1 {
+			if ce, ok := p.Elements[0].(*psast.CommandExpression); ok {
+				return constantOf(ce.Expression)
+			}
+		}
+	}
+	return nil, false
+}

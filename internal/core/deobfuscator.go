@@ -1,0 +1,175 @@
+// Package core implements the Invoke-Deobfuscation engine: the paper's
+// three-phase AST-based, semantics-preserving deobfuscator.
+//
+//  1. Token parsing (§III-A): lexical recovery of L1 obfuscation —
+//     ticking, random case, aliases — rewriting tokens in reverse order.
+//  2. Recovery based on AST (§III-B): recoverable nodes are evaluated
+//     with the embedded interpreter under variable tracing (Algorithm 1),
+//     results are spliced strictly in place, and multi-layer
+//     Invoke-Expression / powershell -EncodedCommand wrappers are
+//     unwrapped until a fixpoint.
+//  3. Rename and reformat (§III-C): statistically random identifiers
+//     become var{N}/func{N} and whitespace is normalized.
+//
+// Every phase re-validates syntax and reverts on regression, so the
+// output is always parseable and semantically consistent with the
+// input.
+package core
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psnames"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+// Options configures the deobfuscator. The zero value enables every
+// phase with the paper's defaults.
+type Options struct {
+	// MaxIterations bounds the multi-layer fixpoint loop. Zero means 10.
+	MaxIterations int
+	// StepBudget bounds interpreter work per recoverable piece. Zero
+	// means 500k steps.
+	StepBudget int
+	// MaxPieceLen skips recoverable pieces larger than this many bytes.
+	// Zero means 1 MiB.
+	MaxPieceLen int
+	// Blocklist overrides the default irrelevant-command blocklist.
+	Blocklist map[string]bool
+	// DisableTokenPhase turns off phase 1 (ablation).
+	DisableTokenPhase bool
+	// DisableASTPhase turns off phase 2 (ablation).
+	DisableASTPhase bool
+	// DisableVariableTracing turns off the symbol table, reducing the
+	// engine to context-free direct execution (ablation; emulates the
+	// weakness the paper identifies in prior work).
+	DisableVariableTracing bool
+	// DisableRename turns off phase 3 renaming.
+	DisableRename bool
+	// DisableReformat turns off phase 3 reformatting.
+	DisableReformat bool
+	// FunctionTracing enables the extension the paper leaves as future
+	// work (§V-C "Complex Obfuscation"): recovery through user-defined
+	// decoder functions. A function qualifies when its body is pure —
+	// only safe commands and no free variables beyond its parameters —
+	// in which case calls to it become recoverable pieces with the
+	// definition in scope. Off by default to match the paper's tool.
+	FunctionTracing bool
+}
+
+// Stats counts the work performed during one deobfuscation.
+type Stats struct {
+	// TokensNormalized is the number of tokens rewritten by phase 1.
+	TokensNormalized int
+	// PiecesAttempted is the number of recoverable pieces evaluated.
+	PiecesAttempted int
+	// PiecesRecovered is the number of pieces replaced with literals.
+	PiecesRecovered int
+	// VariablesTraced is the number of variable values recorded.
+	VariablesTraced int
+	// VariablesInlined is the number of variable reads replaced.
+	VariablesInlined int
+	// LayersUnwrapped counts Invoke-Expression / -EncodedCommand layers
+	// removed.
+	LayersUnwrapped int
+	// IdentifiersRenamed counts renamed variables and functions.
+	IdentifiersRenamed int
+	// Iterations is the number of fixpoint rounds executed.
+	Iterations int
+	// Duration is wall-clock deobfuscation time.
+	Duration time.Duration
+}
+
+// Result is the outcome of a deobfuscation run.
+type Result struct {
+	// Script is the final deobfuscated script.
+	Script string
+	// Layers holds the script after each fixpoint iteration, innermost
+	// last (useful for analysts, mirrors PSDecode's layer output).
+	Layers []string
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// Deobfuscator runs the three-phase pipeline.
+type Deobfuscator struct {
+	opts      Options
+	blocklist map[string]bool
+}
+
+// New returns a Deobfuscator with the given options.
+func New(opts Options) *Deobfuscator {
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 10
+	}
+	if opts.StepBudget == 0 {
+		opts.StepBudget = 500_000
+	}
+	if opts.MaxPieceLen == 0 {
+		opts.MaxPieceLen = 1 << 20
+	}
+	bl := opts.Blocklist
+	if bl == nil {
+		bl = psnames.DefaultBlocklist()
+	}
+	return &Deobfuscator{opts: opts, blocklist: bl}
+}
+
+// ErrInvalidSyntax reports that the input script does not parse.
+var ErrInvalidSyntax = errors.New("core: input has invalid syntax")
+
+// Deobfuscate runs the full pipeline on a script.
+func (d *Deobfuscator) Deobfuscate(src string) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	if _, err := psparser.Parse(src); err != nil {
+		return nil, ErrInvalidSyntax
+	}
+	cur := src
+	for iter := 0; iter < d.opts.MaxIterations; iter++ {
+		res.Stats.Iterations = iter + 1
+		next := cur
+		if !d.opts.DisableTokenPhase {
+			next = d.tokenPhase(next, &res.Stats)
+		}
+		if !d.opts.DisableASTPhase {
+			next = d.astPhase(next, &res.Stats, 0)
+		}
+		if next == cur {
+			break
+		}
+		cur = next
+		res.Layers = append(res.Layers, cur)
+	}
+	if !d.opts.DisableRename {
+		cur = d.renamePhase(cur, &res.Stats)
+	}
+	if !d.opts.DisableReformat {
+		cur = d.reformatPhase(cur)
+	}
+	// Final safety net: never emit something unparseable.
+	if _, err := psparser.Parse(cur); err != nil {
+		if len(res.Layers) > 0 {
+			cur = res.Layers[len(res.Layers)-1]
+		} else {
+			cur = src
+		}
+	}
+	res.Script = cur
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// validOrRevert returns candidate when it parses, fallback otherwise
+// (the paper's per-step syntax check, §IV-A).
+func validOrRevert(candidate, fallback string) string {
+	if strings.TrimSpace(candidate) == "" {
+		return fallback
+	}
+	if _, err := psparser.Parse(candidate); err != nil {
+		return fallback
+	}
+	return candidate
+}

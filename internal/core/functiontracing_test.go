@@ -1,0 +1,68 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+const stagedLoader = `function decode($s) { -join ($s -split ',' | ForEach-Object { [char]([int]$_ -bxor 7) }) }
+$stage = decode('112,117,110,115,98,42,111,104,116,115,39,111,110')
+Invoke-Expression $stage`
+
+// TestFunctionTracingExtension: with the §V-C extension on, the pure
+// decoder function is traced and the staged payload is recovered; off
+// (the paper's configuration) it is left intact.
+func TestFunctionTracingExtension(t *testing.T) {
+	off, err := New(Options{}).Deobfuscate(stagedLoader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(off.Script), "decode(") {
+		t.Errorf("default engine folded the function call: %q", off.Script)
+	}
+	on, err := New(Options{FunctionTracing: true}).Deobfuscate(stagedLoader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(on.Script), "write-host") {
+		t.Errorf("extension did not recover the staged payload: %q", on.Script)
+	}
+}
+
+// TestFunctionTracingRejectsImpureFunctions: functions with side
+// effects or free variables stay untraced even with the extension on.
+func TestFunctionTracingRejectsImpureFunctions(t *testing.T) {
+	cases := []struct{ src, keep string }{
+		// Free variable read: the call must survive with its argument.
+		{"function f($a) { $a + $outer }\n$x = f('v')\nwrite-host $x", "('v')"},
+		// Blocklisted command inside.
+		{"function f($a) { Invoke-WebRequest $a }\n$x = f('http://x.test')\nwrite-host $x", "('http://x.test')"},
+		// Dynamic command name.
+		{"function f($a) { & $a 'arg' }\n$x = f('cmd')\nwrite-host $x", "('cmd')"},
+	}
+	d := New(Options{FunctionTracing: true})
+	for _, tc := range cases {
+		res, err := d.Deobfuscate(tc.src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if !strings.Contains(res.Script, tc.keep) {
+			t.Errorf("impure function call folded: %q -> %q", tc.src, res.Script)
+		}
+	}
+}
+
+// TestFunctionTracingLocalVariablesAllowed: locals assigned inside the
+// body do not disqualify purity.
+func TestFunctionTracingLocalVariablesAllowed(t *testing.T) {
+	src := `function rev($s) { $tmp = $s.ToCharArray(); [array]::Reverse($tmp); -join $tmp }
+$u = rev('1sp.tset//:ptth')
+write-host $u`
+	res, err := New(Options{FunctionTracing: true}).Deobfuscate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Script, "'http://test.ps1'") {
+		t.Errorf("local-variable decoder not traced: %q", res.Script)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
+)
+
+// Native fuzz targets. `go test` runs the seed corpus; `go test -fuzz`
+// explores further. The invariants: no panics, extents in bounds, and
+// the deobfuscator's output parses whenever its input did.
+
+func fuzzSeeds(f *testing.F) {
+	seeds := []string{
+		"write-host hello",
+		"i`ex ('a'+'b')",
+		`IEX (("{1}{0}" -f 'llo','he'))`,
+		"powershell -e aABpAA==",
+		"$a = 'x'; if ($a) { $a } else { exit }",
+		"( '1,2' -split ',' | % { [char]([int]$_+64) }) -join ''",
+		"\"expand $($x) and $env:PATH\"",
+		"@{k='v'}['k']",
+		"@'\nhere\n'@",
+		"function f($p=3) { $p * 2 }",
+		"&('ie'+'x') 'write-host deep'",
+		"[Text.Encoding]::Unicode.GetString([Convert]::FromBase64String('aABpAA=='))",
+		"${weird name} = 1",
+		"$x[1..3] -join ''",
+		"try { throw 'x' } catch { $_ } finally { 1 }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+}
+
+func FuzzTokenize(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, _ := pstoken.Tokenize(src)
+		for _, tok := range toks {
+			if tok.Start < 0 || tok.End() > len(src) {
+				t.Fatalf("token %v out of bounds for input %q", tok, src)
+			}
+			if src[tok.Start:tok.End()] != tok.Text {
+				t.Fatalf("token text mismatch at %d in %q", tok.Start, src)
+			}
+		}
+	})
+}
+
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		root, err := psparser.Parse(src)
+		if err != nil || root == nil {
+			return
+		}
+		ext := root.Extent()
+		if ext.Start < 0 || ext.End > len(src) {
+			t.Fatalf("root extent %v out of bounds for %q", ext, src)
+		}
+	})
+}
+
+func FuzzDeobfuscate(f *testing.F) {
+	fuzzSeeds(f)
+	d := New(Options{MaxIterations: 3, StepBudget: 50_000})
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		res, err := d.Deobfuscate(src)
+		if err != nil {
+			return // invalid input is fine
+		}
+		if _, perr := psparser.Parse(res.Script); perr != nil {
+			t.Fatalf("output does not parse for input %q:\n%s\n%v", src, res.Script, perr)
+		}
+	})
+}

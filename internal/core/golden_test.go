@@ -1,0 +1,52 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/sandbox"
+)
+
+// TestGoldenSamples runs the engine on testdata samples modeled after
+// real malware delivery patterns and checks that the indicators each
+// pattern hides are exposed in clear text, with behaviour preserved.
+func TestGoldenSamples(t *testing.T) {
+	cases := []struct {
+		file string
+		want []string
+	}{
+		{"emotet_style.ps1", []string{"http://emotet1.test/gate.php", "http://emotet2.test/gate.php"}},
+		{"trickbot_style.ps1", []string{"http://trick.test/mod.exe", "downloadfile"}},
+		{"ursnif_style.ps1", []string{"http://ursnif.test/s.ps1", "winlogin.ps1", "powershell -w hidden"}},
+		{"formatsplit_style.ps1", []string{"'http://format.test/final.ps1'", "downloadstring"}},
+		{"bxor_style.ps1", []string{"http://bxor.test/c2", "invoke-webrequest"}},
+	}
+	d := New(Options{})
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(raw)
+			res, err := d.Deobfuscate(src)
+			if err != nil {
+				t.Fatalf("Deobfuscate: %v", err)
+			}
+			lower := strings.ToLower(res.Script)
+			for _, want := range tc.want {
+				if !strings.Contains(lower, strings.ToLower(want)) {
+					t.Errorf("missing %q in output:\n%s", want, res.Script)
+				}
+			}
+			before := sandbox.Run(src, sandbox.Options{})
+			after := sandbox.Run(res.Script, sandbox.Options{})
+			if !sandbox.Consistent(before.Behavior, after.Behavior) {
+				t.Errorf("behavior diverged:\nbefore %v\nafter  %v",
+					before.Behavior.NetworkSet(), after.Behavior.NetworkSet())
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEngineIdioms runs the deobfuscator over the invocation idioms
+// wild samples use; the engine must surface the payload in clear text.
+func TestEngineIdioms(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{". ($pshome[4]+$pshome[30]+'x') 'write-host i1'", "write-host i1"},
+		{"('write-host i2') |& ($env:comspec[4,24,25] -join '')", "write-host i2"},
+		{"&((gv '*mdr*').name[3,11,2] -join '') 'write-host i3'", "write-host i3"},
+		{"&('XEI'[2..0] -join '') 'write-host i4'", "write-host i4"},
+		{"&('{1}{0}' -f 'ex','i') 'write-host i5'", "write-host i5"},
+		{"$c = 'write-'+'host i6'\niex $c", "write-host i6"},
+		// Nested: bxor layer hiding a base64 layer.
+		{
+			"IEX (('2,14,19,107,99,16,31,46,51,63,101,14,37,40,36,47,34,37,44,22,113,113,30,31,13,115,101,12,46,63,24,63,57,34,37,44,99,16,8,36,37,61,46,57,63,22,113,113,13,57,36,38,9,42,56,46,125,127,24,63,57,34,37,44,99,108,47,120,1,59,47,12,30,63,42,12,114,49,47,8,9,59,5,60,118,118,108,98,98,98' -split ',' | % { [char]([int]$_ -bxor 75) }) -join '')",
+			"write-host i7",
+		},
+	}
+	d := New(Options{})
+	for _, tt := range tests {
+		res, err := d.Deobfuscate(tt.src)
+		if err != nil {
+			t.Errorf("Deobfuscate(%q): %v", tt.src, err)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(res.Script), tt.want) {
+			t.Errorf("Deobfuscate(%q) = %q, want %q", tt.src, res.Script, tt.want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
+)
+
+// span is a byte range within the reformatted source.
+type span struct{ start, end int }
+
+func inSpans(spans []span, off int) bool {
+	for _, s := range spans {
+		if off >= s.start && off < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// reformatPhase removes random whitespace and re-indents the script
+// with a standardized format (paper §III-C). String and comment
+// contents are preserved verbatim, including the interior of
+// here-strings, which must keep their exact layout.
+func (d *Deobfuscator) reformatPhase(src string) string {
+	collapsed := collapseWhitespace(src)
+	toks, err := pstoken.Tokenize(collapsed)
+	if err != nil {
+		return validOrRevert(collapsed, src)
+	}
+	var literal []span   // strings and comments: braces inside do not nest
+	var multiline []span // multi-line literals: lines stay verbatim
+	for _, t := range toks {
+		if t.Type != pstoken.String && t.Type != pstoken.Comment {
+			continue
+		}
+		literal = append(literal, span{t.Start, t.End()})
+		if strings.Contains(t.Text, "\n") {
+			multiline = append(multiline, span{t.Start, t.End()})
+		}
+	}
+	indented := reindent(collapsed, literal, multiline)
+	return validOrRevert(indented, src)
+}
+
+// collapseWhitespace reduces runs of spaces and tabs outside strings and
+// comments to a single space and trims trailing whitespace.
+func collapseWhitespace(src string) string {
+	toks, err := pstoken.Tokenize(src)
+	if err != nil {
+		return src
+	}
+	// Protected spans: copy verbatim.
+	var protected []span
+	for _, t := range toks {
+		if t.Type == pstoken.String || t.Type == pstoken.Comment {
+			protected = append(protected, span{t.Start, t.End()})
+		}
+	}
+	var sb strings.Builder
+	sb.Grow(len(src))
+	pi := 0
+	i := 0
+	for i < len(src) {
+		if pi < len(protected) && i == protected[pi].start {
+			sb.WriteString(src[i:protected[pi].end])
+			i = protected[pi].end
+			pi++
+			continue
+		}
+		c := src[i]
+		if c == ' ' || c == '\t' {
+			j := i
+			for j < len(src) && (src[j] == ' ' || src[j] == '\t') {
+				// Never run into a protected span.
+				if pi < len(protected) && j == protected[pi].start {
+					break
+				}
+				j++
+			}
+			// Trailing whitespace before a newline disappears entirely.
+			if j < len(src) && (src[j] == '\n' || src[j] == '\r') {
+				i = j
+				continue
+			}
+			if sb.Len() > 0 {
+				last := sb.String()[sb.Len()-1]
+				if last != '\n' && last != ' ' {
+					sb.WriteByte(' ')
+				}
+			}
+			i = j
+			continue
+		}
+		if c == '\r' {
+			i++
+			continue
+		}
+		if c == '\n' {
+			// Collapse blank-line runs to a single newline.
+			if sb.Len() == 0 || strings.HasSuffix(sb.String(), "\n") {
+				i++
+				continue
+			}
+			sb.WriteByte('\n')
+			i++
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return strings.TrimRight(sb.String(), "\n ") + "\n"
+}
+
+// reindent indents each line by brace depth. Braces inside literal
+// spans do not affect depth; lines that begin inside a multi-line
+// literal are emitted verbatim.
+func reindent(src string, literal, multiline []span) string {
+	var sb strings.Builder
+	depth := 0
+	lineStart := 0
+	for lineStart <= len(src) {
+		lineEnd := strings.IndexByte(src[lineStart:], '\n')
+		last := false
+		if lineEnd < 0 {
+			lineEnd = len(src)
+			last = true
+		} else {
+			lineEnd += lineStart
+		}
+		line := src[lineStart:lineEnd]
+		if inSpans(multiline, lineStart) {
+			// Interior (or terminator) of a here-string/block comment.
+			sb.WriteString(line)
+		} else {
+			trimmed := strings.TrimLeft(line, " \t")
+			closers := 0
+			for _, r := range trimmed {
+				if r == '}' || r == ')' {
+					closers++
+					continue
+				}
+				break
+			}
+			indentLevel := depth - closers
+			if indentLevel < 0 {
+				indentLevel = 0
+			}
+			if trimmed != "" {
+				sb.WriteString(strings.Repeat("    ", indentLevel))
+			}
+			sb.WriteString(trimmed)
+		}
+		// Update depth from braces outside literals.
+		for i := lineStart; i < lineEnd; i++ {
+			if inSpans(literal, i) {
+				continue
+			}
+			switch src[i] {
+			case '{':
+				depth++
+			case '}':
+				if depth > 0 {
+					depth--
+				}
+			}
+		}
+		if last {
+			break
+		}
+		sb.WriteByte('\n')
+		lineStart = lineEnd + 1
+	}
+	return sb.String()
+}

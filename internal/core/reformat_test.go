@@ -1,0 +1,37 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReformatPreservesHereStrings(t *testing.T) {
+	src := "if (1) {\n$x = @'\nline  one\n  indented\n'@\nwrite-host $x\n}"
+	got := deob(t, src)
+	if !strings.Contains(got, "line  one\n  indented") {
+		t.Errorf("here-string body mutated:\n%s", got)
+	}
+}
+
+func TestReformatBracesInStringsAndComments(t *testing.T) {
+	// Braces inside strings and comments must not affect indentation.
+	src := "if (1) {\nwrite-host '}{'\n# closing } brace in comment\nwrite-host done\n}"
+	got := deob(t, src)
+	if !strings.Contains(got, "    Write-Host '}{'") {
+		t.Errorf("indent broken by string braces:\n%s", got)
+	}
+	if !strings.Contains(got, "    Write-Host done") {
+		t.Errorf("indent broken by comment braces:\n%s", got)
+	}
+}
+
+func TestReformatBlockComment(t *testing.T) {
+	src := "<# multi\n   line   #>\nwrite-host   after"
+	got := deob(t, src)
+	if !strings.Contains(got, "multi\n   line") {
+		t.Errorf("block comment interior mutated:\n%s", got)
+	}
+	if !strings.Contains(got, "Write-Host after") {
+		t.Errorf("code after comment not normalized:\n%s", got)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+// TestDeepNesting: deeply nested parentheses and concatenations must
+// neither crash nor hang.
+func TestDeepNesting(t *testing.T) {
+	expr := "'x'"
+	for i := 0; i < 40; i++ {
+		expr = "(" + expr + "+'y')"
+	}
+	d := New(Options{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, err := d.Deobfuscate("write-host " + expr)
+		if err != nil {
+			t.Errorf("deep nesting: %v", err)
+			return
+		}
+		if !strings.Contains(res.Script, "xyyyy") {
+			t.Errorf("deep concat not recovered: %.120s", res.Script)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deep nesting hung")
+	}
+}
+
+// TestHugeConcatChain: a thousand-piece concat folds without blowing
+// budgets.
+func TestHugeConcatChain(t *testing.T) {
+	parts := make([]string, 400)
+	for i := range parts {
+		parts[i] = "'ab'"
+	}
+	src := "$s = " + strings.Join(parts, "+")
+	d := New(Options{})
+	res, err := d.Deobfuscate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Script, strings.Repeat("ab", 400)) {
+		t.Errorf("chain not folded: %.80s...", res.Script)
+	}
+}
+
+// TestBudgetExhaustionGraceful: with a tiny step budget, recovery is
+// skipped but the engine still terminates with parseable output.
+func TestBudgetExhaustionGraceful(t *testing.T) {
+	d := New(Options{StepBudget: 10})
+	res, err := d.Deobfuscate("IEX (('a'+'b')*3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, perr := psparser.Parse(res.Script); perr != nil {
+		t.Errorf("budget-limited output unparseable: %v", perr)
+	}
+}
+
+// TestIterationCapTerminates: a script whose layers keep changing must
+// stop at MaxIterations.
+func TestIterationCapTerminates(t *testing.T) {
+	d := New(Options{MaxIterations: 2})
+	res, err := d.Deobfuscate("IEX ('IEX '+\"'IEX 'x''\")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations > 2 {
+		t.Errorf("iterations = %d", res.Stats.Iterations)
+	}
+}
+
+// TestSelfReferencingIEX must not loop forever: the payload re-invokes
+// text equal to itself.
+func TestSelfReferencingIEX(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d := New(Options{})
+		_, _ = d.Deobfuscate(`$s = 'IEX $s'` + "\n" + `IEX $s`)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("self-referencing IEX hung")
+	}
+}
+
+// TestPathologicalRegexInput: -replace patterns from data must not
+// blow up the engine.
+func TestPathologicalRegexInput(t *testing.T) {
+	d := New(Options{})
+	res, err := d.Deobfuscate(`$x = 'aaaaaaaaaaaaaaaaaaaaaaaaaaaa' -replace '(a+)+$','b'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, perr := psparser.Parse(res.Script); perr != nil {
+		t.Error(perr)
+	}
+}
+
+// TestCorpusNeverPanics: the engine runs over many generated samples
+// without panicking, always producing parseable output.
+func TestCorpusNeverPanics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	d := New(Options{})
+	for _, s := range corpus.Generate(corpus.Config{Seed: 31337, N: 60}) {
+		res, err := d.Deobfuscate(s.Source)
+		if err != nil {
+			t.Errorf("%s: %v", s.ID, err)
+			continue
+		}
+		if _, perr := psparser.Parse(res.Script); perr != nil {
+			t.Errorf("%s: output unparseable: %v", s.ID, perr)
+		}
+	}
+}
+
+// TestMutatedInputsNeverPanic mutates valid scripts into arbitrary
+// byte soup; Deobfuscate must return (possibly an error) without
+// panicking.
+func TestMutatedInputsNeverPanic(t *testing.T) {
+	base := "IEX ([Text.Encoding]::Unicode.GetString([Convert]::FromBase64String('aABpAA==')))"
+	d := New(Options{})
+	f := func(pos uint16, b byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic at pos=%d b=%d: %v", pos, b, r)
+			}
+		}()
+		src := []byte(base)
+		src[int(pos)%len(src)] = b
+		_, _ = d.Deobfuscate(string(src))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStagedLoaderStaysIntact: the §V-C limitation — function-wrapped
+// decoders are not folded, and the script is not corrupted.
+func TestStagedLoaderStaysIntact(t *testing.T) {
+	src := `function decode($s) { -join ($s -split ',' | ForEach-Object { [char]([int]$_ -bxor 7) }) }
+$stage = decode('113,114,108,115,98,42,110,104,116,115,39,111,110')
+Invoke-Expression $stage`
+	d := New(Options{})
+	res, err := d.Deobfuscate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(res.Script), "decode(") {
+		t.Errorf("function call folded unexpectedly: %q", res.Script)
+	}
+}
+
+// TestBinaryBase64Preserved: binary Base64 payloads must survive
+// unmodified (paper §IV-C4).
+func TestBinaryBase64Preserved(t *testing.T) {
+	const blob = "TVqQAAMAAAAEAAAA//8AALgAAAAAAAAAQA=="
+	src := "$bytes = [Convert]::FromBase64String('" + blob + "')\n[IO.File]::WriteAllBytes(\"$env:TEMP\\x.exe\", $bytes)"
+	d := New(Options{})
+	res, err := d.Deobfuscate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Script, blob) {
+		t.Errorf("binary blob mangled: %q", res.Script)
+	}
+}

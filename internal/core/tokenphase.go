@@ -1,0 +1,134 @@
+package core
+
+import (
+	"regexp"
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psnames"
+	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
+)
+
+// tokenPhase recovers token-level (L1) obfuscation: ticking, random
+// case, aliases and parameter casing. Tokens are rewritten from the last
+// to the first so earlier offsets stay valid (paper §III-A).
+func (d *Deobfuscator) tokenPhase(src string, stats *Stats) string {
+	toks, err := pstoken.Tokenize(src)
+	if err != nil {
+		return src
+	}
+	out := src
+	changed := 0
+	for i := len(toks) - 1; i >= 0; i-- {
+		tok := toks[i]
+		replacement, ok := canonicalToken(tok)
+		if !ok || replacement == tok.Text {
+			continue
+		}
+		out = out[:tok.Start] + replacement + out[tok.End():]
+		changed++
+	}
+	if changed == 0 {
+		return src
+	}
+	stats.TokensNormalized += changed
+	return validOrRevert(out, src)
+}
+
+// typeNameArg matches bare-word arguments that are .NET type names
+// (net.webclient), safe to lower-case.
+var typeNameArg = regexp.MustCompile(`^[A-Za-z]+(\.[A-Za-z]+)+$`)
+
+// canonicalToken computes the normalized text for a token, reporting
+// whether the token type is one the phase rewrites.
+func canonicalToken(tok pstoken.Token) (string, bool) {
+	switch tok.Type {
+	case pstoken.Command:
+		name := tok.Content // ticks already stripped
+		if alias := psnames.ResolveAlias(name); alias != "" {
+			return alias, true
+		}
+		return psnames.CanonicalCommandCase(name), true
+	case pstoken.Keyword:
+		return strings.ToLower(tok.Content), true
+	case pstoken.CommandParameter:
+		text := strings.ToLower(pstoken.StripTicks(tok.Text))
+		return text, true
+	case pstoken.Member:
+		return strings.ToLower(tok.Content), true
+	case pstoken.Variable:
+		return canonicalVariableToken(tok), true
+	case pstoken.TypeLiteral:
+		return "[" + strings.ToLower(tok.Content) + "]", true
+	case pstoken.Operator:
+		// Dash operators get canonical lower case; ticked operators are
+		// impossible, so only case changes.
+		if strings.HasPrefix(tok.Text, "-") && len(tok.Text) > 1 {
+			return strings.ToLower(tok.Text), true
+		}
+		return tok.Text, true
+	case pstoken.CommandArgument:
+		text := tok.Text
+		if tok.HadTicks {
+			text = pstoken.StripTicks(text)
+		}
+		if typeNameArg.MatchString(text) {
+			// Type-name arguments (New-Object Net.WebClient) are
+			// case-insensitive; base64 and paths are left alone because
+			// they contain digits or other characters.
+			text = strings.ToLower(text)
+		}
+		return text, true
+	case pstoken.String:
+		if tok.Kind == pstoken.DoubleQuoted {
+			return normalizeDoubleQuoted(tok.Text), true
+		}
+		return tok.Text, true
+	default:
+		return tok.Text, false
+	}
+}
+
+// canonicalVariableToken lower-cases a variable reference while
+// preserving its syntactic form ($name, ${name}, $scope:name).
+func canonicalVariableToken(tok pstoken.Token) string {
+	text := tok.Text
+	if strings.HasPrefix(text, "@") {
+		return "@" + strings.ToLower(text[1:])
+	}
+	if strings.HasPrefix(text, "${") {
+		return "${" + strings.ToLower(tok.Content) + "}"
+	}
+	return "$" + strings.ToLower(strings.TrimPrefix(text, "$"))
+}
+
+// meaningfulEscapes are the backtick escapes with semantic value inside
+// double-quoted strings; any other backtick is ticking noise.
+var meaningfulEscapes = map[byte]bool{
+	'0': true, 'a': true, 'b': true, 'e': true, 'f': true, 'n': true,
+	'r': true, 't': true, 'v': true, 'u': true, '`': true, '\'': true,
+	'"': true, '$': true,
+}
+
+// normalizeDoubleQuoted removes cosmetic backticks from a double-quoted
+// string literal, keeping real escapes.
+func normalizeDoubleQuoted(raw string) string {
+	if !strings.Contains(raw, "`") {
+		return raw
+	}
+	var sb strings.Builder
+	sb.Grow(len(raw))
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		if c == '`' && i+1 < len(raw) && !meaningfulEscapes[raw[i+1]] {
+			continue
+		}
+		if c == '`' && i+1 < len(raw) {
+			sb.WriteByte(c)
+			i++
+			sb.WriteByte(raw[i])
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}

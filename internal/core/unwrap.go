@@ -1,0 +1,224 @@
+package core
+
+import (
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+// maxUnwrapDepth bounds nested layer recursion independently of the
+// fixpoint loop.
+const maxUnwrapDepth = 16
+
+// tryUnwrapPipeline handles multi-layer obfuscation at statement level
+// (paper §III-B4): Invoke-Expression and powershell -EncodedCommand
+// carrying a now-literal payload are replaced by the recursively
+// deobfuscated payload. Payload commands embedded mid-pipeline (the
+// paper's third position test, `<obf>|out-null`) are replaced in place,
+// parenthesized so the surrounding pipeline stays intact.
+func (s *astState) tryUnwrapPipeline(p *psast.Pipeline, ctx visitCtx) {
+	if s.depth >= maxUnwrapDepth {
+		return
+	}
+	// Form 1: <literal> | iex  (also | & 'iex', | . ('iex')).
+	if len(p.Elements) == 2 {
+		last, ok := p.Elements[1].(*psast.Command)
+		if ok && s.isInvokeExpression(last) && len(positionalArgs(last)) == 0 {
+			if lit, ok := literalValue(s.textOf(p.Elements[0])); ok {
+				if code, okStr := lit.(string); okStr {
+					s.replaceWithInner(p, code, ctx)
+					return
+				}
+			}
+		}
+	}
+	for _, elem := range p.Elements {
+		cmd, ok := elem.(*psast.Command)
+		if !ok {
+			continue
+		}
+		code, found := s.payloadOf(cmd)
+		if !found {
+			continue
+		}
+		if len(p.Elements) == 1 {
+			s.replaceWithInner(p, code, ctx)
+			return
+		}
+		s.replaceElementWithInner(cmd, code)
+	}
+}
+
+// payloadOf extracts the literal payload of an unwrappable command:
+// iex '<code>' in any spelling, or powershell -enc/-command.
+func (s *astState) payloadOf(cmd *psast.Command) (string, bool) {
+	if s.isInvokeExpression(cmd) {
+		args := positionalArgs(cmd)
+		if len(args) == 1 {
+			if lit, ok := literalValue(s.textOf(args[0])); ok {
+				if code, okStr := lit.(string); okStr {
+					return code, true
+				}
+			}
+		}
+		return "", false
+	}
+	if name, ok := s.commandLiteralName(cmd); ok {
+		switch psinterp.NormalizeCommandName(name) {
+		case "powershell", "pwsh":
+			return s.extractPowerShellPayload(cmd)
+		}
+	}
+	return "", false
+}
+
+// isInvokeExpression recognizes the common Invoke-Expression spellings
+// the paper lists: iex, Invoke-Expression, &'iex', .('iex'),
+// .($pshome[4]+...+'x') after recovery, 'xxx'|iex, etc.
+func (s *astState) isInvokeExpression(cmd *psast.Command) bool {
+	name, ok := s.commandLiteralName(cmd)
+	if !ok {
+		return false
+	}
+	return psinterp.NormalizeCommandName(name) == "invoke-expression"
+}
+
+// positionalArgs returns the non-parameter arguments of a command.
+func positionalArgs(cmd *psast.Command) []psast.Node {
+	var out []psast.Node
+	for _, a := range cmd.Args {
+		if _, isParam := a.(*psast.CommandParameter); isParam {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// extractPowerShellPayload pulls the script carried by a powershell.exe
+// invocation: -EncodedCommand (with PowerShell's prefix parameter
+// matching, §III-B4), -Command, or a trailing literal.
+func (s *astState) extractPowerShellPayload(cmd *psast.Command) (string, bool) {
+	args := cmd.Args
+	for i := 0; i < len(args); i++ {
+		cp, isParam := args[i].(*psast.CommandParameter)
+		if !isParam {
+			continue
+		}
+		var valueNode psast.Node
+		if cp.Argument != nil {
+			valueNode = cp.Argument
+		} else if i+1 < len(args) {
+			if _, nextIsParam := args[i+1].(*psast.CommandParameter); !nextIsParam {
+				valueNode = args[i+1]
+			}
+		}
+		if valueNode == nil {
+			continue
+		}
+		text := s.textOf(valueNode)
+		value, ok := literalValue(text)
+		var payload string
+		if ok {
+			payload = psinterp.ToString(value)
+		} else if bare, isBare := valueNode.(*psast.StringConstant); isBare && bare.Bare {
+			payload = bare.Value
+		} else {
+			continue
+		}
+		switch {
+		case psinterp.IsEncodedCommandParameter(cp.Name):
+			decoded, err := psinterp.DecodeEncodedCommand(payload)
+			if err != nil {
+				continue
+			}
+			if _, perr := psparser.Parse(decoded); perr != nil {
+				continue
+			}
+			return decoded, true
+		case psinterp.IsCommandParameter(cp.Name):
+			return payload, true
+		}
+	}
+	// Trailing literal command string: powershell "write-host hi".
+	pos := positionalArgs(cmd)
+	if len(pos) == 1 {
+		if v, ok := literalValue(s.textOf(pos[0])); ok {
+			if code, isStr := v.(string); isStr {
+				return code, true
+			}
+		}
+	}
+	return "", false
+}
+
+// replaceWithInner substitutes a whole statement pipeline with the
+// recursively deobfuscated payload code, keeping the original when the
+// payload does not parse. On an assignment RHS, a multi-statement
+// payload is wrapped in $( ) so the assigned value stays the payload's
+// output.
+func (s *astState) replaceWithInner(n psast.Node, code string, ctx visitCtx) {
+	inner, stmts, ok := s.deobPayload(code)
+	if !ok {
+		return
+	}
+	if ctx.assignRHS && stmts > 1 {
+		inner = "$(" + inner + ")"
+	}
+	s.repl[n] = inner
+	s.stats.LayersUnwrapped++
+}
+
+// replaceElementWithInner substitutes one pipeline element with the
+// parenthesized payload, only when the payload is a single statement
+// (so the surrounding pipeline remains syntactically and semantically
+// intact).
+func (s *astState) replaceElementWithInner(n psast.Node, code string) {
+	inner, stmts, ok := s.deobPayload(code)
+	if !ok || stmts != 1 {
+		return
+	}
+	s.repl[n] = "(" + inner + ")"
+	s.stats.LayersUnwrapped++
+}
+
+// deobPayload recursively deobfuscates a payload and reports its
+// statement count.
+func (s *astState) deobPayload(code string) (string, int, bool) {
+	trimmed := strings.TrimSpace(code)
+	if trimmed == "" {
+		return "", 0, false
+	}
+	if _, err := psparser.Parse(trimmed); err != nil {
+		return "", 0, false
+	}
+	inner := s.d.deobfuscateLayer(trimmed, s.stats, s.depth+1)
+	root, err := psparser.Parse(inner)
+	if err != nil || root.Body == nil {
+		return "", 0, false
+	}
+	return inner, len(root.Body.Statements), true
+}
+
+// deobfuscateLayer runs token parsing and AST recovery on a nested
+// payload (multi-layer obfuscation), without rename/reformat, which
+// only apply to the final script.
+func (d *Deobfuscator) deobfuscateLayer(src string, stats *Stats, depth int) string {
+	cur := src
+	for iter := 0; iter < d.opts.MaxIterations; iter++ {
+		next := cur
+		if !d.opts.DisableTokenPhase {
+			next = d.tokenPhase(next, stats)
+		}
+		if !d.opts.DisableASTPhase {
+			next = d.astPhase(next, stats, depth)
+		}
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	return cur
+}

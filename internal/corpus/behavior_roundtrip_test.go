@@ -1,0 +1,48 @@
+package corpus
+
+import (
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	"github.com/invoke-deobfuscation/invokedeob/internal/sandbox"
+)
+
+// TestBehaviorRoundTrip checks the Table IV property on generated wild
+// samples: deobfuscation preserves network behavior.
+func TestBehaviorRoundTrip(t *testing.T) {
+	samples := Generate(Config{Seed: 99, N: 30})
+	d := core.New(core.Options{})
+	consistent, withNet, failed := 0, 0, 0
+	for _, s := range samples {
+		orig := sandbox.Run(s.Source, sandbox.Options{})
+		if !orig.Behavior.HasNetwork() {
+			continue
+		}
+		withNet++
+		res, err := d.Deobfuscate(s.Source)
+		if err != nil {
+			failed++
+			t.Logf("%s: deobfuscate error: %v", s.ID, err)
+			continue
+		}
+		after := sandbox.Run(res.Script, sandbox.Options{})
+		if sandbox.Consistent(orig.Behavior, after.Behavior) {
+			consistent++
+		} else {
+			t.Errorf("%s (%s, techs=%v): behavior diverged\norig: %v\nnew : %v\nscript:\n%s\ndeob:\n%s",
+				s.ID, s.Family, s.Techniques, orig.Behavior.NetworkSet(), after.Behavior.NetworkSet(),
+				head(s.Source), head(res.Script))
+		}
+	}
+	t.Logf("networked=%d consistent=%d failed=%d", withNet, consistent, failed)
+	if withNet == 0 {
+		t.Fatal("no networked samples")
+	}
+}
+
+func head(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "..."
+	}
+	return s
+}

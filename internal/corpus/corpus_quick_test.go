@@ -1,0 +1,38 @@
+package corpus
+
+import (
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/sandbox"
+)
+
+func TestGenerateQuick(t *testing.T) {
+	samples := Generate(Config{Seed: 7, N: 40})
+	if len(samples) != 40 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	obfuscated, networked, multilayer := 0, 0, 0
+	for _, s := range samples {
+		if !ValidSyntax(s.Source) {
+			t.Errorf("%s: invalid syntax (family=%s techs=%v)", s.ID, s.Family, s.Techniques)
+			continue
+		}
+		if len(s.Techniques) > 0 {
+			obfuscated++
+		}
+		if s.MultiLayer() {
+			multilayer++
+		}
+		if s.HasNetwork {
+			networked++
+			res := sandbox.Run(s.Original, sandbox.Options{})
+			if !res.Behavior.HasNetwork() {
+				t.Errorf("%s (%s): clean script produced no network behavior (err=%v)", s.ID, s.Family, res.Err)
+			}
+		}
+	}
+	t.Logf("obfuscated=%d networked=%d multilayer=%d", obfuscated, networked, multilayer)
+	if obfuscated < 30 {
+		t.Errorf("too few obfuscated samples: %d", obfuscated)
+	}
+}

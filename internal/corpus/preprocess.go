@@ -1,0 +1,123 @@
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
+)
+
+// Preprocessing reproduces the paper's dataset pipeline (§IV-B1):
+// syntax validation, token-based file-type filtering, meaningfulness
+// checks, and structural deduplication via string-placeholder
+// normalization.
+
+// ValidSyntax reports whether the script parses as PowerShell (the
+// paper's "can be converted to a script block" check).
+func ValidSyntax(src string) bool {
+	_, err := psparser.Parse(src)
+	return err == nil
+}
+
+// LooksLikePowerShell applies the paper's token filters: the sample
+// must tokenize, produce at least one token, and not consist of
+// obviously foreign commands (tokens with characters such as = or %
+// in command position, typical of Mail/HTML false positives).
+func LooksLikePowerShell(src string) bool {
+	toks, err := pstoken.Tokenize(src)
+	if err != nil || len(toks) == 0 {
+		return false
+	}
+	commands := 0
+	badCommands := 0
+	stringOnly := true
+	for _, t := range toks {
+		switch t.Type {
+		case pstoken.Command:
+			commands++
+			if strings.ContainsAny(t.Content, "=%<>") {
+				badCommands++
+			}
+			stringOnly = false
+		case pstoken.String, pstoken.NewLine, pstoken.StatementSeparator:
+		default:
+			stringOnly = false
+		}
+	}
+	if commands > 0 && badCommands == commands {
+		return false
+	}
+	// Samples that are a single string token are meaningless for
+	// analysis (paper §IV-B1, third filter).
+	if stringOnly {
+		nonSep := 0
+		for _, t := range toks {
+			if t.Type == pstoken.String {
+				nonSep++
+			}
+		}
+		if nonSep <= 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// StructureHash hashes a script with every string token replaced by a
+// placeholder, so samples differing only in embedded strings (URLs,
+// paths) collide — the paper's family-level deduplication.
+func StructureHash(src string) string {
+	toks, err := pstoken.Tokenize(src)
+	if err != nil {
+		sum := sha256.Sum256([]byte(src))
+		return hex.EncodeToString(sum[:])
+	}
+	var sb strings.Builder
+	for _, t := range toks {
+		switch t.Type {
+		case pstoken.String:
+			sb.WriteString("<S>")
+		case pstoken.Comment:
+			// Comments do not contribute structure.
+		case pstoken.NewLine:
+			sb.WriteByte('\n')
+		default:
+			sb.WriteString(strings.ToLower(t.Content))
+			sb.WriteByte(' ')
+		}
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Deduplicate removes samples whose structure hash repeats, keeping
+// first occurrences and preserving order.
+func Deduplicate(samples []*Sample) []*Sample {
+	seen := make(map[string]bool, len(samples))
+	var out []*Sample
+	for _, s := range samples {
+		h := StructureHash(s.Source)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// Preprocess runs the full pipeline: syntax validation, token filters
+// and structural dedup, returning the surviving samples (the analogue
+// of 2,025,175 → 39,713 in the paper).
+func Preprocess(samples []*Sample) []*Sample {
+	var valid []*Sample
+	for _, s := range samples {
+		if !ValidSyntax(s.Source) || !LooksLikePowerShell(s.Source) {
+			continue
+		}
+		valid = append(valid, s)
+	}
+	return Deduplicate(valid)
+}

@@ -1,0 +1,137 @@
+package corpus
+
+import (
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/keyinfo"
+)
+
+func TestValidSyntax(t *testing.T) {
+	if !ValidSyntax("write-host hi") {
+		t.Error("valid script rejected")
+	}
+	if ValidSyntax("if (1) {") {
+		t.Error("invalid script accepted")
+	}
+}
+
+func TestLooksLikePowerShell(t *testing.T) {
+	yes := []string{
+		"write-host hi",
+		"$a = 1; $a",
+		"(New-Object Net.WebClient).DownloadString('http://x.test')",
+	}
+	for _, src := range yes {
+		if !LooksLikePowerShell(src) {
+			t.Errorf("LooksLikePowerShell(%q) = false", src)
+		}
+	}
+	// A single string token is meaningless for analysis (§IV-B1).
+	if LooksLikePowerShell("'just a string'") {
+		t.Error("single-string sample accepted")
+	}
+}
+
+func TestStructureHashDeduplication(t *testing.T) {
+	// Samples differing only in string contents (URLs) share structure,
+	// the paper's family-dedup rule.
+	a := "(New-Object Net.WebClient).DownloadString('http://one.test/a')"
+	b := "(New-Object Net.WebClient).DownloadString('http://two.test/b')"
+	c := "(New-Object Net.WebClient).DownloadFile('http://one.test/a','x')"
+	if StructureHash(a) != StructureHash(b) {
+		t.Error("string-only variants hash differently")
+	}
+	if StructureHash(a) == StructureHash(c) {
+		t.Error("structurally different scripts collide")
+	}
+	// Case differences do not create new structures.
+	if StructureHash("WRITE-HOST hi") != StructureHash("write-host hi") {
+		t.Error("case creates new structure")
+	}
+	// Comments do not contribute structure.
+	if StructureHash("write-host hi # note") != StructureHash("write-host hi") {
+		t.Error("comments contribute structure")
+	}
+}
+
+func TestDeduplicate(t *testing.T) {
+	samples := []*Sample{
+		{ID: "a", Source: "write-host 'one'"},
+		{ID: "b", Source: "write-host 'two'"}, // same structure as a
+		{ID: "c", Source: "write-output 'three'"},
+	}
+	out := Deduplicate(samples)
+	if len(out) != 2 || out[0].ID != "a" || out[1].ID != "c" {
+		ids := make([]string, len(out))
+		for i, s := range out {
+			ids[i] = s.ID
+		}
+		t.Errorf("dedup = %v", ids)
+	}
+}
+
+func TestPreprocessPipeline(t *testing.T) {
+	samples := Generate(Config{Seed: 3, N: 60})
+	// Inject junk resembling the paper's Category-Two false positives.
+	samples = append(samples,
+		&Sample{ID: "bad-syntax", Source: "if (1) {"},
+		&Sample{ID: "dup", Source: samples[0].Source},
+	)
+	out := Preprocess(samples)
+	for _, s := range out {
+		if s.ID == "bad-syntax" {
+			t.Error("invalid sample survived")
+		}
+	}
+	if len(out) > len(samples)-2 {
+		t.Errorf("preprocess kept %d of %d", len(out), len(samples))
+	}
+}
+
+func TestGroundTruthKeyInfo(t *testing.T) {
+	samples := Generate(Config{Seed: 11, N: 30})
+	for _, s := range samples {
+		// Ground truth covers at least the clean script's static
+		// indicators (plus any runtime-assembled URLs from the sandbox).
+		want := keyinfo.Extract(s.Original)
+		if s.KeyInfo.Count() < len(want.Ps1)+len(want.IPs)+len(want.PowerShell) {
+			t.Errorf("%s: keyinfo count %d < static %d", s.ID, s.KeyInfo.Count(), want.Count())
+		}
+		if s.HasNetwork && len(s.KeyInfo.URLs)+len(s.KeyInfo.IPs) == 0 {
+			t.Errorf("%s (%s): networked family without network IOCs", s.ID, s.Family)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(Config{Seed: 42, N: 10})
+	b := Generate(Config{Seed: 42, N: 10})
+	for i := range a {
+		if a[i].Source != b[i].Source || a[i].Original != b[i].Original {
+			t.Fatalf("sample %d differs between runs", i)
+		}
+	}
+	c := Generate(Config{Seed: 43, N: 10})
+	same := 0
+	for i := range a {
+		if a[i].Source == c[i].Source {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpus")
+	}
+}
+
+func TestLayerCounting(t *testing.T) {
+	samples := Generate(Config{Seed: 8, N: 120})
+	multi := 0
+	for _, s := range samples {
+		if s.MultiLayer() {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-layer samples generated")
+	}
+}

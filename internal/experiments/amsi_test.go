@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestAMSIComparisonShape checks §V-B's claims: AMSI recovers engine-
+// invoked (L3) layers — including dynamic IEX spellings — but nothing
+// that is never invoked; our tool covers both; the concat bypass blinds
+// AMSI but not the deobfuscator.
+func TestAMSIComparisonShape(t *testing.T) {
+	res := AMSIComparison(Config{Quick: true})
+	t.Logf("\n%s", res)
+	amsiL3, oursAll := 0, 0
+	for _, row := range res.Rows {
+		if row.Level == 3 && row.AMSI {
+			amsiL3++
+		}
+		if row.Ours {
+			oursAll++
+		}
+		if row.Level == 1 && row.AMSI && row.Technique != "random-name" {
+			t.Errorf("AMSI recovered non-invoked L1 technique %s", row.Technique)
+		}
+	}
+	if amsiL3 < 5 {
+		t.Errorf("AMSI recovered only %d invoked L3 techniques", amsiL3)
+	}
+	if oursAll < len(res.Rows)-1 { // whitespace encoding excepted
+		t.Errorf("our tool recovered %d of %d", oursAll, len(res.Rows))
+	}
+	if res.AMSIBypassExposed {
+		t.Error("AMSI exposed the concat bypass (it should be blind to it)")
+	}
+	if !res.OursBypassExposed {
+		t.Error("our tool missed the concat bypass")
+	}
+}

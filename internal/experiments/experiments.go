@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§IV): Table I (obfuscation level prevalence),
+// Table II (per-technique deobfuscation ability), Figures 5 and 6
+// (key-information recovery and deobfuscation time), Table III
+// (multi-layer handling), Table IV (behavioural consistency) and
+// Table V (obfuscation mitigation), plus the ablations called out in
+// DESIGN.md.
+//
+// Each experiment takes a Config (seed + scale) and returns a result
+// with a String() rendering shaped like the paper's table.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/baselines"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Seed drives corpus generation.
+	Seed int64
+	// Samples is the per-experiment sample count (each experiment has a
+	// paper-matching default when zero).
+	Samples int
+	// Quick reduces simulated execution latency so test runs stay fast;
+	// full runs keep realistic latency (Fig. 6 depends on it).
+	Quick bool
+}
+
+func (c Config) withDefaults(defaultSamples int) Config {
+	if c.Samples == 0 {
+		c.Samples = defaultSamples
+	}
+	if c.Seed == 0 {
+		c.Seed = 20220622 // DSN'22 presentation date
+	}
+	return c
+}
+
+// applyLatency installs the latency profile for the run and returns a
+// restore function.
+func (c Config) applyLatency() func() {
+	if !c.Quick {
+		return func() {}
+	}
+	prev := baselines.SetLatency(baselines.Latency{Net: 2 * time.Millisecond, SleepCap: 5 * time.Millisecond})
+	return func() { baselines.SetLatency(prev) }
+}
+
+// tools returns the five tools in paper order.
+func tools() []baselines.Tool { return baselines.AllTools() }
+
+// table renders rows of columns with aligned widths.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func pct(n, d int) string {
+	if d == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(d))
+}
+
+func pctF(f float64) string {
+	return fmt.Sprintf("%.1f%%", 100*f)
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	out := table([]string{"A", "Column"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "A ") || !strings.Contains(lines[0], "Column") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "xx") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestPct(t *testing.T) {
+	if pct(1, 2) != "50.0%" || pct(0, 0) != "-" || pctF(0.463) != "46.3%" {
+		t.Error("percentage rendering broken")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults(77)
+	if cfg.Samples != 77 || cfg.Seed == 0 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	cfg = Config{Samples: 5, Seed: 9}.withDefaults(77)
+	if cfg.Samples != 5 || cfg.Seed != 9 {
+		t.Errorf("overrides lost = %+v", cfg)
+	}
+}
+
+func TestMark(t *testing.T) {
+	if Mark(3) != "Y" || Mark(1) != "p" || Mark(0) != "x" {
+		t.Error("marks broken")
+	}
+}
+
+func TestBuildPositions(t *testing.T) {
+	pos := buildPositions("IEX 'x'", true)
+	if len(pos) != 3 || pos[1] != "$fmp = IEX 'x'" || pos[2] != "IEX 'x' | out-null" {
+		t.Errorf("positions = %v", pos)
+	}
+	multi := buildPositions("a\nb", true)
+	if !strings.Contains(multi[1], "$fmp = $(") {
+		t.Errorf("multiline positions = %v", multi)
+	}
+}
+
+func TestResultStringers(t *testing.T) {
+	// Every result type renders something table-like without panicking.
+	cfg := Config{Quick: true, Samples: 6}
+	for _, s := range []interface{ String() string }{
+		Table1(Config{Samples: 40}),
+		Figure5(cfg),
+		Table3(Config{Quick: true, Samples: 3}),
+	} {
+		out := s.String()
+		if !strings.Contains(out, "-----") {
+			t.Errorf("rendering missing separator: %.80s", out)
+		}
+	}
+}

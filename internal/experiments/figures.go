@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
+	"github.com/invoke-deobfuscation/invokedeob/internal/keyinfo"
+)
+
+// Figure5Result reproduces Fig. 5: the amount of key information (ps1
+// files, PowerShell commands, URLs, IPs) each tool's output exposes,
+// against the ground-truth ("manual") benchmark.
+type Figure5Result struct {
+	Samples int
+	// Manual holds ground-truth counts per kind.
+	Manual map[keyinfo.Kind]int
+	// PerTool maps tool name to recovered counts per kind.
+	PerTool map[string]map[keyinfo.Kind]int
+	Order   []string
+}
+
+// Figure5 runs the key-information experiment on corpus samples sized
+// like the paper's (97 B – 2 KB).
+func Figure5(cfg Config) *Figure5Result {
+	cfg = cfg.withDefaults(100)
+	restore := cfg.applyLatency()
+	defer restore()
+	samples := sizedSamples(cfg, 97, 2048, cfg.Samples)
+	res := &Figure5Result{
+		Samples: len(samples),
+		Manual:  map[keyinfo.Kind]int{},
+		PerTool: map[string]map[keyinfo.Kind]int{},
+	}
+	for _, tool := range tools() {
+		res.Order = append(res.Order, tool.Name())
+		res.PerTool[tool.Name()] = map[keyinfo.Kind]int{}
+	}
+	kinds := []keyinfo.Kind{keyinfo.KindPs1, keyinfo.KindPowerShell, keyinfo.KindURL, keyinfo.KindIP}
+	for _, s := range samples {
+		truth := s.KeyInfo
+		for _, k := range kinds {
+			res.Manual[k] += truth.CountKind(k)
+		}
+		for _, tool := range tools() {
+			out, err := tool.Deobfuscate(s.Source)
+			if err != nil {
+				out = s.Source
+			}
+			got := keyinfo.Extract(out)
+			matches := keyinfo.Matches(got, truth)
+			for _, k := range kinds {
+				res.PerTool[tool.Name()][k] += matches[k]
+			}
+		}
+	}
+	return res
+}
+
+// sizedSamples generates corpus samples filtered to a byte-size window,
+// topping up generation until n match.
+func sizedSamples(cfg Config, minSize, maxSize, n int) []*corpus.Sample {
+	var out []*corpus.Sample
+	batch := n * 3
+	seed := cfg.Seed
+	for attempts := 0; len(out) < n && attempts < 8; attempts++ {
+		for _, s := range corpus.Generate(corpus.Config{Seed: seed, N: batch}) {
+			if len(s.Source) >= minSize && len(s.Source) <= maxSize {
+				out = append(out, s)
+				if len(out) == n {
+					break
+				}
+			}
+		}
+		seed += 1000003
+	}
+	return out
+}
+
+// Total returns the sum across kinds for a tool entry.
+func total(counts map[keyinfo.Kind]int) int {
+	t := 0
+	for _, v := range counts {
+		t += v
+	}
+	return t
+}
+
+// String renders the figure as a table.
+func (r *Figure5Result) String() string {
+	header := []string{"Tool", "ps1", "PowerShell", "URL", "IP", "Total", "vs manual"}
+	manualTotal := total(r.Manual)
+	rows := [][]string{{
+		"Manual (truth)",
+		fmt.Sprint(r.Manual[keyinfo.KindPs1]),
+		fmt.Sprint(r.Manual[keyinfo.KindPowerShell]),
+		fmt.Sprint(r.Manual[keyinfo.KindURL]),
+		fmt.Sprint(r.Manual[keyinfo.KindIP]),
+		fmt.Sprint(manualTotal),
+		"100%",
+	}}
+	for _, name := range r.Order {
+		c := r.PerTool[name]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprint(c[keyinfo.KindPs1]),
+			fmt.Sprint(c[keyinfo.KindPowerShell]),
+			fmt.Sprint(c[keyinfo.KindURL]),
+			fmt.Sprint(c[keyinfo.KindIP]),
+			fmt.Sprint(total(c)),
+			pct(total(c), manualTotal),
+		})
+	}
+	return fmt.Sprintf("Figure 5: Key information recovered by different tools (%d samples).\n%s",
+		r.Samples, table(header, rows))
+}
+
+// ToolTiming summarizes one tool's per-sample deobfuscation times.
+type ToolTiming struct {
+	Tool    string
+	Times   []time.Duration
+	Mean    time.Duration
+	Median  time.Duration
+	P90     time.Duration
+	Max     time.Duration
+	Timeout int
+}
+
+// Figure6Result reproduces Fig. 6: per-sample deobfuscation time of the
+// five tools.
+type Figure6Result struct {
+	Samples int
+	Tools   []ToolTiming
+}
+
+// Figure6 measures deobfuscation wall-clock time per sample.
+func Figure6(cfg Config) *Figure6Result {
+	cfg = cfg.withDefaults(100)
+	restore := cfg.applyLatency()
+	defer restore()
+	samples := sizedSamples(cfg, 97, 2048, cfg.Samples)
+	res := &Figure6Result{Samples: len(samples)}
+	for _, tool := range tools() {
+		timing := ToolTiming{Tool: tool.Name()}
+		for _, s := range samples {
+			start := time.Now()
+			_, _ = tool.Deobfuscate(s.Source)
+			timing.Times = append(timing.Times, time.Since(start))
+		}
+		timing.finalize()
+		res.Tools = append(res.Tools, timing)
+	}
+	return res
+}
+
+func (t *ToolTiming) finalize() {
+	if len(t.Times) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), t.Times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	t.Mean = sum / time.Duration(len(sorted))
+	t.Median = sorted[len(sorted)/2]
+	t.P90 = sorted[len(sorted)*9/10]
+	t.Max = sorted[len(sorted)-1]
+}
+
+// String renders the timing distribution.
+func (r *Figure6Result) String() string {
+	header := []string{"Tool", "Mean", "Median", "P90", "Max"}
+	var rows [][]string
+	for _, t := range r.Tools {
+		rows = append(rows, []string{
+			t.Tool,
+			t.Mean.Round(time.Microsecond * 100).String(),
+			t.Median.Round(time.Microsecond * 100).String(),
+			t.P90.Round(time.Microsecond * 100).String(),
+			t.Max.Round(time.Microsecond * 100).String(),
+		})
+	}
+	return fmt.Sprintf("Figure 6: Deobfuscation time of different tools (%d samples).\n%s",
+		r.Samples, table(header, rows))
+}

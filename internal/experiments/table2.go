@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/obfuscate"
+)
+
+// Table2Row is one technique's result across tools.
+type Table2Row struct {
+	Level     int
+	Type      string
+	Subtype   string
+	Technique obfuscate.Technique
+	// PerTool maps tool name to positions recovered (0..3).
+	PerTool map[string]int
+}
+
+// Table2Result reproduces Table II: per-technique deobfuscation
+// ability of the five tools, each technique tested in the paper's
+// three positions (separate line, assignment, part of a pipe).
+type Table2Result struct {
+	Tools []string
+	Rows  []Table2Row
+}
+
+// table2Cases lists the Table II rows and the seed scripts that make
+// each technique applicable. caseSensitive rows require the canonical
+// casing back (random case is otherwise invisible to a case-folded
+// comparison).
+var table2Cases = []struct {
+	level         int
+	typ           string
+	subtype       string
+	tech          obfuscate.Technique
+	script        string
+	want          string
+	caseSensitive bool
+	embedded      bool // whether the obfuscated result can sit inside the 3 positions
+}{
+	{1, "Randomization", "Ticking", obfuscate.Ticking, "write-host hello", "write-host hello", false, true},
+	{1, "Randomization", "Whitespacing", obfuscate.Whitespacing, "write-host  hello", "write-host hello", false, true},
+	{1, "Randomization", "Random Case", obfuscate.RandomCase, "write-host hello", "Write-Host hello", true, true},
+	{1, "Randomization", "Random Name", obfuscate.RandomName, "$msg = 'hello'\nwrite-host $msg", "$var0", false, false},
+	{1, "Alias", "-", obfuscate.Alias, "write-output hello", "write-output hello", false, true},
+	{2, "String-related", "Concatenate", obfuscate.Concat, "write-host hello", "write-host hello", false, true},
+	{2, "String-related", "Reorder", obfuscate.Reorder, "write-host hello", "write-host hello", false, true},
+	{2, "String-related", "Replace", obfuscate.Replace, "write-host hello", "write-host hello", false, true},
+	{2, "String-related", "Reverse", obfuscate.Reverse, "write-host hello", "write-host hello", false, true},
+	{3, "Encoding", "Binary", obfuscate.EncodeBinary, "write-host hello", "write-host hello", false, true},
+	{3, "Encoding", "Octal", obfuscate.EncodeOctal, "write-host hello", "write-host hello", false, true},
+	{3, "Encoding", "ASCII", obfuscate.EncodeASCII, "write-host hello", "write-host hello", false, true},
+	{3, "Encoding", "Hex", obfuscate.EncodeHex, "write-host hello", "write-host hello", false, true},
+	{3, "Encoding", "Base64", obfuscate.EncodeBase64, "write-host hello", "write-host hello", false, true},
+	{3, "Encoding", "Whitespace", obfuscate.EncodeWhitespace, "write-host hello", "write-host hello", false, false},
+	{3, "Encoding", "Specialchar", obfuscate.EncodeSpecialChar, "write-host hello", "write-host hello", false, true},
+	{3, "Encoding", "Bxor", obfuscate.EncodeBxor, "write-host hello", "write-host hello", false, true},
+	{3, "SecureString", "-", obfuscate.SecureString, "write-host hello", "write-host hello", false, true},
+	{3, "Compress", "DeflateStream", obfuscate.CompressDeflate, "write-host hello", "write-host hello", false, true},
+	{3, "Compress", "GzipStream", obfuscate.CompressGzip, "write-host hello", "write-host hello", false, true},
+}
+
+// Table2 runs the ability matrix.
+func Table2(cfg Config) *Table2Result {
+	cfg = cfg.withDefaults(0)
+	restore := cfg.applyLatency()
+	defer restore()
+	res := &Table2Result{}
+	for _, tool := range tools() {
+		res.Tools = append(res.Tools, tool.Name())
+	}
+	// Each technique is sampled with several obfuscator seeds; a tool
+	// gets credit for a position only when it recovers it for every
+	// sample. This measures robust ability, which is what the paper's
+	// check marks denote (techniques randomize their spelling, and a
+	// tool that only handles some spellings is not able).
+	const seedsPerRow = 6
+	for _, tc := range table2Cases {
+		row := Table2Row{
+			Level:     tc.level,
+			Type:      tc.typ,
+			Subtype:   tc.subtype,
+			Technique: tc.tech,
+			PerTool:   make(map[string]int),
+		}
+		recoveredAll := make(map[string][3]bool)
+		for _, tool := range tools() {
+			recoveredAll[tool.Name()] = [3]bool{true, true, true}
+		}
+		applied := false
+		for seedIdx := 0; seedIdx < seedsPerRow; seedIdx++ {
+			o := obfuscate.New(cfg.Seed + int64(seedIdx)*7919)
+			obf, err := o.Apply(tc.script, tc.tech)
+			if err != nil {
+				continue
+			}
+			applied = true
+			positions := buildPositions(obf, tc.embedded)
+			for _, tool := range tools() {
+				marks := recoveredAll[tool.Name()]
+				for pi, pos := range positions {
+					out, derr := tool.Deobfuscate(pos)
+					ok := derr == nil && containsWant(out, tc.want, tc.caseSensitive)
+					marks[pi] = marks[pi] && ok
+				}
+				recoveredAll[tool.Name()] = marks
+			}
+		}
+		for _, tool := range tools() {
+			n := 0
+			if applied {
+				for _, ok := range recoveredAll[tool.Name()] {
+					if ok {
+						n++
+					}
+				}
+			}
+			row.PerTool[tool.Name()] = n
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func containsWant(out, want string, caseSensitive bool) bool {
+	if caseSensitive {
+		return strings.Contains(out, want)
+	}
+	return strings.Contains(strings.ToLower(out), strings.ToLower(want))
+}
+
+// buildPositions embeds an obfuscated piece in the paper's three
+// positions: separate line, assignment expression, and part of a pipe.
+func buildPositions(obf string, embeddable bool) []string {
+	if !embeddable || strings.Contains(obf, "\n") {
+		// Multi-line results embed via a subexpression.
+		return []string{
+			obf,
+			"$fmp = $(\n" + obf + "\n)",
+			"$(\n" + obf + "\n) | out-null",
+		}
+	}
+	return []string{
+		obf,
+		"$fmp = " + obf,
+		obf + " | out-null",
+	}
+}
+
+// Mark renders a per-tool cell the way the paper does: ✓ for all three
+// positions, ◯ for partial, ✗ for none.
+func Mark(recovered int) string {
+	switch {
+	case recovered >= 3:
+		return "Y"
+	case recovered > 0:
+		return "p"
+	default:
+		return "x"
+	}
+}
+
+// String renders the ability matrix.
+func (r *Table2Result) String() string {
+	header := append([]string{"Lv", "Type", "Subtype"}, r.Tools...)
+	var rows [][]string
+	for _, row := range r.Rows {
+		cells := []string{
+			map[int]string{1: "1", 2: "2", 3: "3"}[row.Level],
+			row.Type, row.Subtype,
+		}
+		for _, tool := range r.Tools {
+			cells = append(cells, Mark(row.PerTool[tool]))
+		}
+		rows = append(rows, cells)
+	}
+	return "Table II: Comparison of deobfuscation ability (Y=all 3 positions, p=partial, x=none).\n" +
+		table(header, rows)
+}

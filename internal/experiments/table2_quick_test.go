@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestTable2Quick(t *testing.T) {
+	res := Table2(Config{Quick: true})
+	t.Logf("\n%s", res)
+	// Shape checks against the paper: our tool recovers everything but
+	// whitespace encoding in all three positions.
+	for _, row := range res.Rows {
+		ours := row.PerTool["Our tool"]
+		if row.Subtype == "Whitespace" {
+			if ours != 0 {
+				t.Errorf("whitespace encoding unexpectedly recovered (%d)", ours)
+			}
+			continue
+		}
+		if ours != 3 {
+			t.Errorf("technique %s: our tool recovered %d/3 positions", row.Technique, ours)
+		}
+	}
+}

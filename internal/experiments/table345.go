@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
+	"github.com/invoke-deobfuscation/invokedeob/internal/keyinfo"
+	"github.com/invoke-deobfuscation/invokedeob/internal/sandbox"
+	"github.com/invoke-deobfuscation/invokedeob/internal/score"
+)
+
+// Table3Result reproduces Table III: how many multi-layer samples each
+// tool fully recovers.
+type Table3Result struct {
+	Samples int
+	PerTool map[string]int
+	Order   []string
+}
+
+// Table3 selects multi-layer samples (two or more wrapper layers, like
+// the paper's 12) and checks full recovery: the output exposes all
+// ground-truth key information in the clear.
+func Table3(cfg Config) *Table3Result {
+	cfg = cfg.withDefaults(12)
+	restore := cfg.applyLatency()
+	defer restore()
+	var selected []*corpus.Sample
+	seed := cfg.Seed
+	for attempts := 0; len(selected) < cfg.Samples && attempts < 10; attempts++ {
+		for _, s := range corpus.Generate(corpus.Config{Seed: seed, N: cfg.Samples * 6}) {
+			if s.MultiLayer() && s.KeyInfo.Count() > 0 {
+				selected = append(selected, s)
+				if len(selected) == cfg.Samples {
+					break
+				}
+			}
+		}
+		seed += 7717
+	}
+	res := &Table3Result{Samples: len(selected), PerTool: map[string]int{}}
+	for _, tool := range tools() {
+		res.Order = append(res.Order, tool.Name())
+		for _, s := range selected {
+			out, err := tool.Deobfuscate(s.Source)
+			if err != nil {
+				continue
+			}
+			if fullyRecovered(out, s.KeyInfo) {
+				res.PerTool[tool.Name()]++
+			}
+		}
+	}
+	return res
+}
+
+// fullyRecovered reports whether every ground-truth key-information
+// item appears in clear text.
+func fullyRecovered(out string, truth *keyinfo.Info) bool {
+	got := keyinfo.Extract(out)
+	m := keyinfo.Matches(got, truth)
+	totalMatched := 0
+	for _, v := range m {
+		totalMatched += v
+	}
+	return totalMatched >= truth.Count()
+}
+
+// String renders Table III.
+func (r *Table3Result) String() string {
+	header := []string{"Tool", "#Samples", "Proportion"}
+	var rows [][]string
+	for _, name := range r.Order {
+		rows = append(rows, []string{name, fmt.Sprint(r.PerTool[name]), pct(r.PerTool[name], r.Samples)})
+	}
+	return fmt.Sprintf("Table III: Ability to handle multiple layers of obfuscation (%d multi-layer samples).\n%s",
+		r.Samples, table(header, rows))
+}
+
+// Table4Result reproduces Table IV: behavioural consistency between
+// original samples and each tool's deobfuscation result.
+type Table4Result struct {
+	// SamplesWithNetwork is the number of original samples showing
+	// network behaviour (the paper's 32).
+	SamplesWithNetwork int
+	// PerToolWithNetwork counts tool outputs that still show network
+	// behaviour.
+	PerToolWithNetwork map[string]int
+	// PerToolEffective counts effective (changed) outputs whose network
+	// behaviour matches the original.
+	PerToolEffective map[string]int
+	Order            []string
+}
+
+// Table4 runs originals and tool outputs in the sandbox and compares
+// network behaviour.
+func Table4(cfg Config) *Table4Result {
+	cfg = cfg.withDefaults(32)
+	restore := cfg.applyLatency()
+	defer restore()
+	// Collect samples whose obfuscated form exhibits network behaviour.
+	var selected []*corpus.Sample
+	var behaviors []sandbox.Behavior
+	seed := cfg.Seed
+	for attempts := 0; len(selected) < cfg.Samples && attempts < 10; attempts++ {
+		for _, s := range corpus.Generate(corpus.Config{Seed: seed, N: cfg.Samples * 4}) {
+			res := sandbox.Run(s.Source, sandbox.Options{})
+			if res.Behavior.HasNetwork() {
+				selected = append(selected, s)
+				behaviors = append(behaviors, res.Behavior)
+				if len(selected) == cfg.Samples {
+					break
+				}
+			}
+		}
+		seed += 104729
+	}
+	res := &Table4Result{
+		SamplesWithNetwork: len(selected),
+		PerToolWithNetwork: map[string]int{},
+		PerToolEffective:   map[string]int{},
+	}
+	for _, tool := range tools() {
+		res.Order = append(res.Order, tool.Name())
+		for i, s := range selected {
+			out, err := tool.Deobfuscate(s.Source)
+			if err != nil {
+				continue
+			}
+			after := sandbox.Run(out, sandbox.Options{})
+			if after.Behavior.HasNetwork() {
+				res.PerToolWithNetwork[tool.Name()]++
+			}
+			// Returning the input unchanged is not an effective
+			// deobfuscation result (paper §IV-C3).
+			effective := strings.TrimSpace(out) != strings.TrimSpace(s.Source)
+			if effective && sandbox.Consistent(behaviors[i], after.Behavior) {
+				res.PerToolEffective[tool.Name()]++
+			}
+		}
+	}
+	return res
+}
+
+// String renders Table IV.
+func (r *Table4Result) String() string {
+	header := []string{"Tool", "#Samples with Network", "#Effective", "Proportion"}
+	rows := [][]string{{"OriginData", fmt.Sprint(r.SamplesWithNetwork), "-", "-"}}
+	for _, name := range r.Order {
+		rows = append(rows, []string{
+			name,
+			fmt.Sprint(r.PerToolWithNetwork[name]),
+			fmt.Sprint(r.PerToolEffective[name]),
+			pct(r.PerToolEffective[name], r.SamplesWithNetwork),
+		})
+	}
+	return fmt.Sprintf("Table IV: Behavior consistency (%d networked samples).\n%s",
+		r.SamplesWithNetwork, table(header, rows))
+}
+
+// Table5Result reproduces Table V: obfuscation mitigation on the most
+// obfuscated samples.
+type Table5Result struct {
+	Samples int
+	Order   []string
+	// Valid counts outputs that differ from the input and parse.
+	Valid map[string]int
+	// Mitigation[tool][level] is the proportional reduction of samples
+	// carrying that level after deobfuscation.
+	Mitigation map[string][4]float64
+	// ScoreReduction[tool] is the average relative obfuscation-score
+	// reduction over all samples.
+	ScoreReduction map[string]float64
+}
+
+// Table5 scores a corpus, keeps the highest-scored samples and measures
+// per-level mitigation and average score reduction per tool.
+func Table5(cfg Config) *Table5Result {
+	cfg = cfg.withDefaults(60)
+	restore := cfg.applyLatency()
+	defer restore()
+	pool := corpus.Generate(corpus.Config{Seed: cfg.Seed, N: cfg.Samples * 4})
+	type scored struct {
+		s   *corpus.Sample
+		rep *score.Report
+	}
+	var all []scored
+	for _, s := range pool {
+		all = append(all, scored{s: s, rep: score.Analyze(s.Source)})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].rep.Score > all[j].rep.Score })
+	if len(all) > cfg.Samples {
+		all = all[:cfg.Samples]
+	}
+	res := &Table5Result{
+		Samples:        len(all),
+		Valid:          map[string]int{},
+		Mitigation:     map[string][4]float64{},
+		ScoreReduction: map[string]float64{},
+	}
+	var origAt [4]int
+	for _, sc := range all {
+		for level := 1; level <= 3; level++ {
+			if sc.rep.Levels[level] {
+				origAt[level]++
+			}
+		}
+	}
+	for _, tool := range tools() {
+		res.Order = append(res.Order, tool.Name())
+		var afterAt [4]int
+		reduction := 0.0
+		for _, sc := range all {
+			out, err := tool.Deobfuscate(sc.s.Source)
+			valid := err == nil && strings.TrimSpace(out) != strings.TrimSpace(sc.s.Source) &&
+				corpus.ValidSyntax(out)
+			if !valid {
+				// Invalid results leave the sample as obfuscated as it
+				// was.
+				for level := 1; level <= 3; level++ {
+					if sc.rep.Levels[level] {
+						afterAt[level]++
+					}
+				}
+				continue
+			}
+			res.Valid[tool.Name()]++
+			afterRep := score.Analyze(out)
+			for level := 1; level <= 3; level++ {
+				if afterRep.Levels[level] {
+					afterAt[level]++
+				}
+			}
+			if sc.rep.Score > 0 {
+				delta := float64(sc.rep.Score-afterRep.Score) / float64(sc.rep.Score)
+				if delta > 0 {
+					reduction += delta
+				}
+			}
+		}
+		var mit [4]float64
+		for level := 1; level <= 3; level++ {
+			if origAt[level] > 0 {
+				mit[level] = float64(origAt[level]-afterAt[level]) / float64(origAt[level])
+				if mit[level] < 0 {
+					mit[level] = 0
+				}
+			}
+		}
+		res.Mitigation[tool.Name()] = mit
+		res.ScoreReduction[tool.Name()] = reduction / float64(len(all))
+	}
+	return res
+}
+
+// String renders Table V.
+func (r *Table5Result) String() string {
+	header := []string{"Tool", "#Valid", "L1", "L2", "L3", "Avg Score Reduced"}
+	rows := [][]string{{"OriginData", fmt.Sprint(r.Samples), "-", "-", "-", "-"}}
+	for _, name := range r.Order {
+		mit := r.Mitigation[name]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprint(r.Valid[name]),
+			pctF(mit[1]), pctF(mit[2]), pctF(mit[3]),
+			pctF(r.ScoreReduction[name]),
+		})
+	}
+	return fmt.Sprintf("Table V: Mitigation of obfuscation on the %d highest-scored samples.\n%s",
+		r.Samples, table(header, rows))
+}

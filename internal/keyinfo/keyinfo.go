@@ -1,0 +1,185 @@
+// Package keyinfo extracts the four kinds of key information the paper
+// uses to measure deobfuscation effectiveness (§IV-C2, Fig. 5): .ps1
+// script paths, PowerShell command invocations, URLs and IP addresses.
+package keyinfo
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Kind labels one category of key information.
+type Kind string
+
+// The four key-information categories of Fig. 5.
+const (
+	KindPs1        Kind = "ps1"
+	KindPowerShell Kind = "powershell"
+	KindURL        Kind = "url"
+	KindIP         Kind = "ip"
+)
+
+// Info is the key information extracted from one script.
+type Info struct {
+	Ps1        []string
+	PowerShell []string
+	URLs       []string
+	IPs        []string
+}
+
+// Count returns the total number of items.
+func (i *Info) Count() int {
+	return len(i.Ps1) + len(i.PowerShell) + len(i.URLs) + len(i.IPs)
+}
+
+// CountKind returns the number of items of one kind.
+func (i *Info) CountKind(k Kind) int {
+	switch k {
+	case KindPs1:
+		return len(i.Ps1)
+	case KindPowerShell:
+		return len(i.PowerShell)
+	case KindURL:
+		return len(i.URLs)
+	case KindIP:
+		return len(i.IPs)
+	}
+	return 0
+}
+
+var (
+	urlRe = regexp.MustCompile(`(?i)\bhttps?://[A-Za-z0-9._~:/?#\[\]@!$&'()*+,;=%-]+`)
+	ipRe  = regexp.MustCompile(`\b(?:(?:25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\.){3}(?:25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\b`)
+	ps1Re = regexp.MustCompile(`(?i)[A-Za-z0-9_.:$\\/{}%()-]+\.ps1\b`)
+	pwsRe = regexp.MustCompile(`(?i)\bpowershell(?:\.exe)?\b[^\r\n|;]{0,200}`)
+)
+
+// Extract pulls key information out of script text.
+func Extract(src string) *Info {
+	info := &Info{
+		URLs: dedupe(trimAll(urlRe.FindAllString(src, -1))),
+		Ps1:  dedupe(trimAll(ps1Re.FindAllString(src, -1))),
+	}
+	// IPs: exclude those that are part of URLs (already counted there)
+	// and version-like dotted numbers inside longer sequences.
+	ips := dedupe(ipRe.FindAllString(src, -1))
+	info.IPs = filterIPs(src, ips)
+	for _, m := range pwsRe.FindAllString(src, -1) {
+		info.PowerShell = append(info.PowerShell, strings.TrimSpace(m))
+	}
+	info.PowerShell = dedupe(info.PowerShell)
+	return info
+}
+
+func trimAll(ms []string) []string {
+	out := make([]string, 0, len(ms))
+	for _, m := range ms {
+		m = strings.TrimRight(m, "'\").,;")
+		if m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func filterIPs(src string, ips []string) []string {
+	var out []string
+	for _, ip := range ips {
+		if strings.Contains(ip, "..") {
+			continue
+		}
+		// Skip obvious version strings like 127.0.0.1 appearing inside
+		// longer dotted runs.
+		if strings.HasPrefix(ip, "0.") {
+			continue
+		}
+		out = append(out, ip)
+	}
+	return dedupe(out)
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		key := strings.ToLower(s)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Matches compares extracted info against a ground-truth set and
+// returns how many expected items were found per kind (used to score
+// tools against the manual benchmark in Fig. 5).
+func Matches(got *Info, want *Info) map[Kind]int {
+	return map[Kind]int{
+		KindPs1:        countMatches(normalizePaths(got.Ps1), normalizePaths(want.Ps1)),
+		KindPowerShell: countMatches(normalizeCommands(got.PowerShell), normalizeCommands(want.PowerShell)),
+		KindURL:        countMatches(got.URLs, want.URLs),
+		KindIP:         countMatches(got.IPs, want.IPs),
+	}
+}
+
+// normalizePaths reduces script paths to their base file name, so a
+// deobfuscator that resolves $env:APPDATA\x.ps1 to the concrete
+// directory still matches the ground truth.
+func normalizePaths(paths []string) []string {
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = baseName(p)
+	}
+	return out
+}
+
+func baseName(p string) string {
+	s := strings.ToLower(strings.Trim(p, "'\""))
+	if i := strings.LastIndexAny(s, "\\/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+var varRefRe = regexp.MustCompile(`\$\{?[A-Za-z_][A-Za-z0-9_:]*\}?`)
+
+// normalizeCommands canonicalizes extracted PowerShell command lines so
+// that variable renaming (a semantics-preserving deobfuscation step)
+// does not defeat the comparison.
+func normalizeCommands(cmds []string) []string {
+	out := make([]string, len(cmds))
+	for i, c := range cmds {
+		n := strings.ToLower(strings.Trim(c, "'\""))
+		n = varRefRe.ReplaceAllString(n, "$$v")
+		fields := strings.Fields(n)
+		for j, f := range fields {
+			// Reduce path-like arguments to their base names so env-var
+			// resolution does not defeat the comparison.
+			if strings.ContainsAny(f, "\\/") {
+				fields[j] = baseName(f)
+			}
+			fields[j] = strings.Trim(fields[j], "'\"")
+		}
+		out[i] = strings.Join(fields, " ")
+	}
+	return out
+}
+
+func countMatches(got, want []string) int {
+	n := 0
+	for _, w := range want {
+		for _, g := range got {
+			// The recovered item must contain the full ground-truth
+			// indicator; a partial URL fragment does not count as
+			// recovered.
+			if strings.Contains(strings.ToLower(g), strings.ToLower(w)) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

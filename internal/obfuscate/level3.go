@@ -1,0 +1,238 @@
+package obfuscate
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
+)
+
+// iexSpellings are the Invoke-Expression invocation forms the paper
+// lists (§III-B4).
+var iexSpellings = []string{
+	"Invoke-Expression",
+	"IEX",
+	"iex",
+	"&('iex')",
+	".('iex')",
+	"&'IEX'",
+}
+
+func (o *Obfuscator) iexPrefix() string {
+	return iexSpellings[o.rng.Intn(len(iexSpellings))]
+}
+
+// numericWrap encodes the whole script as per-character codes in the
+// given base with a ForEach-Object decoder (the ASCII/Hex/Binary/Octal
+// encoding rows of Table II).
+func (o *Obfuscator) numericWrap(src string, base int) (string, error) {
+	script := strings.TrimSpace(src)
+	if script == "" {
+		return "", ErrNotApplicable
+	}
+	if base == 10 {
+		codes := make([]string, 0, len(script))
+		for _, r := range script {
+			codes = append(codes, strconv.Itoa(int(r)))
+		}
+		return fmt.Sprintf("%s (-join ((%s) | ForEach-Object {[char]$_}))",
+			o.iexPrefix(), strings.Join(codes, ",")), nil
+	}
+	codes := make([]string, 0, len(script))
+	for _, r := range script {
+		codes = append(codes, strconv.FormatInt(int64(r), base))
+	}
+	sep := ","
+	return fmt.Sprintf("%s (-join (%s -split '%s' | ForEach-Object {[char][convert]::ToInt32($_,%d)}))",
+		o.iexPrefix(), quote(strings.Join(codes, sep)), sep, base), nil
+}
+
+// base64Wrap hides the script behind one of the Base64 carriers:
+// powershell -EncodedCommand or [Convert]::FromBase64String + IEX.
+func (o *Obfuscator) base64Wrap(src string) (string, error) {
+	script := strings.TrimSpace(src)
+	if script == "" {
+		return "", ErrNotApplicable
+	}
+	switch o.rng.Intn(3) {
+	case 0:
+		// UTF-16LE, the -EncodedCommand contract.
+		u16 := utf16.Encode([]rune(script))
+		raw := make([]byte, 0, len(u16)*2)
+		for _, u := range u16 {
+			raw = append(raw, byte(u), byte(u>>8))
+		}
+		b64 := base64.StdEncoding.EncodeToString(raw)
+		param := []string{"-EncodedCommand", "-enc", "-e", "-eNc", "-ec"}[o.rng.Intn(5)]
+		flags := []string{"", "-NoP ", "-w hidden ", "-NonI -NoP "}[o.rng.Intn(4)]
+		return "powershell " + flags + param + " " + b64, nil
+	case 1:
+		u16 := utf16.Encode([]rune(script))
+		raw := make([]byte, 0, len(u16)*2)
+		for _, u := range u16 {
+			raw = append(raw, byte(u), byte(u>>8))
+		}
+		b64 := base64.StdEncoding.EncodeToString(raw)
+		return fmt.Sprintf("%s ([Text.Encoding]::Unicode.GetString([Convert]::FromBase64String(%s)))",
+			o.iexPrefix(), quote(b64)), nil
+	default:
+		b64 := base64.StdEncoding.EncodeToString([]byte(script))
+		return fmt.Sprintf("%s ([Text.Encoding]::UTF8.GetString([Convert]::FromBase64String(%s)))",
+			o.iexPrefix(), quote(b64)), nil
+	}
+}
+
+// whitespaceWrap encodes each character as a run of spaces whose length
+// is the code point, decoded by a loop. This is the one technique the
+// paper's tool (and ours) deliberately cannot recover — the decoder
+// assigns inside a loop, which variable tracing refuses to fold
+// (paper §V-C); it stays in the corpus to reproduce that limitation.
+func (o *Obfuscator) whitespaceWrap(src string) (string, error) {
+	script := strings.TrimSpace(src)
+	if script == "" || len(script) > 4096 {
+		return "", ErrNotApplicable
+	}
+	var runs []string
+	for _, r := range script {
+		if r > 512 {
+			return "", ErrNotApplicable
+		}
+		runs = append(runs, strings.Repeat(" ", int(r)))
+	}
+	payload := strings.Join(runs, "\t")
+	var sb strings.Builder
+	v := "$" + strings.ToLower(o.randomIdentifier())
+	out := "$" + strings.ToLower(o.randomIdentifier())
+	seg := "$" + strings.ToLower(o.randomIdentifier())
+	fmt.Fprintf(&sb, "%s = %s\n", v, quote(payload))
+	fmt.Fprintf(&sb, "%s = ''\n", out)
+	fmt.Fprintf(&sb, "foreach (%s in %s -split \"`t\") { %s += [char]%s.Length }\n", seg, v, out, seg)
+	fmt.Fprintf(&sb, "%s %s", o.iexPrefix(), out)
+	return sb.String(), nil
+}
+
+// specialCharWrap rebuilds every character from the lengths of
+// punctuation-only strings, so the script contains almost no letters
+// (the Special Characters row of Table II).
+func (o *Obfuscator) specialCharWrap(src string) (string, error) {
+	script := strings.TrimSpace(src)
+	if script == "" || len(script) > 2048 {
+		return "", ErrNotApplicable
+	}
+	specials := "!#%&*+;~"
+	bang := func(n int) string {
+		c := specials[o.rng.Intn(len(specials))]
+		return quote(strings.Repeat(string(c), n))
+	}
+	const b = 12
+	exprs := make([]string, 0, len(script))
+	for _, r := range script {
+		code := int(r)
+		if code > 1024 {
+			return "", ErrNotApplicable
+		}
+		a := code / b
+		c := code % b
+		var expr string
+		switch {
+		case a == 0:
+			expr = fmt.Sprintf("[char](%s.Length)", bang(c))
+		case c == 0:
+			expr = fmt.Sprintf("[char](%s.Length*%s.Length)", bang(a), bang(b))
+		default:
+			expr = fmt.Sprintf("[char](%s.Length*%s.Length+%s.Length)", bang(a), bang(b), bang(c))
+		}
+		exprs = append(exprs, expr)
+	}
+	return fmt.Sprintf("%s (-join (%s))", o.iexPrefix(), strings.Join(exprs, ",")), nil
+}
+
+// bxorWrap encodes the script as decimal codes xored with a random key
+// (the paper's Listing 4 pattern).
+func (o *Obfuscator) bxorWrap(src string) (string, error) {
+	script := strings.TrimSpace(src)
+	if script == "" {
+		return "", ErrNotApplicable
+	}
+	key := o.randRange(1, 126)
+	codes := make([]string, 0, len(script))
+	for _, r := range script {
+		if r > 0xFFFF {
+			return "", ErrNotApplicable
+		}
+		codes = append(codes, strconv.Itoa(int(r)^key))
+	}
+	keyLit := strconv.Itoa(key)
+	if o.rng.Intn(2) == 0 {
+		keyLit = quote(fmt.Sprintf("0x%X", key))
+	}
+	return fmt.Sprintf("%s ((%s -split ',' | ForEach-Object {[char]([int]$_ -bxor %s)}) -join '')",
+		o.iexPrefix(), quote(strings.Join(codes, ",")), keyLit), nil
+}
+
+// secureStringWrap hides the script in a key-encrypted SecureString,
+// recovered via Marshal::PtrToStringAuto (Table II row SecureString).
+func (o *Obfuscator) secureStringWrap(src string) (string, error) {
+	script := strings.TrimSpace(src)
+	if script == "" {
+		return "", ErrNotApplicable
+	}
+	key := make([]byte, 16)
+	keyParts := make([]string, 16)
+	for i := range key {
+		key[i] = byte(o.randRange(1, 255))
+		keyParts[i] = strconv.Itoa(int(key[i]))
+	}
+	enc, err := psinterp.EncryptSecureString(script, key)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(
+		"%s ([Runtime.InteropServices.Marshal]::PtrToStringAuto([Runtime.InteropServices.Marshal]::SecureStringToBSTR((ConvertTo-SecureString -String %s -Key (%s)))))",
+		o.iexPrefix(), quote(enc), strings.Join(keyParts, ",")), nil
+}
+
+// compressWrap deflates or gzips the script into Base64 with the
+// classic StreamReader/DeflateStream loader.
+func (o *Obfuscator) compressWrap(src string, algorithm string) (string, error) {
+	script := strings.TrimSpace(src)
+	if script == "" {
+		return "", ErrNotApplicable
+	}
+	var buf bytes.Buffer
+	switch algorithm {
+	case "gzip":
+		w := gzip.NewWriter(&buf)
+		if _, err := w.Write([]byte(script)); err != nil {
+			return "", err
+		}
+		if err := w.Close(); err != nil {
+			return "", err
+		}
+	default:
+		w, err := flate.NewWriter(&buf, flate.BestCompression)
+		if err != nil {
+			return "", err
+		}
+		if _, err := w.Write([]byte(script)); err != nil {
+			return "", err
+		}
+		if err := w.Close(); err != nil {
+			return "", err
+		}
+	}
+	streamType := "IO.Compression.DeflateStream"
+	if algorithm == "gzip" {
+		streamType = "IO.Compression.GzipStream"
+	}
+	b64 := base64.StdEncoding.EncodeToString(buf.Bytes())
+	return fmt.Sprintf(
+		"%s ((New-Object IO.StreamReader((New-Object %s([IO.MemoryStream][Convert]::FromBase64String(%s),[IO.Compression.CompressionMode]::Decompress)),[Text.Encoding]::UTF8)).ReadToEnd())",
+		o.iexPrefix(), streamType, quote(b64)), nil
+}

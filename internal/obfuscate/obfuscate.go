@@ -1,0 +1,194 @@
+// Package obfuscate implements a PowerShell obfuscator covering every
+// technique in the paper's Table II (the Invoke-Obfuscation-style
+// toolbox): L1 randomization (ticking, whitespacing, random case,
+// random names, aliases), L2 string transformations (concatenate,
+// reorder, replace, reverse) and L3 encodings (numeric, Base64,
+// whitespace, special characters, bxor, SecureString, compression).
+//
+// The obfuscator is deterministic for a given seed, which keeps the
+// generated evaluation corpus reproducible.
+package obfuscate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+// Technique identifies one obfuscation technique.
+type Technique string
+
+// Techniques, grouped by the paper's levels.
+const (
+	// L1 — randomization: textual/visual only.
+	Ticking      Technique = "ticking"
+	Whitespacing Technique = "whitespacing"
+	RandomCase   Technique = "random-case"
+	RandomName   Technique = "random-name"
+	Alias        Technique = "alias"
+	// L2 — string-related.
+	Concat  Technique = "concat"
+	Reorder Technique = "reorder"
+	Replace Technique = "replace"
+	Reverse Technique = "reverse"
+	// L3 — encodings.
+	EncodeASCII       Technique = "encode-ascii"
+	EncodeHex         Technique = "encode-hex"
+	EncodeBinary      Technique = "encode-binary"
+	EncodeOctal       Technique = "encode-octal"
+	EncodeBase64      Technique = "encode-base64"
+	EncodeWhitespace  Technique = "encode-whitespace"
+	EncodeSpecialChar Technique = "encode-specialchar"
+	EncodeBxor        Technique = "encode-bxor"
+	SecureString      Technique = "securestring"
+	CompressDeflate   Technique = "compress-deflate"
+	CompressGzip      Technique = "compress-gzip"
+)
+
+// All lists every implemented technique in Table II order.
+func All() []Technique {
+	return []Technique{
+		Ticking, Whitespacing, RandomCase, RandomName, Alias,
+		Concat, Reorder, Replace, Reverse,
+		EncodeASCII, EncodeHex, EncodeBinary, EncodeOctal,
+		EncodeBase64, EncodeWhitespace, EncodeSpecialChar, EncodeBxor,
+		SecureString, CompressDeflate, CompressGzip,
+	}
+}
+
+// Level returns the paper's obfuscation level (1, 2 or 3) of a
+// technique.
+func Level(t Technique) int {
+	switch t {
+	case Ticking, Whitespacing, RandomCase, RandomName, Alias:
+		return 1
+	case Concat, Reorder, Replace, Reverse:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// ErrNotApplicable reports that a technique cannot be applied to the
+// given script (for example, renaming when there are no identifiers).
+var ErrNotApplicable = errors.New("obfuscate: technique not applicable")
+
+// Obfuscator applies techniques with a deterministic random stream.
+type Obfuscator struct {
+	rng *rand.Rand
+}
+
+// New returns an Obfuscator seeded for reproducibility.
+func New(seed int64) *Obfuscator {
+	return &Obfuscator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Apply obfuscates src with one technique. The result is validated to
+// parse; Apply fails rather than emit broken syntax.
+func (o *Obfuscator) Apply(src string, t Technique) (string, error) {
+	var out string
+	var err error
+	switch t {
+	case Ticking:
+		out, err = o.ticking(src)
+	case Whitespacing:
+		out, err = o.whitespacing(src)
+	case RandomCase:
+		out, err = o.randomCase(src)
+	case RandomName:
+		out, err = o.randomName(src)
+	case Alias:
+		out, err = o.alias(src)
+	case Concat:
+		out, err = o.stringTransform(src, o.concatString)
+	case Reorder:
+		out, err = o.stringTransform(src, o.reorderString)
+	case Replace:
+		out, err = o.stringTransform(src, o.replaceString)
+	case Reverse:
+		out, err = o.stringTransform(src, o.reverseString)
+	case EncodeASCII:
+		out, err = o.numericWrap(src, 10)
+	case EncodeHex:
+		out, err = o.numericWrap(src, 16)
+	case EncodeBinary:
+		out, err = o.numericWrap(src, 2)
+	case EncodeOctal:
+		out, err = o.numericWrap(src, 8)
+	case EncodeBase64:
+		out, err = o.base64Wrap(src)
+	case EncodeWhitespace:
+		out, err = o.whitespaceWrap(src)
+	case EncodeSpecialChar:
+		out, err = o.specialCharWrap(src)
+	case EncodeBxor:
+		out, err = o.bxorWrap(src)
+	case SecureString:
+		out, err = o.secureStringWrap(src)
+	case CompressDeflate:
+		out, err = o.compressWrap(src, "deflate")
+	case CompressGzip:
+		out, err = o.compressWrap(src, "gzip")
+	default:
+		return "", fmt.Errorf("obfuscate: unknown technique %q", t)
+	}
+	if err != nil {
+		return "", err
+	}
+	if _, perr := psparser.Parse(out); perr != nil {
+		return "", fmt.Errorf("obfuscate: %s produced invalid syntax: %w", t, perr)
+	}
+	return out, nil
+}
+
+// ApplyStack applies techniques in order, skipping any that are not
+// applicable, and returns the result plus the techniques that took
+// effect.
+func (o *Obfuscator) ApplyStack(src string, ts []Technique) (string, []Technique, error) {
+	cur := src
+	var applied []Technique
+	for _, t := range ts {
+		next, err := o.Apply(cur, t)
+		if err != nil {
+			if errors.Is(err, ErrNotApplicable) {
+				continue
+			}
+			return "", nil, err
+		}
+		cur = next
+		applied = append(applied, t)
+	}
+	return cur, applied, nil
+}
+
+// randRange returns a value in [lo, hi].
+func (o *Obfuscator) randRange(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + o.rng.Intn(hi-lo+1)
+}
+
+// randomIdentifier produces a consonant-heavy random name that fails
+// the paper's vowel-ratio test.
+func (o *Obfuscator) randomIdentifier() string {
+	const consonants = "bcdfghjklmnpqrstvwxz"
+	const digits = "0123456789"
+	n := o.randRange(6, 12)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 && o.rng.Intn(4) == 0 {
+			sb.WriteByte(digits[o.rng.Intn(len(digits))])
+			continue
+		}
+		c := consonants[o.rng.Intn(len(consonants))]
+		if o.rng.Intn(2) == 0 {
+			c = c - 'a' + 'A'
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}

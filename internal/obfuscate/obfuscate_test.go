@@ -1,0 +1,222 @@
+package obfuscate
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+func TestLevels(t *testing.T) {
+	for _, tech := range All() {
+		if l := Level(tech); l < 1 || l > 3 {
+			t.Errorf("Level(%s) = %d", tech, l)
+		}
+	}
+	if Level(Ticking) != 1 || Level(Concat) != 2 || Level(EncodeBase64) != 3 {
+		t.Error("level assignment broken")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	const script = "write-host hello"
+	for _, tech := range All() {
+		a, errA := New(99).Apply(script, tech)
+		b, errB := New(99).Apply(script, tech)
+		if (errA == nil) != (errB == nil) || a != b {
+			t.Errorf("%s: nondeterministic output", tech)
+		}
+	}
+}
+
+func TestOutputsAlwaysParse(t *testing.T) {
+	scripts := []string{
+		"write-host hello",
+		"$u = 'http://x.test/a.ps1'\n(New-Object Net.WebClient).DownloadString($u)",
+		"if ($x) { write-host 'yes' } else { write-host 'no' }",
+	}
+	for _, tech := range All() {
+		for _, script := range scripts {
+			for seed := int64(1); seed <= 3; seed++ {
+				out, err := New(seed).Apply(script, tech)
+				if err != nil {
+					continue // not applicable
+				}
+				if _, perr := psparser.Parse(out); perr != nil {
+					t.Errorf("%s(seed=%d) produced invalid syntax: %v\n%s", tech, seed, perr, out)
+				}
+			}
+		}
+	}
+}
+
+// TestSemanticsPreserved executes original and obfuscated scripts in
+// the interpreter and compares console output — the obfuscator's core
+// contract.
+func TestSemanticsPreserved(t *testing.T) {
+	const script = "$greeting = 'hello'; write-host $greeting; write-output world | out-host"
+	want := runConsole(t, script)
+	for _, tech := range All() {
+		out, err := New(3).Apply(script, tech)
+		if err != nil {
+			t.Errorf("%s: %v", tech, err)
+			continue
+		}
+		if got := runConsole(t, out); got != want {
+			t.Errorf("%s changed behaviour:\nwant %q\ngot  %q\nscript:\n%s", tech, want, got, out)
+		}
+	}
+}
+
+func runConsole(t *testing.T, src string) string {
+	t.Helper()
+	in := psinterp.New(psinterp.Options{MaxSteps: 5_000_000})
+	if _, err := in.EvalSnippet(src); err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return in.Console()
+}
+
+// TestStringTransformProperty: every L2 string expression evaluates
+// back to the original value, for arbitrary printable content.
+func TestStringTransformProperty(t *testing.T) {
+	transforms := map[string]func(o *Obfuscator, v string) (string, bool){
+		"concat":  (*Obfuscator).concatString,
+		"reorder": (*Obfuscator).reorderString,
+		"replace": (*Obfuscator).replaceString,
+		"reverse": (*Obfuscator).reverseString,
+	}
+	for name, fn := range transforms {
+		name, fn := name, fn
+		seed := int64(0)
+		f := func(raw string) bool {
+			seed++
+			value := sanitize(raw)
+			if len(value) < 4 {
+				return true
+			}
+			o := New(seed)
+			expr, ok := fn(o, value)
+			if !ok {
+				return true
+			}
+			in := psinterp.New(psinterp.Options{})
+			out, err := in.EvalSnippet(expr)
+			if err != nil {
+				t.Logf("%s(%q) -> %s: %v", name, value, expr, err)
+				return false
+			}
+			got := psinterp.ToString(psinterp.Unwrap(out))
+			if got != value {
+				t.Logf("%s(%q) -> %s = %q", name, value, expr, got)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// sanitize keeps printable ASCII so the property exercises realistic
+// string content (URLs, commands) rather than tokenizer corner cases.
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 32 && r < 127 {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// TestWrapperProperty: every L3 wrapper, when executed, reproduces the
+// payload's behaviour.
+func TestWrapperProperty(t *testing.T) {
+	wrappers := []Technique{
+		EncodeASCII, EncodeHex, EncodeBinary, EncodeOctal, EncodeBase64,
+		EncodeSpecialChar, EncodeBxor, SecureString, CompressDeflate,
+		CompressGzip, EncodeWhitespace,
+	}
+	payload := "write-host roundtrip"
+	want := runConsole(t, payload)
+	for _, tech := range wrappers {
+		for seed := int64(1); seed <= 5; seed++ {
+			out, err := New(seed).Apply(payload, tech)
+			if err != nil {
+				t.Fatalf("%s: %v", tech, err)
+			}
+			if got := runConsole(t, out); got != want {
+				t.Errorf("%s seed=%d behaviour mismatch: %q\n%s", tech, seed, got, out)
+			}
+		}
+	}
+}
+
+func TestApplyStackSkipsInapplicable(t *testing.T) {
+	o := New(1)
+	out, applied, err := o.ApplyStack("write-host hello", []Technique{RandomName, Concat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0] != Concat {
+		t.Errorf("applied = %v", applied)
+	}
+	if out == "write-host hello" {
+		t.Error("stack did not change script")
+	}
+}
+
+func TestTickingPreservesSemantics(t *testing.T) {
+	out, err := New(2).Apply("(New-Object Net.WebClient)", Ticking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "`") {
+		t.Errorf("no ticks inserted: %q", out)
+	}
+	in := psinterp.New(psinterp.Options{})
+	v, err := in.EvalSnippet(out)
+	if err != nil {
+		t.Fatalf("ticked script does not run: %v", err)
+	}
+	if obj, ok := psinterp.Unwrap(v).(*psinterp.Object); !ok || obj.TypeName != "System.Net.WebClient" {
+		t.Errorf("ticked script result = %#v", psinterp.Unwrap(v))
+	}
+}
+
+func TestRandomIdentifierFailsVowelTest(t *testing.T) {
+	o := New(4)
+	vowels := 0
+	letters := 0
+	for i := 0; i < 50; i++ {
+		for _, r := range o.randomIdentifier() {
+			if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+				letters++
+				switch r {
+				case 'a', 'e', 'i', 'o', 'u', 'A', 'E', 'I', 'O', 'U':
+					vowels++
+				}
+			}
+		}
+	}
+	if letters == 0 || float64(vowels)/float64(letters) > 0.1 {
+		t.Errorf("random identifiers too vowel-rich: %d/%d", vowels, letters)
+	}
+}
+
+func TestNotApplicableCases(t *testing.T) {
+	o := New(1)
+	if _, err := o.Apply("write-host hello", RandomName); err == nil {
+		t.Error("random-name on variable-free script should not apply")
+	}
+	if _, err := o.Apply("write-host hello", Alias); err == nil {
+		t.Error("alias with no aliasable command should not apply")
+	}
+	if _, err := o.Apply("", EncodeBase64); err == nil {
+		t.Error("empty script should not apply")
+	}
+}

@@ -1,0 +1,140 @@
+package psast
+
+import "testing"
+
+func sampleTree() Node {
+	// $a = 'x' + 'y'
+	lhs := &VariableExpression{Ext: Extent{0, 2}, Name: "a"}
+	l := &StringConstant{Ext: Extent{5, 8}, Value: "x"}
+	r := &StringConstant{Ext: Extent{11, 14}, Value: "y"}
+	bin := &BinaryExpression{Ext: Extent{5, 14}, Operator: "+", Left: l, Right: r}
+	ce := &CommandExpression{Ext: Extent{5, 14}, Expression: bin}
+	pipe := &Pipeline{Ext: Extent{5, 14}, Elements: []Node{ce}}
+	asn := &Assignment{Ext: Extent{0, 14}, Left: lhs, Operator: "=", Right: pipe}
+	block := &NamedBlock{Ext: Extent{0, 14}, Statements: []Node{asn}}
+	return &ScriptBlock{Ext: Extent{0, 14}, Body: block}
+}
+
+func TestWalkOrders(t *testing.T) {
+	root := sampleTree()
+	var pre, post []Kind
+	Walk(root, func(n Node) bool {
+		pre = append(pre, n.Kind())
+		return true
+	}, func(n Node) {
+		post = append(post, n.Kind())
+	})
+	if pre[0] != KindScriptBlock {
+		t.Errorf("pre-order starts with %v", pre[0])
+	}
+	if post[len(post)-1] != KindScriptBlock {
+		t.Errorf("post-order ends with %v", post[len(post)-1])
+	}
+	if len(pre) != len(post) {
+		t.Errorf("pre %d != post %d", len(pre), len(post))
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	root := sampleTree()
+	count := 0
+	Walk(root, func(n Node) bool {
+		count++
+		return n.Kind() != KindAssignment // prune below assignment
+	}, nil)
+	if count != 3 { // script block, named block, assignment
+		t.Errorf("visited %d nodes, want 3", count)
+	}
+}
+
+func TestPostOrderChildrenFirst(t *testing.T) {
+	root := sampleTree()
+	seen := map[Kind]int{}
+	order := 0
+	for _, n := range PostOrder(root) {
+		order++
+		seen[n.Kind()] = order
+	}
+	if seen[KindStringConstant] > seen[KindBinaryExpression] {
+		t.Error("children not visited before parents")
+	}
+	if seen[KindBinaryExpression] > seen[KindPipeline] {
+		t.Error("expression not before pipeline")
+	}
+}
+
+func TestFindAllAndCount(t *testing.T) {
+	root := sampleTree()
+	strs := FindAll(root, func(n Node) bool { return n.Kind() == KindStringConstant })
+	if len(strs) != 2 {
+		t.Errorf("FindAll strings = %d", len(strs))
+	}
+	if Count(root) != 9 {
+		t.Errorf("Count = %d, want 9", Count(root))
+	}
+}
+
+func TestExtentHelpers(t *testing.T) {
+	e := Extent{Start: 2, End: 5}
+	if e.Len() != 3 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if e.Text("0123456789") != "234" {
+		t.Errorf("Text = %q", e.Text("0123456789"))
+	}
+	if !e.Contains(Extent{3, 4}) || e.Contains(Extent{1, 4}) {
+		t.Error("Contains broken")
+	}
+	if (Extent{Start: -1, End: 3}).Text("ab") != "" {
+		t.Error("out-of-range Text should be empty")
+	}
+}
+
+func TestRecoverableKinds(t *testing.T) {
+	// Exactly the paper's six recoverable node types (§III-B1).
+	recoverable := []Kind{
+		KindPipeline, KindUnaryExpression, KindBinaryExpression,
+		KindConvertExpression, KindInvokeMemberExpression, KindSubExpression,
+	}
+	for _, k := range recoverable {
+		if !IsRecoverableKind(k) {
+			t.Errorf("IsRecoverableKind(%v) = false", k)
+		}
+	}
+	for _, k := range []Kind{KindCommand, KindStringConstant, KindMemberExpression, KindHashtable} {
+		if IsRecoverableKind(k) {
+			t.Errorf("IsRecoverableKind(%v) = true", k)
+		}
+	}
+}
+
+func TestScopeKinds(t *testing.T) {
+	// Exactly the paper's six scope-changing node types (Algorithm 1).
+	scoped := []Kind{
+		KindNamedBlock, KindIf, KindWhile, KindFor, KindForEach,
+		KindStatementBlock,
+	}
+	for _, k := range scoped {
+		if !IsScopeKind(k) {
+			t.Errorf("IsScopeKind(%v) = false", k)
+		}
+	}
+	if IsScopeKind(KindPipeline) || IsScopeKind(KindCommand) {
+		t.Error("non-scope kind reported scoped")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	// The names mirror System.Management.Automation.Language classes.
+	tests := map[Kind]string{
+		KindPipeline:               "PipelineAst",
+		KindBinaryExpression:       "BinaryExpressionAst",
+		KindInvokeMemberExpression: "InvokeMemberExpressionAst",
+		KindVariableExpression:     "VariableExpressionAst",
+	}
+	for k, want := range tests {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

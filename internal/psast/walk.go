@@ -1,0 +1,96 @@
+package psast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Walk traverses the tree rooted at n in depth-first order. pre is called
+// before visiting a node's children; returning false skips the subtree.
+// post is called after the children (post-order position). Either
+// callback may be nil.
+func Walk(n Node, pre func(Node) bool, post func(Node)) {
+	if n == nil {
+		return
+	}
+	if pre != nil && !pre(n) {
+		return
+	}
+	for _, c := range n.Children() {
+		Walk(c, pre, post)
+	}
+	if post != nil {
+		post(n)
+	}
+}
+
+// PostOrder returns every node of the tree in post-order (children before
+// parents), the traversal order used by the recovery and variable-tracing
+// phases (paper Algorithm 1).
+func PostOrder(root Node) []Node {
+	var out []Node
+	Walk(root, nil, func(n Node) { out = append(out, n) })
+	return out
+}
+
+// FindAll returns every node in the tree for which pred returns true.
+func FindAll(root Node, pred func(Node) bool) []Node {
+	var out []Node
+	Walk(root, func(n Node) bool {
+		if pred(n) {
+			out = append(out, n)
+		}
+		return true
+	}, nil)
+	return out
+}
+
+// Count returns the number of nodes in the tree.
+func Count(root Node) int {
+	n := 0
+	Walk(root, func(Node) bool { n++; return true }, nil)
+	return n
+}
+
+// Dump renders the tree as an indented outline, for tests and debugging.
+func Dump(root Node, src string) string {
+	var sb strings.Builder
+	var rec func(n Node, depth int)
+	rec = func(n Node, depth int) {
+		text := n.Extent().Text(src)
+		if len(text) > 48 {
+			text = text[:45] + "..."
+		}
+		fmt.Fprintf(&sb, "%s%s %q\n", strings.Repeat("  ", depth), n.Kind(), text)
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(root, 0)
+	return sb.String()
+}
+
+// IsRecoverableKind reports whether k is one of the paper's recoverable
+// node kinds (§III-B1): nodes whose content, when executed, often
+// produces a string-form result.
+func IsRecoverableKind(k Kind) bool {
+	switch k {
+	case KindPipeline, KindUnaryExpression, KindBinaryExpression,
+		KindConvertExpression, KindInvokeMemberExpression, KindSubExpression:
+		return true
+	}
+	return false
+}
+
+// IsScopeKind reports whether k changes variable scope depth during
+// tracing (paper Algorithm 1): NamedBlockAst, IfStatementAst,
+// WhileStatementAst, ForStatementAst, ForEachStatementAst and
+// StatementBlockAst.
+func IsScopeKind(k Kind) bool {
+	switch k {
+	case KindNamedBlock, KindIf, KindWhile, KindFor, KindForEach,
+		KindStatementBlock:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,233 @@
+package psinterp
+
+import (
+	"strings"
+	"testing"
+)
+
+// captureHost records side effects for tests without external state.
+type captureHost struct {
+	DenyHost
+	events []string
+}
+
+func (h *captureHost) WriteHost(s string) { h.events = append(h.events, "host:"+s) }
+func (h *captureHost) WebRequest(m, u string) (string, error) {
+	h.events = append(h.events, "web:"+m+":"+u)
+	return "body", nil
+}
+func (h *captureHost) DownloadFile(u, p string) error {
+	h.events = append(h.events, "dl:"+u+">"+p)
+	return nil
+}
+func (h *captureHost) StartProcess(n string, a []string) error {
+	h.events = append(h.events, "proc:"+n+" "+strings.Join(a, " "))
+	return nil
+}
+func (h *captureHost) Sleep(s float64) { h.events = append(h.events, "sleep") }
+func (h *captureHost) TCPConnect(hn string, p int64) error {
+	h.events = append(h.events, "tcp:"+hn)
+	return nil
+}
+
+func (h *captureHost) has(sub string) bool {
+	for _, e := range h.events {
+		if strings.Contains(e, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSideEffectCmdlets(t *testing.T) {
+	host := &captureHost{}
+	in := New(Options{Host: host})
+	script := `Start-Sleep -Milliseconds 5
+Invoke-WebRequest -Uri 'http://cover.test/a' | Out-Null
+Start-Process notepad -ArgumentList 'x','y'
+Start-BitsTransfer -Source 'http://cover.test/f' -Destination 'C:\f'
+Write-Warning 'ignored'
+Write-Host 'shown' | Out-Host
+cmd /c echo hi`
+	if _, err := in.EvalSnippet(script); err != nil {
+		t.Fatalf("script: %v", err)
+	}
+	for _, want := range []string{"sleep", "web:GET:http://cover.test/a", "proc:notepad x y", "dl:http://cover.test/f", "host:shown", "proc:cmd"} {
+		if !host.has(want) {
+			t.Errorf("missing event %q in %v", want, host.events)
+		}
+	}
+}
+
+func TestCmdExePowerShellChain(t *testing.T) {
+	host := &captureHost{}
+	in := New(Options{Host: host})
+	out, err := in.EvalSnippet(`cmd /c "powershell -Command 'write-output chained'"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ToString(Unwrap(out)) != "chained" {
+		t.Errorf("chained output = %v", out)
+	}
+}
+
+func TestInvokeWebRequestResponse(t *testing.T) {
+	host := &captureHost{}
+	in := New(Options{Host: host})
+	out, err := in.EvalSnippet("(Invoke-WebRequest 'http://r.test').Content")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ToString(Unwrap(out)) != "body" {
+		t.Errorf("content = %v", out)
+	}
+}
+
+func TestConvertFromSecureStringScript(t *testing.T) {
+	src := `$ss = ConvertTo-SecureString 'plain' -AsPlainText -Force
+$enc = ConvertFrom-SecureString -SecureString $ss -Key (1..16)
+$back = ConvertTo-SecureString -String $enc -Key (1..16)
+[Runtime.InteropServices.Marshal]::PtrToStringAuto([Runtime.InteropServices.Marshal]::SecureStringToBSTR($back))`
+	if got := eval(t, src); got != "plain" {
+		t.Errorf("securestring pipeline = %q", got)
+	}
+}
+
+func TestSetVarGetVar(t *testing.T) {
+	in := New(Options{})
+	in.SetVar("preset", "value")
+	out, err := in.EvalSnippet("$preset + '!'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ToString(Unwrap(out)) != "value!" {
+		t.Errorf("preset = %v", out)
+	}
+	if v, ok := in.GetVar("preset"); !ok || v != "value" {
+		t.Errorf("GetVar = %v %v", v, ok)
+	}
+}
+
+func TestSetIndexForms(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"$a = 1,2,3; $a[-1] = 9; $a -join ''", "129"},
+		{"$b = [byte[]](1,2); $b[0] = 7; $b -join ','", "7,2"},
+		{"$h = @{}; $h[5] = 'five'; $h['5']", "five"},
+	}
+	for _, tt := range tests {
+		if got := eval(t, tt.src); got != tt.want {
+			t.Errorf("eval(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+	in := New(Options{})
+	if _, err := in.EvalSnippet("$a = 1,2; $a[9] = 1"); err == nil {
+		t.Error("out-of-range assignment should fail")
+	}
+}
+
+func TestSetPropertyForms(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"$wc = New-Object Net.WebClient; $wc.UserAgent = 'UA1'; $wc.UserAgent", "UA1"},
+		{"$h = @{}; $h.newkey = 3; $h['newkey']", "3"},
+		{"[Net.ServicePointManager]::SecurityProtocol = 'Tls12'; 'ok'", "ok"},
+	}
+	for _, tt := range tests {
+		if got := eval(t, tt.src); got != tt.want {
+			t.Errorf("eval(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestAutomaticVariableSurface(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"$shellid", "Microsoft.PowerShell"},
+		{"$home", "C:\\Users\\user"},
+		{"$pid", "4242"},
+		{"$psversiontable['PSEdition']", "Desktop"},
+		{"$psculture", "en-US"},
+		{"$erroractionpreference", "Continue"},
+		{"$verbosepreference", "SilentlyContinue"},
+		{"$host.Name", "ConsoleHost"},
+		{"$ofs", " "},
+		{"($error).Count", "0"},
+	}
+	for _, tt := range tests {
+		if got := eval(t, tt.src); got != tt.want {
+			t.Errorf("eval(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestDynamicMemberNames(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"$p = 'Length'; 'hello'.$p", "5"},
+		{"$m = 'ToUpper'; 'x'.$m()", "X"},
+		{"'hi'.('Len'+'gth')", "2"},
+	}
+	for _, tt := range tests {
+		if got := eval(t, tt.src); got != tt.want {
+			t.Errorf("eval(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !IsStringLike("s") || !IsStringLike(int64(1)) || !IsStringLike(Char('c')) ||
+		IsStringLike([]any{}) || IsStringLike(nil) {
+		t.Error("IsStringLike broken")
+	}
+	if ToBool(Bytes{1}) != true || ToBool(&Hashtable{}) != true ||
+		ToBool([]any{}) != false || ToBool([]any{false}) != false ||
+		ToBool(Char(0)) != false {
+		t.Error("ToBool broken")
+	}
+	sb := &ScriptBlockValue{Text: " body "}
+	if sb.String() != " body " {
+		t.Error("ScriptBlockValue.String")
+	}
+	ss := &SecureString{Plain: "x"}
+	if ss.String() != "System.Security.SecureString" {
+		t.Error("SecureString.String")
+	}
+	if runtimeTypeName(3.5) != "System.Double" || runtimeTypeName(true) != "System.Boolean" ||
+		runtimeTypeName(Bytes{}) != "System.Byte[]" || runtimeTypeName(nil) != "" {
+		t.Error("runtimeTypeName broken")
+	}
+}
+
+func TestFormatGroupThousands(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"'{0:N0}' -f 1234567", "1,234,567"},
+		{"'{0:N2}' -f 1234.5", "1,234.50"},
+		{"'{0:N0}' -f -9876", "-9,876"},
+		{"'{0:F1}' -f 2.25", "2.2"},
+		{"'{0:F}' -f 3", "3.00"},
+	}
+	for _, tt := range tests {
+		if got := eval(t, tt.src); got != tt.want {
+			t.Errorf("eval(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestArrayStatics(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"$a = 3,1,2; [array]::Sort($a); $a -join ''", "123"},
+		{"[array]::IndexOf((5,6,7), 6)", "1"},
+		{"$b = [byte[]](1,2,3); [array]::Reverse($b); $b -join ''", "321"},
+	}
+	for _, tt := range tests {
+		if got := eval(t, tt.src); got != tt.want {
+			t.Errorf("eval(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	if (&UnknownVariableError{Name: "v"}).Error() == "" {
+		t.Error("empty error text")
+	}
+	if (&flowSignal{kind: flowBreak}).Error() == "" {
+		t.Error("empty flow text")
+	}
+}

@@ -1,0 +1,85 @@
+package psinterp
+
+// defaultEnv returns the simulated Windows environment table. Obfuscated
+// scripts commonly slice these strings to rebuild command names (e.g.
+// $env:ComSpec[4,24,25] -join ” is "Iex"), so the exact character
+// content of the defaults matters.
+func defaultEnv() map[string]string {
+	return map[string]string{
+		"comspec":                "C:\\WINDOWS\\system32\\cmd.exe",
+		"windir":                 "C:\\WINDOWS",
+		"systemroot":             "C:\\WINDOWS",
+		"systemdrive":            "C:",
+		"programfiles":           "C:\\Program Files",
+		"programfiles(x86)":      "C:\\Program Files (x86)",
+		"programdata":            "C:\\ProgramData",
+		"public":                 "C:\\Users\\Public",
+		"userprofile":            "C:\\Users\\user",
+		"username":               "user",
+		"userdomain":             "DESKTOP-2C3IQHO",
+		"computername":           "DESKTOP-2C3IQHO",
+		"temp":                   "C:\\Users\\user\\AppData\\Local\\Temp",
+		"tmp":                    "C:\\Users\\user\\AppData\\Local\\Temp",
+		"appdata":                "C:\\Users\\user\\AppData\\Roaming",
+		"localappdata":           "C:\\Users\\user\\AppData\\Local",
+		"homedrive":              "C:",
+		"homepath":               "\\Users\\user",
+		"path":                   "C:\\WINDOWS\\system32;C:\\WINDOWS;C:\\WINDOWS\\System32\\WindowsPowerShell\\v1.0\\",
+		"pathext":                ".COM;.EXE;.BAT;.CMD;.VBS;.VBE;.JS;.JSE;.WSF;.WSH;.MSC",
+		"processor_architecture": "AMD64",
+		"psmodulepath":           "C:\\Users\\user\\Documents\\WindowsPowerShell\\Modules",
+		"os":                     "Windows_NT",
+	}
+}
+
+// PSHome is the simulated $PSHOME value. Its characters are load-bearing
+// for obfuscation such as $pshome[4]+$pshome[30]+'x' == "iex".
+const PSHome = "C:\\Windows\\System32\\WindowsPowerShell\\v1.0"
+
+// automaticVariable resolves PowerShell automatic variables that are not
+// user-assigned.
+func (in *Interp) automaticVariable(name string) (any, bool) {
+	switch name {
+	case "pshome":
+		return PSHome, true
+	case "shellid":
+		return "Microsoft.PowerShell", true
+	case "home":
+		return "C:\\Users\\user", true
+	case "pwd":
+		return "C:\\Users\\user", true
+	case "pid":
+		return int64(4242), true
+	case "host":
+		host := NewObject("System.Management.Automation.Internal.Host.InternalHost")
+		host.Props["name"] = "ConsoleHost"
+		host.Props["version"] = "5.1.19041.1"
+		return host, true
+	case "psversiontable":
+		h := NewHashtable()
+		h.Set("PSVersion", "5.1.19041.1")
+		h.Set("PSEdition", "Desktop")
+		h.Set("CLRVersion", "4.0.30319.42000")
+		return h, true
+	case "executioncontext":
+		return NewObject("System.Management.Automation.EngineIntrinsics"), true
+	case "error":
+		return []any{}, true
+	case "ofs":
+		return " ", true
+	case "verbosepreference", "debugpreference", "progresspreference":
+		return "SilentlyContinue", true
+	case "erroractionpreference":
+		return "Continue", true
+	case "psculture":
+		return "en-US", true
+	case "psuiculture":
+		return "en-US", true
+	case "matches":
+		if in.lastMatches != nil {
+			return in.lastMatches, true
+		}
+		return nil, false
+	}
+	return nil, false
+}

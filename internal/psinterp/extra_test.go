@@ -1,0 +1,152 @@
+package psinterp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatchesVariable(t *testing.T) {
+	got := eval(t, "'user123' -match '(\\d+)' | out-null; $matches[1]")
+	if got != "123" {
+		t.Errorf("$matches[1] = %q", got)
+	}
+	got = eval(t, "'k=v' -match '(?<key>\\w+)=(?<val>\\w+)' | out-null; $matches['val']")
+	if got != "v" {
+		t.Errorf("named group = %q", got)
+	}
+}
+
+func TestCaseSensitiveOperators(t *testing.T) {
+	tests := []struct{ src, want string }{
+		{"'AAA' -creplace 'a','x'", "AAA"},
+		{"'AaA' -creplace 'a','x'", "AxA"},
+		{"'ABC' -clike 'abc'", "False"},
+		{"'ABC' -clike 'ABC'", "True"},
+		{"'A','b' -ccontains 'B'", "False"},
+		{"'A','b' -icontains 'B'", "True"},
+		{"'AbC' -cmatch 'bC'", "True"},
+		{"'AbC' -cmatch 'BC'", "False"},
+	}
+	for _, tt := range tests {
+		if got := eval(t, tt.src); got != tt.want {
+			t.Errorf("eval(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestAsOperatorFailureIsNull(t *testing.T) {
+	if got := eval(t, "('abc' -as [int]) -eq $null"); got != "True" {
+		t.Errorf("-as failure = %q", got)
+	}
+}
+
+func TestLineContinuationEval(t *testing.T) {
+	if got := eval(t, "write-output `\n'continued'"); got != "continued" {
+		t.Errorf("continuation = %q", got)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	got := eval(t, "<# block #> 'v' # trailing")
+	if got != "v" {
+		t.Errorf("comments = %q", got)
+	}
+}
+
+func TestNestedFunctionCalls(t *testing.T) {
+	src := `function inner($x) { $x * 2 }
+function outer($y) { (inner $y) + 1 }
+outer 5`
+	if got := eval(t, src); got != "11" {
+		t.Errorf("nested calls = %q", got)
+	}
+	// The classic PowerShell gotcha: C-style call syntax passes the
+	// extra tokens as arguments; the result is inner's output alone.
+	gotcha := `function inner($x) { $x * 2 }
+function outer($y) { inner($y) + 1 }
+outer 5`
+	if got := eval(t, gotcha); got != "10" {
+		t.Errorf("gotcha semantics = %q, want 10", got)
+	}
+}
+
+func TestRecursionDepthGuard(t *testing.T) {
+	in := New(Options{MaxDepth: 8})
+	_, err := in.EvalSnippet("function r { r }; r")
+	if err == nil {
+		t.Error("expected recursion error")
+	}
+}
+
+func TestPipelineIntoFunction(t *testing.T) {
+	got := eval(t, "function last { $input[-1] }\n1,2,3 | last")
+	if got != "3" {
+		t.Errorf("pipeline input = %q", got)
+	}
+}
+
+func TestUnwrapSemantics(t *testing.T) {
+	if Unwrap(nil) != nil {
+		t.Error("Unwrap(nil)")
+	}
+	if Unwrap([]any{"x"}) != "x" {
+		t.Error("Unwrap single")
+	}
+	if v, ok := Unwrap([]any{1, 2}).([]any); !ok || len(v) != 2 {
+		t.Error("Unwrap multi")
+	}
+}
+
+func TestToStringForms(t *testing.T) {
+	tests := []struct {
+		v    any
+		want string
+	}{
+		{nil, ""},
+		{true, "True"},
+		{int64(-3), "-3"},
+		{3.5, "3.5"},
+		{4.0, "4"},
+		{Char('Z'), "Z"},
+		{[]any{int64(1), "a"}, "1 a"},
+		{Bytes{1, 2}, "1 2"},
+		{&Hashtable{}, "System.Collections.Hashtable"},
+	}
+	for _, tt := range tests {
+		if got := ToString(tt.v); got != tt.want {
+			t.Errorf("ToString(%#v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestEngineScriptHookObservesDynamicIEX(t *testing.T) {
+	var seen []string
+	in := New(Options{EngineScriptHook: func(code string) { seen = append(seen, code) }})
+	if _, err := in.EvalSnippet("&('ie'+'x') 'write-output dyn'"); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || !strings.Contains(seen[0], "dyn") {
+		t.Errorf("engine hook saw %v", seen)
+	}
+}
+
+func TestIEXHookOnlyLiteralSpellings(t *testing.T) {
+	var captured []string
+	opts := Options{IEXHook: func(code string) { captured = append(captured, code) }}
+	in := New(opts)
+	if _, err := in.EvalSnippet("IEX 'write-output lit'"); err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) != 1 {
+		t.Fatalf("literal capture = %v", captured)
+	}
+	in2 := New(opts)
+	out, err := in2.EvalSnippet("&('ie'+'x') 'write-output dyn2'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic spelling bypasses the override and actually executes.
+	if ToString(Unwrap(out)) != "dyn2" {
+		t.Errorf("dynamic spelling result = %v", out)
+	}
+}

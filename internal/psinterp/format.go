@@ -1,0 +1,185 @@
+package psinterp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// formatOperator implements the -f operator with the subset of .NET
+// composite formatting used in practice: {index[,alignment][:format]}
+// with numeric format specifiers D, X, x, N, F and custom 0-padding.
+func (in *Interp) formatOperator(format string, args []any) (any, error) {
+	var sb strings.Builder
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		switch c {
+		case '{':
+			if i+1 < len(format) && format[i+1] == '{' {
+				sb.WriteByte('{')
+				i += 2
+				continue
+			}
+			end := strings.IndexByte(format[i:], '}')
+			if end < 0 {
+				return nil, fmt.Errorf("psinterp: malformed format string %q", format)
+			}
+			spec := format[i+1 : i+end]
+			rendered, err := renderFormatItem(spec, args)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(rendered)
+			i += end + 1
+		case '}':
+			if i+1 < len(format) && format[i+1] == '}' {
+				sb.WriteByte('}')
+				i += 2
+				continue
+			}
+			sb.WriteByte('}')
+			i++
+		default:
+			sb.WriteByte(c)
+			i++
+		}
+		if sb.Len() > in.opts.MaxStringLen {
+			return nil, ErrBudget
+		}
+	}
+	return sb.String(), nil
+}
+
+// renderFormatItem renders one {index[,alignment][:format]} item.
+func renderFormatItem(spec string, args []any) (string, error) {
+	idxPart := spec
+	alignPart := ""
+	fmtPart := ""
+	if colon := strings.IndexByte(spec, ':'); colon >= 0 {
+		fmtPart = spec[colon+1:]
+		idxPart = spec[:colon]
+	}
+	if comma := strings.IndexByte(idxPart, ','); comma >= 0 {
+		alignPart = idxPart[comma+1:]
+		idxPart = idxPart[:comma]
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(idxPart))
+	if err != nil {
+		return "", fmt.Errorf("psinterp: bad format index %q", idxPart)
+	}
+	if idx < 0 || idx >= len(args) {
+		return "", fmt.Errorf("psinterp: format index %d out of range (%d args)", idx, len(args))
+	}
+	s, err := applyFormatSpec(args[idx], fmtPart)
+	if err != nil {
+		return "", err
+	}
+	if alignPart != "" {
+		width, err := strconv.Atoi(strings.TrimSpace(alignPart))
+		if err == nil {
+			if width > 0 && len(s) < width {
+				s = strings.Repeat(" ", width-len(s)) + s
+			} else if width < 0 && len(s) < -width {
+				s += strings.Repeat(" ", -width-len(s))
+			}
+		}
+	}
+	return s, nil
+}
+
+func applyFormatSpec(v any, spec string) (string, error) {
+	if spec == "" {
+		return ToString(v), nil
+	}
+	kind := spec[0]
+	width := 0
+	if len(spec) > 1 {
+		if w, err := strconv.Atoi(spec[1:]); err == nil {
+			width = w
+		}
+	}
+	switch kind {
+	case 'X', 'x':
+		n, err := ToInt(v)
+		if err != nil {
+			return "", err
+		}
+		s := strconv.FormatInt(n, 16)
+		if kind == 'X' {
+			s = strings.ToUpper(s)
+		}
+		return zeroPad(s, width), nil
+	case 'D', 'd':
+		n, err := ToInt(v)
+		if err != nil {
+			return "", err
+		}
+		return zeroPad(strconv.FormatInt(n, 10), width), nil
+	case 'F', 'f':
+		n, err := ToNumber(v)
+		if err != nil {
+			return "", err
+		}
+		if width == 0 && len(spec) == 1 {
+			width = 2
+		}
+		return strconv.FormatFloat(toFloat(n), 'f', width, 64), nil
+	case 'N', 'n':
+		n, err := ToNumber(v)
+		if err != nil {
+			return "", err
+		}
+		decimals := 2
+		if len(spec) > 1 {
+			decimals = width
+		}
+		return groupThousands(strconv.FormatFloat(toFloat(n), 'f', decimals, 64)), nil
+	case '0':
+		// Custom zero-padding pattern like 00 or 000.
+		n, err := ToInt(v)
+		if err != nil {
+			return "", err
+		}
+		return zeroPad(strconv.FormatInt(n, 10), len(spec)), nil
+	default:
+		return ToString(v), nil
+	}
+}
+
+func zeroPad(s string, width int) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	for len(s) < width {
+		s = "0" + s
+	}
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+func groupThousands(s string) string {
+	intPart := s
+	frac := ""
+	if dot := strings.IndexByte(s, '.'); dot >= 0 {
+		intPart, frac = s[:dot], s[dot:]
+	}
+	neg := strings.HasPrefix(intPart, "-")
+	if neg {
+		intPart = intPart[1:]
+	}
+	var groups []string
+	for len(intPart) > 3 {
+		groups = append([]string{intPart[len(intPart)-3:]}, groups...)
+		intPart = intPart[:len(intPart)-3]
+	}
+	groups = append([]string{intPart}, groups[0:]...)
+	out := strings.Join(groups, ",") + frac
+	if neg {
+		return "-" + out
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package psinterp
+
+// Host mediates every side effect the interpreter can perform. The
+// deobfuscator uses DenyHost so recovery code cannot touch the outside
+// world; the behavioural sandbox supplies a recording host that logs
+// network events and returns canned data (the TianQiong-sandbox
+// substitute described in DESIGN.md).
+type Host interface {
+	// WriteHost receives console output (Write-Host).
+	WriteHost(text string)
+	// DownloadString fetches a URL body as text.
+	DownloadString(url string) (string, error)
+	// DownloadData fetches a URL body as bytes.
+	DownloadData(url string) (Bytes, error)
+	// DownloadFile fetches a URL into a path.
+	DownloadFile(url, path string) error
+	// WebRequest performs Invoke-WebRequest/Invoke-RestMethod.
+	WebRequest(method, url string) (string, error)
+	// TCPConnect opens a TCP connection (New-Object Net.Sockets.TcpClient).
+	TCPConnect(host string, port int64) error
+	// DNSResolve resolves a host name.
+	DNSResolve(host string) error
+	// StartProcess launches an external process.
+	StartProcess(name string, args []string) error
+	// WriteFile persists content to a path (Out-File, Set-Content).
+	WriteFile(path, content string) error
+	// RemoveItem deletes a path.
+	RemoveItem(path string) error
+	// Sleep pauses execution (Start-Sleep); hosts may cap, simulate or
+	// ignore the delay.
+	Sleep(seconds float64)
+}
+
+// DenyHost rejects every side effect with ErrSideEffect and swallows
+// console output. It is the interpreter's default host.
+type DenyHost struct{}
+
+var _ Host = DenyHost{}
+
+// WriteHost implements Host.
+func (DenyHost) WriteHost(string) {}
+
+// DownloadString implements Host.
+func (DenyHost) DownloadString(string) (string, error) { return "", ErrSideEffect }
+
+// DownloadData implements Host.
+func (DenyHost) DownloadData(string) (Bytes, error) { return nil, ErrSideEffect }
+
+// DownloadFile implements Host.
+func (DenyHost) DownloadFile(string, string) error { return ErrSideEffect }
+
+// WebRequest implements Host.
+func (DenyHost) WebRequest(string, string) (string, error) { return "", ErrSideEffect }
+
+// TCPConnect implements Host.
+func (DenyHost) TCPConnect(string, int64) error { return ErrSideEffect }
+
+// DNSResolve implements Host.
+func (DenyHost) DNSResolve(string) error { return ErrSideEffect }
+
+// StartProcess implements Host.
+func (DenyHost) StartProcess(string, []string) error { return ErrSideEffect }
+
+// WriteFile implements Host.
+func (DenyHost) WriteFile(string, string) error { return ErrSideEffect }
+
+// RemoveItem implements Host.
+func (DenyHost) RemoveItem(string) error { return ErrSideEffect }
+
+// Sleep implements Host.
+func (DenyHost) Sleep(float64) {}

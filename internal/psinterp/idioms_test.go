@@ -1,0 +1,70 @@
+package psinterp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInvokeObfuscationIdioms exercises the real-world invocation
+// tricks catalogued by Invoke-Obfuscation that obfuscated samples use
+// to reach Invoke-Expression and rebuild strings.
+func TestInvokeObfuscationIdioms(t *testing.T) {
+	tests := []struct{ src, want string }{
+		// $PSHOME character-picking (the paper's §III-B4 example).
+		{". ($pshome[4]+$pshome[30]+'x') ('wr'+'ite-output idiom1')", "idiom1"},
+		// $env:ComSpec slicing.
+		{"('write-output idiom2') |& ($env:comspec[4,24,25] -join '')", "idiom2"},
+		// Get-Command wildcard discovery.
+		{"&(gcm *ke-Exp*) 'write-output idiom3'", "idiom3"},
+		// Get-Variable name slicing.
+		{"&((gv '*mdr*').name[3,11,2] -join '') 'write-output idiom4'", "idiom4"},
+		// Get-Alias definition.
+		{"&((gal iex).Definition) 'write-output idiom5'", "idiom5"},
+		// ExecutionContext script-block factory.
+		{"($executioncontext.invokecommand.newscriptblock('write-output idiom6')).Invoke() -join ''", "idiom6"},
+		// ExecutionContext InvokeScript.
+		{"$executioncontext.invokecommand.invokescript('write-output idiom7')", "idiom7"},
+		// Env drive item value.
+		{"&((get-item env:comspec).value[4,24,25] -join '') 'write-output idiom8'", "idiom8"},
+		// String method chain assembling the command name.
+		{"&('XEI'[2..0] -join '') 'write-output idiom9'", "idiom9"},
+		// Format operator assembling the command.
+		{"&('{1}{0}' -f 'ex','i') 'write-output idiom10'", "idiom10"},
+	}
+	for _, tt := range tests {
+		in := New(Options{})
+		out, err := in.EvalSnippet(tt.src)
+		if err != nil {
+			t.Errorf("eval(%q): %v", tt.src, err)
+			continue
+		}
+		got := ToString(Unwrap(out))
+		if !strings.Contains(got, tt.want) {
+			t.Errorf("eval(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestDeepObfuscationChains layers several recovery mechanisms the way
+// wild droppers do.
+func TestDeepObfuscationChains(t *testing.T) {
+	tests := []struct{ src, want string }{
+		// split -> char -> join -> iex.
+		{"iex (('119,114,105,116,101,45,111,117,116,112,117,116,32,99,104,97,105,110,49' -split ',' | % { [char][int]$_ }) -join '')", "chain1"},
+		// Base64 of UTF16 inside a format reorder.
+		{"iex ([Text.Encoding]::Unicode.GetString([Convert]::FromBase64String(('{0}{1}' -f 'dwByAGkAdABlAC0AbwB1AHQAcAB1AHQA', 'IABjAGgAYQBpAG4AMgA='))))", "chain2"},
+		// Reverse via descending index range.
+		{"iex (-join ('3niahc tuptuo-etirw'[18..0]))", "chain3"},
+	}
+	for _, tt := range tests {
+		in := New(Options{})
+		out, err := in.EvalSnippet(tt.src)
+		if err != nil {
+			t.Errorf("eval(%q): %v", tt.src, err)
+			continue
+		}
+		if got := ToString(Unwrap(out)); got != tt.want {
+			t.Errorf("eval(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}

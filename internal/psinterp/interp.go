@@ -1,0 +1,829 @@
+package psinterp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+// Sentinel errors. Callers use errors.Is to distinguish recoverable
+// evaluation failures (skip the piece) from bugs.
+var (
+	// ErrBudget signals the step budget was exhausted.
+	ErrBudget = errors.New("psinterp: execution budget exhausted")
+	// ErrBlocked signals a blocklisted command was invoked.
+	ErrBlocked = errors.New("psinterp: blocked command")
+	// ErrSideEffect signals the host denied a side effect.
+	ErrSideEffect = errors.New("psinterp: side effect denied")
+	// ErrUnsupported signals an unimplemented language or library
+	// feature.
+	ErrUnsupported = errors.New("psinterp: unsupported")
+)
+
+// UnknownVariableError reports a read of a variable that is not defined.
+type UnknownVariableError struct {
+	Name string
+}
+
+func (e *UnknownVariableError) Error() string {
+	return fmt.Sprintf("psinterp: unknown variable $%s", e.Name)
+}
+
+// flowKind classifies non-local control flow.
+type flowKind int
+
+const (
+	flowReturn flowKind = iota + 1
+	flowBreak
+	flowContinue
+	flowExit
+	flowThrow
+)
+
+// flowSignal is the internal error used for return/break/continue/exit/
+// throw propagation.
+type flowSignal struct {
+	kind  flowKind
+	value any
+}
+
+func (f *flowSignal) Error() string { return "psinterp: flow signal" }
+
+// TypeValue is the value of a bare [type] literal.
+type TypeValue struct {
+	Name string
+}
+
+func (t TypeValue) String() string { return t.Name }
+
+// Options configures an interpreter instance.
+type Options struct {
+	// MaxSteps bounds evaluation work. Zero means the default (2e6).
+	MaxSteps int
+	// MaxDepth bounds call/IEX nesting. Zero means the default (64).
+	MaxDepth int
+	// MaxStringLen bounds produced strings. Zero means default (8 MiB).
+	MaxStringLen int
+	// StrictVars makes reads of undefined variables an error instead of
+	// nil. The deobfuscator uses strict mode so unknown context aborts
+	// recovery instead of producing wrong results.
+	StrictVars bool
+	// Host mediates side effects. Nil means DenyHost.
+	Host Host
+	// Blocklist lists lower-cased command names that must not execute
+	// (the paper's irrelevant-command blocklist).
+	Blocklist map[string]bool
+	// Env overrides entries of the simulated Windows environment.
+	Env map[string]string
+	// IEXHook, when non-nil, intercepts Invoke-Expression and
+	// powershell -EncodedCommand payloads instead of executing them.
+	// This models the "overriding function" technique of PSDecode,
+	// PowerDrive and PowerDecode.
+	IEXHook func(code string)
+	// EngineScriptHook, when non-nil, observes every script string
+	// supplied to the scripting engine (Invoke-Expression in any
+	// spelling, InvokeScript, nested powershell) WITHOUT suppressing
+	// execution. This models AMSI's vantage point (paper §V-B).
+	EngineScriptHook func(code string)
+}
+
+// Interp evaluates PowerShell ASTs.
+type Interp struct {
+	opts    Options
+	host    Host
+	steps   int
+	depth   int
+	global  *scope
+	env     map[string]string
+	funcs   map[string]*psast.FunctionDefinition
+	console strings.Builder
+	// lastMatches holds capture groups of the most recent -match.
+	lastMatches *Hashtable
+}
+
+// New returns an interpreter with the given options.
+func New(opts Options) *Interp {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 2_000_000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 64
+	}
+	if opts.MaxStringLen == 0 {
+		opts.MaxStringLen = 8 << 20
+	}
+	host := opts.Host
+	if host == nil {
+		host = DenyHost{}
+	}
+	in := &Interp{
+		opts:   opts,
+		host:   host,
+		global: newScope(nil),
+		env:    defaultEnv(),
+		funcs:  make(map[string]*psast.FunctionDefinition),
+	}
+	for k, v := range opts.Env {
+		in.env[strings.ToLower(k)] = v
+	}
+	return in
+}
+
+// Console returns everything written via Write-Host/Write-Output during
+// evaluation.
+func (in *Interp) Console() string { return in.console.String() }
+
+// SetVar defines a variable in the global scope.
+func (in *Interp) SetVar(name string, v any) {
+	in.global.set(normalizeVarName(name), v)
+}
+
+// GetVar reads a variable from the global scope chain.
+func (in *Interp) GetVar(name string) (any, bool) {
+	return in.global.get(normalizeVarName(name))
+}
+
+// EvalSnippet parses and evaluates a source fragment, returning the
+// pipeline output values.
+func (in *Interp) EvalSnippet(src string) ([]any, error) {
+	sb, err := psparser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return in.EvalScript(sb)
+}
+
+// EvalScript evaluates a parsed script block in the global scope.
+func (in *Interp) EvalScript(sb *psast.ScriptBlock) ([]any, error) {
+	out, err := in.evalScriptBlockBody(sb, in.global)
+	var fs *flowSignal
+	if errors.As(err, &fs) {
+		switch fs.kind {
+		case flowExit, flowReturn:
+			return out, nil
+		case flowThrow:
+			return out, fmt.Errorf("psinterp: uncaught throw: %v", ToString(fs.value))
+		default:
+			return out, nil
+		}
+	}
+	return out, err
+}
+
+func (in *Interp) evalScriptBlockBody(sb *psast.ScriptBlock, sc *scope) ([]any, error) {
+	if sb == nil || sb.Body == nil {
+		return nil, nil
+	}
+	return in.evalStatements(sb.Body.Statements, sc)
+}
+
+func (in *Interp) step() error {
+	in.steps++
+	if in.steps > in.opts.MaxSteps {
+		return ErrBudget
+	}
+	return nil
+}
+
+// scope is one level of the dynamic scope chain.
+type scope struct {
+	vars   map[string]any
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: make(map[string]any), parent: parent}
+}
+
+func (s *scope) get(name string) (any, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// set updates the variable where it is defined, creating it in the
+// current scope otherwise.
+func (s *scope) set(name string, v any) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if _, ok := cur.vars[name]; ok {
+			cur.vars[name] = v
+			return
+		}
+	}
+	s.vars[name] = v
+}
+
+// normalizeVarName lower-cases a variable name and strips scope
+// qualifiers (global:, script:, local:, private:, variable:).
+func normalizeVarName(name string) string {
+	n := strings.ToLower(name)
+	for _, prefix := range []string{"global:", "script:", "local:", "private:", "variable:"} {
+		if strings.HasPrefix(n, prefix) {
+			return strings.TrimPrefix(n, prefix)
+		}
+	}
+	return n
+}
+
+func (in *Interp) evalStatements(stmts []psast.Node, sc *scope) ([]any, error) {
+	var out []any
+	for _, st := range stmts {
+		vals, err := in.evalStatement(st, sc)
+		out = append(out, vals...)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (in *Interp) evalStatement(node psast.Node, sc *scope) ([]any, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	switch n := node.(type) {
+	case *psast.Pipeline:
+		return in.evalPipeline(n, sc)
+	case *psast.Assignment:
+		_, err := in.evalAssignment(n, sc)
+		return nil, err
+	case *psast.If:
+		return in.evalIf(n, sc)
+	case *psast.While:
+		return in.evalWhile(n, sc)
+	case *psast.DoLoop:
+		return in.evalDo(n, sc)
+	case *psast.For:
+		return in.evalFor(n, sc)
+	case *psast.ForEach:
+		return in.evalForEach(n, sc)
+	case *psast.Switch:
+		return in.evalSwitch(n, sc)
+	case *psast.Try:
+		return in.evalTry(n, sc)
+	case *psast.FunctionDefinition:
+		in.funcs[strings.ToLower(n.Name)] = n
+		return nil, nil
+	case *psast.FlowStatement:
+		return in.evalFlow(n, sc)
+	case *psast.StatementBlock:
+		return in.evalStatements(n.Statements, sc)
+	case *psast.ParamBlock:
+		return nil, nil
+	case *psast.CommandExpression:
+		v, err := in.evalExpr(n.Expression, sc)
+		if err != nil {
+			return nil, err
+		}
+		return enumerate(v), nil
+	default:
+		return nil, fmt.Errorf("%w: statement %s", ErrUnsupported, node.Kind())
+	}
+}
+
+// enumerate converts an expression value to pipeline output values.
+func enumerate(v any) []any {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case []any:
+		return x
+	default:
+		return []any{v}
+	}
+}
+
+func (in *Interp) evalPipeline(p *psast.Pipeline, sc *scope) ([]any, error) {
+	var input []any
+	for i, elem := range p.Elements {
+		var out []any
+		var err error
+		switch e := elem.(type) {
+		case *psast.Command:
+			out, err = in.runCommand(e, input, sc)
+		case *psast.CommandExpression:
+			var v any
+			v, err = in.evalExpr(e.Expression, sc)
+			if err == nil {
+				out = enumerate(v)
+				if i > 0 {
+					// An expression mid-pipeline replaces the stream.
+					_ = input
+				}
+			}
+		default:
+			err = fmt.Errorf("%w: pipeline element %s", ErrUnsupported, elem.Kind())
+		}
+		if err != nil {
+			return nil, err
+		}
+		input = out
+	}
+	return input, nil
+}
+
+func (in *Interp) evalAssignment(n *psast.Assignment, sc *scope) (any, error) {
+	value, err := in.evalAssignmentValue(n.Right, sc)
+	if err != nil {
+		return nil, err
+	}
+	if n.Operator != "=" {
+		old, err := in.evalExpr(n.Left, sc)
+		if err != nil {
+			return nil, err
+		}
+		op := strings.TrimSuffix(n.Operator, "=")
+		value, err = in.evalBinaryOp(op, old, value)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := in.assignTo(n.Left, value, sc); err != nil {
+		return nil, err
+	}
+	return value, nil
+}
+
+// evalAssignmentValue evaluates an assignment RHS, preserving the
+// expression value (including empty arrays, which pipeline enumeration
+// would collapse to null).
+func (in *Interp) evalAssignmentValue(right psast.Node, sc *scope) (any, error) {
+	if pipe, ok := right.(*psast.Pipeline); ok && len(pipe.Elements) == 1 {
+		if ce, ok := pipe.Elements[0].(*psast.CommandExpression); ok {
+			return in.evalExpr(ce.Expression, sc)
+		}
+	}
+	vals, err := in.evalStatement(right, sc)
+	if err != nil {
+		return nil, err
+	}
+	return Unwrap(vals), nil
+}
+
+// assignTo stores value into an lvalue expression.
+func (in *Interp) assignTo(target psast.Node, value any, sc *scope) error {
+	switch t := target.(type) {
+	case *psast.VariableExpression:
+		name := strings.ToLower(t.Name)
+		if strings.HasPrefix(name, "env:") {
+			in.env[strings.TrimPrefix(name, "env:")] = ToString(value)
+			return nil
+		}
+		if strings.HasPrefix(name, "global:") || strings.HasPrefix(name, "script:") {
+			in.global.vars[normalizeVarName(t.Name)] = value
+			return nil
+		}
+		sc.set(normalizeVarName(t.Name), value)
+		return nil
+	case *psast.ConvertExpression:
+		cast, err := in.castValue(t.TypeName, value)
+		if err != nil {
+			return err
+		}
+		return in.assignTo(t.Operand, cast, sc)
+	case *psast.IndexExpression:
+		targetVal, err := in.evalExpr(t.Target, sc)
+		if err != nil {
+			return err
+		}
+		idxVal, err := in.evalExpr(t.Index, sc)
+		if err != nil {
+			return err
+		}
+		return in.setIndex(targetVal, idxVal, value)
+	case *psast.MemberExpression:
+		targetVal, err := in.evalExpr(t.Target, sc)
+		if err != nil {
+			return err
+		}
+		name, err := in.memberName(t.Member, sc)
+		if err != nil {
+			return err
+		}
+		return in.setProperty(targetVal, name, value)
+	case *psast.ArrayLiteral:
+		vals := ToArray(value)
+		for i, el := range t.Elements {
+			var v any
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if err := in.assignTo(el, v, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: assignment to %s", ErrUnsupported, target.Kind())
+}
+
+func (in *Interp) setIndex(target, index, value any) error {
+	switch t := target.(type) {
+	case []any:
+		i, err := ToInt(index)
+		if err != nil {
+			return err
+		}
+		if i < 0 {
+			i += int64(len(t))
+		}
+		if i < 0 || i >= int64(len(t)) {
+			return fmt.Errorf("psinterp: index %d out of range", i)
+		}
+		t[i] = value
+		return nil
+	case Bytes:
+		i, err := ToInt(index)
+		if err != nil {
+			return err
+		}
+		b, err := ToInt(value)
+		if err != nil {
+			return err
+		}
+		if i < 0 {
+			i += int64(len(t))
+		}
+		if i < 0 || i >= int64(len(t)) {
+			return fmt.Errorf("psinterp: index %d out of range", i)
+		}
+		t[i] = byte(b)
+		return nil
+	case *Hashtable:
+		t.Set(ToString(index), value)
+		return nil
+	}
+	return fmt.Errorf("%w: index assignment on %T", ErrUnsupported, target)
+}
+
+func (in *Interp) evalIf(n *psast.If, sc *scope) ([]any, error) {
+	for _, clause := range n.Clauses {
+		cond, err := in.evalCondition(clause.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		if cond {
+			return in.evalStatements(clause.Body.Statements, sc)
+		}
+	}
+	if n.Else != nil {
+		return in.evalStatements(n.Else.Statements, sc)
+	}
+	return nil, nil
+}
+
+// evalCondition evaluates a statement used as a condition.
+func (in *Interp) evalCondition(cond psast.Node, sc *scope) (bool, error) {
+	vals, err := in.evalStatement(cond, sc)
+	if err != nil {
+		return false, err
+	}
+	return ToBool(Unwrap(vals)), nil
+}
+
+func (in *Interp) evalWhile(n *psast.While, sc *scope) ([]any, error) {
+	var out []any
+	for {
+		if err := in.step(); err != nil {
+			return out, err
+		}
+		cond, err := in.evalCondition(n.Cond, sc)
+		if err != nil {
+			return out, err
+		}
+		if !cond {
+			return out, nil
+		}
+		vals, err := in.evalStatements(n.Body.Statements, sc)
+		out = append(out, vals...)
+		if stop, err := loopSignal(err); stop {
+			return out, err
+		}
+	}
+}
+
+// loopSignal interprets an error inside a loop body: break stops the
+// loop, continue proceeds, anything else propagates.
+func loopSignal(err error) (stop bool, out error) {
+	if err == nil {
+		return false, nil
+	}
+	var fs *flowSignal
+	if errors.As(err, &fs) {
+		switch fs.kind {
+		case flowBreak:
+			return true, nil
+		case flowContinue:
+			return false, nil
+		}
+	}
+	return true, err
+}
+
+func (in *Interp) evalDo(n *psast.DoLoop, sc *scope) ([]any, error) {
+	var out []any
+	for {
+		if err := in.step(); err != nil {
+			return out, err
+		}
+		vals, err := in.evalStatements(n.Body.Statements, sc)
+		out = append(out, vals...)
+		if stop, err := loopSignal(err); stop {
+			return out, err
+		}
+		cond, err := in.evalCondition(n.Cond, sc)
+		if err != nil {
+			return out, err
+		}
+		if n.Until {
+			cond = !cond
+		}
+		if !cond {
+			return out, nil
+		}
+	}
+}
+
+func (in *Interp) evalFor(n *psast.For, sc *scope) ([]any, error) {
+	var out []any
+	if n.Init != nil {
+		if _, err := in.evalStatement(n.Init, sc); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if err := in.step(); err != nil {
+			return out, err
+		}
+		if n.Cond != nil {
+			cond, err := in.evalCondition(n.Cond, sc)
+			if err != nil {
+				return out, err
+			}
+			if !cond {
+				return out, nil
+			}
+		}
+		vals, err := in.evalStatements(n.Body.Statements, sc)
+		out = append(out, vals...)
+		if stop, err := loopSignal(err); stop {
+			return out, err
+		}
+		if n.Iter != nil {
+			if _, err := in.evalStatement(n.Iter, sc); err != nil {
+				return out, err
+			}
+		}
+	}
+}
+
+func (in *Interp) evalForEach(n *psast.ForEach, sc *scope) ([]any, error) {
+	coll, err := in.evalExpr(n.Collection, sc)
+	if err != nil {
+		return nil, err
+	}
+	var out []any
+	for _, item := range ToArray(coll) {
+		if err := in.step(); err != nil {
+			return out, err
+		}
+		sc.set(normalizeVarName(n.Variable.Name), item)
+		vals, err := in.evalStatements(n.Body.Statements, sc)
+		out = append(out, vals...)
+		if stop, err := loopSignal(err); stop {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (in *Interp) evalSwitch(n *psast.Switch, sc *scope) ([]any, error) {
+	var subject any
+	if n.Cond != nil {
+		vals, err := in.evalStatement(n.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		subject = Unwrap(vals)
+	}
+	var out []any
+	matched := false
+	for _, item := range ToArray(subject) {
+		sc.set("_", item)
+		for _, c := range n.Cases {
+			pat, err := in.evalExpr(c.Pattern, sc)
+			if err != nil {
+				return out, err
+			}
+			// Default switch semantics compare with -eq; wildcard
+			// matching requires the -wildcard flag, which obfuscated
+			// samples do not use.
+			if DeepEqualFold(item, pat) {
+				matched = true
+				vals, err := in.evalStatements(c.Body.Statements, sc)
+				out = append(out, vals...)
+				if stop, err := loopSignal(err); stop {
+					return out, err
+				}
+			}
+		}
+	}
+	if !matched && n.Default != nil {
+		vals, err := in.evalStatements(n.Default.Statements, sc)
+		out = append(out, vals...)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (in *Interp) evalTry(n *psast.Try, sc *scope) ([]any, error) {
+	out, err := in.evalStatements(n.Body.Statements, sc)
+	if err != nil {
+		var fs *flowSignal
+		isThrow := errors.As(err, &fs) && fs.kind == flowThrow
+		isRuntime := !errors.As(err, &fs)
+		// Budget and blocked errors always propagate.
+		if errors.Is(err, ErrBudget) || errors.Is(err, ErrBlocked) {
+			return out, err
+		}
+		if (isThrow || isRuntime) && len(n.Catches) > 0 {
+			sc.set("_", ToString(errValue(err)))
+			vals, cerr := in.evalStatements(n.Catches[0].Body.Statements, sc)
+			out = append(out, vals...)
+			err = cerr
+		}
+	}
+	if n.Finally != nil {
+		vals, ferr := in.evalStatements(n.Finally.Statements, sc)
+		out = append(out, vals...)
+		if err == nil {
+			err = ferr
+		}
+	}
+	return out, err
+}
+
+func errValue(err error) any {
+	var fs *flowSignal
+	if errors.As(err, &fs) {
+		return fs.value
+	}
+	return err.Error()
+}
+
+func (in *Interp) evalFlow(n *psast.FlowStatement, sc *scope) ([]any, error) {
+	switch n.Keyword {
+	case "return":
+		var value any
+		var out []any
+		if n.Value != nil {
+			vals, err := in.evalStatement(n.Value, sc)
+			if err != nil {
+				return nil, err
+			}
+			out = vals
+			value = Unwrap(vals)
+		}
+		return out, &flowSignal{kind: flowReturn, value: value}
+	case "break":
+		return nil, &flowSignal{kind: flowBreak}
+	case "continue":
+		return nil, &flowSignal{kind: flowContinue}
+	case "exit":
+		return nil, &flowSignal{kind: flowExit}
+	case "throw":
+		var value any = "ScriptHalted"
+		if n.Value != nil {
+			vals, err := in.evalStatement(n.Value, sc)
+			if err != nil {
+				return nil, err
+			}
+			value = Unwrap(vals)
+		}
+		return nil, &flowSignal{kind: flowThrow, value: value}
+	case "trap":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("%w: flow %q", ErrUnsupported, n.Keyword)
+}
+
+// callFunction invokes a user-defined function.
+func (in *Interp) callFunction(fn *psast.FunctionDefinition, args []commandArg, input []any, sc *scope) ([]any, error) {
+	if in.depth >= in.opts.MaxDepth {
+		return nil, ErrBudget
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	fsc := newScope(sc)
+	// Collect declared parameters (inline and param block).
+	params := fn.Params
+	if fn.Body != nil && fn.Body.Params != nil {
+		params = append(append([]*psast.Parameter(nil), params...), fn.Body.Params.Parameters...)
+	}
+	// Defaults first.
+	for _, p := range params {
+		var def any
+		if p.Default != nil {
+			v, err := in.evalExpr(p.Default, fsc)
+			if err != nil {
+				return nil, err
+			}
+			def = v
+		}
+		fsc.vars[normalizeVarName(p.Name)] = def
+	}
+	var extra []any
+	pos := 0
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a.isParam {
+			name := strings.ToLower(strings.TrimPrefix(a.param, "-"))
+			bound := false
+			for _, p := range params {
+				if strings.EqualFold(normalizeVarName(p.Name), name) {
+					if a.value != nil {
+						fsc.vars[normalizeVarName(p.Name)] = a.value
+					} else if i+1 < len(args) && !args[i+1].isParam {
+						fsc.vars[normalizeVarName(p.Name)] = args[i+1].value
+						i++
+					} else {
+						fsc.vars[normalizeVarName(p.Name)] = true
+					}
+					bound = true
+					break
+				}
+			}
+			if !bound {
+				// Unknown switch: ignore.
+				continue
+			}
+			continue
+		}
+		if pos < len(params) {
+			// Positional binding fills parameters that still hold their
+			// defaults.
+			fsc.vars[normalizeVarName(params[pos].Name)] = a.value
+			pos++
+			continue
+		}
+		extra = append(extra, a.value)
+	}
+	fsc.vars["args"] = extra
+	if len(input) > 0 {
+		fsc.vars["input"] = input
+		fsc.vars["_"] = input[len(input)-1]
+	}
+	out, err := in.evalScriptBlockBody(fn.Body, fsc)
+	var fs *flowSignal
+	if errors.As(err, &fs) && fs.kind == flowReturn {
+		if fs.value != nil {
+			// Return value already included via output collection.
+		}
+		err = nil
+	}
+	return out, err
+}
+
+// InvokeScriptBlock runs a script block value with positional arguments
+// bound to $args (and $_ left intact in the parent scope).
+func (in *Interp) InvokeScriptBlock(sb *ScriptBlockValue, args []any, input []any, sc *scope) ([]any, error) {
+	if in.depth >= in.opts.MaxDepth {
+		return nil, ErrBudget
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	bsc := newScope(sc)
+	bsc.vars["args"] = args
+	if sb.Body != nil && sb.Body.Params != nil {
+		for i, p := range sb.Body.Params.Parameters {
+			var v any
+			if i < len(args) {
+				v = args[i]
+			} else if p.Default != nil {
+				d, err := in.evalExpr(p.Default, bsc)
+				if err != nil {
+					return nil, err
+				}
+				v = d
+			}
+			bsc.vars[normalizeVarName(p.Name)] = v
+		}
+	}
+	if len(input) > 0 {
+		bsc.vars["input"] = input
+	}
+	out, err := in.evalScriptBlockBody(sb.Body, bsc)
+	var fs *flowSignal
+	if errors.As(err, &fs) && (fs.kind == flowReturn || fs.kind == flowExit) {
+		err = nil
+	}
+	return out, err
+}

@@ -1,0 +1,50 @@
+package psinterp
+
+import "testing"
+
+func TestInterpSmoke(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`'he'+'llo'`, "hello"},
+		{`"{2}{0}{1}" -f 'ost h', 'ello', 'write-h'`, "write-host hello"},
+		{`[string][char]39`, "'"},
+		{`[char]72`, "H"},
+		{`$pshome[4]+$pshome[30]+'x'`, "iex"},
+		{`$env:comspec[4,24,25] -join ''`, "Iex"},
+		{`( 'Kanga' -split 'n' ) -join 'X'`, "KaXga"},
+		{`'abcdef'.Substring(2,3)`, "cde"},
+		{`'hello'.ToUpper()`, "HELLO"},
+		{`[convert]::ToInt32('4B',16)`, "75"},
+		{`( '34S56' -split 'S' | foreach-object { [char]([int]$_ - 1) } ) -join ''`, "!7"},
+		{`[Text.Encoding]::Unicode.GetString([Convert]::FromBase64String('aABpAA=='))`, "hi"},
+		{`-join ('olleh'[4..0])`, "hello"},
+		{`('hel'+'lo').replace('l','L')`, "heLLo"},
+		{`"interp $(1+2) ok"`, "interp 3 ok"},
+		{`$a='wor'; $b='ld'; "hello $a$b"`, "hello world"},
+		{`('a','b','c' | sort-object -descending) -join ''`, "cba"},
+		{`[math]::floor(3.7)`, "3"},
+		{`(1..5 | where-object { $_ -gt 3 }) -join ','`, "4,5"},
+		{`[string]::join('-', ('x','y','z'))`, "x-y-z"},
+		{`$s='STATIC'; $s.ToLower()`, "static"},
+		{`iex "'nested'+'!'"`, "nested!"},
+		{`$arr = 99,104,97,105; ($arr | %{ [char]$_ }) -join ''`, "chai"},
+		{`('39S53S46' -split 'S' | % { [char]($_ -bxor '0x4B') }) -join ''`, "l~e"},
+		{`"0x10" + 2`, "0x102"},
+		{`2 + "0x10"`, "18"},
+		{`"{0:X2}" -f 255`, "FF"},
+	}
+	for _, tc := range cases {
+		in := New(Options{})
+		out, err := in.EvalSnippet(tc.src)
+		if err != nil {
+			t.Errorf("EvalSnippet(%q): %v", tc.src, err)
+			continue
+		}
+		got := ToString(Unwrap(out))
+		if got != tc.want {
+			t.Errorf("EvalSnippet(%q) = %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package psinterp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// cmdNewObject implements New-Object for the simulated .NET types used
+// by recovery code and malware loaders.
+func cmdNewObject(in *Interp, args []commandArg, _ []any, _ *scope) ([]any, error) {
+	pos := positionals(args)
+	typeName := ""
+	if v, ok := paramValue(args, "typename"); ok {
+		typeName = ToString(v)
+	} else if len(pos) > 0 {
+		typeName = ToString(pos[0])
+		pos = pos[1:]
+	}
+	if _, ok := paramValue(args, "comobject"); ok {
+		return nil, fmt.Errorf("%w: New-Object -ComObject", ErrUnsupported)
+	}
+	var ctorArgs []any
+	if v, ok := paramValue(args, "argumentlist"); ok {
+		ctorArgs = ToArray(v)
+	} else if len(pos) > 0 {
+		// Positional constructor arguments; a single array argument is
+		// the argument list itself.
+		if len(pos) == 1 {
+			ctorArgs = ToArray(pos[0])
+		} else {
+			ctorArgs = pos
+		}
+	}
+	obj, err := in.constructObject(typeName, ctorArgs)
+	if err != nil {
+		return nil, err
+	}
+	return []any{obj}, nil
+}
+
+// constructObject builds a simulated instance of the named .NET type.
+func (in *Interp) constructObject(typeName string, args []any) (any, error) {
+	t := normalizeTypeName(typeName)
+	switch t {
+	case "net.webclient":
+		return NewObject("System.Net.WebClient"), nil
+	case "net.sockets.tcpclient", "sockets.tcpclient":
+		o := NewObject("System.Net.Sockets.TcpClient")
+		if len(args) >= 2 {
+			port, _ := ToInt(args[1])
+			if err := in.host.TCPConnect(ToString(args[0]), port); err != nil {
+				return nil, err
+			}
+		}
+		return o, nil
+	case "io.memorystream":
+		if len(args) >= 1 {
+			b, err := in.castValue("byte[]", args[0])
+			if err != nil {
+				return nil, err
+			}
+			return newMemoryStream(b.(Bytes)), nil
+		}
+		return newMemoryStream(nil), nil
+	case "io.compression.deflatestream", "io.compression.gzipstream":
+		algorithm := "deflate"
+		name := "System.IO.Compression.DeflateStream"
+		if strings.Contains(t, "gzip") {
+			algorithm = "gzip"
+			name = "System.IO.Compression.GZipStream"
+		}
+		if len(args) < 1 {
+			return nil, fmt.Errorf("%w: %s without stream", ErrUnsupported, name)
+		}
+		stream, ok := args[0].(*Object)
+		if !ok || stream.TypeName != "System.IO.MemoryStream" {
+			return nil, fmt.Errorf("%w: %s on %T", ErrUnsupported, name, args[0])
+		}
+		mode := "decompress"
+		if len(args) >= 2 {
+			mode = strings.ToLower(ToString(args[1]))
+		}
+		o := NewObject(name)
+		data, _ := stream.Data.(Bytes)
+		if mode == "decompress" {
+			plain, err := decompress(algorithm, data, in.opts.MaxStringLen)
+			if err != nil {
+				return nil, err
+			}
+			o.Data = plain
+		} else {
+			packed, err := compress(algorithm, data)
+			if err != nil {
+				return nil, err
+			}
+			o.Data = packed
+		}
+		return o, nil
+	case "io.streamreader":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("%w: StreamReader without stream", ErrUnsupported)
+		}
+		variant := "utf8"
+		if len(args) >= 2 {
+			if enc, ok := args[1].(*Object); ok && enc.TypeName == "System.Text.Encoding" {
+				variant = ToString(enc.Data)
+			}
+		}
+		o := NewObject("System.IO.StreamReader")
+		switch src := args[0].(type) {
+		case *Object:
+			if b, ok := src.Data.(Bytes); ok {
+				o.Data = decodeBytes(variant, b)
+				return o, nil
+			}
+			o.Data = ""
+			return o, nil
+		case string:
+			// StreamReader(path) — no filesystem in the simulation.
+			return nil, fmt.Errorf("%w: StreamReader(path)", ErrUnsupported)
+		}
+		return nil, fmt.Errorf("%w: StreamReader(%T)", ErrUnsupported, args[0])
+	case "random":
+		o := NewObject("System.Random")
+		seed := int64(1)
+		if len(args) >= 1 {
+			if n, err := ToInt(args[0]); err == nil {
+				seed = n
+			}
+		}
+		o.Data = seed
+		return o, nil
+	case "text.utf8encoding":
+		return newEncoding("utf8"), nil
+	case "text.unicodeencoding":
+		return newEncoding("unicode"), nil
+	case "text.asciiencoding":
+		return newEncoding("ascii"), nil
+	case "text.stringbuilder":
+		o := NewObject("System.Text.StringBuilder")
+		o.Data = ""
+		return o, nil
+	case "net.webrequest", "net.httpwebrequest":
+		o := NewObject("System.Net.HttpWebRequest")
+		if len(args) >= 1 {
+			o.Props["requesturi"] = ToString(args[0])
+		}
+		return o, nil
+	case "object":
+		return NewObject("System.Object"), nil
+	case "collections.arraylist":
+		o := NewObject("System.Collections.ArrayList")
+		o.Data = []any{}
+		return o, nil
+	case "security.securestring":
+		return &SecureString{}, nil
+	case "diagnostics.process":
+		return NewObject("System.Diagnostics.Process"), nil
+	case "management.automation.pscredential":
+		return NewObject("System.Management.Automation.PSCredential"), nil
+	case "guid":
+		if len(args) >= 1 {
+			return ToString(args[0]), nil
+		}
+		return "00000000-0000-4000-8000-000000000000", nil
+	}
+	return nil, fmt.Errorf("%w: New-Object %s", ErrUnsupported, typeName)
+}

@@ -1,0 +1,160 @@
+package psinterp
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+)
+
+// DecodeEncodedCommand decodes a -EncodedCommand argument: standard
+// base64 of a UTF-16LE script.
+func DecodeEncodedCommand(b64 string) (string, error) {
+	s := strings.TrimSpace(b64)
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		raw, err = base64.RawStdEncoding.DecodeString(strings.TrimRight(s, "="))
+		if err != nil {
+			return "", fmt.Errorf("psinterp: decode -EncodedCommand: %v", err)
+		}
+	}
+	return decodeBytes("unicode", raw), nil
+}
+
+// IsEncodedCommandParameter reports whether a parameter name selects
+// -EncodedCommand under PowerShell's prefix matching, exactly as the
+// paper describes: '-encodedcommand'.StartsWith($param) (§III-B4).
+func IsEncodedCommandParameter(param string) bool {
+	p := strings.ToLower(strings.TrimPrefix(param, "-"))
+	p = strings.TrimSuffix(p, ":")
+	if p == "" {
+		return false
+	}
+	// -e, -ec, -en, ..., -encodedcommand; but -ep (ExecutionPolicy),
+	// -ex and -exec collide and never mean EncodedCommand.
+	if !strings.HasPrefix("encodedcommand", p) {
+		return false
+	}
+	return true
+}
+
+// IsCommandParameter reports whether a parameter selects -Command.
+func IsCommandParameter(param string) bool {
+	p := strings.ToLower(strings.TrimPrefix(param, "-"))
+	p = strings.TrimSuffix(p, ":")
+	return p != "" && strings.HasPrefix("command", p)
+}
+
+// runPowerShell simulates invoking the powershell/pwsh binary: it
+// records the process launch and, when nested execution is permitted,
+// evaluates the -EncodedCommand/-Command payload in-process.
+func (in *Interp) runPowerShell(args []commandArg, input []any) ([]any, error) {
+	// The spawn is reported to the host for recording; a denial does
+	// not stop in-process evaluation of the payload (the child would
+	// have been another PowerShell anyway).
+	_ = in.host.StartProcess("powershell", argStrings(args))
+	script := ""
+	var trailing []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a.isParam {
+			take := func() string {
+				if a.value != nil {
+					return ToString(a.value)
+				}
+				if i+1 < len(args) && !args[i+1].isParam {
+					i++
+					return ToString(args[i].value)
+				}
+				return ""
+			}
+			switch {
+			case IsEncodedCommandParameter(a.param):
+				enc := take()
+				decoded, err := DecodeEncodedCommand(enc)
+				if err != nil {
+					return nil, err
+				}
+				script = decoded
+			case IsCommandParameter(a.param):
+				script = take()
+			case matchesParam(a.param, "file"):
+				take() // file path: not executable in the simulation
+			default:
+				// Window-style flags (-nop, -w hidden, -sta, -noni, -ep
+				// bypass) and their values are skipped.
+				if paramTakesValue(a.param) {
+					take()
+				}
+			}
+			continue
+		}
+		trailing = append(trailing, ToString(a.value))
+	}
+	if script == "" && len(trailing) > 0 {
+		script = strings.Join(trailing, " ")
+	}
+	if script == "" && len(input) > 0 {
+		script = ToString(Unwrap(input))
+	}
+	if script == "" {
+		return nil, nil
+	}
+	if in.opts.IEXHook != nil {
+		in.opts.IEXHook(script)
+		return nil, nil
+	}
+	if in.opts.EngineScriptHook != nil {
+		in.opts.EngineScriptHook(script)
+	}
+	if in.depth >= in.opts.MaxDepth {
+		return nil, ErrBudget
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	return in.EvalSnippet(script)
+}
+
+// matchesParam applies PowerShell's prefix parameter matching.
+func matchesParam(param, full string) bool {
+	p := strings.ToLower(strings.TrimPrefix(param, "-"))
+	p = strings.TrimSuffix(p, ":")
+	return p != "" && strings.HasPrefix(full, p)
+}
+
+// paramTakesValue reports whether a powershell.exe flag consumes the
+// following argument.
+func paramTakesValue(param string) bool {
+	for _, full := range []string{"windowstyle", "executionpolicy", "version", "psconsolefile", "inputformat", "outputformat"} {
+		if matchesParam(param, full) {
+			return true
+		}
+	}
+	return false
+}
+
+// runCmdExe simulates cmd.exe /c ...: it records the launch and, when
+// the command line re-enters powershell, evaluates that payload.
+func (in *Interp) runCmdExe(args []commandArg) ([]any, error) {
+	line := strings.Join(argStrings(args), " ")
+	_ = in.host.StartProcess("cmd", argStrings(args))
+	lower := strings.ToLower(line)
+	idx := strings.Index(lower, "powershell")
+	if idx < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(line[idx+len("powershell"):])
+	rest = strings.TrimPrefix(rest, ".exe")
+	if strings.TrimSpace(rest) == "" {
+		return nil, nil
+	}
+	if in.depth >= in.opts.MaxDepth {
+		return nil, ErrBudget
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	out, err := in.EvalSnippet("powershell " + rest)
+	if err != nil {
+		return nil, nil //nolint:nilerr // cmd.exe payloads are best-effort
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package psinterp
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/base64"
+	"fmt"
+	"strings"
+)
+
+// SecureString simulation.
+//
+// Real PowerShell's ConvertFrom-SecureString -Key emits the .NET
+// "encrypted standard string": a pipe-delimited structure around an
+// AES-encrypted UTF-16LE payload. The exact container layout is
+// undocumented, so this package defines a compatible-in-spirit format
+// that both our obfuscator and deobfuscator share (see DESIGN.md,
+// substitution #4):
+//
+//	base64( "PSSEC1|" + base64(iv) + "|" + base64(aes-cbc(key, utf16le(plain))) )
+//
+// Keys shorter than 16/24/32 bytes are zero-padded like .NET's
+// Rijndael key handling; without -Key a fixed machine key simulates
+// DPAPI. The recovery path exercised by the paper's SecureString
+// obfuscation (Table II row "SecureString") is therefore end-to-end
+// real: decryption genuinely happens during deobfuscation.
+
+const secureStringMagic = "PSSEC1"
+
+// machineKey simulates DPAPI (per-machine entropy) for the keyless
+// ConvertFrom-SecureString form.
+var machineKey = []byte("invoke-deobfuscation-machine-key")
+
+// normalizeAESKey pads or truncates a key to a legal AES size.
+func normalizeAESKey(key []byte) []byte {
+	size := 16
+	switch {
+	case len(key) > 24:
+		size = 32
+	case len(key) > 16:
+		size = 24
+	}
+	out := make([]byte, size)
+	copy(out, key)
+	return out
+}
+
+// deriveIV deterministically derives an IV from the key and plaintext
+// length, keeping encryption reproducible for tests.
+func deriveIV(key []byte, n int) []byte {
+	iv := make([]byte, aes.BlockSize)
+	for i := range iv {
+		iv[i] = byte(int(key[i%len(key)]) + n*31 + i*17)
+	}
+	return iv
+}
+
+// EncryptSecureString produces the simulated encrypted standard string.
+func EncryptSecureString(plain string, key []byte) (string, error) {
+	if len(key) == 0 {
+		key = machineKey
+	}
+	k := normalizeAESKey(key)
+	block, err := aes.NewCipher(k)
+	if err != nil {
+		return "", fmt.Errorf("psinterp: securestring: %w", err)
+	}
+	payload := []byte(encodeString("unicode", plain))
+	// PKCS#7 padding.
+	pad := aes.BlockSize - len(payload)%aes.BlockSize
+	for i := 0; i < pad; i++ {
+		payload = append(payload, byte(pad))
+	}
+	iv := deriveIV(k, len(plain))
+	ct := make([]byte, len(payload))
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(ct, payload)
+	inner := secureStringMagic + "|" +
+		base64.StdEncoding.EncodeToString(iv) + "|" +
+		base64.StdEncoding.EncodeToString(ct)
+	return base64.StdEncoding.EncodeToString([]byte(inner)), nil
+}
+
+// DecryptSecureString reverses EncryptSecureString.
+func DecryptSecureString(enc string, key []byte) (string, error) {
+	if len(key) == 0 {
+		key = machineKey
+	}
+	raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(enc))
+	if err != nil {
+		return "", fmt.Errorf("psinterp: securestring: bad container: %v", err)
+	}
+	parts := strings.Split(string(raw), "|")
+	if len(parts) != 3 || parts[0] != secureStringMagic {
+		return "", fmt.Errorf("psinterp: securestring: unrecognized format")
+	}
+	iv, err := base64.StdEncoding.DecodeString(parts[1])
+	if err != nil || len(iv) != aes.BlockSize {
+		return "", fmt.Errorf("psinterp: securestring: bad IV")
+	}
+	ct, err := base64.StdEncoding.DecodeString(parts[2])
+	if err != nil || len(ct) == 0 || len(ct)%aes.BlockSize != 0 {
+		return "", fmt.Errorf("psinterp: securestring: bad ciphertext")
+	}
+	block, err := aes.NewCipher(normalizeAESKey(key))
+	if err != nil {
+		return "", fmt.Errorf("psinterp: securestring: %w", err)
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(pt, ct)
+	pad := int(pt[len(pt)-1])
+	if pad <= 0 || pad > aes.BlockSize || pad > len(pt) {
+		return "", fmt.Errorf("psinterp: securestring: bad padding (wrong key?)")
+	}
+	pt = pt[:len(pt)-pad]
+	return decodeBytes("unicode", Bytes(pt)), nil
+}
+
+func cmdConvertToSecureString(in *Interp, args []commandArg, input []any, _ *scope) ([]any, error) {
+	pos := positionals(args)
+	value := ""
+	if v, ok := paramValue(args, "string"); ok {
+		value = ToString(v)
+	} else if len(pos) > 0 {
+		value = ToString(pos[0])
+	} else if len(input) > 0 {
+		value = ToString(Unwrap(input))
+	}
+	if _, plaintext := paramValue(args, "asplaintext"); plaintext {
+		return []any{&SecureString{Plain: value}}, nil
+	}
+	var key []byte
+	if v, ok := paramValue(args, "key"); ok {
+		b, err := in.castValue("byte[]", v)
+		if err != nil {
+			return nil, err
+		}
+		key = []byte(b.(Bytes))
+	}
+	plain, err := DecryptSecureString(value, key)
+	if err != nil {
+		return nil, err
+	}
+	return []any{&SecureString{Plain: plain}}, nil
+}
+
+func cmdConvertFromSecureString(in *Interp, args []commandArg, input []any, _ *scope) ([]any, error) {
+	pos := positionals(args)
+	var ss *SecureString
+	if v, ok := paramValue(args, "securestring"); ok {
+		ss, _ = v.(*SecureString)
+	} else if len(pos) > 0 {
+		ss, _ = pos[0].(*SecureString)
+	} else if len(input) > 0 {
+		ss, _ = Unwrap(input).(*SecureString)
+	}
+	if ss == nil {
+		return nil, fmt.Errorf("psinterp: ConvertFrom-SecureString requires a SecureString")
+	}
+	var key []byte
+	if v, ok := paramValue(args, "key"); ok {
+		b, err := in.castValue("byte[]", v)
+		if err != nil {
+			return nil, err
+		}
+		key = []byte(b.(Bytes))
+	}
+	enc, err := EncryptSecureString(ss.Plain, key)
+	if err != nil {
+		return nil, err
+	}
+	return []any{enc}, nil
+}

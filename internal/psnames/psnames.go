@@ -1,0 +1,268 @@
+// Package psnames holds the shared PowerShell name tables: alias →
+// cmdlet mappings and canonical cmdlet casing. The token-parsing phase
+// of the deobfuscator uses them to expand aliases and normalize random
+// case (paper §III-A); the interpreter uses them to resolve command
+// invocations.
+package psnames
+
+import "strings"
+
+// aliases maps lower-cased aliases to their canonical cmdlet names.
+var aliases = map[string]string{
+	"iex":     "Invoke-Expression",
+	"icm":     "Invoke-Command",
+	"iwr":     "Invoke-WebRequest",
+	"curl":    "Invoke-WebRequest",
+	"wget":    "Invoke-WebRequest",
+	"irm":     "Invoke-RestMethod",
+	"ii":      "Invoke-Item",
+	"gal":     "Get-Alias",
+	"sal":     "Set-Alias",
+	"nal":     "New-Alias",
+	"gcm":     "Get-Command",
+	"gci":     "Get-ChildItem",
+	"ls":      "Get-ChildItem",
+	"dir":     "Get-ChildItem",
+	"gc":      "Get-Content",
+	"cat":     "Get-Content",
+	"type":    "Get-Content",
+	"sc":      "Set-Content",
+	"ac":      "Add-Content",
+	"gi":      "Get-Item",
+	"si":      "Set-Item",
+	"ni":      "New-Item",
+	"ri":      "Remove-Item",
+	"rm":      "Remove-Item",
+	"rmdir":   "Remove-Item",
+	"del":     "Remove-Item",
+	"erase":   "Remove-Item",
+	"rd":      "Remove-Item",
+	"cpi":     "Copy-Item",
+	"cp":      "Copy-Item",
+	"copy":    "Copy-Item",
+	"mi":      "Move-Item",
+	"mv":      "Move-Item",
+	"move":    "Move-Item",
+	"rni":     "Rename-Item",
+	"ren":     "Rename-Item",
+	"gl":      "Get-Location",
+	"pwd":     "Get-Location",
+	"sl":      "Set-Location",
+	"cd":      "Set-Location",
+	"chdir":   "Set-Location",
+	"gv":      "Get-Variable",
+	"sv":      "Set-Variable",
+	"set":     "Set-Variable",
+	"nv":      "New-Variable",
+	"rv":      "Remove-Variable",
+	"clv":     "Clear-Variable",
+	"gm":      "Get-Member",
+	"gps":     "Get-Process",
+	"ps":      "Get-Process",
+	"spps":    "Stop-Process",
+	"kill":    "Stop-Process",
+	"saps":    "Start-Process",
+	"start":   "Start-Process",
+	"sleep":   "Start-Sleep",
+	"gsv":     "Get-Service",
+	"sasv":    "Start-Service",
+	"spsv":    "Stop-Service",
+	"echo":    "Write-Output",
+	"write":   "Write-Output",
+	"cls":     "Clear-Host",
+	"clear":   "Clear-Host",
+	"select":  "Select-Object",
+	"where":   "Where-Object",
+	"?":       "Where-Object",
+	"foreach": "ForEach-Object",
+	"%":       "ForEach-Object",
+	"sort":    "Sort-Object",
+	"group":   "Group-Object",
+	"measure": "Measure-Object",
+	"compare": "Compare-Object",
+	"diff":    "Compare-Object",
+	"tee":     "Tee-Object",
+	"ft":      "Format-Table",
+	"fl":      "Format-List",
+	"fw":      "Format-Wide",
+	"oh":      "Out-Host",
+	"sls":     "Select-String",
+	"ipmo":    "Import-Module",
+	"gmo":     "Get-Module",
+	"rmo":     "Remove-Module",
+	"gu":      "Get-Unique",
+	"gh":      "Get-Help",
+	"man":     "Get-Help",
+	"history": "Get-History",
+	"h":       "Get-History",
+	"ghy":     "Get-History",
+	"pushd":   "Push-Location",
+	"popd":    "Pop-Location",
+	"sbp":     "Set-PSBreakpoint",
+	"sp":      "Set-ItemProperty",
+	"gp":      "Get-ItemProperty",
+	"rp":      "Remove-ItemProperty",
+	"epal":    "Export-Alias",
+	"ipal":    "Import-Alias",
+	"asnp":    "Add-PSSnapin",
+	"gsnp":    "Get-PSSnapin",
+	"gjb":     "Get-Job",
+	"sajb":    "Start-Job",
+	"rcjb":    "Receive-Job",
+	"wjb":     "Wait-Job",
+	"nsn":     "New-PSSession",
+	"gsn":     "Get-PSSession",
+	"etsn":    "Enter-PSSession",
+	"exsn":    "Exit-PSSession",
+}
+
+// canonical maps lower-cased cmdlet names to their canonical casing.
+var canonical = map[string]string{}
+
+// knownCmdlets is the canonical-case list used to build the canonical
+// map and to answer Get-Command wildcard queries.
+var knownCmdlets = []string{
+	"Invoke-Expression", "Invoke-Command", "Invoke-WebRequest",
+	"Invoke-RestMethod", "Invoke-Item", "Get-Alias", "Set-Alias",
+	"New-Alias", "Get-Command", "Get-ChildItem", "Get-Content",
+	"Set-Content", "Add-Content", "Get-Item", "Set-Item", "New-Item",
+	"Remove-Item", "Copy-Item", "Move-Item", "Rename-Item",
+	"Get-Location", "Set-Location", "Get-Variable", "Set-Variable",
+	"New-Variable", "Remove-Variable", "Clear-Variable", "Get-Member",
+	"Get-Process", "Stop-Process", "Start-Process", "Start-Sleep",
+	"Get-Service", "Start-Service", "Stop-Service", "Write-Output",
+	"Write-Host", "Write-Error", "Write-Warning", "Write-Verbose",
+	"Write-Debug", "Clear-Host", "Select-Object", "Where-Object",
+	"ForEach-Object", "Sort-Object", "Group-Object", "Measure-Object",
+	"Compare-Object", "Tee-Object", "Format-Table", "Format-List",
+	"Format-Wide", "Out-Null", "Out-String", "Out-File", "Out-Host",
+	"Out-Default", "Select-String", "Import-Module", "Get-Module",
+	"Remove-Module", "New-Object", "Get-Date", "Get-Random",
+	"Start-BitsTransfer", "ConvertTo-SecureString",
+	"ConvertFrom-SecureString", "ConvertTo-Json", "ConvertFrom-Json",
+	"Split-Path", "Join-Path", "Test-Path", "Resolve-Path",
+	"Read-Host", "Add-Type", "Set-ExecutionPolicy", "Get-ExecutionPolicy",
+	"Restart-Computer", "Stop-Computer", "Get-WmiObject",
+	"Get-CimInstance", "Register-ScheduledTask", "New-ScheduledTaskAction",
+	"Get-ItemProperty", "Set-ItemProperty", "Remove-ItemProperty",
+	"New-ItemProperty", "Push-Location", "Pop-Location",
+	"Get-Host", "Get-Culture", "Get-Credential", "Export-Csv",
+	"Import-Csv", "Get-Clipboard", "Set-Clipboard", "Get-Unique",
+	"Start-Job", "Get-Job", "Receive-Job", "Wait-Job", "Remove-Job",
+	"Unblock-File", "Get-FileHash", "Expand-Archive", "Compress-Archive",
+}
+
+func init() {
+	for _, name := range knownCmdlets {
+		canonical[strings.ToLower(name)] = name
+	}
+}
+
+// ResolveAlias returns the canonical cmdlet for an alias, or "" when the
+// name is not an alias.
+func ResolveAlias(name string) string {
+	return aliases[strings.ToLower(name)]
+}
+
+// IsAlias reports whether name is a known alias.
+func IsAlias(name string) bool {
+	_, ok := aliases[strings.ToLower(name)]
+	return ok
+}
+
+// CanonicalCmdlet returns the canonical casing of a known cmdlet and
+// whether it is known.
+func CanonicalCmdlet(name string) (string, bool) {
+	c, ok := canonical[strings.ToLower(name)]
+	return c, ok
+}
+
+// knownExecutables are single-word external commands whose canonical
+// presentation is lower case.
+var knownExecutables = map[string]bool{
+	"powershell": true, "pwsh": true, "cmd": true, "wscript": true,
+	"cscript": true, "mshta": true, "rundll32": true, "regsvr32": true,
+	"certutil": true, "bitsadmin": true, "schtasks": true, "whoami": true,
+	"ping": true, "ipconfig": true, "systeminfo": true, "tasklist": true,
+	"net": true, "netsh": true, "reg": true, "sc": true, "attrib": true,
+	"msbuild": true, "installutil": true, "curl": true, "wget": true,
+}
+
+// CanonicalCommandCase returns the canonical presentation of a command
+// name: known cmdlets get their exact casing, known executables are
+// lower-cased, unknown verb-noun names get Verb-Noun capitalization,
+// anything else is returned unchanged.
+func CanonicalCommandCase(name string) string {
+	if c, ok := CanonicalCmdlet(name); ok {
+		return c
+	}
+	lower := strings.ToLower(name)
+	base := strings.TrimSuffix(lower, ".exe")
+	if knownExecutables[base] {
+		return lower
+	}
+	if i := strings.IndexByte(name, '-'); i > 0 && i < len(name)-1 {
+		verb, noun := name[:i], name[i+1:]
+		if isAlphaWord(verb) && isAlphaWord(noun) {
+			return capitalize(verb) + "-" + capitalize(noun)
+		}
+	}
+	return name
+}
+
+// KnownCmdlets returns all canonical cmdlet names (for Get-Command
+// wildcard queries).
+func KnownCmdlets() []string {
+	return append([]string(nil), knownCmdlets...)
+}
+
+// Aliases returns a copy of the alias table.
+func Aliases() map[string]string {
+	out := make(map[string]string, len(aliases))
+	for k, v := range aliases {
+		if v != "" {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func isAlphaWord(s string) bool {
+	for _, r := range s {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + strings.ToLower(s[1:])
+}
+
+// DefaultBlocklist returns the paper's irrelevant-command blocklist:
+// commands whose execution cannot contribute to recovering obfuscated
+// strings and would only slow down or endanger deobfuscation (§III-B2).
+func DefaultBlocklist() map[string]bool {
+	list := []string{
+		"restart-computer", "stop-computer", "start-sleep", "sleep",
+		"restart-service", "stop-service", "stop-process", "kill",
+		"remove-item", "clear-recyclebin", "set-executionpolicy",
+		"invoke-webrequest", "invoke-restmethod", "start-bitstransfer",
+		"start-process", "start-job", "invoke-wmimethod",
+		"new-service", "set-service", "register-scheduledtask",
+		"new-scheduledtaskaction", "shutdown", "logoff",
+		"clear-eventlog", "remove-computer", "rundll32", "regsvr32",
+		"schtasks", "bitsadmin", "certutil", "wmic", "net", "netsh",
+		"attrib", "taskkill", "vssadmin", "bcdedit", "cipher",
+		"read-host", "get-credential", "send-mailmessage",
+	}
+	out := make(map[string]bool, len(list))
+	for _, name := range list {
+		out[name] = true
+	}
+	return out
+}

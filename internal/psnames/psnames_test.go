@@ -1,0 +1,74 @@
+package psnames
+
+import "testing"
+
+func TestResolveAlias(t *testing.T) {
+	tests := map[string]string{
+		"iex":     "Invoke-Expression",
+		"IEX":     "Invoke-Expression",
+		"%":       "ForEach-Object",
+		"?":       "Where-Object",
+		"wget":    "Invoke-WebRequest",
+		"sleep":   "Start-Sleep",
+		"unknown": "",
+	}
+	for in, want := range tests {
+		if got := ResolveAlias(in); got != want {
+			t.Errorf("ResolveAlias(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if !IsAlias("gci") || IsAlias("not-an-alias") {
+		t.Error("IsAlias broken")
+	}
+}
+
+func TestCanonicalCommandCase(t *testing.T) {
+	tests := map[string]string{
+		"write-host":        "Write-Host",
+		"WRITE-HOST":        "Write-Host",
+		"new-object":        "New-Object",
+		"invoke-expression": "Invoke-Expression",
+		"pOwErShElL":        "powershell",
+		"POWERSHELL.EXE":    "powershell.exe",
+		"get-customthing":   "Get-Customthing", // unknown verb-noun
+		"weird_name":        "weird_name",      // untouched
+		"7z":                "7z",
+	}
+	for in, want := range tests {
+		if got := CanonicalCommandCase(in); got != want {
+			t.Errorf("CanonicalCommandCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCanonicalCmdlet(t *testing.T) {
+	if c, ok := CanonicalCmdlet("FOREACH-OBJECT"); !ok || c != "ForEach-Object" {
+		t.Errorf("CanonicalCmdlet = %q, %v", c, ok)
+	}
+	if _, ok := CanonicalCmdlet("no-such"); ok {
+		t.Error("unknown cmdlet reported known")
+	}
+}
+
+func TestDefaultBlocklist(t *testing.T) {
+	bl := DefaultBlocklist()
+	for _, name := range []string{"restart-computer", "start-sleep", "invoke-webrequest", "start-process"} {
+		if !bl[name] {
+			t.Errorf("blocklist missing %q", name)
+		}
+	}
+	// Pure transformations must not be blocked.
+	for _, name := range []string{"foreach-object", "write-output", "convertto-securestring"} {
+		if bl[name] {
+			t.Errorf("blocklist wrongly contains %q", name)
+		}
+	}
+}
+
+func TestAliasesCopy(t *testing.T) {
+	m := Aliases()
+	m["iex"] = "Tampered"
+	if ResolveAlias("iex") != "Invoke-Expression" {
+		t.Error("Aliases() exposed internal map")
+	}
+}

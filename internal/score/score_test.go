@@ -1,0 +1,144 @@
+package score
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/obfuscate"
+)
+
+func TestDetectPerTechnique(t *testing.T) {
+	// Each obfuscation technique must trip its corresponding detector.
+	cases := []struct {
+		tech obfuscate.Technique
+		want string
+	}{
+		{obfuscate.Ticking, TechTicking},
+		{obfuscate.RandomCase, TechRandomCase},
+		{obfuscate.RandomName, TechRandomName},
+		{obfuscate.Alias, TechAlias},
+		{obfuscate.Concat, TechConcat},
+		{obfuscate.Reorder, TechReorder},
+		{obfuscate.Replace, TechReplace},
+		{obfuscate.Reverse, TechReverse},
+		{obfuscate.EncodeASCII, TechNumericEnc},
+		{obfuscate.EncodeHex, TechNumericEnc},
+		{obfuscate.EncodeBase64, TechBase64},
+		{obfuscate.EncodeBxor, TechBxor},
+		{obfuscate.SecureString, TechSecureString},
+		{obfuscate.CompressDeflate, TechCompress},
+		{obfuscate.CompressGzip, TechCompress},
+		{obfuscate.EncodeWhitespace, TechWhitespace},
+	}
+	for _, tc := range cases {
+		script := "write-host hello"
+		switch tc.tech {
+		case obfuscate.RandomName:
+			script = "$msg = 'hello'\nwrite-host $msg"
+		case obfuscate.Alias:
+			script = "write-output hello | foreach-object { $_ }"
+		}
+		obfuscated := ""
+		found := false
+		for seed := int64(1); seed <= 6; seed++ {
+			o := obfuscate.New(seed)
+			out, err := o.Apply(script, tc.tech)
+			if err != nil {
+				continue
+			}
+			obfuscated = out
+			if Analyze(out).Has(tc.want) {
+				found = true
+				break
+			}
+		}
+		if obfuscated == "" {
+			t.Errorf("%s: not applicable", tc.tech)
+			continue
+		}
+		if !found {
+			t.Errorf("%s: detection %q missing.\nscript: %s\ndetections: %+v",
+				tc.tech, tc.want, obfuscated, Analyze(obfuscated).Detections)
+		}
+	}
+}
+
+func TestCleanScriptScoresLow(t *testing.T) {
+	clean := []string{
+		"Write-Host hello",
+		"Get-ChildItem C:\\temp | Sort-Object Name",
+		"$total = 0\nforeach ($n in 1..10) { $total += $n }\nWrite-Output $total",
+	}
+	for _, src := range clean {
+		if got := Score(src); got > 1 {
+			t.Errorf("Score(%q) = %d, want <= 1 (%+v)", src, got, Analyze(src).Detections)
+		}
+	}
+}
+
+func TestScoreLevels(t *testing.T) {
+	if Level(TechTicking) != 1 || Level(TechConcat) != 2 || Level(TechBase64) != 3 {
+		t.Error("level mapping broken")
+	}
+	// Scoring counts each distinct technique once, weighted by level.
+	src := "iex ('a'+'b'+'c'+'d')" // alias (L1) + concat (L2)
+	rep := Analyze(src)
+	if !rep.Has(TechAlias) || !rep.Has(TechConcat) {
+		t.Fatalf("detections: %+v", rep.Detections)
+	}
+	if rep.Score != 3 {
+		t.Errorf("score = %d, want 3", rep.Score)
+	}
+}
+
+func TestWeirdCase(t *testing.T) {
+	yes := []string{"DoWNlOaDsTrIng", "IeX", "nEw-oBjEcT", "fOrEAch-ObJECt"}
+	no := []string{"DownloadString", "Invoke-Expression", "writeline", "HELLO", "New-Object"}
+	for _, s := range yes {
+		if !weirdCase(s) {
+			t.Errorf("weirdCase(%q) = false", s)
+		}
+	}
+	for _, s := range no {
+		if weirdCase(s) {
+			t.Errorf("weirdCase(%q) = true", s)
+		}
+	}
+}
+
+func TestDetectionOnInvalidSyntax(t *testing.T) {
+	// Regex detectors still work when the script does not parse.
+	src := "iex ([Convert]::FromBase64String('" + strings.Repeat("QUFB", 20) + "' ..broken"
+	rep := Analyze(src)
+	if !rep.Has(TechBase64) {
+		t.Errorf("base64 missed on unparseable input: %+v", rep.Detections)
+	}
+}
+
+func TestMaskStringsPreventsDataFalsePositives(t *testing.T) {
+	// Whitespacing must not fire when the only long blanks are inside a
+	// string literal.
+	src := "write-host 'padded      data'"
+	if Analyze(src).Has(TechWhitespacing) {
+		t.Error("whitespacing fired on string contents")
+	}
+	src2 := "write-host      hello"
+	if !Analyze(src2).Has(TechWhitespacing) {
+		t.Error("whitespacing missed in code")
+	}
+}
+
+func TestDeobfuscationReducesScore(t *testing.T) {
+	// Table V's core premise at unit scale.
+	o := obfuscate.New(5)
+	obf, err := o.Apply("write-host hello", obfuscate.EncodeBxor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Score(obf) == 0 {
+		t.Fatalf("obfuscated sample scored 0: %s", obf)
+	}
+	if Score("Write-Host hello") >= Score(obf) {
+		t.Errorf("clean score %d >= obfuscated score %d", Score("Write-Host hello"), Score(obf))
+	}
+}

@@ -1,0 +1,293 @@
+// Package invokedeob is a Go implementation of Invoke-Deobfuscation,
+// the AST-based and semantics-preserving deobfuscator for PowerShell
+// scripts (Chai et al., DSN 2022), together with the full toolchain the
+// paper's evaluation requires: a PowerShell tokenizer/parser/AST, a
+// bounded interpreter, an Invoke-Obfuscation-style obfuscator, an
+// obfuscation-technique detector and scorer, IOC extraction, and a
+// behavioural sandbox.
+//
+// The deobfuscator runs three phases:
+//
+//  1. Token parsing — lexical recovery of ticking, random case,
+//     aliases and random whitespace.
+//  2. Recovery based on AST — recoverable AST nodes are evaluated
+//     under variable tracing and replaced in place; multi-layer
+//     Invoke-Expression / powershell -EncodedCommand wrappers are
+//     unwrapped to a fixpoint.
+//  3. Rename and reformat — statistically random identifiers become
+//     var{N}/func{N} and whitespace is normalized.
+//
+// Quick start:
+//
+//	res, err := invokedeob.Deobfuscate(script, nil)
+//	if err != nil { ... }
+//	fmt.Println(res.Script)
+package invokedeob
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
+	"github.com/invoke-deobfuscation/invokedeob/internal/keyinfo"
+	"github.com/invoke-deobfuscation/invokedeob/internal/obfuscate"
+	"github.com/invoke-deobfuscation/invokedeob/internal/sandbox"
+	"github.com/invoke-deobfuscation/invokedeob/internal/score"
+)
+
+// Options configures deobfuscation. The zero value (or nil) selects the
+// paper's defaults: all phases on, ten fixpoint iterations, the
+// built-in command blocklist.
+type Options struct {
+	// MaxIterations bounds the multi-layer fixpoint loop (default 10).
+	MaxIterations int
+	// StepBudget bounds interpreter work per recoverable piece
+	// (default 500k).
+	StepBudget int
+	// DisableTokenPhase turns off phase 1.
+	DisableTokenPhase bool
+	// DisableASTPhase turns off phase 2.
+	DisableASTPhase bool
+	// DisableVariableTracing turns off the symbol table, reducing
+	// recovery to context-free direct execution.
+	DisableVariableTracing bool
+	// DisableRename turns off identifier renaming.
+	DisableRename bool
+	// DisableReformat turns off whitespace normalization.
+	DisableReformat bool
+	// Blocklist overrides the irrelevant-command blocklist (lower-cased
+	// command names).
+	Blocklist map[string]bool
+	// FunctionTracing enables the extension beyond the paper (§V-C
+	// future work): recovery through pure user-defined decoder
+	// functions. Off by default.
+	FunctionTracing bool
+}
+
+func (o *Options) toCore() core.Options {
+	if o == nil {
+		return core.Options{}
+	}
+	return core.Options{
+		MaxIterations:          o.MaxIterations,
+		StepBudget:             o.StepBudget,
+		DisableTokenPhase:      o.DisableTokenPhase,
+		DisableASTPhase:        o.DisableASTPhase,
+		DisableVariableTracing: o.DisableVariableTracing,
+		DisableRename:          o.DisableRename,
+		DisableReformat:        o.DisableReformat,
+		Blocklist:              o.Blocklist,
+		FunctionTracing:        o.FunctionTracing,
+	}
+}
+
+// Stats describes the work one deobfuscation performed.
+type Stats struct {
+	TokensNormalized   int
+	PiecesAttempted    int
+	PiecesRecovered    int
+	VariablesTraced    int
+	VariablesInlined   int
+	LayersUnwrapped    int
+	IdentifiersRenamed int
+	Iterations         int
+	Duration           time.Duration
+}
+
+// Result is the outcome of a deobfuscation.
+type Result struct {
+	// Script is the deobfuscated script.
+	Script string
+	// Layers holds the intermediate script after each fixpoint round.
+	Layers []string
+	// Stats summarizes the work performed.
+	Stats Stats
+}
+
+// ErrInvalidSyntax reports that the input does not parse as PowerShell.
+var ErrInvalidSyntax = core.ErrInvalidSyntax
+
+// Deobfuscate runs the full three-phase pipeline on a script. A nil
+// opts selects the defaults.
+func Deobfuscate(script string, opts *Options) (*Result, error) {
+	res, err := core.New(opts.toCore()).Deobfuscate(script)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Script: res.Script,
+		Layers: append([]string(nil), res.Layers...),
+		Stats: Stats{
+			TokensNormalized:   res.Stats.TokensNormalized,
+			PiecesAttempted:    res.Stats.PiecesAttempted,
+			PiecesRecovered:    res.Stats.PiecesRecovered,
+			VariablesTraced:    res.Stats.VariablesTraced,
+			VariablesInlined:   res.Stats.VariablesInlined,
+			LayersUnwrapped:    res.Stats.LayersUnwrapped,
+			IdentifiersRenamed: res.Stats.IdentifiersRenamed,
+			Iterations:         res.Stats.Iterations,
+			Duration:           res.Stats.Duration,
+		},
+	}, nil
+}
+
+// ValidSyntax reports whether the script parses as PowerShell.
+func ValidSyntax(script string) bool {
+	return corpus.ValidSyntax(script)
+}
+
+// Detection reports one identified obfuscation technique.
+type Detection struct {
+	// Technique is the technique name (Table II rows, e.g. "ticking").
+	Technique string
+	// Level is the paper's obfuscation level (1, 2 or 3).
+	Level int
+	// Count is the number of occurrences observed.
+	Count int
+}
+
+// AnalyzeObfuscation detects known obfuscation techniques (paper
+// §IV-B2). The returned detections are sorted by level then name.
+func AnalyzeObfuscation(script string) []Detection {
+	rep := score.Analyze(script)
+	out := make([]Detection, 0, len(rep.Detections))
+	for _, d := range rep.Detections {
+		out = append(out, Detection{Technique: d.Technique, Level: d.Level, Count: d.Count})
+	}
+	return out
+}
+
+// ObfuscationScore quantifies a script's obfuscation: the sum of levels
+// over distinct detected techniques.
+func ObfuscationScore(script string) int {
+	return score.Score(script)
+}
+
+// Obfuscate applies one obfuscation technique (see Techniques) with a
+// deterministic seed. It fails rather than emit invalid syntax.
+func Obfuscate(script, technique string, seed int64) (string, error) {
+	o := obfuscate.New(seed)
+	out, err := o.Apply(script, obfuscate.Technique(technique))
+	if err != nil {
+		return "", fmt.Errorf("invokedeob: %w", err)
+	}
+	return out, nil
+}
+
+// ObfuscateStack applies several techniques in order, skipping any that
+// do not apply to the script, and returns the result with the applied
+// technique names.
+func ObfuscateStack(script string, techniques []string, seed int64) (string, []string, error) {
+	ts := make([]obfuscate.Technique, len(techniques))
+	for i, t := range techniques {
+		ts[i] = obfuscate.Technique(t)
+	}
+	out, applied, err := obfuscate.New(seed).ApplyStack(script, ts)
+	if err != nil {
+		return "", nil, fmt.Errorf("invokedeob: %w", err)
+	}
+	names := make([]string, len(applied))
+	for i, t := range applied {
+		names[i] = string(t)
+	}
+	return out, names, nil
+}
+
+// Techniques lists the implemented obfuscation techniques in Table II
+// order.
+func Techniques() []string {
+	all := obfuscate.All()
+	out := make([]string, len(all))
+	for i, t := range all {
+		out[i] = string(t)
+	}
+	return out
+}
+
+// TechniqueLevel returns the paper's level (1, 2 or 3) for a technique
+// name, or 0 if unknown.
+func TechniqueLevel(technique string) int {
+	for _, t := range obfuscate.All() {
+		if string(t) == technique {
+			return obfuscate.Level(t)
+		}
+	}
+	return 0
+}
+
+// IOCs is the key information extracted from a script (paper Fig. 5).
+type IOCs struct {
+	Ps1Files           []string
+	PowerShellCommands []string
+	URLs               []string
+	IPs                []string
+}
+
+// Count returns the total number of extracted items.
+func (i *IOCs) Count() int {
+	return len(i.Ps1Files) + len(i.PowerShellCommands) + len(i.URLs) + len(i.IPs)
+}
+
+// ExtractIOCs pulls the paper's four kinds of key information out of a
+// script: .ps1 paths, powershell command lines, URLs and IPs.
+func ExtractIOCs(script string) *IOCs {
+	info := keyinfo.Extract(script)
+	return &IOCs{
+		Ps1Files:           info.Ps1,
+		PowerShellCommands: info.PowerShell,
+		URLs:               info.URLs,
+		IPs:                info.IPs,
+	}
+}
+
+// Event is one behaviour recorded by the sandbox.
+type Event struct {
+	// Kind is the behaviour class: dns-query, tcp-connect, http-get,
+	// download-file, process-start, file-write, file-delete, sleep.
+	Kind string
+	// Detail is the behaviour target.
+	Detail string
+}
+
+// SandboxReport is the outcome of executing a script in the bounded
+// behavioural sandbox.
+type SandboxReport struct {
+	// Events are the recorded behaviours in order.
+	Events []Event
+	// Console is the captured Write-Host output.
+	Console string
+	// Err records an interpretation failure, if any (behaviour before
+	// the failure is still reported).
+	Err error
+}
+
+// NetworkEvents returns the deduplicated DNS/TCP event set, the basis
+// of the paper's behavioural-consistency comparison.
+func (r *SandboxReport) NetworkEvents() []string {
+	b := make(sandbox.Behavior, len(r.Events))
+	for i, e := range r.Events {
+		b[i] = sandbox.Event{Kind: sandbox.EventKind(e.Kind), Detail: e.Detail}
+	}
+	return b.NetworkSet()
+}
+
+// RunSandbox executes a script with simulated side effects and records
+// its behaviour.
+func RunSandbox(script string) *SandboxReport {
+	res := sandbox.Run(script, sandbox.Options{})
+	rep := &SandboxReport{Console: res.Console, Err: res.Err}
+	for _, e := range res.Behavior {
+		rep.Events = append(rep.Events, Event{Kind: string(e.Kind), Detail: e.Detail})
+	}
+	return rep
+}
+
+// BehaviorConsistent reports whether two scripts produce identical
+// network behaviour in the sandbox — the paper's semantic-consistency
+// proxy (Table IV).
+func BehaviorConsistent(scriptA, scriptB string) bool {
+	a := sandbox.Run(scriptA, sandbox.Options{})
+	b := sandbox.Run(scriptB, sandbox.Options{})
+	return sandbox.Consistent(a.Behavior, b.Behavior)
+}
