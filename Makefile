@@ -1,0 +1,38 @@
+# Tier-1 gate: `make check` is the bar every change must clear.
+# It chains vet, build, the full test suite under the race detector,
+# and a short native-fuzz smoke over the hardened entry points.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all check vet build test race fuzz-smoke clean
+
+all: check
+
+# check is the tier-1 gate.
+check: vet build race fuzz-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# test is the plain (non-race) suite, kept for quick iteration.
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz-smoke gives each native fuzz target a short budget. Any panic or
+# envelope violation found within the budget fails the gate.
+fuzz-smoke:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzDeobfuscate$$ -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzDeobfuscateEnvelope -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/psinterp -run '^$$' -fuzz FuzzEvalSnippet -fuzztime $(FUZZTIME)
+
+clean:
+	$(GO) clean -testcache

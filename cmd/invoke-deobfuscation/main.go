@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		noTrace    = fs.Bool("no-trace", false, "disable variable tracing (ablation)")
 		iterations = fs.Int("max-iterations", 0, "fixpoint iteration cap (0 = default)")
 		iocs       = fs.Bool("iocs", false, "also print extracted IOCs to stderr")
+		timeout    = fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none), e.g. 30s")
+		maxOutput  = fs.Int("max-output", 0, "total output byte cap across unwrapped layers (0 = 64 MiB default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,30 +51,62 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		DisableReformat:        *noReformat,
 		DisableVariableTracing: *noTrace,
 		MaxIterations:          *iterations,
+		MaxOutputBytes:         *maxOutput,
 	}
-	res, err := invokedeob.Deobfuscate(script, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := invokedeob.DeobfuscateContext(ctx, script, opts)
 	if err != nil {
+		// Envelope violations exit non-zero with the taxonomy name so
+		// batch pipelines can triage failures mechanically. When a
+		// partial result survived the interruption, emit it first: the
+		// partial output is usually the payload of the outermost layers
+		// and is exactly what operators are told to accept (README
+		// "accept the partial layer"). The non-zero exit still signals
+		// the violation.
+		if name := invokedeob.ErrorName(err); name != "" {
+			if res != nil {
+				emitResult(stdout, stderr, res, *showLayers, *showStats)
+			}
+			return fmt.Errorf("%s: %w", name, err)
+		}
 		return err
 	}
-	if *showLayers {
+	emitResult(stdout, stderr, res, *showLayers, *showStats)
+	if *iocs {
+		printIOCs(stderr, invokedeob.ExtractIOCs(res.Script))
+	}
+	return nil
+}
+
+// emitResult prints the recovered script (and optional layers/stats)
+// for both complete runs and partial results after an envelope
+// violation.
+func emitResult(stdout, stderr io.Writer, res *invokedeob.Result, showLayers, showStats bool) {
+	if showLayers {
 		for i, layer := range res.Layers {
 			fmt.Fprintf(stdout, "----- layer %d -----\n%s\n", i+1, layer)
 		}
 		fmt.Fprintln(stdout, "----- final -----")
 	}
 	fmt.Fprintln(stdout, res.Script)
-	if *showStats {
+	if showStats {
 		s := res.Stats
 		fmt.Fprintf(stderr,
 			"tokens=%d pieces=%d/%d vars traced=%d inlined=%d layers=%d renamed=%d iterations=%d time=%s\n",
 			s.TokensNormalized, s.PiecesRecovered, s.PiecesAttempted,
 			s.VariablesTraced, s.VariablesInlined, s.LayersUnwrapped,
 			s.IdentifiersRenamed, s.Iterations, s.Duration)
+		if s.PiecesTimedOut+s.PiecesPanicked+s.PiecesOverBudget > 0 || s.TimedOut {
+			fmt.Fprintf(stderr,
+				"envelope: timed-out-pieces=%d panicked=%d over-budget=%d run-interrupted=%t\n",
+				s.PiecesTimedOut, s.PiecesPanicked, s.PiecesOverBudget, s.TimedOut)
+		}
 	}
-	if *iocs {
-		printIOCs(stderr, invokedeob.ExtractIOCs(res.Script))
-	}
-	return nil
 }
 
 func readInput(args []string, stdin io.Reader) (string, error) {

@@ -59,6 +59,30 @@ func TestRunLayers(t *testing.T) {
 	}
 }
 
+// TestRunPartialOutputOnEnvelopeViolation asserts that when the
+// envelope is violated mid-run the CLI still prints the best recovered
+// layer to stdout (the operator guidance: "accept the partial layer")
+// while exiting non-zero with the taxonomy name.
+func TestRunPartialOutputOnEnvelopeViolation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// -max-output 1: the alias expansion grows the layer by ~10 bytes,
+	// deterministically tripping ErrOutputBudget.
+	err := run([]string{"-max-output", "1", "-stats"},
+		strings.NewReader("gci ."), &stdout, &stderr)
+	if err == nil {
+		t.Fatal("want an envelope error")
+	}
+	if !strings.Contains(err.Error(), "ErrOutputBudget") {
+		t.Errorf("error missing taxonomy name: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "gci .") {
+		t.Errorf("partial result not emitted: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "run-interrupted=true") {
+		t.Errorf("stats missing interruption flag: %q", stderr.String())
+	}
+}
+
 func TestRunInvalidInput(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run(nil, strings.NewReader("while ("), &stdout, &stderr); err == nil {

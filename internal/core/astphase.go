@@ -34,6 +34,7 @@ type astState struct {
 	src     string
 	stats   *Stats
 	depth   int
+	env     *envelope
 	repl    map[psast.Node]string
 	vars    map[string]varEntry
 	scopeID int
@@ -42,8 +43,9 @@ type astState struct {
 	safeFuncs map[string]*psast.FunctionDefinition
 }
 
-// astPhase runs recovery based on AST over one script layer.
-func (d *Deobfuscator) astPhase(src string, stats *Stats, depth int) string {
+// astPhase runs recovery based on AST over one script layer under the
+// run's execution envelope.
+func (d *Deobfuscator) astPhase(src string, stats *Stats, depth int, env *envelope) string {
 	root, err := psparser.Parse(src)
 	if err != nil {
 		return src
@@ -53,6 +55,7 @@ func (d *Deobfuscator) astPhase(src string, stats *Stats, depth int) string {
 		src:       src,
 		stats:     stats,
 		depth:     depth,
+		env:       env,
 		repl:      make(map[psast.Node]string),
 		vars:      make(map[string]varEntry),
 		safeFuncs: make(map[string]*psast.FunctionDefinition),
@@ -219,8 +222,13 @@ func (s *astState) visit(n psast.Node, ctx visitCtx) {
 
 // process applies Algorithm 1's per-node actions after the children are
 // done: variable inlining, recoverable-piece recovery and multi-layer
-// unwrapping.
+// unwrapping. Once the envelope is violated all remaining per-node work
+// is skipped, so the traversal winds down in O(nodes) instead of the
+// O(nodes x subtree) cost of safety analysis and recovery.
 func (s *astState) process(n psast.Node, ctx visitCtx) {
+	if s.env.violated() {
+		return
+	}
 	if v, ok := n.(*psast.VariableExpression); ok {
 		s.processVariable(v, ctx)
 		return
@@ -280,7 +288,7 @@ func canonicalVarName(name string) string {
 
 // processAssignment implements lines 13–20 of Algorithm 1.
 func (s *astState) processAssignment(a *psast.Assignment, ctx visitCtx) {
-	if s.d.opts.DisableVariableTracing {
+	if s.d.opts.DisableVariableTracing || s.env.violated() {
 		return
 	}
 	v, ok := a.Left.(*psast.VariableExpression)
@@ -361,6 +369,7 @@ func (s *astState) evaluateStatementValue(n psast.Node, ctx visitCtx) (any, bool
 	}
 	out, err := s.evalText(text, ctx)
 	if err != nil {
+		classifyEvalFailure(s.stats, err)
 		return nil, false
 	}
 	value := psinterp.Unwrap(out)
@@ -386,6 +395,7 @@ func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
 	s.stats.PiecesAttempted++
 	out, err := s.evalText(text, ctx)
 	if err != nil {
+		classifyEvalFailure(s.stats, err)
 		return
 	}
 	value := psinterp.Unwrap(out)
@@ -402,13 +412,22 @@ func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
 
 // evalText runs a piece in a fresh bounded interpreter preloaded with
 // the traced symbol table (and, when the extension is on, the pure
-// decoder functions the script defines).
+// decoder functions the script defines). The interpreter inherits the
+// run's context (deadline / cancelation) and memory budget.
 func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
-	in := psinterp.New(psinterp.Options{
-		MaxSteps:   s.d.opts.StepBudget,
-		StrictVars: true,
-		Blocklist:  s.blocklistForEval(),
-	})
+	if err := s.env.check(); err != nil {
+		return nil, err
+	}
+	opts := psinterp.Options{
+		MaxSteps:      s.d.opts.StepBudget,
+		StrictVars:    true,
+		Blocklist:     s.blocklistForEval(),
+		MaxAllocBytes: s.d.opts.MaxAllocBytes,
+	}
+	if s.env != nil {
+		opts.Ctx = s.env.ctx
+	}
+	in := psinterp.New(opts)
 	if !ctx.inFunc && !s.d.opts.DisableVariableTracing {
 		for name, e := range s.vars {
 			if scopeVisible(e.scope, ctx.scope) {

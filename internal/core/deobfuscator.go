@@ -17,13 +17,20 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"time"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psnames"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
 )
+
+// defaultMaxOutputBytes caps the total bytes produced across unwrapped
+// layers per run (zip-bomb guard).
+const defaultMaxOutputBytes = 64 << 20
 
 // Options configures the deobfuscator. The zero value enables every
 // phase with the paper's defaults.
@@ -57,6 +64,13 @@ type Options struct {
 	// in which case calls to it become recoverable pieces with the
 	// definition in scope. Off by default to match the paper's tool.
 	FunctionTracing bool
+	// MaxAllocBytes bounds the memory a single recoverable piece may
+	// allocate in the embedded interpreter. Zero means the interpreter
+	// default (64 MiB).
+	MaxAllocBytes int64
+	// MaxOutputBytes bounds the total bytes produced across all
+	// unwrapped layers in one run (zip-bomb guard). Zero means 64 MiB.
+	MaxOutputBytes int
 }
 
 // Stats counts the work performed during one deobfuscation.
@@ -80,6 +94,19 @@ type Stats struct {
 	Iterations int
 	// Duration is wall-clock deobfuscation time.
 	Duration time.Duration
+	// PiecesTimedOut counts pieces whose evaluation was cut off by the
+	// context deadline or cancelation.
+	PiecesTimedOut int
+	// PiecesPanicked counts pieces whose evaluation hit an internal
+	// panic that was converted to an error at an isolation barrier.
+	PiecesPanicked int
+	// PiecesOverBudget counts pieces whose evaluation exhausted the
+	// interpreter memory budget.
+	PiecesOverBudget int
+	// TimedOut reports that the run as a whole was interrupted by the
+	// envelope (deadline, cancelation or output budget) and Result holds
+	// partial progress.
+	TimedOut bool
 }
 
 // Result is the outcome of a deobfuscation run.
@@ -120,37 +147,68 @@ func New(opts Options) *Deobfuscator {
 // ErrInvalidSyntax reports that the input script does not parse.
 var ErrInvalidSyntax = errors.New("core: input has invalid syntax")
 
-// Deobfuscate runs the full pipeline on a script.
+// Deobfuscate runs the full pipeline on a script with no deadline. It
+// is a thin wrapper over DeobfuscateContext.
 func (d *Deobfuscator) Deobfuscate(src string) (*Result, error) {
+	return d.DeobfuscateContext(context.Background(), src)
+}
+
+// DeobfuscateContext runs the full pipeline on a script under the
+// execution envelope derived from ctx and the options: deadline /
+// cancelation checks between phases and inside every interpreter run,
+// per-piece memory budgets, and a total output cap across unwrapped
+// layers. When the envelope is violated mid-run it returns the partial
+// result (with Stats.TimedOut set) together with the taxonomy error —
+// both return values are non-nil in that case.
+func (d *Deobfuscator) DeobfuscateContext(ctx context.Context, src string) (res *Result, err error) {
+	defer limits.Recover("core.Deobfuscate", &err)
 	start := time.Now()
-	res := &Result{}
-	if _, err := psparser.Parse(src); err != nil {
-		return nil, ErrInvalidSyntax
+	res = &Result{}
+	env := newEnvelope(ctx, d.opts.MaxOutputBytes)
+	if cerr := env.check(); cerr != nil {
+		return nil, cerr
+	}
+	if _, perr := psparser.Parse(src); perr != nil {
+		// Wrap both sentinels so errors.Is sees ErrInvalidSyntax and,
+		// for nesting-limit rejections, ErrParseDepth.
+		return nil, fmt.Errorf("%w: %w", ErrInvalidSyntax, perr)
 	}
 	cur := src
 	for iter := 0; iter < d.opts.MaxIterations; iter++ {
+		if env.violated() {
+			break
+		}
 		res.Stats.Iterations = iter + 1
 		next := cur
 		if !d.opts.DisableTokenPhase {
 			next = d.tokenPhase(next, &res.Stats)
 		}
 		if !d.opts.DisableASTPhase {
-			next = d.astPhase(next, &res.Stats, 0)
+			next = d.astPhase(next, &res.Stats, 0, env)
 		}
 		if next == cur {
+			break
+		}
+		// Charge only the per-iteration growth: re-charging the full
+		// layer every round would bill a large-but-legitimate script
+		// MaxIterations times over. Bomb chains that genuinely expand
+		// are billed in full where they unwrap (deobPayload).
+		if env.chargeOutput(len(next)-len(cur)) != nil {
 			break
 		}
 		cur = next
 		res.Layers = append(res.Layers, cur)
 	}
-	if !d.opts.DisableRename {
-		cur = d.renamePhase(cur, &res.Stats)
-	}
-	if !d.opts.DisableReformat {
-		cur = d.reformatPhase(cur)
+	if !env.violated() {
+		if !d.opts.DisableRename {
+			cur = d.renamePhase(cur, &res.Stats)
+		}
+		if !d.opts.DisableReformat {
+			cur = d.reformatPhase(cur)
+		}
 	}
 	// Final safety net: never emit something unparseable.
-	if _, err := psparser.Parse(cur); err != nil {
+	if _, perr := psparser.Parse(cur); perr != nil {
 		if len(res.Layers) > 0 {
 			cur = res.Layers[len(res.Layers)-1]
 		} else {
@@ -159,6 +217,10 @@ func (d *Deobfuscator) Deobfuscate(src string) (*Result, error) {
 	}
 	res.Script = cur
 	res.Stats.Duration = time.Since(start)
+	if envErr := env.check(); envErr != nil {
+		res.Stats.TimedOut = true
+		return res, envErr
+	}
 	return res, nil
 }
 

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
@@ -76,6 +78,43 @@ func FuzzDeobfuscate(f *testing.F) {
 		}
 		if _, perr := psparser.Parse(res.Script); perr != nil {
 			t.Fatalf("output does not parse for input %q:\n%s\n%v", src, res.Script, perr)
+		}
+	})
+}
+
+// FuzzDeobfuscateEnvelope drives the whole pipeline under a tight
+// execution envelope (wall-clock deadline, small step/output budgets)
+// and asserts the envelope contract: every run finishes within 2x the
+// deadline with either a result or a typed taxonomy error, and no
+// panic escapes (a panic fails the fuzz run outright).
+func FuzzDeobfuscateEnvelope(f *testing.F) {
+	fuzzSeeds(f)
+	f.Add("$x = 'a'*100000000; $x")
+	f.Add("$v = $(while($true){1}); $v")
+	f.Add("((((((((((1))))))))))")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		const deadline = 500 * time.Millisecond
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		defer cancel()
+		d := New(Options{
+			MaxIterations:  3,
+			StepBudget:     50_000,
+			MaxOutputBytes: 1 << 20,
+		})
+		start := time.Now()
+		res, err := d.DeobfuscateContext(ctx, src)
+		if elapsed := time.Since(start); elapsed > envelopeSlack*deadline {
+			t.Fatalf("took %v, over %dx the %v deadline for %q",
+				elapsed, envelopeSlack, deadline, src)
+		}
+		if !taxonomyOK(err) {
+			t.Fatalf("error outside taxonomy for %q: %v", src, err)
+		}
+		if err == nil && res == nil {
+			t.Fatalf("nil result with nil error for %q", src)
 		}
 	})
 }

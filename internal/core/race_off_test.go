@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// envelopeSlack is the multiple of the deadline within which a hostile
+// run must return. The contract is 2x wall clock.
+const envelopeSlack = 2

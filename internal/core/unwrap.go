@@ -185,16 +185,22 @@ func (s *astState) replaceElementWithInner(n psast.Node, code string) {
 }
 
 // deobPayload recursively deobfuscates a payload and reports its
-// statement count.
+// statement count. The payload's bytes are charged against the run's
+// shared output budget before any work: refusing to unwrap once the
+// budget is gone is what keeps decompression-bomb chains (each layer
+// expanding the last) bounded.
 func (s *astState) deobPayload(code string) (string, int, bool) {
 	trimmed := strings.TrimSpace(code)
 	if trimmed == "" {
 		return "", 0, false
 	}
+	if s.env.violated() || s.env.chargeOutput(len(trimmed)) != nil {
+		return "", 0, false
+	}
 	if _, err := psparser.Parse(trimmed); err != nil {
 		return "", 0, false
 	}
-	inner := s.d.deobfuscateLayer(trimmed, s.stats, s.depth+1)
+	inner := s.d.deobfuscateLayer(trimmed, s.stats, s.depth+1, s.env)
 	root, err := psparser.Parse(inner)
 	if err != nil || root.Body == nil {
 		return "", 0, false
@@ -205,17 +211,25 @@ func (s *astState) deobPayload(code string) (string, int, bool) {
 // deobfuscateLayer runs token parsing and AST recovery on a nested
 // payload (multi-layer obfuscation), without rename/reformat, which
 // only apply to the final script.
-func (d *Deobfuscator) deobfuscateLayer(src string, stats *Stats, depth int) string {
+func (d *Deobfuscator) deobfuscateLayer(src string, stats *Stats, depth int, env *envelope) string {
 	cur := src
 	for iter := 0; iter < d.opts.MaxIterations; iter++ {
+		if env.violated() {
+			break
+		}
 		next := cur
 		if !d.opts.DisableTokenPhase {
 			next = d.tokenPhase(next, stats)
 		}
 		if !d.opts.DisableASTPhase {
-			next = d.astPhase(next, stats, depth)
+			next = d.astPhase(next, stats, depth, env)
 		}
 		if next == cur {
+			break
+		}
+		// Growth-only charge, mirroring the top-level fixpoint loop;
+		// deobPayload already charged this layer's full size on entry.
+		if env.chargeOutput(len(next)-len(cur)) != nil {
 			break
 		}
 		cur = next

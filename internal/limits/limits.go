@@ -1,0 +1,124 @@
+// Package limits defines the hardened execution envelope shared by
+// every substrate of the deobfuscation pipeline: a structured error
+// taxonomy for resource-limit violations, and panic-isolation helpers
+// that downgrade latent bugs in the tokenizer, parser or interpreter to
+// structured errors instead of process crashes.
+//
+// The engine's job is to execute fragments of untrusted malware, so a
+// pathological input must never be able to hang, exhaust memory, or
+// crash the embedding process. Each substrate enforces its own limit
+// (wall-clock deadline, step budget, allocation budget, recursion
+// depth, output size) and reports the violation with one of the
+// sentinels below; callers use errors.Is to classify failures and
+// account for them without aborting the whole batch.
+//
+// This package is a leaf: it must not import any other internal
+// package, so that pstoken, psparser, psinterp, sandbox and core can
+// all share the same taxonomy without cycles.
+package limits
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// Sentinel errors of the resource-limit taxonomy. All envelope
+// violations wrap (or are) exactly one of these, so errors.Is
+// classification is stable across layers.
+var (
+	// ErrDeadline signals the wall-clock deadline expired.
+	ErrDeadline = errors.New("limits: deadline exceeded")
+	// ErrCanceled signals the caller canceled the operation.
+	ErrCanceled = errors.New("limits: operation canceled")
+	// ErrMemBudget signals the cumulative allocation budget was
+	// exhausted (string/array materialization, decoded payloads).
+	ErrMemBudget = errors.New("limits: memory budget exhausted")
+	// ErrParseDepth signals the tokenizer/parser recursion or nesting
+	// depth limit was hit.
+	ErrParseDepth = errors.New("limits: parse depth limit exceeded")
+	// ErrOutputBudget signals the total unwrapped-output cap was hit.
+	ErrOutputBudget = errors.New("limits: output budget exceeded")
+	// ErrPanic signals a recovered internal panic; the concrete error is
+	// a *PanicError carrying the panic value and stack.
+	ErrPanic = errors.New("limits: internal panic")
+)
+
+// PanicError is the structured error produced when a panic is caught at
+// an isolation barrier. It unwraps to ErrPanic so errors.Is works, and
+// retains the panic value plus a truncated stack for diagnostics.
+type PanicError struct {
+	// Op names the operation that panicked ("tokenize", "parse",
+	// "eval", ...).
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at recovery time (truncated).
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("limits: panic in %s: %v", e.Op, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrPanic) true for every PanicError.
+func (e *PanicError) Unwrap() error { return ErrPanic }
+
+// maxStack bounds the stack snapshot retained per recovered panic.
+const maxStack = 16 << 10
+
+// Recover converts an in-flight panic into a *PanicError stored in
+// *errp. Use as a deferred call at every isolation barrier:
+//
+//	func Parse(src string) (sb *ScriptBlock, err error) {
+//		defer limits.Recover("parse", &err)
+//		...
+//	}
+//
+// A nil panic value (normal return) leaves *errp untouched.
+func Recover(op string, errp *error) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	buf := make([]byte, maxStack)
+	buf = buf[:runtime.Stack(buf, false)]
+	*errp = &PanicError{Op: op, Value: v, Stack: buf}
+}
+
+// FromContext maps a context error onto the taxonomy: DeadlineExceeded
+// becomes ErrDeadline and Canceled becomes ErrCanceled. Other errors
+// (including nil) pass through unchanged.
+func FromContext(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	}
+	return err
+}
+
+// Name returns the taxonomy name for an envelope error ("ErrDeadline",
+// "ErrPanic", ...) or "" when err is not an envelope violation. Command
+// line tools print this on stderr so operators can dispatch on it.
+func Name(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDeadline):
+		return "ErrDeadline"
+	case errors.Is(err, ErrCanceled):
+		return "ErrCanceled"
+	case errors.Is(err, ErrMemBudget):
+		return "ErrMemBudget"
+	case errors.Is(err, ErrParseDepth):
+		return "ErrParseDepth"
+	case errors.Is(err, ErrOutputBudget):
+		return "ErrOutputBudget"
+	case errors.Is(err, ErrPanic):
+		return "ErrPanic"
+	}
+	return ""
+}

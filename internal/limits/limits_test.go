@@ -1,0 +1,79 @@
+package limits
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("boom-op", &err)
+		panic("boom")
+	}
+	err := f()
+	if err == nil {
+		t.Fatal("expected error from recovered panic")
+	}
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("expected ErrPanic, got %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected *PanicError, got %T", err)
+	}
+	if pe.Op != "boom-op" || pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("incomplete PanicError: %+v", pe)
+	}
+}
+
+func TestRecoverNoPanicKeepsError(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("op", &err)
+		return ErrMemBudget
+	}
+	if err := f(); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("Recover clobbered normal error: %v", err)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if got := FromContext(ctx.Err()); !errors.Is(got, ErrDeadline) {
+		t.Fatalf("deadline: got %v", got)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if got := FromContext(ctx2.Err()); !errors.Is(got, ErrCanceled) {
+		t.Fatalf("cancel: got %v", got)
+	}
+	if got := FromContext(nil); got != nil {
+		t.Fatalf("nil passthrough: got %v", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{ErrDeadline, "ErrDeadline"},
+		{ErrCanceled, "ErrCanceled"},
+		{ErrMemBudget, "ErrMemBudget"},
+		{ErrParseDepth, "ErrParseDepth"},
+		{ErrOutputBudget, "ErrOutputBudget"},
+		{&PanicError{Op: "x", Value: "y"}, "ErrPanic"},
+		{fmt.Errorf("wrapped: %w", ErrDeadline), "ErrDeadline"},
+		{errors.New("other"), ""},
+	}
+	for _, c := range cases {
+		if got := Name(c.err); got != c.want {
+			t.Errorf("Name(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}

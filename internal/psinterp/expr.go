@@ -7,9 +7,20 @@ import (
 	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
 )
 
+// maxExprDepth bounds AST recursion inside one expression evaluation so
+// a deeply nested tree (thousands of parens/unary operators) cannot
+// exhaust the goroutine stack. The parser enforces its own, larger
+// nesting limit; this guard is the interpreter's independent backstop.
+const maxExprDepth = 10_000
+
 func (in *Interp) evalExpr(node psast.Node, sc *scope) (any, error) {
 	if err := in.step(); err != nil {
 		return nil, err
+	}
+	in.exprDepth++
+	defer func() { in.exprDepth-- }()
+	if in.exprDepth > maxExprDepth {
+		return nil, ErrBudget
 	}
 	switch n := node.(type) {
 	case *psast.ConstantExpression:
@@ -144,6 +155,9 @@ func (in *Interp) evalExpandable(n *psast.ExpandableString, sc *scope) (any, err
 		if sb.Len() > in.opts.MaxStringLen {
 			return nil, ErrBudget
 		}
+	}
+	if err := in.charge(sb.Len()); err != nil {
+		return nil, err
 	}
 	return sb.String(), nil
 }
@@ -289,6 +303,9 @@ func (in *Interp) evalUnary(n *psast.UnaryExpression, sc *scope) (any, error) {
 			if sb.Len() > in.opts.MaxStringLen {
 				return nil, ErrBudget
 			}
+		}
+		if err := in.charge(sb.Len()); err != nil {
+			return nil, err
 		}
 		return sb.String(), nil
 	case "-split":

@@ -48,6 +48,9 @@ func (in *Interp) formatOperator(format string, args []any) (any, error) {
 			return nil, ErrBudget
 		}
 	}
+	if err := in.charge(sb.Len()); err != nil {
+		return nil, err
+	}
 	return sb.String(), nil
 }
 

@@ -1,0 +1,62 @@
+package psinterp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
+)
+
+// FuzzEvalSnippet drives the interpreter over arbitrary inputs inside a
+// tight execution envelope. The invariant is the envelope contract
+// itself: no panics escape (the fuzzer fails the run on any panic), and
+// every error is nil or within the known error surface.
+func FuzzEvalSnippet(f *testing.F) {
+	seeds := []string{
+		"write-host hello",
+		"$s = 'a'; while ($s.Length -lt 100) { $s = $s + $s }; $s.Length",
+		"$x = 'a' * 100000000",
+		"while ($true) { $i = $i + 1 }",
+		"function f { f }; f",
+		"iex ('write'+'-host hi')",
+		"[Text.Encoding]::Unicode.GetString([Convert]::FromBase64String('aABpAA=='))",
+		"$(1..100 | % { $_ * 2 }) -join ','",
+		"try { throw 'x' } catch { $_ }",
+		"'' .padleft(99999999)",
+		"[string]::new('a', 2147483647)",
+		"@{a=1;b=2}.Keys",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		in := New(Options{
+			MaxSteps:      100_000,
+			MaxAllocBytes: 4 << 20,
+			Ctx:           ctx,
+		})
+		start := time.Now()
+		_, err := in.EvalSnippet(src)
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("took %v, over 2x the 1s deadline for %q", elapsed, src)
+		}
+		// Arbitrary evaluation errors (unknown variable, bad syntax,
+		// type mismatch) are fine; but an envelope failure must carry
+		// a taxonomy sentinel, never a bare string — and a panic would
+		// have failed the run outright were it not converted to a
+		// *limits.PanicError by the recover barrier.
+		if errors.Is(err, limits.ErrPanic) {
+			var pe *limits.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("ErrPanic without PanicError detail: %v", err)
+			}
+		}
+	})
+}

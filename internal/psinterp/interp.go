@@ -1,10 +1,13 @@
 package psinterp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
 )
@@ -21,6 +24,17 @@ var (
 	// ErrUnsupported signals an unimplemented language or library
 	// feature.
 	ErrUnsupported = errors.New("psinterp: unsupported")
+
+	// Envelope sentinels, re-exported from the shared taxonomy so
+	// callers of this package need not import internal/limits.
+
+	// ErrDeadline signals the context deadline expired mid-evaluation.
+	ErrDeadline = limits.ErrDeadline
+	// ErrCanceled signals the evaluation context was canceled.
+	ErrCanceled = limits.ErrCanceled
+	// ErrMemBudget signals the cumulative allocation budget was
+	// exhausted.
+	ErrMemBudget = limits.ErrMemBudget
 )
 
 // UnknownVariableError reports a read of a variable that is not defined.
@@ -61,12 +75,22 @@ func (t TypeValue) String() string { return t.Name }
 
 // Options configures an interpreter instance.
 type Options struct {
+	// Ctx, when non-nil, bounds evaluation by wall clock: the
+	// interpreter observes cancellation and deadlines on the
+	// step-counter hot path (amortized, every stepCheckInterval steps)
+	// and aborts with ErrDeadline / ErrCanceled. Nil means unbounded.
+	Ctx context.Context
 	// MaxSteps bounds evaluation work. Zero means the default (2e6).
 	MaxSteps int
 	// MaxDepth bounds call/IEX nesting. Zero means the default (64).
 	MaxDepth int
 	// MaxStringLen bounds produced strings. Zero means default (8 MiB).
 	MaxStringLen int
+	// MaxAllocBytes bounds the *cumulative* bytes materialized across
+	// the whole evaluation (string concat/multiply, -join, -replace,
+	// format, decoded payloads), so many individually-legal strings
+	// cannot add up to an OOM. Zero means default (64 MiB).
+	MaxAllocBytes int64
 	// StrictVars makes reads of undefined variables an error instead of
 	// nil. The deobfuscator uses strict mode so unknown context aborts
 	// recovery instead of producing wrong results.
@@ -102,6 +126,16 @@ type Interp struct {
 	console strings.Builder
 	// lastMatches holds capture groups of the most recent -match.
 	lastMatches *Hashtable
+	// allocBytes is the cumulative allocation account charged against
+	// opts.MaxAllocBytes.
+	allocBytes int64
+	// exprDepth guards AST-recursion depth in evalExpr independently of
+	// the call-nesting depth guard, so a deeply nested expression tree
+	// cannot exhaust the goroutine stack.
+	exprDepth int
+	// deadline caches the context deadline for cheap amortized checks.
+	deadline    time.Time
+	hasDeadline bool
 }
 
 // New returns an interpreter with the given options.
@@ -115,6 +149,9 @@ func New(opts Options) *Interp {
 	if opts.MaxStringLen == 0 {
 		opts.MaxStringLen = 8 << 20
 	}
+	if opts.MaxAllocBytes == 0 {
+		opts.MaxAllocBytes = 64 << 20
+	}
 	host := opts.Host
 	if host == nil {
 		host = DenyHost{}
@@ -125,6 +162,12 @@ func New(opts Options) *Interp {
 		global: newScope(nil),
 		env:    defaultEnv(),
 		funcs:  make(map[string]*psast.FunctionDefinition),
+	}
+	if opts.Ctx != nil {
+		if dl, ok := opts.Ctx.Deadline(); ok {
+			in.deadline = dl
+			in.hasDeadline = true
+		}
 	}
 	for k, v := range opts.Env {
 		in.env[strings.ToLower(k)] = v
@@ -156,8 +199,15 @@ func (in *Interp) EvalSnippet(src string) ([]any, error) {
 	return in.EvalScript(sb)
 }
 
-// EvalScript evaluates a parsed script block in the global scope.
-func (in *Interp) EvalScript(sb *psast.ScriptBlock) ([]any, error) {
+// EvalScript evaluates a parsed script block in the global scope. It is
+// a panic-isolation barrier: a latent bug anywhere in the interpreter
+// surfaces as a *limits.PanicError instead of crashing the process.
+func (in *Interp) EvalScript(sb *psast.ScriptBlock) (out []any, err error) {
+	defer limits.Recover("eval", &err)
+	return in.evalScript(sb)
+}
+
+func (in *Interp) evalScript(sb *psast.ScriptBlock) ([]any, error) {
 	out, err := in.evalScriptBlockBody(sb, in.global)
 	var fs *flowSignal
 	if errors.As(err, &fs) {
@@ -180,12 +230,61 @@ func (in *Interp) evalScriptBlockBody(sb *psast.ScriptBlock, sc *scope) ([]any, 
 	return in.evalStatements(sb.Body.Statements, sc)
 }
 
+// stepCheckInterval amortizes the wall-clock deadline check: the
+// context/deadline is consulted once every stepCheckInterval steps so
+// the fast path stays a counter increment plus one branch. Must be a
+// power of two.
+const stepCheckInterval = 1 << 10
+
 func (in *Interp) step() error {
 	in.steps++
 	if in.steps > in.opts.MaxSteps {
 		return ErrBudget
 	}
+	if in.steps&(stepCheckInterval-1) == 0 {
+		return in.checkContext()
+	}
 	return nil
+}
+
+// checkContext maps context expiry onto the envelope taxonomy. It is
+// called off the hot path (amortized from step, and directly before
+// expensive one-shot operations such as regex compilation or payload
+// decoding).
+func (in *Interp) checkContext() error {
+	if in.hasDeadline && time.Now().After(in.deadline) {
+		return ErrDeadline
+	}
+	if in.opts.Ctx != nil {
+		if err := in.opts.Ctx.Err(); err != nil {
+			return limits.FromContext(err)
+		}
+	}
+	return nil
+}
+
+// charge accounts n bytes of materialized data against the cumulative
+// allocation budget, failing with ErrMemBudget when the envelope is
+// exceeded. Individual strings are additionally capped by MaxStringLen
+// at their construction sites.
+func (in *Interp) charge(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	in.allocBytes += int64(n)
+	if in.allocBytes > in.opts.MaxAllocBytes {
+		return ErrMemBudget
+	}
+	return nil
+}
+
+// chargeString is charge specialized for freshly produced strings: it
+// enforces both the per-string cap and the cumulative budget.
+func (in *Interp) chargeString(n int) error {
+	if n > in.opts.MaxStringLen {
+		return ErrBudget
+	}
+	return in.charge(n)
 }
 
 // scope is one level of the dynamic scope chain.

@@ -305,8 +305,8 @@ func (in *Interp) stringMethod(s, n string, args []any) (any, error) {
 		return strings.ToLower(s), nil
 	case "replace":
 		out := strings.ReplaceAll(s, argStr(0), argStr(1))
-		if len(out) > in.opts.MaxStringLen {
-			return nil, ErrBudget
+		if err := in.chargeString(len(out)); err != nil {
+			return nil, err
 		}
 		return out, nil
 	case "split":
@@ -400,12 +400,24 @@ func (in *Interp) stringMethod(s, n string, args []any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if width > in.opts.MaxStringLen {
+			return nil, ErrBudget
+		}
 		pad := " "
 		if len(args) >= 2 {
 			pad = ToString(args[1])
 		}
-		for len(s) < width && pad != "" {
-			s = pad + s
+		if pad != "" && len(s) < width {
+			if err := in.charge(width); err != nil {
+				return nil, err
+			}
+			var sb strings.Builder
+			sb.Grow(width)
+			for sb.Len()+len(s) < width {
+				sb.WriteString(pad)
+			}
+			sb.WriteString(s)
+			s = sb.String()
 		}
 		return s, nil
 	case "padright":
@@ -413,12 +425,24 @@ func (in *Interp) stringMethod(s, n string, args []any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if width > in.opts.MaxStringLen {
+			return nil, ErrBudget
+		}
 		pad := " "
 		if len(args) >= 2 {
 			pad = ToString(args[1])
 		}
-		for len(s) < width && pad != "" {
-			s += pad
+		if pad != "" && len(s) < width {
+			if err := in.charge(width); err != nil {
+				return nil, err
+			}
+			var sb strings.Builder
+			sb.Grow(width)
+			sb.WriteString(s)
+			for sb.Len() < width {
+				sb.WriteString(pad)
+			}
+			s = sb.String()
 		}
 		return s, nil
 	case "remove":

@@ -87,6 +87,9 @@ func (in *Interp) constructObject(typeName string, args []any) (any, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := in.charge(len(plain)); err != nil {
+				return nil, err
+			}
 			o.Data = plain
 		} else {
 			packed, err := compress(algorithm, data)

@@ -29,7 +29,7 @@ func (in *Interp) evalBinaryOp(op string, l, r any) (any, error) {
 	case "-f":
 		return in.formatOperator(ToString(l), ToArray(r))
 	case "..":
-		return rangeValues(l, r)
+		return in.rangeValues(l, r)
 	case "-band":
 		return bitwise(l, r, func(a, b int64) int64 { return a & b })
 	case "-bor":
@@ -124,8 +124,8 @@ func (in *Interp) evalBinaryOp(op string, l, r any) (any, error) {
 			elems[i] = ToString(p)
 		}
 		s := strings.Join(elems, sep)
-		if len(s) > in.opts.MaxStringLen {
-			return nil, ErrBudget
+		if err := in.chargeString(len(s)); err != nil {
+			return nil, err
 		}
 		return s, nil
 	case "contains", "notcontains":
@@ -229,14 +229,28 @@ func (in *Interp) addValues(l, r any) (any, error) {
 	case nil:
 		return r, nil
 	case string:
-		s := lv + ToString(r)
-		if len(s) > in.opts.MaxStringLen {
+		rs := ToString(r)
+		// Enforce the per-string cap on the full result, but charge only
+		// the appended delta against the cumulative allocation budget:
+		// incremental building ($s = $s + 'a' in a loop) is the single
+		// most common obfuscation pattern, and charging the full result
+		// each round would make it O(n²) in charged bytes.
+		if len(lv)+len(rs) > in.opts.MaxStringLen {
 			return nil, ErrBudget
 		}
-		return s, nil
+		if err := in.charge(len(rs)); err != nil {
+			return nil, err
+		}
+		return lv + rs, nil
 	case []any:
 		if rv, ok := r.([]any); ok {
+			if err := in.charge(16 * (len(lv) + len(rv))); err != nil {
+				return nil, err
+			}
 			return append(append([]any{}, lv...), rv...), nil
+		}
+		if err := in.charge(16 * (len(lv) + 1)); err != nil {
+			return nil, err
 		}
 		return append(append([]any{}, lv...), r), nil
 	case Char:
@@ -281,8 +295,14 @@ func (in *Interp) mulValues(l, r any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		if n < 0 || int64(len(lv))*n > int64(in.opts.MaxStringLen) {
+		// Bound n before multiplying so the product cannot wrap int64
+		// for huge repeat counts.
+		if n < 0 || n > int64(in.opts.MaxStringLen) ||
+			int64(len(lv))*n > int64(in.opts.MaxStringLen) {
 			return nil, ErrBudget
+		}
+		if err := in.charge(len(lv) * int(n)); err != nil {
+			return nil, err
 		}
 		return strings.Repeat(lv, int(n)), nil
 	case []any:
@@ -290,8 +310,11 @@ func (in *Interp) mulValues(l, r any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		if n < 0 || int64(len(lv))*n > 1<<20 {
+		if n < 0 || n > 1<<20 || int64(len(lv))*n > 1<<20 {
 			return nil, ErrBudget
+		}
+		if err := in.charge(16 * len(lv) * int(n)); err != nil {
+			return nil, err
 		}
 		out := make([]any, 0, len(lv)*int(n))
 		for i := int64(0); i < n; i++ {
@@ -368,8 +391,9 @@ func bitwise(l, r any, op func(a, b int64) int64) (any, error) {
 	return op(li, ri), nil
 }
 
-// rangeValues implements the .. operator with a size cap.
-func rangeValues(l, r any) (any, error) {
+// rangeValues implements the .. operator with a size cap and an
+// allocation charge.
+func (in *Interp) rangeValues(l, r any) (any, error) {
 	lo, err := ToInt(l)
 	if err != nil {
 		return nil, err
@@ -385,6 +409,9 @@ func rangeValues(l, r any) (any, error) {
 	}
 	if size+1 > maxRange {
 		return nil, ErrBudget
+	}
+	if err := in.charge(16 * int(size+1)); err != nil {
+		return nil, err
 	}
 	out := make([]any, 0, size+1)
 	if lo <= hi {
@@ -454,8 +481,8 @@ func (in *Interp) replaceOperator(l, r any, caseSensitive bool) (any, error) {
 	repl := translateReplacement(replacement)
 	apply := func(s string) (string, error) {
 		out := re.ReplaceAllString(s, repl)
-		if len(out) > in.opts.MaxStringLen {
-			return "", ErrBudget
+		if err := in.chargeString(len(out)); err != nil {
+			return "", err
 		}
 		return out, nil
 	}

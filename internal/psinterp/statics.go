@@ -432,6 +432,9 @@ func (in *Interp) convertStatic(m string, args []any) (any, error) {
 				return nil, fmt.Errorf("psinterp: FromBase64String: %v", err)
 			}
 		}
+		if err := in.charge(len(b)); err != nil {
+			return nil, err
+		}
 		return Bytes(b), nil
 	case "tobase64string":
 		b, err := in.castValue("byte[]", firstArg(args))
@@ -552,8 +555,8 @@ func (in *Interp) stringStatic(m string, args []any) (any, error) {
 			parts[i] = ToString(it)
 		}
 		s := strings.Join(parts, sep)
-		if len(s) > in.opts.MaxStringLen {
-			return nil, ErrBudget
+		if err := in.chargeString(len(s)); err != nil {
+			return nil, err
 		}
 		return s, nil
 	case "format":
@@ -571,6 +574,9 @@ func (in *Interp) stringStatic(m string, args []any) (any, error) {
 				return nil, ErrBudget
 			}
 		}
+		if err := in.charge(sb.Len()); err != nil {
+			return nil, err
+		}
 		return sb.String(), nil
 	case "isnullorempty":
 		return ToString(firstArg(args)) == "", nil
@@ -585,12 +591,29 @@ func (in *Interp) stringStatic(m string, args []any) (any, error) {
 				if err != nil {
 					return nil, err
 				}
-				return strings.Repeat(string(rune(c.(Char))), int(n)), nil
+				unit := string(rune(c.(Char)))
+				// Reject the count before multiplying: n*len(unit) can
+				// wrap int64 for huge n (e.g. 2^62 with a 4-byte rune),
+				// bypassing both caps (mirrors mulValues' pattern).
+				if n < 0 || n > int64(in.opts.MaxStringLen) ||
+					n*int64(len(unit)) > int64(in.opts.MaxStringLen) {
+					return nil, ErrBudget
+				}
+				if err := in.charge(int(n) * len(unit)); err != nil {
+					return nil, err
+				}
+				return strings.Repeat(unit, int(n)), nil
 			}
 		}
 		var sb strings.Builder
 		for _, item := range ToArray(firstArg(args)) {
 			sb.WriteString(ToString(item))
+			if sb.Len() > in.opts.MaxStringLen {
+				return nil, ErrBudget
+			}
+		}
+		if err := in.charge(sb.Len()); err != nil {
+			return nil, err
 		}
 		return sb.String(), nil
 	case "copy":

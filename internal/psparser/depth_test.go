@@ -1,0 +1,73 @@
+package psparser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
+)
+
+// TestDeepNestingParses is the regression test for the stack-overflow
+// hazard: 10k-deep nested parens must parse without crashing the
+// process (Go stack exhaustion is fatal, not a recoverable panic).
+func TestDeepNestingParses(t *testing.T) {
+	const depth = 10_000
+	cases := map[string]string{
+		"parens":         strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth),
+		"subexpressions": strings.Repeat("$(", depth) + "1" + strings.Repeat(")", depth),
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			sb, err := Parse(src)
+			if err != nil {
+				t.Fatalf("Parse(%s depth %d): %v", name, depth, err)
+			}
+			if sb == nil || sb.Body == nil || len(sb.Body.Statements) == 0 {
+				t.Fatalf("Parse(%s depth %d): empty result", name, depth)
+			}
+		})
+	}
+}
+
+// TestParseDepthLimit verifies pathological nesting is rejected with the
+// typed taxonomy error instead of exhausting the stack.
+func TestParseDepthLimit(t *testing.T) {
+	const depth = 60_000 // beyond maxParseDepth/2 increments per level
+	src := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("Parse accepted nesting beyond maxParseDepth")
+	}
+	if !errors.Is(err, limits.ErrParseDepth) {
+		t.Fatalf("error %v (%T) does not unwrap to limits.ErrParseDepth", err, err)
+	}
+	var de *DepthError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v (%T) is not a *DepthError", err, err)
+	}
+}
+
+// TestExpandableStringDepthInherited ensures the sub-parse performed for
+// "$(...)" inside expandable strings inherits the enclosing parser's
+// depth instead of resetting the counter.
+func TestExpandableStringDepthInherited(t *testing.T) {
+	const depth = 2_000
+	src := `"` + strings.Repeat("$(", 1) + strings.Repeat("(", depth) + "1" +
+		strings.Repeat(")", depth) + ")" + `"`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("Parse nested expandable: %v", err)
+	}
+}
+
+// TestParseUnaryDepth covers the unary-operator recursion path.
+func TestParseUnaryDepth(t *testing.T) {
+	src := strings.Repeat("!", 120_000) + "1"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("Parse accepted unbounded unary nesting")
+	}
+	if !errors.Is(err, limits.ErrParseDepth) {
+		t.Fatalf("error %v does not unwrap to limits.ErrParseDepth", err)
+	}
+}

@@ -82,7 +82,7 @@ func (p *parser) scanExpandableParts(body string, bodyStart int, hereString bool
 				flush(i)
 				inner := body[i+2 : end]
 				sub := &psast.SubExpression{Ext: p.ext(bodyStart+i, bodyStart+end+1)}
-				if sb, err := parseAt(inner, p.offset+bodyStart+i+2); err == nil && sb.Body != nil {
+				if sb, err := parseAt(inner, p.offset+bodyStart+i+2, p.depth); err == nil && sb.Body != nil {
 					sub.Statements = sb.Body.Statements
 				}
 				parts = append(parts, sub)

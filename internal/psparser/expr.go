@@ -169,6 +169,10 @@ func (p *parser) parseArray() (psast.Node, error) {
 
 // parseUnary parses prefix unary operators and type casts.
 func (p *parser) parseUnary() (psast.Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	if t.Type == pstoken.Operator && unaryOps[strings.ToLower(t.Content)] {
 		p.advance()
@@ -423,6 +427,10 @@ func (p *parser) parseRangeNoComma() (psast.Node, error) {
 
 // parsePrimary parses a primary expression.
 func (p *parser) parsePrimary() (psast.Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch t.Type {
 	case pstoken.Number:

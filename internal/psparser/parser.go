@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
 )
@@ -23,21 +24,63 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("syntax error at offset %d: %s", e.Pos, e.Msg)
 }
 
+// maxParseDepth bounds recursive-descent nesting. Go stack exhaustion is
+// fatal and unrecoverable, so hostile inputs with pathological nesting
+// (tens of thousands of parens) must be rejected with a typed error
+// before the runtime kills the process. Each syntactic nesting level
+// costs two to three counter increments, so this admits well over 10k
+// levels of real nesting while staying far below the runtime stack cap.
+const maxParseDepth = 40_000
+
+// DepthError reports that input nesting exceeded maxParseDepth. It
+// unwraps to limits.ErrParseDepth so callers can classify it.
+type DepthError struct {
+	Pos int
+}
+
+func (e *DepthError) Error() string {
+	return fmt.Sprintf("parse depth limit exceeded at offset %d", e.Pos)
+}
+
+func (e *DepthError) Unwrap() error { return limits.ErrParseDepth }
+
 type parser struct {
 	src    string
 	offset int // shift applied to extents (for nested sub-parses)
 	toks   []pstoken.Token
 	pos    int
+	depth  int // recursion depth, shared with nested sub-parses
 }
 
-// Parse parses a complete PowerShell script.
-func Parse(src string) (*psast.ScriptBlock, error) {
-	return parseAt(src, 0)
+// enter charges one level of recursion depth; call leave on return.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		pos := p.offset
+		if p.pos < len(p.toks) {
+			pos += p.toks[p.pos].Start
+		} else {
+			pos += len(p.src)
+		}
+		return &DepthError{Pos: pos}
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
+
+// Parse parses a complete PowerShell script. Internal panics are
+// converted to a *limits.PanicError rather than crashing the caller.
+func Parse(src string) (sb *psast.ScriptBlock, err error) {
+	defer limits.Recover("psparser.Parse", &err)
+	return parseAt(src, 0, 0)
 }
 
 // parseAt parses src whose first byte sits at absolute offset off in the
-// enclosing script, so extents remain absolute.
-func parseAt(src string, off int) (*psast.ScriptBlock, error) {
+// enclosing script, so extents remain absolute. depth seeds the recursion
+// counter so sub-parses (expandable-string subexpressions) inherit the
+// enclosing parser's depth instead of resetting it.
+func parseAt(src string, off, depth int) (*psast.ScriptBlock, error) {
 	toks, err := pstoken.Tokenize(src)
 	if err != nil {
 		return nil, err
@@ -49,7 +92,7 @@ func parseAt(src string, off int) (*psast.ScriptBlock, error) {
 		}
 		kept = append(kept, t)
 	}
-	p := &parser{src: src, offset: off, toks: kept}
+	p := &parser{src: src, offset: off, toks: kept, depth: depth}
 	sb, err := p.parseScriptBody(0, len(src))
 	if err != nil {
 		return nil, err
@@ -194,6 +237,10 @@ func (p *parser) parseStatementList() ([]psast.Node, error) {
 
 // parseStatement parses one statement.
 func (p *parser) parseStatement() (psast.Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	if t.Type == pstoken.LoopLabel {
 		p.advance() // labels are recorded on the loop below

@@ -8,7 +8,11 @@
 // aliases, random whitespace) can be recovered and replaced in place.
 package pstoken
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
+)
 
 // Type classifies a token, mirroring PSTokenType.
 type Type int
@@ -137,8 +141,19 @@ type Error struct {
 	Pos  int
 	Line int
 	Msg  string
+	// Depth marks errors caused by the group-nesting limit; such errors
+	// unwrap to limits.ErrParseDepth.
+	Depth bool
 }
 
 func (e *Error) Error() string {
 	return fmt.Sprintf("line %d (offset %d): %s", e.Line, e.Pos, e.Msg)
+}
+
+// Unwrap exposes the taxonomy sentinel for depth-limit failures.
+func (e *Error) Unwrap() error {
+	if e.Depth {
+		return limits.ErrParseDepth
+	}
+	return nil
 }

@@ -3,7 +3,15 @@ package pstoken
 import (
 	"strings"
 	"unicode/utf8"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 )
+
+// maxGroupDepth bounds the group-nesting stack. The lexer itself is
+// iterative, so this guards memory rather than the call stack, and is
+// set above the parser's recursion limit so the parser's depth error is
+// the one surfaced for inputs both could reject.
+const maxGroupDepth = 100_000
 
 // lexState tracks the parsing mode, which PowerShell needs because bare
 // words mean different things in command, argument and expression
@@ -60,8 +68,11 @@ type lexer struct {
 }
 
 // Tokenize splits a PowerShell script into tokens. On a lexical error it
-// returns the tokens recognized so far together with the error.
-func Tokenize(src string) ([]Token, error) {
+// returns the tokens recognized so far together with the error. Internal
+// panics are converted to a *limits.PanicError rather than crashing the
+// caller.
+func Tokenize(src string) (toks []Token, err error) {
+	defer limits.Recover("pstoken.Tokenize", &err)
 	l := &lexer{src: src, line: 1, state: sStmtStart, lastEnd: -1}
 	l.run()
 	if l.err != nil {
@@ -160,6 +171,13 @@ func (l *lexer) afterSeparator() lexState {
 }
 
 func (l *lexer) pushGroup(kind containerKind, start int, text string, inner lexState) {
+	if len(l.stack) >= maxGroupDepth {
+		if l.err == nil {
+			l.err = &Error{Pos: start, Line: l.line, Msg: "group nesting depth limit exceeded", Depth: true}
+		}
+		l.pos = len(l.src)
+		return
+	}
 	l.stack = append(l.stack, frame{kind: kind, ret: l.afterOperand()})
 	l.pos = start + len(text)
 	l.emit(GroupStart, start, text)

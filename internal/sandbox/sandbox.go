@@ -7,6 +7,7 @@
 package sandbox
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -210,6 +211,9 @@ func (h *recordingHost) Sleep(seconds float64) {
 type Options struct {
 	// MaxSteps bounds interpretation work. Zero means 3e6.
 	MaxSteps int
+	// MaxAllocBytes bounds interpreter memory. Zero means the
+	// interpreter default (64 MiB).
+	MaxAllocBytes int64
 }
 
 // Result is the outcome of sandboxing one script.
@@ -221,15 +225,26 @@ type Result struct {
 	Err error
 }
 
-// Run executes a script and records its behaviour.
+// Run executes a script and records its behaviour, with no deadline.
 func Run(src string, opts Options) *Result {
+	return RunContext(context.Background(), src, opts)
+}
+
+// RunContext executes a script under ctx: the interpreter honors the
+// context's deadline and cancelation on its step-counter hot path, so a
+// hostile script cannot hold the sandbox past the deadline. Behaviour
+// recorded before the cutoff is still reported, with Err set to the
+// taxonomy error.
+func RunContext(ctx context.Context, src string, opts Options) *Result {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 3_000_000
 	}
 	host := &recordingHost{}
 	in := psinterp.New(psinterp.Options{
-		MaxSteps: opts.MaxSteps,
-		Host:     host,
+		MaxSteps:      opts.MaxSteps,
+		Host:          host,
+		Ctx:           ctx,
+		MaxAllocBytes: opts.MaxAllocBytes,
 	})
 	_, err := in.EvalSnippet(src)
 	return &Result{Behavior: host.events, Console: host.console.String(), Err: err}

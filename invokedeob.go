@@ -25,12 +25,14 @@
 package invokedeob
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/core"
 	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
 	"github.com/invoke-deobfuscation/invokedeob/internal/keyinfo"
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 	"github.com/invoke-deobfuscation/invokedeob/internal/obfuscate"
 	"github.com/invoke-deobfuscation/invokedeob/internal/sandbox"
 	"github.com/invoke-deobfuscation/invokedeob/internal/score"
@@ -63,6 +65,12 @@ type Options struct {
 	// future work): recovery through pure user-defined decoder
 	// functions. Off by default.
 	FunctionTracing bool
+	// MaxAllocBytes bounds the memory one recoverable piece may
+	// allocate in the embedded interpreter (default 64 MiB).
+	MaxAllocBytes int64
+	// MaxOutputBytes bounds the total bytes produced across all
+	// unwrapped layers in one run (default 64 MiB).
+	MaxOutputBytes int
 }
 
 func (o *Options) toCore() core.Options {
@@ -79,6 +87,8 @@ func (o *Options) toCore() core.Options {
 		DisableReformat:        o.DisableReformat,
 		Blocklist:              o.Blocklist,
 		FunctionTracing:        o.FunctionTracing,
+		MaxAllocBytes:          o.MaxAllocBytes,
+		MaxOutputBytes:         o.MaxOutputBytes,
 	}
 }
 
@@ -93,6 +103,18 @@ type Stats struct {
 	IdentifiersRenamed int
 	Iterations         int
 	Duration           time.Duration
+	// PiecesTimedOut counts pieces cut off by the deadline or
+	// cancelation.
+	PiecesTimedOut int
+	// PiecesPanicked counts pieces whose evaluation hit an internal
+	// panic converted to an error at an isolation barrier.
+	PiecesPanicked int
+	// PiecesOverBudget counts pieces that exhausted the interpreter
+	// memory budget.
+	PiecesOverBudget int
+	// TimedOut reports that the run was interrupted by the envelope and
+	// the Result holds partial progress.
+	TimedOut bool
 }
 
 // Result is the outcome of a deobfuscation.
@@ -108,11 +130,52 @@ type Result struct {
 // ErrInvalidSyntax reports that the input does not parse as PowerShell.
 var ErrInvalidSyntax = core.ErrInvalidSyntax
 
+// Structured error taxonomy for execution-envelope violations. Classify
+// failures with errors.Is; ErrorName maps an error back to its taxonomy
+// name for logs and CLI output.
+var (
+	// ErrDeadline reports that the context deadline expired mid-run.
+	ErrDeadline = core.ErrDeadline
+	// ErrCanceled reports that the context was canceled mid-run.
+	ErrCanceled = core.ErrCanceled
+	// ErrMemBudget reports that an interpreter memory budget was
+	// exhausted.
+	ErrMemBudget = core.ErrMemBudget
+	// ErrParseDepth reports input nesting beyond the parser's limit.
+	ErrParseDepth = core.ErrParseDepth
+	// ErrOutputBudget reports that the total unwrapped-layer output
+	// exceeded Options.MaxOutputBytes.
+	ErrOutputBudget = core.ErrOutputBudget
+	// ErrPanic reports an internal panic converted to an error at an
+	// isolation barrier.
+	ErrPanic = core.ErrPanic
+)
+
+// ErrorName returns the taxonomy name of an envelope error
+// ("ErrDeadline", "ErrCanceled", "ErrMemBudget", "ErrParseDepth",
+// "ErrOutputBudget", "ErrPanic"), or "" for errors outside the
+// taxonomy.
+func ErrorName(err error) string {
+	return limits.Name(err)
+}
+
 // Deobfuscate runs the full three-phase pipeline on a script. A nil
-// opts selects the defaults.
+// opts selects the defaults. It is a thin wrapper over
+// DeobfuscateContext with a background context (no deadline).
 func Deobfuscate(script string, opts *Options) (*Result, error) {
-	res, err := core.New(opts.toCore()).Deobfuscate(script)
-	if err != nil {
+	return DeobfuscateContext(context.Background(), script, opts)
+}
+
+// DeobfuscateContext runs the pipeline under the execution envelope
+// derived from ctx and opts: the deadline and cancelation of ctx are
+// honored inside every interpreter run and between phases, each
+// recoverable piece is bounded by the step and memory budgets, and the
+// total output across unwrapped layers is capped. On an envelope
+// violation it returns the partial result (Stats.TimedOut set) together
+// with the taxonomy error — both return values are non-nil.
+func DeobfuscateContext(ctx context.Context, script string, opts *Options) (*Result, error) {
+	res, err := core.New(opts.toCore()).DeobfuscateContext(ctx, script)
+	if res == nil {
 		return nil, err
 	}
 	return &Result{
@@ -128,8 +191,12 @@ func Deobfuscate(script string, opts *Options) (*Result, error) {
 			IdentifiersRenamed: res.Stats.IdentifiersRenamed,
 			Iterations:         res.Stats.Iterations,
 			Duration:           res.Stats.Duration,
+			PiecesTimedOut:     res.Stats.PiecesTimedOut,
+			PiecesPanicked:     res.Stats.PiecesPanicked,
+			PiecesOverBudget:   res.Stats.PiecesOverBudget,
+			TimedOut:           res.Stats.TimedOut,
 		},
-	}, nil
+	}, err
 }
 
 // ValidSyntax reports whether the script parses as PowerShell.
@@ -275,7 +342,15 @@ func (r *SandboxReport) NetworkEvents() []string {
 // RunSandbox executes a script with simulated side effects and records
 // its behaviour.
 func RunSandbox(script string) *SandboxReport {
-	res := sandbox.Run(script, sandbox.Options{})
+	return RunSandboxContext(context.Background(), script)
+}
+
+// RunSandboxContext executes a script in the sandbox under ctx; the
+// interpreter stops with a taxonomy error (reported in SandboxReport.Err)
+// when the deadline expires or the context is canceled. Behaviour
+// recorded before the cutoff is still reported.
+func RunSandboxContext(ctx context.Context, script string) *SandboxReport {
+	res := sandbox.RunContext(ctx, script, sandbox.Options{})
 	rep := &SandboxReport{Console: res.Console, Err: res.Err}
 	for _, e := range res.Behavior {
 		rep.Events = append(rep.Events, Event{Kind: string(e.Kind), Detail: e.Detail})
