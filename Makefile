@@ -1,16 +1,18 @@
 # Tier-1 gate: `make check` is the bar every change must clear.
 # It chains vet, build, the full test suite under the race detector,
-# and a short native-fuzz smoke over the hardened entry points.
+# the engine-equivalence + parse-amortization guards, and a short
+# native-fuzz smoke over the hardened entry points.
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCHCOUNT ?= 5
 
-.PHONY: all check vet build test race fuzz-smoke clean
+.PHONY: all check vet build test race equivalence fuzz-smoke bench-compare clean
 
 all: check
 
 # check is the tier-1 gate.
-check: vet build race fuzz-smoke
+check: vet build race equivalence fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +27,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# equivalence re-runs the refactor guards explicitly (they are also in
+# the plain suite): byte-identical output against the frozen pre-refactor
+# goldens, and the parses-per-run budget on the fixed 3-layer script.
+equivalence:
+	$(GO) test ./internal/core -run 'TestEquivalenceGolden|TestParseCount' -count=1
+
 # fuzz-smoke gives each native fuzz target a short budget. Any panic or
 # envelope violation found within the budget fails the gate.
 fuzz-smoke:
@@ -34,5 +42,21 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzDeobfuscateEnvelope -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/psinterp -run '^$$' -fuzz FuzzEvalSnippet -fuzztime $(FUZZTIME)
 
+# bench-compare measures the single-script engine benchmark and the
+# batch driver at 1/2/4 workers, writing bench.new. When a bench.old
+# baseline exists and benchstat is installed the two are compared;
+# otherwise copy bench.new to bench.old to set the baseline.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkDeobfuscate$$|BenchmarkDeobfuscateBatch' \
+		-count $(BENCHCOUNT) . | tee bench.new
+	@if command -v benchstat >/dev/null 2>&1 && [ -f bench.old ]; then \
+		benchstat bench.old bench.new; \
+	elif [ -f bench.old ]; then \
+		echo "benchstat not installed; compare bench.old and bench.new manually"; \
+	else \
+		echo "no baseline; run: cp bench.new bench.old"; \
+	fi
+
 clean:
 	$(GO) clean -testcache
+	rm -f bench.new

@@ -1,6 +1,8 @@
 package invokedeob_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	invokedeob "github.com/invoke-deobfuscation/invokedeob"
@@ -136,6 +138,35 @@ func BenchmarkDeobfuscate(b *testing.B) {
 		if _, err := invokedeob.Deobfuscate(benchScript, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDeobfuscateBatch measures the worker-pool batch driver over
+// a 16-sample generated corpus at 1, 2 and 4 workers. The jobs=1 case
+// is the sequential baseline; higher worker counts should approach
+// linear speedup on idle machines (scripts are independent; the shared
+// parse cache is the only cross-worker contact point).
+func BenchmarkDeobfuscateBatch(b *testing.B) {
+	samples := invokedeob.GenerateCorpus(1, 16)
+	inputs := make([]invokedeob.BatchInput, len(samples))
+	var total int
+	for i, s := range samples {
+		inputs[i] = invokedeob.BatchInput{Name: s.ID, Script: s.Source}
+		total += len(s.Source)
+	}
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			opts := &invokedeob.Options{Jobs: jobs}
+			b.SetBytes(int64(total))
+			for i := 0; i < b.N; i++ {
+				results := invokedeob.DeobfuscateBatch(context.Background(), inputs, opts)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatalf("%s: %v", r.Name, r.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

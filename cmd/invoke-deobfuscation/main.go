@@ -1,11 +1,14 @@
-// Command invoke-deobfuscation deobfuscates a PowerShell script from a
-// file or stdin, printing the recovered script to stdout.
+// Command invoke-deobfuscation deobfuscates PowerShell scripts from
+// files or stdin, printing the recovered scripts to stdout.
 //
 // Usage:
 //
-//	invoke-deobfuscation [flags] [script.ps1]
+//	invoke-deobfuscation [flags] [script.ps1 ...]
 //
-// With no file argument the script is read from stdin.
+// With no file argument the script is read from stdin. With several
+// file arguments the scripts are deobfuscated concurrently on a worker
+// pool (see -jobs) and printed in argument order, each under a
+// "===== name =====" header.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	invokedeob "github.com/invoke-deobfuscation/invokedeob"
 )
@@ -31,6 +35,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	var (
 		showStats  = fs.Bool("stats", false, "print deobfuscation statistics to stderr")
 		showLayers = fs.Bool("layers", false, "print each intermediate layer")
+		showTrace  = fs.Bool("trace", false, "print the per-pass pipeline trace (time, bytes, reverts, parse-cache hits) to stderr")
 		noRename   = fs.Bool("no-rename", false, "disable identifier renaming")
 		noReformat = fs.Bool("no-reformat", false, "disable reformatting")
 		noTrace    = fs.Bool("no-trace", false, "disable variable tracing (ablation)")
@@ -38,12 +43,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		iocs       = fs.Bool("iocs", false, "also print extracted IOCs to stderr")
 		timeout    = fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none), e.g. 30s")
 		maxOutput  = fs.Int("max-output", 0, "total output byte cap across unwrapped layers (0 = 64 MiB default)")
+		jobs       = fs.Int("jobs", 0, "worker-pool size for multi-file runs (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	script, err := readInput(fs.Args(), stdin)
-	if err != nil {
 		return err
 	}
 	opts := &invokedeob.Options{
@@ -52,6 +54,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		DisableVariableTracing: *noTrace,
 		MaxIterations:          *iterations,
 		MaxOutputBytes:         *maxOutput,
+		Jobs:                   *jobs,
+	}
+	emit := emitOptions{layers: *showLayers, stats: *showStats, trace: *showTrace, iocs: *iocs}
+	if len(fs.Args()) > 1 {
+		return runBatch(fs.Args(), opts, *timeout, emit, stdout, stderr)
+	}
+	script, err := readInput(fs.Args(), stdin)
+	if err != nil {
+		return err
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -70,49 +81,110 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		// the violation.
 		if name := invokedeob.ErrorName(err); name != "" {
 			if res != nil {
-				emitResult(stdout, stderr, res, *showLayers, *showStats)
+				emitResult(stdout, stderr, res, emit)
 			}
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		return err
 	}
-	emitResult(stdout, stderr, res, *showLayers, *showStats)
-	if *iocs {
-		printIOCs(stderr, invokedeob.ExtractIOCs(res.Script))
+	emitResult(stdout, stderr, res, emit)
+	return nil
+}
+
+// runBatch deobfuscates several files concurrently, printing results in
+// argument order. Per-script envelope failures are reported per file on
+// stderr; the command exits non-zero if any script failed.
+func runBatch(files []string, opts *invokedeob.Options, timeout time.Duration, emit emitOptions, stdout, stderr io.Writer) error {
+	// Per-script deadline: in batch mode -timeout bounds each script,
+	// not the whole batch, so one hostile file cannot eat the budget of
+	// the files queued behind it.
+	if timeout > 0 {
+		opts.ScriptTimeout = timeout
+	}
+	inputs := make([]invokedeob.BatchInput, len(files))
+	for i, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		inputs[i] = invokedeob.BatchInput{Name: f, Script: string(b)}
+	}
+	results := invokedeob.DeobfuscateBatch(context.Background(), inputs, opts)
+	failures := 0
+	for _, r := range results {
+		fmt.Fprintf(stdout, "===== %s =====\n", r.Name)
+		if r.Err != nil {
+			failures++
+			name := invokedeob.ErrorName(r.Err)
+			if name == "" {
+				name = "error"
+			}
+			fmt.Fprintf(stderr, "%s: %s: %v\n", r.Name, name, r.Err)
+		}
+		if r.Result != nil {
+			emitNamed(stdout, stderr, r.Name, r.Result, emit)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d scripts failed", failures, len(results))
 	}
 	return nil
 }
 
-// emitResult prints the recovered script (and optional layers/stats)
-// for both complete runs and partial results after an envelope
-// violation.
-func emitResult(stdout, stderr io.Writer, res *invokedeob.Result, showLayers, showStats bool) {
-	if showLayers {
+// emitOptions selects the optional outputs.
+type emitOptions struct {
+	layers bool
+	stats  bool
+	trace  bool
+	iocs   bool
+}
+
+// emitResult prints the recovered script (and optional layers, stats,
+// trace and IOCs) for both complete runs and partial results after an
+// envelope violation.
+func emitResult(stdout, stderr io.Writer, res *invokedeob.Result, emit emitOptions) {
+	emitNamed(stdout, stderr, "", res, emit)
+}
+
+func emitNamed(stdout, stderr io.Writer, name string, res *invokedeob.Result, emit emitOptions) {
+	prefix := ""
+	if name != "" {
+		prefix = name + ": "
+	}
+	if emit.layers {
 		for i, layer := range res.Layers {
 			fmt.Fprintf(stdout, "----- layer %d -----\n%s\n", i+1, layer)
 		}
 		fmt.Fprintln(stdout, "----- final -----")
 	}
 	fmt.Fprintln(stdout, res.Script)
-	if showStats {
+	if emit.stats {
 		s := res.Stats
 		fmt.Fprintf(stderr,
-			"tokens=%d pieces=%d/%d vars traced=%d inlined=%d layers=%d renamed=%d iterations=%d time=%s\n",
-			s.TokensNormalized, s.PiecesRecovered, s.PiecesAttempted,
+			"%stokens=%d pieces=%d/%d vars traced=%d inlined=%d layers=%d renamed=%d iterations=%d time=%s\n",
+			prefix, s.TokensNormalized, s.PiecesRecovered, s.PiecesAttempted,
 			s.VariablesTraced, s.VariablesInlined, s.LayersUnwrapped,
 			s.IdentifiersRenamed, s.Iterations, s.Duration)
 		if s.PiecesTimedOut+s.PiecesPanicked+s.PiecesOverBudget > 0 || s.TimedOut {
 			fmt.Fprintf(stderr,
-				"envelope: timed-out-pieces=%d panicked=%d over-budget=%d run-interrupted=%t\n",
-				s.PiecesTimedOut, s.PiecesPanicked, s.PiecesOverBudget, s.TimedOut)
+				"%senvelope: timed-out-pieces=%d panicked=%d over-budget=%d run-interrupted=%t\n",
+				prefix, s.PiecesTimedOut, s.PiecesPanicked, s.PiecesOverBudget, s.TimedOut)
 		}
+	}
+	if emit.trace {
+		for _, p := range res.PassTrace {
+			fmt.Fprintf(stderr,
+				"%strace pass=%-8s runs=%d time=%s in=%dB out=%dB reverts=%d cache=%d/%d hits\n",
+				prefix, p.Pass, p.Runs, p.Duration, p.BytesIn, p.BytesOut,
+				p.Reverts, p.CacheHits, p.CacheHits+p.CacheMisses)
+		}
+	}
+	if emit.iocs {
+		printIOCs(stderr, invokedeob.ExtractIOCs(res.Script))
 	}
 }
 
 func readInput(args []string, stdin io.Reader) (string, error) {
-	if len(args) > 1 {
-		return "", fmt.Errorf("expected at most one script file, got %d", len(args))
-	}
 	if len(args) == 1 {
 		b, err := os.ReadFile(args[0])
 		if err != nil {

@@ -90,9 +90,99 @@ func TestRunInvalidInput(t *testing.T) {
 	}
 }
 
-func TestRunTooManyArgs(t *testing.T) {
+func TestRunBatchMissingFile(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run([]string{"a.ps1", "b.ps1"}, strings.NewReader(""), &stdout, &stderr); err == nil {
-		t.Error("expected error")
+		t.Error("expected error for nonexistent files")
+	}
+}
+
+// TestRunBatchOrder asserts that multi-file runs print each result in
+// argument order under a per-file header, regardless of worker count.
+func TestRunBatchOrder(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i, src := range []string{
+		"IEX 'write-host alpha'",
+		"IEX 'write-host beta'",
+		"IEX 'write-host gamma'",
+	} {
+		p := filepath.Join(dir, string(rune('a'+i))+".ps1")
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-jobs", "2"}, paths...)
+	if err := run(args, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"alpha", "beta", "gamma"} {
+		if !strings.Contains(out, "Write-Host "+want) {
+			t.Errorf("missing recovered script for %s: %q", want, out)
+		}
+	}
+	// Headers appear in argument order.
+	last := -1
+	for _, p := range paths {
+		i := strings.Index(out, "===== "+p+" =====")
+		if i < 0 {
+			t.Fatalf("missing header for %s: %q", p, out)
+		}
+		if i < last {
+			t.Errorf("header for %s out of order", p)
+		}
+		last = i
+	}
+}
+
+// TestRunBatchPartialFailure asserts that one invalid file fails its own
+// slot (non-zero exit, per-file stderr line) without suppressing the
+// sibling results.
+func TestRunBatchPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.ps1")
+	bad := filepath.Join(dir, "bad.ps1")
+	if err := os.WriteFile(good, []byte("IEX 'write-host fine'"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte("while ("), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{good, bad}, strings.NewReader(""), &stdout, &stderr)
+	if err == nil {
+		t.Fatal("want a batch failure error")
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Errorf("error = %v", err)
+	}
+	if !strings.Contains(stdout.String(), "Write-Host fine") {
+		t.Errorf("sibling result suppressed: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), bad+":") {
+		t.Errorf("per-file error missing: %q", stderr.String())
+	}
+}
+
+// TestRunTrace asserts the -trace flag emits per-pass lines with cache
+// counters on stderr.
+func TestRunTrace(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("IEX 'IEX ''write-host traced'''")
+	if err := run([]string{"-trace"}, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Write-Host traced") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+	es := stderr.String()
+	if !strings.Contains(es, "trace pass=") || !strings.Contains(es, "cache=") {
+		t.Errorf("trace lines missing: %q", es)
+	}
+	if !strings.Contains(es, "ast") {
+		t.Errorf("trace missing ast pass: %q", es)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
@@ -30,11 +31,14 @@ type visitCtx struct {
 }
 
 type astState struct {
-	d       *Deobfuscator
+	r   *run
+	pc  *pipeline.PassContext
+	doc *pipeline.Document
+	// view is the run's parse-cache view; literal detection, payload
+	// parsing and piece evaluation all draw their parses from it.
+	view    *pipeline.View
 	src     string
-	stats   *Stats
 	depth   int
-	env     *envelope
 	repl    map[psast.Node]string
 	vars    map[string]varEntry
 	scopeID int
@@ -44,28 +48,31 @@ type astState struct {
 }
 
 // astPhase runs recovery based on AST over one script layer under the
-// run's execution envelope.
-func (d *Deobfuscator) astPhase(src string, stats *Stats, depth int, env *envelope) string {
-	root, err := psparser.Parse(src)
+// run's execution envelope. doc may be the run's main Document or a
+// fork holding a nested payload layer; either way tokens, ASTs and
+// validity checks come from the shared parse cache.
+func (r *run) astPhase(pc *pipeline.PassContext, doc *pipeline.Document, depth int) {
+	root, err := doc.AST()
 	if err != nil {
-		return src
+		return
 	}
 	s := &astState{
-		d:         d,
-		src:       src,
-		stats:     stats,
+		r:         r,
+		pc:        pc,
+		doc:       doc,
+		view:      doc.View(),
+		src:       doc.Text(),
 		depth:     depth,
-		env:       env,
 		repl:      make(map[psast.Node]string),
 		vars:      make(map[string]varEntry),
 		safeFuncs: make(map[string]*psast.FunctionDefinition),
 	}
-	if d.opts.FunctionTracing {
+	if r.d.opts.FunctionTracing {
 		s.collectPureFunctions(root)
 	}
 	s.visit(root, visitCtx{scope: []int{0}})
 	out := s.textOf(root)
-	return validOrRevert(out, src)
+	doc.SetText(r.validOrRevert(pc, s.view, out, s.src))
 }
 
 // enterScope derives a child scope path.
@@ -226,7 +233,7 @@ func (s *astState) visit(n psast.Node, ctx visitCtx) {
 // is skipped, so the traversal winds down in O(nodes) instead of the
 // O(nodes x subtree) cost of safety analysis and recovery.
 func (s *astState) process(n psast.Node, ctx visitCtx) {
-	if s.env.violated() {
+	if s.r.env.violated() {
 		return
 	}
 	if v, ok := n.(*psast.VariableExpression); ok {
@@ -243,7 +250,7 @@ func (s *astState) process(n psast.Node, ctx visitCtx) {
 
 // processVariable implements lines 8–25 of Algorithm 1 for reads.
 func (s *astState) processVariable(v *psast.VariableExpression, ctx visitCtx) {
-	if ctx.assignLHS || s.d.opts.DisableVariableTracing {
+	if ctx.assignLHS || s.r.d.opts.DisableVariableTracing {
 		return
 	}
 	name := canonicalVarName(v.Name)
@@ -264,7 +271,7 @@ func (s *astState) processVariable(v *psast.VariableExpression, ctx visitCtx) {
 		return
 	}
 	s.repl[v] = lit
-	s.stats.VariablesInlined++
+	s.r.stats.VariablesInlined++
 }
 
 // canonicalVarName returns the lower-cased plain variable name, or ""
@@ -288,7 +295,7 @@ func canonicalVarName(name string) string {
 
 // processAssignment implements lines 13–20 of Algorithm 1.
 func (s *astState) processAssignment(a *psast.Assignment, ctx visitCtx) {
-	if s.d.opts.DisableVariableTracing || s.env.violated() {
+	if s.r.d.opts.DisableVariableTracing || s.r.env.violated() {
 		return
 	}
 	v, ok := a.Left.(*psast.VariableExpression)
@@ -326,7 +333,7 @@ func (s *astState) processAssignment(a *psast.Assignment, ctx visitCtx) {
 		return
 	}
 	s.vars[name] = varEntry{value: value, scope: append([]int(nil), ctx.scope...)}
-	s.stats.VariablesTraced++
+	s.r.stats.VariablesTraced++
 }
 
 // applyCompound folds a compound assignment over traced values.
@@ -361,7 +368,7 @@ func (s *astState) evaluateStatementValue(n psast.Node, ctx visitCtx) (any, bool
 	}
 	text := s.textOf(n)
 	// Fast path: the RHS was already recovered to a literal.
-	if v, ok := literalValue(text); ok {
+	if v, ok := s.literalValue(text); ok {
 		return v, true
 	}
 	if !s.isSafePiece(n, ctx) {
@@ -369,7 +376,7 @@ func (s *astState) evaluateStatementValue(n psast.Node, ctx visitCtx) (any, bool
 	}
 	out, err := s.evalText(text, ctx)
 	if err != nil {
-		classifyEvalFailure(s.stats, err)
+		classifyEvalFailure(s.r.stats, err)
 		return nil, false
 	}
 	value := psinterp.Unwrap(out)
@@ -383,19 +390,19 @@ func (s *astState) evaluateStatementValue(n psast.Node, ctx visitCtx) (any, bool
 // the result is a string or number (paper §III-B2).
 func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
 	text := s.textOf(n)
-	if len(text) > s.d.opts.MaxPieceLen {
+	if len(text) > s.r.d.opts.MaxPieceLen {
 		return
 	}
-	if isTrivialPiece(n, text) {
+	if s.isTrivialPiece(n, text) {
 		return
 	}
 	if !s.isSafePiece(n, ctx) {
 		return
 	}
-	s.stats.PiecesAttempted++
+	s.r.stats.PiecesAttempted++
 	out, err := s.evalText(text, ctx)
 	if err != nil {
-		classifyEvalFailure(s.stats, err)
+		classifyEvalFailure(s.r.stats, err)
 		return
 	}
 	value := psinterp.Unwrap(out)
@@ -403,38 +410,42 @@ func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
 	if !ok || lit == text {
 		return
 	}
-	if len(lit) > s.d.opts.MaxPieceLen {
+	if len(lit) > s.r.d.opts.MaxPieceLen {
 		return
 	}
 	s.repl[n] = lit
-	s.stats.PiecesRecovered++
+	s.r.stats.PiecesRecovered++
 }
 
 // evalText runs a piece in a fresh bounded interpreter preloaded with
 // the traced symbol table (and, when the extension is on, the pure
 // decoder functions the script defines). The interpreter inherits the
-// run's context (deadline / cancelation) and memory budget.
+// run's context (deadline / cancelation) and memory budget. The
+// piece's parse comes from the run's cache, so re-evaluating an
+// identical piece (common across fixpoint iterations) skips straight
+// to interpretation.
 func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
-	if err := s.env.check(); err != nil {
+	if err := s.r.env.check(); err != nil {
 		return nil, err
 	}
 	opts := psinterp.Options{
-		MaxSteps:      s.d.opts.StepBudget,
+		MaxSteps:      s.r.d.opts.StepBudget,
 		StrictVars:    true,
 		Blocklist:     s.blocklistForEval(),
-		MaxAllocBytes: s.d.opts.MaxAllocBytes,
+		MaxAllocBytes: s.r.d.opts.MaxAllocBytes,
 	}
-	if s.env != nil {
-		opts.Ctx = s.env.ctx
+	if s.r.env != nil {
+		opts.Ctx = s.r.env.ctx
 	}
 	in := psinterp.New(opts)
-	if !ctx.inFunc && !s.d.opts.DisableVariableTracing {
+	if !ctx.inFunc && !s.r.d.opts.DisableVariableTracing {
 		for name, e := range s.vars {
 			if scopeVisible(e.scope, ctx.scope) {
 				in.SetVar(name, e.value)
 			}
 		}
 	}
+	snippet := text
 	if len(s.safeFuncs) > 0 {
 		var defs strings.Builder
 		for _, fd := range s.safeFuncs {
@@ -442,9 +453,13 @@ func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
 			defs.WriteByte('\n')
 		}
 		defs.WriteString(text)
-		return in.EvalSnippet(defs.String())
+		snippet = defs.String()
 	}
-	return in.EvalSnippet(text)
+	sb, err := s.view.Parse(snippet)
+	if err != nil {
+		return nil, err
+	}
+	return in.EvalScript(sb)
 }
 
 // collectPureFunctions records user functions whose bodies are pure:
@@ -484,7 +499,7 @@ func (s *astState) isPureFunction(fd *psast.FunctionDefinition) bool {
 		switch x := node.(type) {
 		case *psast.Command:
 			name, ok := s.commandLiteralName(x)
-			if !ok || s.d.blocklist[psinterp.NormalizeCommandName(name)] ||
+			if !ok || s.r.d.blocklist[psinterp.NormalizeCommandName(name)] ||
 				!safeCommands[psinterp.NormalizeCommandName(name)] {
 				pure = false
 				return
@@ -546,12 +561,12 @@ func assignedWithin(root psast.Node, lower string) bool {
 }
 
 func (s *astState) blocklistForEval() map[string]bool {
-	return s.d.blocklist
+	return s.r.d.blocklist
 }
 
 // isTrivialPiece reports pieces whose recovery cannot simplify anything:
 // bare literals, lone variables, or pipelines around them.
-func isTrivialPiece(n psast.Node, text string) bool {
+func (s *astState) isTrivialPiece(n psast.Node, text string) bool {
 	switch x := n.(type) {
 	case *psast.Pipeline:
 		if len(x.Elements) != 1 {
@@ -576,7 +591,7 @@ func isTrivialPiece(n psast.Node, text string) bool {
 		}
 		return false
 	}
-	if _, ok := literalValue(text); ok {
+	if _, ok := s.literalValue(text); ok {
 		return true
 	}
 	return false
@@ -616,7 +631,7 @@ func (s *astState) isSafePiece(n psast.Node, ctx visitCtx) bool {
 				return
 			}
 			canonical := psinterp.NormalizeCommandName(name)
-			if s.d.blocklist[canonical] {
+			if s.r.d.blocklist[canonical] {
 				safe = false
 				return
 			}
@@ -659,7 +674,7 @@ func (s *astState) commandLiteralName(cmd *psast.Command) (string, bool) {
 		return n.Value, true
 	default:
 		text := s.textOf(cmd.Name)
-		if v, ok := literalValue(text); ok {
+		if v, ok := s.literalValue(text); ok {
 			return psinterp.ToString(v), true
 		}
 		return "", false
@@ -683,7 +698,7 @@ func (s *astState) variableKnown(name string, ctx visitCtx, inScriptBlock bool) 
 		"psculture", "psuiculture":
 		return true
 	}
-	if s.d.opts.DisableVariableTracing || ctx.inFunc {
+	if s.r.d.opts.DisableVariableTracing || ctx.inFunc {
 		return false
 	}
 	key := canonicalVarName(name)
@@ -765,15 +780,40 @@ func QuoteSingle(s string) string {
 	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
 }
 
-// literalValue parses text and, when it is a single string/number
-// literal (possibly parenthesized), returns its value.
+// literalValue parses text through the run's cache and, when it is a
+// single string/number literal (possibly parenthesized), returns its
+// value. Literal detection runs on every candidate payload and command
+// name, so the memoized parse is one of the cache's hottest entries.
+func (s *astState) literalValue(text string) (any, bool) {
+	trimmed := strings.TrimSpace(text)
+	if trimmed == "" {
+		return nil, false
+	}
+	root, err := s.view.Parse(trimmed)
+	if err != nil {
+		return nil, false
+	}
+	return literalFromRoot(root)
+}
+
+// literalValue is the cache-free form, kept for callers without a run
+// (tests, one-off probes).
 func literalValue(text string) (any, bool) {
 	trimmed := strings.TrimSpace(text)
 	if trimmed == "" {
 		return nil, false
 	}
 	root, err := psparser.Parse(trimmed)
-	if err != nil || root.Body == nil || len(root.Body.Statements) != 1 {
+	if err != nil {
+		return nil, false
+	}
+	return literalFromRoot(root)
+}
+
+// literalFromRoot extracts the single string/number literal of a parsed
+// script, if that is all the script contains.
+func literalFromRoot(root *psast.ScriptBlock) (any, bool) {
+	if root == nil || root.Body == nil || len(root.Body.Statements) != 1 {
 		return nil, false
 	}
 	pipe, ok := root.Body.Statements[0].(*psast.Pipeline)

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
+)
+
+// BatchInput is one script submitted to DeobfuscateBatch.
+type BatchInput struct {
+	// Name labels the script in results (file path, sample ID, ...).
+	Name string
+	// Script is the source text.
+	Script string
+}
+
+// BatchResult is the outcome of one script in a batch run.
+type BatchResult struct {
+	// Name echoes the input's name.
+	Name string
+	// Index is the input's position; results are returned in input
+	// order, so results[i].Index == i always holds.
+	Index int
+	// Result is the per-script outcome. Like DeobfuscateContext, it is
+	// non-nil even for envelope violations that salvaged partial
+	// progress (Stats.TimedOut set), and nil only when the run produced
+	// nothing (invalid syntax, pre-start cancelation).
+	Result *Result
+	// Err is the per-script error, classifiable with errors.Is against
+	// the taxonomy.
+	Err error
+}
+
+// DeobfuscateBatch runs many scripts through the pipeline concurrently
+// on a bounded worker pool (Options.Jobs workers; zero means
+// GOMAXPROCS). Each script gets its own execution envelope — and, when
+// Options.ScriptTimeout is set, its own deadline — so one pathological
+// input times out alone instead of starving its siblings. All workers
+// share one bounded parse cache: identical layers, wrappers and pieces
+// across scripts (rampant in malware corpora, where one builder emits
+// thousands of near-clones) tokenize and parse once.
+//
+// Results are returned in input order, one per input. Canceling ctx
+// stops the pool promptly: scripts not yet started return ErrCanceled
+// results.
+func (d *Deobfuscator) DeobfuscateBatch(ctx context.Context, inputs []BatchInput) []BatchResult {
+	results := make([]BatchResult, len(inputs))
+	if len(inputs) == 0 {
+		return results
+	}
+	jobs := d.opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(inputs) {
+		jobs = len(inputs)
+	}
+	// One cache for the whole batch. pipeline.Cache is safe for
+	// concurrent use and bounded, so hostile inputs cannot balloon it.
+	cache := pipeline.NewCache(0, 0)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				in := inputs[i]
+				sctx := ctx
+				cancel := context.CancelFunc(func() {})
+				if d.opts.ScriptTimeout > 0 {
+					sctx, cancel = context.WithTimeout(ctx, d.opts.ScriptTimeout)
+				}
+				res, err := d.deobfuscate(sctx, in.Script, cache)
+				cancel()
+				results[i] = BatchResult{Name: in.Name, Index: i, Result: res, Err: err}
+			}
+		}()
+	}
+feed:
+	for i := range inputs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark everything not yet handed out; workers finish their
+			// current script (their envelopes observe the cancelation).
+			for j := i; j < len(inputs); j++ {
+				results[j] = BatchResult{Name: inputs[j].Name, Index: j, Err: ErrCanceled}
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

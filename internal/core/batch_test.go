@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBatchOrderAndAttribution asserts the batch driver returns one
+// result per input, in input order, with names and indices echoing the
+// inputs — regardless of worker count or completion order.
+func TestBatchOrderAndAttribution(t *testing.T) {
+	d := New(Options{Jobs: 3})
+	var inputs []BatchInput
+	for i := 0; i < 8; i++ {
+		inputs = append(inputs, BatchInput{
+			Name:   fmt.Sprintf("sample-%d", i),
+			Script: fmt.Sprintf("IEX 'write-host payload%d'", i),
+		})
+	}
+	results := d.DeobfuscateBatch(context.Background(), inputs)
+	if len(results) != len(inputs) {
+		t.Fatalf("got %d results for %d inputs", len(results), len(inputs))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("results[%d].Index = %d", i, r.Index)
+		}
+		if r.Name != inputs[i].Name {
+			t.Errorf("results[%d].Name = %q, want %q", i, r.Name, inputs[i].Name)
+		}
+		if r.Err != nil {
+			t.Errorf("results[%d].Err = %v", i, r.Err)
+			continue
+		}
+		want := fmt.Sprintf("payload%d", i)
+		if !strings.Contains(r.Result.Script, want) {
+			t.Errorf("results[%d] script %q missing %q", i, r.Result.Script, want)
+		}
+	}
+}
+
+// TestBatchEnvelopeIsolation asserts a hostile script tripping its own
+// per-script budget fails alone: its siblings still deobfuscate fully.
+func TestBatchEnvelopeIsolation(t *testing.T) {
+	// MaxOutputBytes is per run (per script), so the deeply nested
+	// sample blows its own budget without touching the siblings'.
+	d := New(Options{MaxOutputBytes: 1, Jobs: 2})
+	inputs := []BatchInput{
+		{Name: "ok-but-tiny", Script: "write-host hi"},
+		{Name: "hostile", Script: "gci ."}, // alias expansion grows the layer
+	}
+	results := d.DeobfuscateBatch(context.Background(), inputs)
+	if results[1].Err == nil {
+		t.Error("hostile script should have violated its envelope")
+	}
+	// Now the inverse: generous budget, everything succeeds even when a
+	// sibling failed in a previous batch (no cross-batch state).
+	d2 := New(Options{Jobs: 2})
+	inputs2 := []BatchInput{
+		{Name: "a", Script: "IEX 'write-host first'"},
+		{Name: "b", Script: "IEX 'write-host second'"},
+	}
+	for _, r := range d2.DeobfuscateBatch(context.Background(), inputs2) {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Name, r.Err)
+		}
+	}
+}
+
+// TestBatchScriptTimeout asserts ScriptTimeout deadlines each script
+// individually: an already-expired deadline fails every script with the
+// deadline taxonomy error, not a pool-wide hang.
+func TestBatchScriptTimeout(t *testing.T) {
+	d := New(Options{ScriptTimeout: time.Nanosecond, Jobs: 2})
+	inputs := []BatchInput{
+		{Name: "x", Script: "IEX 'write-host x'"},
+		{Name: "y", Script: "IEX 'write-host y'"},
+	}
+	results := d.DeobfuscateBatch(context.Background(), inputs)
+	for _, r := range results {
+		if r.Err == nil {
+			t.Errorf("%s: want a deadline error", r.Name)
+			continue
+		}
+		if !errors.Is(r.Err, ErrDeadline) && !errors.Is(r.Err, ErrCanceled) {
+			t.Errorf("%s: err = %v, want deadline/canceled", r.Name, r.Err)
+		}
+	}
+}
+
+// TestBatchCancel asserts canceling the batch context marks unstarted
+// scripts ErrCanceled instead of blocking.
+func TestBatchCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the pool starts feeding
+	d := New(Options{Jobs: 1})
+	inputs := []BatchInput{
+		{Name: "a", Script: "write-host a"},
+		{Name: "b", Script: "write-host b"},
+	}
+	results := d.DeobfuscateBatch(ctx, inputs)
+	canceled := 0
+	for _, r := range results {
+		if errors.Is(r.Err, ErrCanceled) || errors.Is(r.Err, ErrDeadline) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Errorf("no script observed the cancelation: %+v", results)
+	}
+}
+
+// TestBatchEmpty asserts the zero-input edge case returns immediately.
+func TestBatchEmpty(t *testing.T) {
+	d := New(Options{})
+	if got := d.DeobfuscateBatch(context.Background(), nil); len(got) != 0 {
+		t.Errorf("got %d results for empty batch", len(got))
+	}
+}
+
+// TestBatchSharedCacheEquivalence asserts scripts deobfuscated through
+// the shared batch cache produce output identical to solo runs: the
+// cache amortizes work, never changes results.
+func TestBatchSharedCacheEquivalence(t *testing.T) {
+	scripts := []string{
+		"i`ex ('write-ho'+'st one')",
+		"IEX 'IEX ''write-host two'''",
+		"$a = 'three'; write-host $a",
+		// Duplicate of the first: exercises cross-script cache hits.
+		"i`ex ('write-ho'+'st one')",
+	}
+	solo := New(Options{})
+	var want []string
+	for _, s := range scripts {
+		res, err := solo.Deobfuscate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res.Script)
+	}
+	batch := New(Options{Jobs: 4})
+	inputs := make([]BatchInput, len(scripts))
+	for i, s := range scripts {
+		inputs[i] = BatchInput{Name: fmt.Sprintf("s%d", i), Script: s}
+	}
+	for i, r := range batch.DeobfuscateBatch(context.Background(), inputs) {
+		if r.Err != nil {
+			t.Fatalf("s%d: %v", i, r.Err)
+		}
+		if r.Result.Script != want[i] {
+			t.Errorf("s%d: batch output diverged\nbatch: %q\nsolo:  %q", i, r.Result.Script, want[i])
+		}
+	}
+}

@@ -11,6 +11,13 @@
 //  3. Rename and reformat (§III-C): statistically random identifiers
 //     become var{N}/func{N} and whitespace is normalized.
 //
+// The phases are composed as passes over a pipeline.Document: every
+// phase — and every per-splice validOrRevert syntax check (§IV-A) —
+// draws its token stream and AST from one bounded, content-keyed parse
+// cache instead of re-parsing identical text, and each pass execution
+// is traced (duration, bytes in/out, reverts, cache hits) into
+// Result.PassTrace.
+//
 // Every phase re-validates syntax and reverts on regression, so the
 // output is always parseable and semantically consistent with the
 // input.
@@ -24,8 +31,8 @@ import (
 	"time"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psnames"
-	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
 )
 
 // defaultMaxOutputBytes caps the total bytes produced across unwrapped
@@ -71,6 +78,14 @@ type Options struct {
 	// MaxOutputBytes bounds the total bytes produced across all
 	// unwrapped layers in one run (zip-bomb guard). Zero means 64 MiB.
 	MaxOutputBytes int
+	// Jobs bounds DeobfuscateBatch worker-pool concurrency. Zero means
+	// GOMAXPROCS.
+	Jobs int
+	// ScriptTimeout, when positive, gives each script in a
+	// DeobfuscateBatch run its own wall-clock deadline (derived from the
+	// batch context), so one pathological script cannot starve its
+	// siblings. Zero means only the batch context's deadline applies.
+	ScriptTimeout time.Duration
 }
 
 // Stats counts the work performed during one deobfuscation.
@@ -118,6 +133,10 @@ type Result struct {
 	Layers []string
 	// Stats describes the work performed.
 	Stats Stats
+	// PassTrace is the per-pass execution trace: one entry per pass in
+	// first-run order, aggregated across fixpoint iterations (duration,
+	// bytes in/out, reverts, parse-cache hits/misses).
+	PassTrace []pipeline.PassStat
 }
 
 // Deobfuscator runs the three-phase pipeline.
@@ -147,6 +166,77 @@ func New(opts Options) *Deobfuscator {
 // ErrInvalidSyntax reports that the input script does not parse.
 var ErrInvalidSyntax = errors.New("core: input has invalid syntax")
 
+// run carries the per-run state every pass shares: the owning
+// Deobfuscator's options, the stats being accumulated, and the
+// execution envelope. Documents and the parse cache travel separately
+// (on the PassContext) so nested payload layers can fork Documents
+// while drawing from the same cache.
+type run struct {
+	d     *Deobfuscator
+	stats *Stats
+	env   *envelope
+}
+
+// The four phases as registered passes. Each is a thin adapter from
+// the pipeline.Pass interface onto the phase implementation; nested
+// payload layers reuse the phase implementations directly on forked
+// Documents (their work is attributed to the enclosing ast pass).
+type (
+	tokenPass    struct{ r *run }
+	astPass      struct{ r *run }
+	renamePass   struct{ r *run }
+	reformatPass struct{ r *run }
+)
+
+func (p *tokenPass) Name() string { return "token" }
+func (p *tokenPass) Run(pc *pipeline.PassContext) error {
+	p.r.tokenPhase(pc, pc.Doc)
+	return nil
+}
+
+func (p *astPass) Name() string { return "ast" }
+func (p *astPass) Run(pc *pipeline.PassContext) error {
+	p.r.astPhase(pc, pc.Doc, 0)
+	return nil
+}
+
+func (p *renamePass) Name() string { return "rename" }
+func (p *renamePass) Run(pc *pipeline.PassContext) error {
+	p.r.renamePhase(pc, pc.Doc)
+	return nil
+}
+
+func (p *reformatPass) Name() string { return "reformat" }
+func (p *reformatPass) Run(pc *pipeline.PassContext) error {
+	p.r.reformatPhase(pc, pc.Doc)
+	return nil
+}
+
+// layerPasses returns the passes of the fixpoint loop (phases 1–2) in
+// order, honoring the ablation switches.
+func (d *Deobfuscator) layerPasses(r *run) []pipeline.Pass {
+	var passes []pipeline.Pass
+	if !d.opts.DisableTokenPhase {
+		passes = append(passes, &tokenPass{r})
+	}
+	if !d.opts.DisableASTPhase {
+		passes = append(passes, &astPass{r})
+	}
+	return passes
+}
+
+// finalPasses returns the once-only finishing passes (phase 3).
+func (d *Deobfuscator) finalPasses(r *run) []pipeline.Pass {
+	var passes []pipeline.Pass
+	if !d.opts.DisableRename {
+		passes = append(passes, &renamePass{r})
+	}
+	if !d.opts.DisableReformat {
+		passes = append(passes, &reformatPass{r})
+	}
+	return passes
+}
+
 // Deobfuscate runs the full pipeline on a script with no deadline. It
 // is a thin wrapper over DeobfuscateContext.
 func (d *Deobfuscator) Deobfuscate(src string) (*Result, error) {
@@ -160,7 +250,14 @@ func (d *Deobfuscator) Deobfuscate(src string) (*Result, error) {
 // layers. When the envelope is violated mid-run it returns the partial
 // result (with Stats.TimedOut set) together with the taxonomy error —
 // both return values are non-nil in that case.
-func (d *Deobfuscator) DeobfuscateContext(ctx context.Context, src string) (res *Result, err error) {
+func (d *Deobfuscator) DeobfuscateContext(ctx context.Context, src string) (*Result, error) {
+	return d.deobfuscate(ctx, src, nil)
+}
+
+// deobfuscate is the pipeline driver behind DeobfuscateContext and
+// DeobfuscateBatch. A nil cache gets a fresh per-run cache; batch runs
+// pass a shared one so identical layers across scripts parse once.
+func (d *Deobfuscator) deobfuscate(ctx context.Context, src string, cache *pipeline.Cache) (res *Result, err error) {
 	defer limits.Recover("core.Deobfuscate", &err)
 	start := time.Now()
 	res = &Result{}
@@ -168,47 +265,59 @@ func (d *Deobfuscator) DeobfuscateContext(ctx context.Context, src string) (res 
 	if cerr := env.check(); cerr != nil {
 		return nil, cerr
 	}
-	if _, perr := psparser.Parse(src); perr != nil {
+	if cache == nil {
+		cache = pipeline.NewCache(0, 0)
+	}
+	doc := pipeline.NewDocument(src, cache.View())
+	pc := &pipeline.PassContext{Doc: doc}
+	runner := pipeline.NewRunner(nil)
+	r := &run{d: d, stats: &res.Stats, env: env}
+	// Up-front validity check. The parse lands in the cache, so the
+	// first ast-pass iteration (and the final safety net, if the script
+	// never changes) reuses it instead of re-parsing.
+	if _, perr := doc.AST(); perr != nil {
 		// Wrap both sentinels so errors.Is sees ErrInvalidSyntax and,
 		// for nesting-limit rejections, ErrParseDepth.
 		return nil, fmt.Errorf("%w: %w", ErrInvalidSyntax, perr)
 	}
-	cur := src
+	layers := d.layerPasses(r)
 	for iter := 0; iter < d.opts.MaxIterations; iter++ {
 		if env.violated() {
 			break
 		}
 		res.Stats.Iterations = iter + 1
-		next := cur
-		if !d.opts.DisableTokenPhase {
-			next = d.tokenPhase(next, &res.Stats)
+		prev := doc.Text()
+		for _, p := range layers {
+			if rerr := runner.Run(p, pc); rerr != nil {
+				break
+			}
 		}
-		if !d.opts.DisableASTPhase {
-			next = d.astPhase(next, &res.Stats, 0, env)
-		}
-		if next == cur {
+		next := doc.Text()
+		if next == prev {
 			break
 		}
 		// Charge only the per-iteration growth: re-charging the full
 		// layer every round would bill a large-but-legitimate script
 		// MaxIterations times over. Bomb chains that genuinely expand
 		// are billed in full where they unwrap (deobPayload).
-		if env.chargeOutput(len(next)-len(cur)) != nil {
+		if env.chargeOutput(len(next)-len(prev)) != nil {
+			doc.SetText(prev)
 			break
 		}
-		cur = next
-		res.Layers = append(res.Layers, cur)
+		res.Layers = append(res.Layers, next)
 	}
 	if !env.violated() {
-		if !d.opts.DisableRename {
-			cur = d.renamePhase(cur, &res.Stats)
-		}
-		if !d.opts.DisableReformat {
-			cur = d.reformatPhase(cur)
+		for _, p := range d.finalPasses(r) {
+			if rerr := runner.Run(p, pc); rerr != nil {
+				break
+			}
 		}
 	}
-	// Final safety net: never emit something unparseable.
-	if _, perr := psparser.Parse(cur); perr != nil {
+	cur := doc.Text()
+	// Final safety net: never emit something unparseable. Drawn from
+	// the cache — when no pass changed the text this is the up-front
+	// parse again, for free.
+	if !doc.Valid() {
 		if len(res.Layers) > 0 {
 			cur = res.Layers[len(res.Layers)-1]
 		} else {
@@ -216,6 +325,7 @@ func (d *Deobfuscator) DeobfuscateContext(ctx context.Context, src string) (res 
 		}
 	}
 	res.Script = cur
+	res.PassTrace = runner.Trace().Stats()
 	res.Stats.Duration = time.Since(start)
 	if envErr := env.check(); envErr != nil {
 		res.Stats.TimedOut = true
@@ -225,12 +335,17 @@ func (d *Deobfuscator) DeobfuscateContext(ctx context.Context, src string) (res 
 }
 
 // validOrRevert returns candidate when it parses, fallback otherwise
-// (the paper's per-step syntax check, §IV-A).
-func validOrRevert(candidate, fallback string) string {
+// (the paper's per-step syntax check, §IV-A). The validity parse goes
+// through the run's cache — a candidate checked here and then kept is
+// never re-parsed by the next pass — and reverts are counted into the
+// pass trace.
+func (r *run) validOrRevert(pc *pipeline.PassContext, view *pipeline.View, candidate, fallback string) string {
 	if strings.TrimSpace(candidate) == "" {
+		pc.Reverts++
 		return fallback
 	}
-	if _, err := psparser.Parse(candidate); err != nil {
+	if !view.Valid(candidate) {
+		pc.Reverts++
 		return fallback
 	}
 	return candidate

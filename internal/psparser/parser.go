@@ -8,11 +8,23 @@ package psparser
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
 )
+
+// parseCalls counts top-level Parse invocations since process start.
+// It is cheap instrumentation (one atomic add per call) that lets the
+// parse-amortization regression tests and the pipeline trace assert how
+// many full parses a deobfuscation run actually performs.
+var parseCalls atomic.Int64
+
+// ParseCalls returns the number of Parse invocations performed by this
+// process so far. Deltas around a region of work measure its parse
+// cost.
+func ParseCalls() int64 { return parseCalls.Load() }
 
 // SyntaxError reports a parse failure at a source offset.
 type SyntaxError struct {
@@ -73,6 +85,7 @@ func (p *parser) leave() { p.depth-- }
 // converted to a *limits.PanicError rather than crashing the caller.
 func Parse(src string) (sb *psast.ScriptBlock, err error) {
 	defer limits.Recover("psparser.Parse", &err)
+	parseCalls.Add(1)
 	return parseAt(src, 0, 0)
 }
 

@@ -30,10 +30,10 @@ import (
 	"time"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/core"
-	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
 	"github.com/invoke-deobfuscation/invokedeob/internal/keyinfo"
 	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 	"github.com/invoke-deobfuscation/invokedeob/internal/obfuscate"
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
 	"github.com/invoke-deobfuscation/invokedeob/internal/sandbox"
 	"github.com/invoke-deobfuscation/invokedeob/internal/score"
 )
@@ -71,6 +71,13 @@ type Options struct {
 	// MaxOutputBytes bounds the total bytes produced across all
 	// unwrapped layers in one run (default 64 MiB).
 	MaxOutputBytes int
+	// Jobs bounds DeobfuscateBatch worker-pool concurrency (default
+	// GOMAXPROCS). Ignored outside batch runs.
+	Jobs int
+	// ScriptTimeout, when positive, gives each script in a
+	// DeobfuscateBatch its own wall-clock deadline, so one pathological
+	// script cannot starve its siblings. Ignored outside batch runs.
+	ScriptTimeout time.Duration
 }
 
 func (o *Options) toCore() core.Options {
@@ -89,6 +96,8 @@ func (o *Options) toCore() core.Options {
 		FunctionTracing:        o.FunctionTracing,
 		MaxAllocBytes:          o.MaxAllocBytes,
 		MaxOutputBytes:         o.MaxOutputBytes,
+		Jobs:                   o.Jobs,
+		ScriptTimeout:          o.ScriptTimeout,
 	}
 }
 
@@ -117,6 +126,30 @@ type Stats struct {
 	TimedOut bool
 }
 
+// PassStat is the aggregated trace of one pipeline pass across a
+// deobfuscation run (a fixpoint pass runs once per iteration; its
+// stats accumulate).
+type PassStat struct {
+	// Pass is the pass name: "token", "ast", "rename" or "reformat".
+	Pass string
+	// Runs is how many times the pass executed.
+	Runs int
+	// Duration is total wall-clock time inside the pass, including
+	// nested payload layers unwrapped from within it.
+	Duration time.Duration
+	// BytesIn is the script size when the pass first ran; BytesOut the
+	// size after its latest run.
+	BytesIn  int
+	BytesOut int
+	// Reverts counts candidate rewrites that failed the per-splice
+	// syntax check and were rolled back inside this pass.
+	Reverts int
+	// CacheHits / CacheMisses are the pass's parse-cache requests: a
+	// miss is a real tokenize/parse, a hit was answered from memory.
+	CacheHits   int64
+	CacheMisses int64
+}
+
 // Result is the outcome of a deobfuscation.
 type Result struct {
 	// Script is the deobfuscated script.
@@ -125,6 +158,8 @@ type Result struct {
 	Layers []string
 	// Stats summarizes the work performed.
 	Stats Stats
+	// PassTrace is the per-pass execution trace in first-run order.
+	PassTrace []PassStat
 }
 
 // ErrInvalidSyntax reports that the input does not parse as PowerShell.
@@ -175,12 +210,31 @@ func Deobfuscate(script string, opts *Options) (*Result, error) {
 // with the taxonomy error — both return values are non-nil.
 func DeobfuscateContext(ctx context.Context, script string, opts *Options) (*Result, error) {
 	res, err := core.New(opts.toCore()).DeobfuscateContext(ctx, script)
+	return toResult(res), err
+}
+
+// toResult converts a core result to the public shape. Nil in, nil out.
+func toResult(res *core.Result) *Result {
 	if res == nil {
-		return nil, err
+		return nil
+	}
+	trace := make([]PassStat, len(res.PassTrace))
+	for i, p := range res.PassTrace {
+		trace[i] = PassStat{
+			Pass:        p.Pass,
+			Runs:        p.Runs,
+			Duration:    p.Duration,
+			BytesIn:     p.BytesIn,
+			BytesOut:    p.BytesOut,
+			Reverts:     p.Reverts,
+			CacheHits:   p.CacheHits,
+			CacheMisses: p.CacheMisses,
+		}
 	}
 	return &Result{
-		Script: res.Script,
-		Layers: append([]string(nil), res.Layers...),
+		Script:    res.Script,
+		Layers:    append([]string(nil), res.Layers...),
+		PassTrace: trace,
 		Stats: Stats{
 			TokensNormalized:   res.Stats.TokensNormalized,
 			PiecesAttempted:    res.Stats.PiecesAttempted,
@@ -196,12 +250,58 @@ func DeobfuscateContext(ctx context.Context, script string, opts *Options) (*Res
 			PiecesOverBudget:   res.Stats.PiecesOverBudget,
 			TimedOut:           res.Stats.TimedOut,
 		},
-	}, err
+	}
 }
 
-// ValidSyntax reports whether the script parses as PowerShell.
+// BatchInput is one script submitted to DeobfuscateBatch.
+type BatchInput struct {
+	// Name labels the script in results (file path, sample ID, ...).
+	Name string
+	// Script is the source text.
+	Script string
+}
+
+// BatchResult is the outcome of one script in a batch run.
+type BatchResult struct {
+	// Name echoes the input's name; Index is its position in the input
+	// slice (results come back in input order).
+	Name  string
+	Index int
+	// Result is the per-script outcome; like DeobfuscateContext it is
+	// non-nil alongside Err when an envelope violation salvaged partial
+	// progress.
+	Result *Result
+	// Err is the per-script error; classify with errors.Is / ErrorName.
+	Err error
+}
+
+// DeobfuscateBatch deobfuscates many scripts concurrently on a bounded
+// worker pool (opts.Jobs workers, default GOMAXPROCS). Each script runs
+// under its own execution envelope — plus its own deadline when
+// opts.ScriptTimeout is set — so one hostile input cannot starve the
+// rest, while all workers share one bounded parse cache so identical
+// layers across scripts parse once. Results are returned in input
+// order. Canceling ctx stops the pool promptly; unstarted scripts
+// report ErrCanceled.
+func DeobfuscateBatch(ctx context.Context, inputs []BatchInput, opts *Options) []BatchResult {
+	coreIn := make([]core.BatchInput, len(inputs))
+	for i, in := range inputs {
+		coreIn[i] = core.BatchInput{Name: in.Name, Script: in.Script}
+	}
+	coreOut := core.New(opts.toCore()).DeobfuscateBatch(ctx, coreIn)
+	out := make([]BatchResult, len(coreOut))
+	for i, r := range coreOut {
+		out[i] = BatchResult{Name: r.Name, Index: r.Index, Result: toResult(r.Result), Err: r.Err}
+	}
+	return out
+}
+
+// ValidSyntax reports whether the script parses as PowerShell. The
+// check goes through a process-wide bounded parse cache, so repeated
+// validation of the same scripts (corpus preprocessing, dataset
+// funnels) parses once.
 func ValidSyntax(script string) bool {
-	return corpus.ValidSyntax(script)
+	return pipeline.DefaultCache().Valid(script)
 }
 
 // Detection reports one identified obfuscation technique.
