@@ -7,7 +7,10 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHCOUNT ?= 5
 
-.PHONY: all check vet build test race equivalence fuzz-smoke bench-compare clean
+BENCHJSON ?= BENCH_pr3.json
+PROFILEDIR ?= .profile
+
+.PHONY: all check vet build test race equivalence fuzz-smoke bench-compare bench-json profile clean
 
 all: check
 
@@ -57,6 +60,24 @@ bench-compare:
 		echo "no baseline; run: cp bench.new bench.old"; \
 	fi
 
+# bench-json writes the machine-readable performance report (ns/op,
+# allocs/op, parses/run, eval-cache hit rates and the PR 2 baseline
+# deltas) consumed by the perf acceptance criteria.
+bench-json:
+	$(GO) run ./cmd/benchjson -o $(BENCHJSON)
+
+# profile runs the CLI over the deterministic 24-sample corpus with CPU
+# and allocation profiling enabled, leaving cpu.pprof / mem.pprof in
+# $(PROFILEDIR) for `go tool pprof`.
+profile:
+	rm -rf $(PROFILEDIR)
+	$(GO) run ./cmd/benchjson -emit-corpus $(PROFILEDIR)/corpus
+	$(GO) run ./cmd/invoke-deobfuscation \
+		-cpuprofile $(PROFILEDIR)/cpu.pprof -memprofile $(PROFILEDIR)/mem.pprof \
+		$(PROFILEDIR)/corpus/*.ps1 > /dev/null
+	@echo "profiles: $(PROFILEDIR)/cpu.pprof $(PROFILEDIR)/mem.pprof"
+
 clean:
 	$(GO) clean -testcache
 	rm -f bench.new
+	rm -rf $(PROFILEDIR)

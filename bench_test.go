@@ -133,6 +133,7 @@ const benchScript = "I`eX (\"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h')\n" +
 // BenchmarkDeobfuscate measures full three-phase deobfuscation of the
 // case-study script.
 func BenchmarkDeobfuscate(b *testing.B) {
+	b.ReportAllocs()
 	b.SetBytes(int64(len(benchScript)))
 	for i := 0; i < b.N; i++ {
 		if _, err := invokedeob.Deobfuscate(benchScript, nil); err != nil {
@@ -157,6 +158,47 @@ func BenchmarkDeobfuscateBatch(b *testing.B) {
 	for _, jobs := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
 			opts := &invokedeob.Options{Jobs: jobs}
+			b.ReportAllocs()
+			b.SetBytes(int64(total))
+			for i := 0; i < b.N; i++ {
+				results := invokedeob.DeobfuscateBatch(context.Background(), inputs, opts)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatalf("%s: %v", r.Name, r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeobfuscateBatchDuplicated measures the evaluation cache's
+// raison d'être: malware corpora dominated by near-clone families. The
+// 16-script batch holds only 4 distinct samples, each appearing 4
+// times, so after the first member of a family every decoded piece
+// should replay from the shared evaluation cache. The cache=off
+// variant is the ablation baseline the speedup is measured against.
+func BenchmarkDeobfuscateBatchDuplicated(b *testing.B) {
+	samples := invokedeob.GenerateCorpus(1, 4)
+	var inputs []invokedeob.BatchInput
+	var total int
+	for copyN := 0; copyN < 4; copyN++ {
+		for _, s := range samples {
+			inputs = append(inputs, invokedeob.BatchInput{
+				Name:   fmt.Sprintf("%s#%d", s.ID, copyN),
+				Script: s.Source,
+			})
+			total += len(s.Source)
+		}
+	}
+	for _, cache := range []bool{true, false} {
+		name := "cache=on"
+		if !cache {
+			name = "cache=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := &invokedeob.Options{Jobs: 1, DisableEvalCache: !cache}
+			b.ReportAllocs()
 			b.SetBytes(int64(total))
 			for i := 0; i < b.N; i++ {
 				results := invokedeob.DeobfuscateBatch(context.Background(), inputs, opts)

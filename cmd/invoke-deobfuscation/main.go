@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	invokedeob "github.com/invoke-deobfuscation/invokedeob"
@@ -33,17 +35,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("invoke-deobfuscation", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		showStats  = fs.Bool("stats", false, "print deobfuscation statistics to stderr")
-		showLayers = fs.Bool("layers", false, "print each intermediate layer")
-		showTrace  = fs.Bool("trace", false, "print the per-pass pipeline trace (time, bytes, reverts, parse-cache hits) to stderr")
-		noRename   = fs.Bool("no-rename", false, "disable identifier renaming")
-		noReformat = fs.Bool("no-reformat", false, "disable reformatting")
-		noTrace    = fs.Bool("no-trace", false, "disable variable tracing (ablation)")
-		iterations = fs.Int("max-iterations", 0, "fixpoint iteration cap (0 = default)")
-		iocs       = fs.Bool("iocs", false, "also print extracted IOCs to stderr")
-		timeout    = fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none), e.g. 30s")
-		maxOutput  = fs.Int("max-output", 0, "total output byte cap across unwrapped layers (0 = 64 MiB default)")
-		jobs       = fs.Int("jobs", 0, "worker-pool size for multi-file runs (0 = GOMAXPROCS)")
+		showStats   = fs.Bool("stats", false, "print deobfuscation statistics to stderr")
+		showLayers  = fs.Bool("layers", false, "print each intermediate layer")
+		showTrace   = fs.Bool("trace", false, "print the per-pass pipeline trace (time, bytes, reverts, parse- and eval-cache hits) to stderr")
+		noRename    = fs.Bool("no-rename", false, "disable identifier renaming")
+		noReformat  = fs.Bool("no-reformat", false, "disable reformatting")
+		noTrace     = fs.Bool("no-trace", false, "disable variable tracing (ablation)")
+		iterations  = fs.Int("max-iterations", 0, "fixpoint iteration cap (0 = default)")
+		iocs        = fs.Bool("iocs", false, "also print extracted IOCs to stderr")
+		timeout     = fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none), e.g. 30s")
+		maxOutput   = fs.Int("max-output", 0, "total output byte cap across unwrapped layers (0 = 64 MiB default)")
+		jobs        = fs.Int("jobs", 0, "worker-pool size for multi-file runs (0 = GOMAXPROCS)")
+		noEvalCache = fs.Bool("no-eval-cache", false, "disable piece-evaluation memoization (ablation)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,9 +57,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		DisableRename:          *noRename,
 		DisableReformat:        *noReformat,
 		DisableVariableTracing: *noTrace,
+		DisableEvalCache:       *noEvalCache,
 		MaxIterations:          *iterations,
 		MaxOutputBytes:         *maxOutput,
 		Jobs:                   *jobs,
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // materialize the final live set
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
 	}
 	emit := emitOptions{layers: *showLayers, stats: *showStats, trace: *showTrace, iocs: *iocs}
 	if len(fs.Args()) > 1 {
@@ -165,6 +193,11 @@ func emitNamed(stdout, stderr io.Writer, name string, res *invokedeob.Result, em
 			prefix, s.TokensNormalized, s.PiecesRecovered, s.PiecesAttempted,
 			s.VariablesTraced, s.VariablesInlined, s.LayersUnwrapped,
 			s.IdentifiersRenamed, s.Iterations, s.Duration)
+		if s.EvalCacheHits+s.EvalCacheMisses+s.EvalCacheSkips > 0 {
+			fmt.Fprintf(stderr,
+				"%sevalcache: hits=%d misses=%d skips=%d\n",
+				prefix, s.EvalCacheHits, s.EvalCacheMisses, s.EvalCacheSkips)
+		}
 		if s.PiecesTimedOut+s.PiecesPanicked+s.PiecesOverBudget > 0 || s.TimedOut {
 			fmt.Fprintf(stderr,
 				"%senvelope: timed-out-pieces=%d panicked=%d over-budget=%d run-interrupted=%t\n",
@@ -174,9 +207,10 @@ func emitNamed(stdout, stderr io.Writer, name string, res *invokedeob.Result, em
 	if emit.trace {
 		for _, p := range res.PassTrace {
 			fmt.Fprintf(stderr,
-				"%strace pass=%-8s runs=%d time=%s in=%dB out=%dB reverts=%d cache=%d/%d hits\n",
+				"%strace pass=%-8s runs=%d time=%s in=%dB out=%dB reverts=%d cache=%d/%d hits eval=%d/%d hits (%d skipped)\n",
 				prefix, p.Pass, p.Runs, p.Duration, p.BytesIn, p.BytesOut,
-				p.Reverts, p.CacheHits, p.CacheHits+p.CacheMisses)
+				p.Reverts, p.CacheHits, p.CacheHits+p.CacheMisses,
+				p.EvalHits, p.EvalHits+p.EvalMisses, p.EvalSkips)
 		}
 	}
 	if emit.iocs {

@@ -45,6 +45,35 @@ type astState struct {
 	// safeFuncs holds pure user-defined functions whose calls may be
 	// recovered when the FunctionTracing extension is enabled.
 	safeFuncs map[string]*psast.FunctionDefinition
+	// prelude is the memoized definition prelude prepended to every
+	// evaluated piece when safeFuncs is non-empty. It is invariant
+	// within a pass run (safeFuncs is collected once, up front), so it
+	// is built once — sorted by function name for determinism — instead
+	// of re-concatenated with a fresh strings.Builder on every
+	// evaluation. Its text is part of the evaluated snippet and thus of
+	// the evaluation-cache key: two layers defining different decoders
+	// can never share a cached result.
+	prelude string
+	// replMin/replMax bound the source extents of all recorded
+	// replacements. textOf uses them to return a node's raw source
+	// slice — zero reconstruction, zero allocation — whenever no
+	// replacement can possibly fall inside the node. On typical layers
+	// only a handful of nodes are rewritten, so this prunes almost the
+	// entire post-order splice.
+	replMin, replMax int
+}
+
+// setRepl records a replacement for n and widens the replacement
+// extent bounds used by textOf's fast path.
+func (s *astState) setRepl(n psast.Node, text string) {
+	ext := n.Extent()
+	if len(s.repl) == 0 || ext.Start < s.replMin {
+		s.replMin = ext.Start
+	}
+	if ext.End > s.replMax {
+		s.replMax = ext.End
+	}
+	s.repl[n] = text
 }
 
 // astPhase runs recovery based on AST over one script layer under the
@@ -69,6 +98,7 @@ func (r *run) astPhase(pc *pipeline.PassContext, doc *pipeline.Document, depth i
 	}
 	if r.d.opts.FunctionTracing {
 		s.collectPureFunctions(root)
+		s.buildPrelude()
 	}
 	s.visit(root, visitCtx{scope: []int{0}})
 	out := s.textOf(root)
@@ -270,7 +300,7 @@ func (s *astState) processVariable(v *psast.VariableExpression, ctx visitCtx) {
 	if !ok {
 		return
 	}
-	s.repl[v] = lit
+	s.setRepl(v, lit)
 	s.r.stats.VariablesInlined++
 }
 
@@ -413,20 +443,106 @@ func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
 	if len(lit) > s.r.d.opts.MaxPieceLen {
 		return
 	}
-	s.repl[n] = lit
+	s.setRepl(n, lit)
 	s.r.stats.PiecesRecovered++
+}
+
+// buildPrelude memoizes the safe-function definition prelude. Sorted
+// by function name so the snippet text — and therefore both the parse
+// cache and the evaluation cache keys — is deterministic regardless of
+// map iteration order.
+func (s *astState) buildPrelude() {
+	if len(s.safeFuncs) == 0 {
+		s.prelude = ""
+		return
+	}
+	names := make([]string, 0, len(s.safeFuncs))
+	for name := range s.safeFuncs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var defs strings.Builder
+	for _, name := range names {
+		defs.WriteString(s.safeFuncs[name].Extent().Text(s.src))
+		defs.WriteByte('\n')
+	}
+	s.prelude = defs.String()
+}
+
+// visibleValue resolves a traced variable as the evaluation preload
+// would see it: only when tracing is active for this context and the
+// recording scope is visible from the current one.
+func (s *astState) visibleValue(name string, ctx visitCtx) (any, bool) {
+	if ctx.inFunc || s.r.d.opts.DisableVariableTracing {
+		return nil, false
+	}
+	e, ok := s.vars[name]
+	if !ok || !scopeVisible(e.scope, ctx.scope) {
+		return nil, false
+	}
+	return e.value, true
+}
+
+// valueFP fingerprints a preloaded value for the evaluation-cache key.
+// The rendering is injective per type tag for every type the symbol
+// table can hold (isStringOrNumber gate), so equal fingerprints imply
+// equal values: a fingerprint match can never replay a wrong result.
+func valueFP(v any) (string, bool) {
+	switch x := v.(type) {
+	case string:
+		return "s:" + x, true
+	case int64:
+		return "i:" + strconv.FormatInt(x, 10), true
+	case int:
+		return "I:" + strconv.Itoa(x), true
+	case float64:
+		return "f:" + strconv.FormatFloat(x, 'g', -1, 64), true
+	case psinterp.Char:
+		return "c:" + string(rune(x)), true
+	case bool:
+		if x {
+			return "b:1", true
+		}
+		return "b:0", true
+	case nil:
+		return "n:", true
+	}
+	return "", false
 }
 
 // evalText runs a piece in a fresh bounded interpreter preloaded with
 // the traced symbol table (and, when the extension is on, the pure
 // decoder functions the script defines). The interpreter inherits the
-// run's context (deadline / cancelation) and memory budget. The
-// piece's parse comes from the run's cache, so re-evaluating an
-// identical piece (common across fixpoint iterations) skips straight
-// to interpretation.
+// run's context (deadline / cancelation) and memory budget.
+//
+// Evaluation is memoized through the run's EvalView (paper Recovery
+// phase, §III-B, made incremental): before interpreting, the cache is
+// consulted under the key (snippet text, fingerprints of the visible
+// bindings a previous pure run read). On a hit the memoized output is
+// replayed — deep-copied, so splices can never alias cached state — and
+// no interpreter is constructed at all. On a miss the piece runs, and
+// if the interpreter's purity report confirms the run was deterministic
+// and side-effect-free, the result is inserted keyed by the exact
+// variables it read. Impure, failed or budget-violating runs are never
+// cached. The piece's parse still comes from the run's parse cache, so
+// even uncacheable evaluations skip re-parsing.
 func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
 	if err := s.r.env.check(); err != nil {
 		return nil, err
+	}
+	snippet := text
+	if s.prelude != "" {
+		snippet = s.prelude + text
+	}
+	eval := s.pc.Eval
+	if values, ok := eval.Lookup(snippet, func(name string) (string, bool) {
+		v, ok := s.visibleValue(name, ctx)
+		if !ok {
+			return "", false
+		}
+		return valueFP(v)
+	}); ok {
+		return values, nil
 	}
 	opts := psinterp.Options{
 		MaxSteps:      s.r.d.opts.StepBudget,
@@ -445,21 +561,52 @@ func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
 			}
 		}
 	}
-	snippet := text
-	if len(s.safeFuncs) > 0 {
-		var defs strings.Builder
-		for _, fd := range s.safeFuncs {
-			defs.WriteString(fd.Extent().Text(s.src))
-			defs.WriteByte('\n')
-		}
-		defs.WriteString(text)
-		snippet = defs.String()
-	}
 	sb, err := s.view.Parse(snippet)
 	if err != nil {
+		eval.Skip()
 		return nil, err
 	}
-	return in.EvalScript(sb)
+	out, err := in.EvalScript(sb)
+	if err != nil {
+		// Failed runs are never cached: the purity report of an aborted
+		// evaluation is incomplete by construction.
+		eval.Skip()
+		return out, err
+	}
+	s.memoizeEval(eval, snippet, ctx, in, out)
+	return out, nil
+}
+
+// memoizeEval inserts a completed evaluation into the cache when the
+// purity report allows it, attributing the outcome (miss vs skip) to
+// the run's EvalView.
+func (s *astState) memoizeEval(eval *pipeline.EvalView, snippet string, ctx visitCtx, in *psinterp.Interp, out []any) {
+	if !eval.Enabled() {
+		return
+	}
+	p := in.Purity()
+	if !p.Pure {
+		eval.Skip()
+		return
+	}
+	bindings := make([]pipeline.Binding, 0, len(p.ReadVars))
+	for _, name := range p.ReadVars {
+		v, ok := s.visibleValue(name, ctx)
+		if !ok {
+			// A read variable we cannot fingerprint (should not happen:
+			// reads are tracked only for preloaded names, which all come
+			// from visibleValue). Refuse to cache rather than risk it.
+			eval.Skip()
+			return
+		}
+		fp, ok := valueFP(v)
+		if !ok {
+			eval.Skip()
+			return
+		}
+		bindings = append(bindings, pipeline.Binding{Name: name, FP: fp})
+	}
+	eval.Insert(snippet, bindings, out)
 }
 
 // collectPureFunctions records user functions whose bodies are pure:
@@ -717,12 +864,40 @@ func (s *astState) textOf(n psast.Node) string {
 		return r
 	}
 	ext := n.Extent()
-	if _, isExpandable := n.(*psast.ExpandableString); isExpandable {
+	// Fast path: no recorded replacement can fall inside this node, so
+	// its text is exactly its source slice. This covers every node on
+	// unmodified layers and all untouched subtrees on modified ones.
+	if len(s.repl) == 0 || ext.End <= s.replMin || ext.Start >= s.replMax {
 		return ext.Text(s.src)
+	}
+	var sb strings.Builder
+	sb.Grow(ext.End - ext.Start)
+	s.writeTextOf(&sb, n)
+	return sb.String()
+}
+
+// writeTextOf appends n's reconstructed text to sb. Splitting the
+// splice from textOf lets one Builder serve the whole recursion
+// instead of allocating a fresh buffer (and copying it upward) at
+// every tree level.
+func (s *astState) writeTextOf(sb *strings.Builder, n psast.Node) {
+	if r, ok := s.repl[n]; ok {
+		sb.WriteString(r)
+		return
+	}
+	ext := n.Extent()
+	if len(s.repl) == 0 || ext.End <= s.replMin || ext.Start >= s.replMax {
+		sb.WriteString(ext.Text(s.src))
+		return
+	}
+	if _, isExpandable := n.(*psast.ExpandableString); isExpandable {
+		sb.WriteString(ext.Text(s.src))
+		return
 	}
 	children := n.Children()
 	if len(children) == 0 {
-		return ext.Text(s.src)
+		sb.WriteString(ext.Text(s.src))
+		return
 	}
 	sorted := make([]psast.Node, 0, len(children))
 	for _, c := range children {
@@ -731,10 +906,14 @@ func (s *astState) textOf(n psast.Node) string {
 			sorted = append(sorted, c)
 		}
 	}
-	sort.Slice(sorted, func(i, j int) bool {
-		return sorted[i].Extent().Start < sorted[j].Extent().Start
-	})
-	var sb strings.Builder
+	// Children arrive in source order almost always; a reflection-free
+	// insertion sort costs nothing then and avoids sort.Slice's
+	// per-call Swapper allocation.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Extent().Start < sorted[j-1].Extent().Start; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
 	last := ext.Start
 	for _, c := range sorted {
 		ce := c.Extent()
@@ -742,11 +921,10 @@ func (s *astState) textOf(n psast.Node) string {
 			continue // overlapping (defensive)
 		}
 		sb.WriteString(s.src[last:ce.Start])
-		sb.WriteString(s.textOf(c))
+		s.writeTextOf(sb, c)
 		last = ce.End
 	}
 	sb.WriteString(s.src[last:ext.End])
-	return sb.String()
 }
 
 // renderLiteral renders a recovered value as PowerShell source, only

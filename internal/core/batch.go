@@ -57,9 +57,17 @@ func (d *Deobfuscator) DeobfuscateBatch(ctx context.Context, inputs []BatchInput
 	if jobs > len(inputs) {
 		jobs = len(inputs)
 	}
-	// One cache for the whole batch. pipeline.Cache is safe for
-	// concurrent use and bounded, so hostile inputs cannot balloon it.
+	// One parse cache and one evaluation cache for the whole batch.
+	// Both are safe for concurrent use and bounded, so hostile inputs
+	// cannot balloon them. Malware corpora are dominated by families
+	// sharing obfuscated stagers verbatim: with the shared eval cache,
+	// a pure piece interpreted for the first sample of a family is
+	// replayed for every clone.
 	cache := pipeline.NewCache(0, 0)
+	var evalCache *pipeline.EvalCache
+	if !d.opts.DisableEvalCache {
+		evalCache = NewEvalCache(0, 0)
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
@@ -73,7 +81,7 @@ func (d *Deobfuscator) DeobfuscateBatch(ctx context.Context, inputs []BatchInput
 				if d.opts.ScriptTimeout > 0 {
 					sctx, cancel = context.WithTimeout(ctx, d.opts.ScriptTimeout)
 				}
-				res, err := d.deobfuscate(sctx, in.Script, cache)
+				res, err := d.deobfuscate(sctx, in.Script, cache, evalCache)
 				cancel()
 				results[i] = BatchResult{Name: in.Name, Index: i, Result: res, Err: err}
 			}

@@ -32,6 +32,7 @@ import (
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psnames"
 )
 
@@ -78,6 +79,14 @@ type Options struct {
 	// MaxOutputBytes bounds the total bytes produced across all
 	// unwrapped layers in one run (zip-bomb guard). Zero means 64 MiB.
 	MaxOutputBytes int
+	// DisableEvalCache turns off evaluation memoization: every
+	// recoverable piece is interpreted from scratch even when an
+	// identical (text, visible-bindings) pair was already evaluated in a
+	// previous fixpoint iteration, a nested layer, or another script of
+	// a batch. The cache is semantically gated (only pure, deterministic
+	// runs are memoized), so disabling it changes performance only;
+	// outputs are byte-identical either way.
+	DisableEvalCache bool
 	// Jobs bounds DeobfuscateBatch worker-pool concurrency. Zero means
 	// GOMAXPROCS.
 	Jobs int
@@ -122,6 +131,15 @@ type Stats struct {
 	// envelope (deadline, cancelation or output budget) and Result holds
 	// partial progress.
 	TimedOut bool
+	// EvalCacheHits counts piece evaluations answered from the
+	// evaluation cache (interpreter runs skipped entirely).
+	EvalCacheHits int64
+	// EvalCacheMisses counts piece evaluations that ran the interpreter
+	// and whose pure result was inserted into the cache.
+	EvalCacheMisses int64
+	// EvalCacheSkips counts piece evaluations that ran but were not
+	// cacheable (impure, failed, or holding uncopyable values).
+	EvalCacheSkips int64
 }
 
 // Result is the outcome of a deobfuscation run.
@@ -251,13 +269,23 @@ func (d *Deobfuscator) Deobfuscate(src string) (*Result, error) {
 // result (with Stats.TimedOut set) together with the taxonomy error —
 // both return values are non-nil in that case.
 func (d *Deobfuscator) DeobfuscateContext(ctx context.Context, src string) (*Result, error) {
-	return d.deobfuscate(ctx, src, nil)
+	return d.deobfuscate(ctx, src, nil, nil)
+}
+
+// NewEvalCache returns an evaluation cache wired with the interpreter's
+// deep-copier and size estimator, suitable for sharing across the runs
+// of a batch. Non-positive bounds select the pipeline defaults.
+func NewEvalCache(maxEntries int, maxBytes int64) *pipeline.EvalCache {
+	return pipeline.NewEvalCache(maxEntries, maxBytes, psinterp.CopyValue, psinterp.ValueSize)
 }
 
 // deobfuscate is the pipeline driver behind DeobfuscateContext and
 // DeobfuscateBatch. A nil cache gets a fresh per-run cache; batch runs
-// pass a shared one so identical layers across scripts parse once.
-func (d *Deobfuscator) deobfuscate(ctx context.Context, src string, cache *pipeline.Cache) (res *Result, err error) {
+// pass a shared one so identical layers across scripts parse once. The
+// same applies to evalCache: nil gets a fresh per-run evaluation cache
+// (unless Options.DisableEvalCache), batch runs share one so identical
+// pure pieces across scripts are interpreted once.
+func (d *Deobfuscator) deobfuscate(ctx context.Context, src string, cache *pipeline.Cache, evalCache *pipeline.EvalCache) (res *Result, err error) {
 	defer limits.Recover("core.Deobfuscate", &err)
 	start := time.Now()
 	res = &Result{}
@@ -268,8 +296,11 @@ func (d *Deobfuscator) deobfuscate(ctx context.Context, src string, cache *pipel
 	if cache == nil {
 		cache = pipeline.NewCache(0, 0)
 	}
+	if evalCache == nil && !d.opts.DisableEvalCache {
+		evalCache = NewEvalCache(0, 0)
+	}
 	doc := pipeline.NewDocument(src, cache.View())
-	pc := &pipeline.PassContext{Doc: doc}
+	pc := &pipeline.PassContext{Doc: doc, Eval: evalCache.View()}
 	runner := pipeline.NewRunner(nil)
 	r := &run{d: d, stats: &res.Stats, env: env}
 	// Up-front validity check. The parse lands in the cache, so the
@@ -326,6 +357,11 @@ func (d *Deobfuscator) deobfuscate(ctx context.Context, src string, cache *pipel
 	}
 	res.Script = cur
 	res.PassTrace = runner.Trace().Stats()
+	if pc.Eval != nil {
+		res.Stats.EvalCacheHits = pc.Eval.Hits
+		res.Stats.EvalCacheMisses = pc.Eval.Misses
+		res.Stats.EvalCacheSkips = pc.Eval.Skips
+	}
 	res.Stats.Duration = time.Since(start)
 	if envErr := env.check(); envErr != nil {
 		res.Stats.TimedOut = true

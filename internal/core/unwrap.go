@@ -167,7 +167,7 @@ func (s *astState) replaceWithInner(n psast.Node, code string, ctx visitCtx) {
 	if ctx.assignRHS && stmts > 1 {
 		inner = "$(" + inner + ")"
 	}
-	s.repl[n] = inner
+	s.setRepl(n, inner)
 	s.r.stats.LayersUnwrapped++
 }
 
@@ -180,7 +180,7 @@ func (s *astState) replaceElementWithInner(n psast.Node, code string) {
 	if !ok || stmts != 1 {
 		return
 	}
-	s.repl[n] = "(" + inner + ")"
+	s.setRepl(n, "("+inner+")")
 	s.r.stats.LayersUnwrapped++
 }
 

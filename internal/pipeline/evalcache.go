@@ -1,0 +1,361 @@
+package pipeline
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// Evaluation-cache bounds. The eval cache is smaller than the parse
+// cache because each entry retains output values in addition to the
+// snippet text, and because only pure runs (a minority on hostile
+// corpora) are cacheable at all.
+const (
+	// DefaultEvalMaxEntries bounds the number of cached (snippet,
+	// binding-set) results.
+	DefaultEvalMaxEntries = 2048
+	// DefaultEvalMaxBytes bounds the total retained bytes (snippet text
+	// + binding fingerprints + estimated value sizes).
+	DefaultEvalMaxBytes = 8 << 20
+	// maxCacheableSnippet is the largest snippet worth caching; larger
+	// evaluations are rare and would evict the whole working set.
+	maxCacheableSnippet = 1 << 20
+	// maxEntriesPerSnippet bounds how many distinct binding-sets are
+	// retained for one snippet text, so a snippet evaluated under
+	// ever-changing bindings cannot grow an unbounded chain.
+	maxEntriesPerSnippet = 8
+)
+
+// Binding is one (variable, value-fingerprint) pair of an evaluation's
+// environment fingerprint: the exact preloaded variables the run read,
+// with a collision-free textual fingerprint of each value at read time.
+// Bindings are recorded sorted by name (psinterp.Purity.ReadVars order)
+// so entry comparison is a single ordered walk.
+type Binding struct {
+	// Name is the normalized (lower-cased, scope-stripped) variable name.
+	Name string
+	// FP fingerprints the value: type tag plus exact rendered value.
+	// For the scalar types the deobfuscator preloads (strings and
+	// numbers) the rendering is injective, so equal fingerprints imply
+	// equal values — a fingerprint match can never replay a wrong
+	// result, unlike a truncated hash.
+	FP string
+}
+
+// evalEntry is one cached pure evaluation: the recorded read-set and
+// the deep-copied output values. Entries are immutable after insert;
+// lookups copy the values out again so no caller ever aliases them.
+type evalEntry struct {
+	bindings []Binding
+	values   []any
+	bytes    int64 // retained-size share charged to the cache budget
+	snippet  string
+}
+
+// EvalCacheStats is a point-in-time snapshot of eval-cache
+// effectiveness.
+type EvalCacheStats struct {
+	// Hits counts lookups answered from memory (interpreter runs saved).
+	Hits int64
+	// Misses counts lookups that had to evaluate.
+	Misses int64
+	// Skips counts evaluations that completed but were not cacheable
+	// (impure, oversized, or holding uncopyable values).
+	Skips int64
+	// Evictions counts entries dropped to stay within bounds.
+	Evictions int64
+	// Entries is the current number of cached results.
+	Entries int
+	// Bytes is the current estimated retained size.
+	Bytes int64
+}
+
+// EvalCache memoizes the output values of pure, deterministic snippet
+// evaluations, keyed by exact snippet text plus the environment
+// fingerprint (the sorted set of preloaded variables the run read and
+// their values). It is the evaluation-phase sibling of the parse Cache:
+// bounded (FIFO over both an entry count and a byte budget), safe for
+// concurrent batch workers, and observed through per-run EvalViews so
+// trace attribution stays exact.
+//
+// The cache itself is value-agnostic: callers inject a copier (deep,
+// unaliased copies or refusal) and a sizer (byte estimates) so the
+// pipeline package needs no knowledge of interpreter value types.
+// Values are deep-copied on insert AND on every hit, so a splice that
+// later mutates a returned slice can never corrupt the cache or
+// another run.
+type EvalCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	buckets    map[uint64][]*evalEntry
+	fifo       []*evalEntry
+
+	copier func(any) (any, bool)
+	sizer  func(any) int
+
+	hits, misses, skips, evictions int64
+}
+
+// NewEvalCache returns an EvalCache bounded by maxEntries results and
+// maxBytes of retained data. Non-positive bounds select the defaults.
+// copier must return a deep, unaliased copy (or false to refuse the
+// value); sizer estimates retained bytes. Both must be non-nil.
+func NewEvalCache(maxEntries int, maxBytes int64, copier func(any) (any, bool), sizer func(any) int) *EvalCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultEvalMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultEvalMaxBytes
+	}
+	return &EvalCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		buckets:    make(map[uint64][]*evalEntry),
+		copier:     copier,
+		sizer:      sizer,
+	}
+}
+
+// lookup finds a cached result for snippet whose recorded bindings all
+// match the currently visible values, returning deep copies of the
+// cached output values.
+func (c *EvalCache) lookup(snippet string, visible func(name string) (fp string, ok bool)) ([]any, bool) {
+	if len(snippet) > maxCacheableSnippet {
+		return nil, false
+	}
+	key := maphash.String(hashSeed, snippet)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.buckets[key] {
+		if e.snippet != snippet {
+			continue
+		}
+		if !bindingsMatch(e.bindings, visible) {
+			continue
+		}
+		out, ok := c.copyValuesLocked(e.values)
+		if !ok {
+			// Cannot happen for values that passed insert's copier, but
+			// degrade to a miss rather than trust it.
+			continue
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// bindingsMatch reports whether every recorded (name, fingerprint)
+// pair is still visible with an identical fingerprint. The determinism
+// argument: a pure run's output is a function of (snippet text,
+// values of the variables it read). If all recorded reads resolve to
+// the same values now, a re-evaluation would read exactly the same
+// variables and produce exactly the same output — variables the run
+// never read cannot influence it.
+func bindingsMatch(bindings []Binding, visible func(string) (string, bool)) bool {
+	for _, b := range bindings {
+		fp, ok := visible(b.Name)
+		if !ok || fp != b.FP {
+			return false
+		}
+	}
+	return true
+}
+
+// copyValuesLocked deep-copies a cached value slice out of the cache.
+func (c *EvalCache) copyValuesLocked(values []any) ([]any, bool) {
+	if values == nil {
+		return nil, true
+	}
+	out := make([]any, len(values))
+	for i, v := range values {
+		cp, ok := c.copier(v)
+		if !ok {
+			return nil, false
+		}
+		out[i] = cp
+	}
+	return out, true
+}
+
+// insert stores a pure evaluation result. The values are deep-copied
+// before retention; values the copier refuses make the whole result
+// uncacheable (recorded as a skip).
+func (c *EvalCache) insert(snippet string, bindings []Binding, values []any) bool {
+	if len(snippet) > maxCacheableSnippet {
+		c.mu.Lock()
+		c.skips++
+		c.mu.Unlock()
+		return false
+	}
+	var size int64 = int64(len(snippet)) + 64
+	for _, b := range bindings {
+		size += int64(len(b.Name) + len(b.FP) + 32)
+	}
+	// Preserve nil-ness: a nil output slice must replay as nil, not as
+	// an empty non-nil slice, so replays are indistinguishable from
+	// the original evaluation.
+	var stored []any
+	if values != nil {
+		stored = make([]any, len(values))
+		for i, v := range values {
+			cp, ok := c.copier(v)
+			if !ok {
+				c.mu.Lock()
+				c.skips++
+				c.mu.Unlock()
+				return false
+			}
+			stored[i] = cp
+			size += int64(c.sizer(v))
+		}
+	}
+	key := maphash.String(hashSeed, snippet)
+	e := &evalEntry{snippet: snippet, bindings: bindings, values: stored, bytes: size}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Dedup: a concurrent worker may have inserted the same result
+	// already; cap per-snippet chains so one text cannot monopolize.
+	same := 0
+	for _, old := range c.buckets[key] {
+		if old.snippet != snippet {
+			continue
+		}
+		same++
+		if equalBindings(old.bindings, bindings) {
+			return true // already cached
+		}
+	}
+	if same >= maxEntriesPerSnippet {
+		c.skips++
+		return false
+	}
+	c.buckets[key] = append(c.buckets[key], e)
+	c.fifo = append(c.fifo, e)
+	c.bytes += size
+	for (len(c.fifo) > c.maxEntries || c.bytes > c.maxBytes) && len(c.fifo) > 1 {
+		c.evictOldestLocked()
+	}
+	return true
+}
+
+func equalBindings(a, b []Binding) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evictOldestLocked drops the oldest entry. Callers hold c.mu.
+func (c *EvalCache) evictOldestLocked() {
+	victim := c.fifo[0]
+	c.fifo = c.fifo[1:]
+	key := maphash.String(hashSeed, victim.snippet)
+	bucket := c.buckets[key]
+	for i, e := range bucket {
+		if e == victim {
+			c.buckets[key] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(c.buckets[key]) == 0 {
+		delete(c.buckets, key)
+	}
+	c.bytes -= victim.bytes
+	c.evictions++
+}
+
+// Stats snapshots the eval-cache counters.
+func (c *EvalCache) Stats() EvalCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return EvalCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Skips:     c.skips,
+		Evictions: c.evictions,
+		Entries:   len(c.fifo),
+		Bytes:     c.bytes,
+	}
+}
+
+// View returns a per-run accounting window onto the shared cache.
+// A nil receiver yields a nil view, and every EvalView method accepts
+// a nil receiver as "caching disabled" — callers need no branching.
+func (c *EvalCache) View() *EvalView {
+	if c == nil {
+		return nil
+	}
+	return &EvalView{c: c}
+}
+
+// EvalView is a single-run window onto a shared EvalCache, counting
+// this run's hits/misses/skips for exact per-run trace attribution.
+// Not safe for concurrent use; each run owns its own.
+type EvalView struct {
+	c *EvalCache
+	// Hits, Misses and Skips count this view's requests only.
+	Hits, Misses, Skips int64
+}
+
+// Enabled reports whether a cache backs this view.
+func (v *EvalView) Enabled() bool { return v != nil && v.c != nil }
+
+// Cache returns the underlying shared cache (nil when disabled).
+func (v *EvalView) Cache() *EvalCache {
+	if v == nil {
+		return nil
+	}
+	return v.c
+}
+
+// Lookup searches for a cached result of snippet under the currently
+// visible bindings. visible maps a normalized variable name to its
+// value fingerprint. On a hit the returned values are fresh deep
+// copies owned by the caller. A miss is NOT counted here — the caller
+// reports the evaluation's outcome through Miss or Skip so that
+// uncacheable runs are attributed as skips, not misses.
+func (v *EvalView) Lookup(snippet string, visible func(name string) (fp string, ok bool)) ([]any, bool) {
+	if !v.Enabled() {
+		return nil, false
+	}
+	out, ok := v.c.lookup(snippet, visible)
+	if ok {
+		v.Hits++
+		v.c.mu.Lock()
+		v.c.hits++
+		v.c.mu.Unlock()
+	}
+	return out, ok
+}
+
+// Insert stores a pure evaluation result under (snippet, bindings) and
+// counts the evaluation as a miss (the work happened; future lookups
+// may hit).
+func (v *EvalView) Insert(snippet string, bindings []Binding, values []any) {
+	if !v.Enabled() {
+		return
+	}
+	v.Misses++
+	v.c.mu.Lock()
+	v.c.misses++
+	v.c.mu.Unlock()
+	v.c.insert(snippet, bindings, values)
+}
+
+// Skip records an evaluation whose result must not be cached (impure,
+// failed, or uncacheable values).
+func (v *EvalView) Skip() {
+	if !v.Enabled() {
+		return
+	}
+	v.Skips++
+	v.c.mu.Lock()
+	v.c.skips++
+	v.c.mu.Unlock()
+}

@@ -24,6 +24,10 @@ type PassContext struct {
 	// rolled back (the paper's validOrRevert check, §IV-A), across all
 	// passes of the run.
 	Reverts int
+	// Eval is the run's window onto the shared evaluation cache (nil
+	// when evaluation memoization is disabled; EvalView methods accept
+	// a nil receiver).
+	Eval *EvalView
 }
 
 // passFunc adapts a function to the Pass interface.
@@ -62,6 +66,13 @@ type PassStat struct {
 	// cache).
 	CacheHits   int64
 	CacheMisses int64
+	// EvalHits / EvalMisses / EvalSkips are this pass's evaluation-cache
+	// outcomes: hits replayed a memoized pure result, misses evaluated
+	// and cached, skips evaluated but were uncacheable (impure piece,
+	// failed run, or uncopyable values).
+	EvalHits   int64
+	EvalMisses int64
+	EvalSkips  int64
 }
 
 // Trace accumulates PassStats in first-run order. It is confined to
@@ -77,7 +88,7 @@ func NewTrace() *Trace {
 }
 
 // Record folds one pass execution into the trace.
-func (t *Trace) Record(pass string, d time.Duration, bytesIn, bytesOut, reverts int, hits, misses int64) {
+func (t *Trace) Record(pass string, d time.Duration, bytesIn, bytesOut, reverts int, hits, misses int64, evalHits, evalMisses, evalSkips int64) {
 	st, ok := t.byName[pass]
 	if !ok {
 		st = &PassStat{Pass: pass, BytesIn: bytesIn}
@@ -90,6 +101,9 @@ func (t *Trace) Record(pass string, d time.Duration, bytesIn, bytesOut, reverts 
 	st.Reverts += reverts
 	st.CacheHits += hits
 	st.CacheMisses += misses
+	st.EvalHits += evalHits
+	st.EvalMisses += evalMisses
+	st.EvalSkips += evalSkips
 }
 
 // Stats returns the accumulated per-pass statistics in first-run order.
@@ -123,11 +137,19 @@ func (r *Runner) Trace() *Trace { return r.trace }
 func (r *Runner) Run(p Pass, pc *PassContext) error {
 	view := pc.Doc.View()
 	hits0, misses0 := view.Hits, view.Misses
+	var eh0, em0, es0 int64
+	if pc.Eval != nil {
+		eh0, em0, es0 = pc.Eval.Hits, pc.Eval.Misses, pc.Eval.Skips
+	}
 	reverts0 := pc.Reverts
 	bytesIn := pc.Doc.Len()
 	start := time.Now()
 	err := p.Run(pc)
+	var eh, em, es int64
+	if pc.Eval != nil {
+		eh, em, es = pc.Eval.Hits-eh0, pc.Eval.Misses-em0, pc.Eval.Skips-es0
+	}
 	r.trace.Record(p.Name(), time.Since(start), bytesIn, pc.Doc.Len(),
-		pc.Reverts-reverts0, view.Hits-hits0, view.Misses-misses0)
+		pc.Reverts-reverts0, view.Hits-hits0, view.Misses-misses0, eh, em, es)
 	return err
 }

@@ -183,9 +183,9 @@ func TestDocumentForkSharesView(t *testing.T) {
 
 func TestTraceAggregation(t *testing.T) {
 	tr := NewTrace()
-	tr.Record("token", 2*time.Millisecond, 100, 90, 1, 3, 2)
-	tr.Record("ast", time.Millisecond, 90, 50, 0, 5, 1)
-	tr.Record("token", time.Millisecond, 50, 40, 2, 1, 0)
+	tr.Record("token", 2*time.Millisecond, 100, 90, 1, 3, 2, 0, 0, 0)
+	tr.Record("ast", time.Millisecond, 90, 50, 0, 5, 1, 2, 1, 1)
+	tr.Record("token", time.Millisecond, 50, 40, 2, 1, 0, 0, 0, 0)
 	stats := tr.Stats()
 	if len(stats) != 2 {
 		t.Fatalf("got %d pass stats", len(stats))
@@ -202,6 +202,10 @@ func TestTraceAggregation(t *testing.T) {
 	}
 	if tok.CacheHits != 4 || tok.CacheMisses != 2 {
 		t.Errorf("token cache = %d/%d", tok.CacheHits, tok.CacheMisses)
+	}
+	ast := stats[1]
+	if ast.EvalHits != 2 || ast.EvalMisses != 1 || ast.EvalSkips != 1 {
+		t.Errorf("ast eval cache = %d/%d/%d", ast.EvalHits, ast.EvalMisses, ast.EvalSkips)
 	}
 }
 

@@ -2,8 +2,14 @@ package psast
 
 // This file implements the Node interface for every AST type.
 
+// nonNil filters nil entries in place. Every caller passes an explicit
+// argument list, so the variadic backing array is freshly allocated per
+// call and safe to reuse as the result — Children() is on the hot path
+// of both visiting and text reconstruction, and the second slice this
+// used to allocate was one of the larger allocation sources in the
+// whole pipeline.
 func nonNil(nodes ...Node) []Node {
-	out := make([]Node, 0, len(nodes))
+	out := nodes[:0]
 	for _, n := range nodes {
 		if n != nil {
 			out = append(out, n)

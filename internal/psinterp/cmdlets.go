@@ -40,6 +40,7 @@ func (in *Interp) runCommand(cmd *psast.Command, input []any, sc *scope) ([]any,
 					code = ToString(Unwrap(input))
 				}
 				if strings.TrimSpace(code) != "" {
+					in.markImpure("iex hook observed code")
 					in.opts.IEXHook(code)
 				}
 				return nil, nil
@@ -130,8 +131,15 @@ func (in *Interp) dispatchCommand(rawName string, args []commandArg, input []any
 	// A variable holding a script block can be named as a command via
 	// & 'name' only for real command names; skip that case.
 	if builtin, ok := builtins[name]; ok {
+		// Commands outside the pure-static whitelist may touch the
+		// console, the simulated filesystem or nondeterminism sources;
+		// invoking one disqualifies the run from the evaluation cache.
+		if !pureBuiltins[name] {
+			in.markImpure("command: " + name)
+		}
 		return builtin(in, args, input, sc)
 	}
+	in.markImpure("command: " + name)
 	switch name {
 	case "powershell", "pwsh":
 		return in.runPowerShell(args, input)
@@ -294,6 +302,7 @@ func cmdInvokeExpression(in *Interp, args []commandArg, input []any, _ *scope) (
 		return nil, nil
 	}
 	if in.opts.EngineScriptHook != nil {
+		in.markImpure("engine-script hook observed code")
 		in.opts.EngineScriptHook(code)
 	}
 	if in.depth >= in.opts.MaxDepth {
@@ -662,6 +671,9 @@ func (in *Interp) matchVariableNames(pattern string, sc *scope) []string {
 	if !strings.ContainsAny(pattern, "*?") {
 		return []string{pattern}
 	}
+	// Wildcard enumeration walks Go maps, whose iteration order is
+	// deliberately randomized: the result order is nondeterministic.
+	in.markImpure("wildcard variable enumeration: " + pattern)
 	re, err := compileWildcard(pattern, false)
 	if err != nil {
 		return nil
@@ -687,6 +699,7 @@ func (in *Interp) matchVariableNames(pattern string, sc *scope) []string {
 func (in *Interp) lookupVariableLenient(name string, sc *scope) (any, bool) {
 	key := normalizeVarName(name)
 	if v, ok := sc.get(key); ok {
+		in.noteVarRead(key)
 		return v, true
 	}
 	if v, ok := in.automaticVariable(key); ok {
@@ -699,6 +712,9 @@ func (in *Interp) lookupVariableLenient(name string, sc *scope) (any, bool) {
 	case "maximumhistorycount":
 		return int64(4096), true
 	}
+	// The not-found answer depends on the absence of context state,
+	// which the read-set fingerprint cannot express.
+	in.markImpure("undefined variable read: $" + key)
 	return nil, false
 }
 
@@ -792,6 +808,7 @@ func cmdGetItem(in *Interp, args []commandArg, _ []any, sc *scope) ([]any, error
 	lower := strings.ToLower(path)
 	switch {
 	case strings.HasPrefix(lower, "env:"):
+		in.markImpure("env read: " + lower)
 		name := strings.TrimPrefix(lower, "env:")
 		if v, ok := in.env[name]; ok {
 			o := NewObject("System.Collections.DictionaryEntry")
@@ -944,7 +961,10 @@ func cmdGetLocation(_ *Interp, _ []commandArg, _ []any, _ *scope) ([]any, error)
 	return []any{o}, nil
 }
 
-func cmdGetDate(_ *Interp, args []commandArg, _ []any, _ *scope) ([]any, error) {
+func cmdGetDate(in *Interp, args []commandArg, _ []any, _ *scope) ([]any, error) {
+	// Nondeterministic by contract (real PowerShell reads the clock even
+	// though the simulation pins it): never cacheable.
+	in.markImpure("nondeterminism: get-date")
 	// Deterministic timestamp keeps evaluation reproducible.
 	if v, ok := paramValue(args, "format"); ok {
 		_ = v
@@ -959,6 +979,9 @@ func cmdGetDate(_ *Interp, args []commandArg, _ []any, _ *scope) ([]any, error) 
 }
 
 func cmdGetRandom(in *Interp, args []commandArg, input []any, _ *scope) ([]any, error) {
+	// Nondeterministic by contract (the simulation is seeded by the step
+	// counter, but real PowerShell is not): never cacheable.
+	in.markImpure("nondeterminism: get-random")
 	in.steps += 13
 	seed := int64(in.steps)*6364136223846793005 + 1442695040888963407
 	v := (seed >> 33) & 0x7FFFFFFF

@@ -32,6 +32,27 @@ func defaultEnv() map[string]string {
 	}
 }
 
+// sharedDefaultEnv is the one read-only instance of the default table.
+// Every interpreter starts by aliasing it (copy-on-write, see
+// Interp.setEnv): piece evaluation creates thousands of short-lived
+// interpreters per script, and rebuilding a 24-entry map for each was a
+// dominant allocation source.
+var sharedDefaultEnv = defaultEnv()
+
+// setEnv writes one environment entry, cloning the shared default
+// table on first write so the package-wide instance stays pristine.
+func (in *Interp) setEnv(key, value string) {
+	if !in.envOwned {
+		m := make(map[string]string, len(in.env)+1)
+		for k, v := range in.env {
+			m[k] = v
+		}
+		in.env = m
+		in.envOwned = true
+	}
+	in.env[key] = value
+}
+
 // PSHome is the simulated $PSHOME value. Its characters are load-bearing
 // for obfuscation such as $pshome[4]+$pshome[30]+'x' == "iex".
 const PSHome = "C:\\Windows\\System32\\WindowsPowerShell\\v1.0"

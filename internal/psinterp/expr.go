@@ -173,6 +173,10 @@ func (in *Interp) lookupVariable(name string, sc *scope) (any, error) {
 		return nil, nil
 	}
 	if strings.HasPrefix(n, "env:") {
+		// Environment state lives outside the preloaded-variable
+		// fingerprint, so any read of it disqualifies the run from the
+		// evaluation cache.
+		in.markImpure("env read: " + n)
 		key := strings.TrimPrefix(n, "env:")
 		if v, ok := in.env[key]; ok {
 			return v, nil
@@ -184,6 +188,7 @@ func (in *Interp) lookupVariable(name string, sc *scope) (any, error) {
 	}
 	n = normalizeVarName(n)
 	if v, ok := sc.get(n); ok {
+		in.noteVarRead(n)
 		return v, nil
 	}
 	if v, ok := in.automaticVariable(n); ok {
@@ -192,6 +197,9 @@ func (in *Interp) lookupVariable(name string, sc *scope) (any, error) {
 	if in.opts.StrictVars {
 		return nil, &UnknownVariableError{Name: name}
 	}
+	// A lenient read of an undefined variable depends on the *absence*
+	// of context, which the read-set fingerprint cannot express.
+	in.markImpure("undefined variable read: $" + n)
 	return nil, nil
 }
 
@@ -343,6 +351,14 @@ func indexValue(target, index any) (any, error) {
 		return v, nil
 	}
 	if idxArr, ok := index.([]any); ok {
+		// Index arrays over strings are the dominant character-
+		// reconstruction idiom ($s[4,30,12] -join ''). Decode the
+		// string to runes ONCE for the whole list: re-deriving it per
+		// element made multi-index O(len(s) * len(idx)) and was the
+		// single hottest call in corpus profiles.
+		if s, isStr := target.(string); isStr {
+			target = []rune(s)
+		}
 		out := make([]any, 0, len(idxArr))
 		for _, ix := range idxArr {
 			v, err := indexValue(target, ix)
@@ -369,6 +385,13 @@ func indexValue(target, index any) (any, error) {
 		runes := []rune(t)
 		if n, ok := at(len(runes)); ok {
 			return Char(runes[n]), nil
+		}
+		return nil, nil
+	case []rune:
+		// Internal fast path: a string target pre-decoded once by the
+		// index-array branch above. Never a user-visible value type.
+		if n, ok := at(len(t)); ok {
+			return Char(t[n]), nil
 		}
 		return nil, nil
 	case []any:

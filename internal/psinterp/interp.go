@@ -120,8 +120,14 @@ type Interp struct {
 	host    Host
 	steps   int
 	depth   int
-	global  *scope
-	env     map[string]string
+	global *scope
+	// env holds the simulated Windows environment. It initially aliases
+	// the read-only sharedDefaultEnv; envOwned tracks whether it has
+	// been cloned for this interpreter (see setEnv).
+	env      map[string]string
+	envOwned bool
+	// funcs maps lower-cased names of user-defined functions; allocated
+	// lazily because most evaluated pieces define none.
 	funcs   map[string]*psast.FunctionDefinition
 	console strings.Builder
 	// lastMatches holds capture groups of the most recent -match.
@@ -136,6 +142,13 @@ type Interp struct {
 	// deadline caches the context deadline for cheap amortized checks.
 	deadline    time.Time
 	hasDeadline bool
+
+	// Purity tracking (see Purity): preloaded names the caller defined
+	// via SetVar before evaluation, the subset actually read, and the
+	// first impurity cause (empty while the run is still pure).
+	preloaded     map[string]bool
+	readPreloaded map[string]bool
+	impureReason  string
 }
 
 // New returns an interpreter with the given options.
@@ -158,11 +171,13 @@ func New(opts Options) *Interp {
 	}
 	in := &Interp{
 		opts:   opts,
-		host:   host,
 		global: newScope(nil),
-		env:    defaultEnv(),
-		funcs:  make(map[string]*psast.FunctionDefinition),
+		env:    sharedDefaultEnv,
 	}
+	// Every host call is a side effect: route them through the
+	// impurity-marking wrapper so purity tracking has a single choke
+	// point for the whole Host surface.
+	in.host = impurityHost{in: in, next: host}
 	if opts.Ctx != nil {
 		if dl, ok := opts.Ctx.Deadline(); ok {
 			in.deadline = dl
@@ -170,7 +185,7 @@ func New(opts Options) *Interp {
 		}
 	}
 	for k, v := range opts.Env {
-		in.env[strings.ToLower(k)] = v
+		in.setEnv(strings.ToLower(k), v)
 	}
 	return in
 }
@@ -179,9 +194,17 @@ func New(opts Options) *Interp {
 // evaluation.
 func (in *Interp) Console() string { return in.console.String() }
 
-// SetVar defines a variable in the global scope.
+// SetVar defines a variable in the global scope. Variables defined
+// this way — before evaluation, by the embedding caller — are the
+// "preloaded" set whose reads the purity tracker records for the
+// evaluation cache's environment fingerprint.
 func (in *Interp) SetVar(name string, v any) {
-	in.global.set(normalizeVarName(name), v)
+	n := normalizeVarName(name)
+	if in.preloaded == nil {
+		in.preloaded = make(map[string]bool, 8)
+	}
+	in.preloaded[n] = true
+	in.global.set(n, v)
 }
 
 // GetVar reads a variable from the global scope chain.
@@ -293,8 +316,13 @@ type scope struct {
 	parent *scope
 }
 
+// newScope creates a child scope. The variable map is allocated
+// lazily on first write: function calls, script blocks and loop bodies
+// routinely open scopes that never define a variable, and piece
+// evaluation opens thousands of interpreters whose global scope holds
+// only a few preloaded names.
 func newScope(parent *scope) *scope {
-	return &scope{vars: make(map[string]any), parent: parent}
+	return &scope{parent: parent}
 }
 
 func (s *scope) get(name string) (any, bool) {
@@ -314,6 +342,15 @@ func (s *scope) set(name string, v any) {
 			cur.vars[name] = v
 			return
 		}
+	}
+	s.define(name, v)
+}
+
+// define writes name into this scope (not the chain), materializing
+// the lazy variable map on first use.
+func (s *scope) define(name string, v any) {
+	if s.vars == nil {
+		s.vars = make(map[string]any, 4)
 	}
 	s.vars[name] = v
 }
@@ -367,6 +404,9 @@ func (in *Interp) evalStatement(node psast.Node, sc *scope) ([]any, error) {
 	case *psast.Try:
 		return in.evalTry(n, sc)
 	case *psast.FunctionDefinition:
+		if in.funcs == nil {
+			in.funcs = make(map[string]*psast.FunctionDefinition, 4)
+		}
 		in.funcs[strings.ToLower(n.Name)] = n
 		return nil, nil
 	case *psast.FlowStatement:
@@ -471,11 +511,12 @@ func (in *Interp) assignTo(target psast.Node, value any, sc *scope) error {
 	case *psast.VariableExpression:
 		name := strings.ToLower(t.Name)
 		if strings.HasPrefix(name, "env:") {
-			in.env[strings.TrimPrefix(name, "env:")] = ToString(value)
+			in.markImpure("env write: " + name)
+			in.setEnv(strings.TrimPrefix(name, "env:"), ToString(value))
 			return nil
 		}
 		if strings.HasPrefix(name, "global:") || strings.HasPrefix(name, "script:") {
-			in.global.vars[normalizeVarName(t.Name)] = value
+			in.global.define(normalizeVarName(t.Name), value)
 			return nil
 		}
 		sc.set(normalizeVarName(t.Name), value)
@@ -837,7 +878,7 @@ func (in *Interp) callFunction(fn *psast.FunctionDefinition, args []commandArg, 
 			}
 			def = v
 		}
-		fsc.vars[normalizeVarName(p.Name)] = def
+		fsc.define(normalizeVarName(p.Name), def)
 	}
 	var extra []any
 	pos := 0
@@ -849,12 +890,12 @@ func (in *Interp) callFunction(fn *psast.FunctionDefinition, args []commandArg, 
 			for _, p := range params {
 				if strings.EqualFold(normalizeVarName(p.Name), name) {
 					if a.value != nil {
-						fsc.vars[normalizeVarName(p.Name)] = a.value
+						fsc.define(normalizeVarName(p.Name), a.value)
 					} else if i+1 < len(args) && !args[i+1].isParam {
-						fsc.vars[normalizeVarName(p.Name)] = args[i+1].value
+						fsc.define(normalizeVarName(p.Name), args[i+1].value)
 						i++
 					} else {
-						fsc.vars[normalizeVarName(p.Name)] = true
+						fsc.define(normalizeVarName(p.Name), true)
 					}
 					bound = true
 					break
@@ -869,16 +910,16 @@ func (in *Interp) callFunction(fn *psast.FunctionDefinition, args []commandArg, 
 		if pos < len(params) {
 			// Positional binding fills parameters that still hold their
 			// defaults.
-			fsc.vars[normalizeVarName(params[pos].Name)] = a.value
+			fsc.define(normalizeVarName(params[pos].Name), a.value)
 			pos++
 			continue
 		}
 		extra = append(extra, a.value)
 	}
-	fsc.vars["args"] = extra
+	fsc.define("args", extra)
 	if len(input) > 0 {
-		fsc.vars["input"] = input
-		fsc.vars["_"] = input[len(input)-1]
+		fsc.define("input", input)
+		fsc.define("_", input[len(input)-1])
 	}
 	out, err := in.evalScriptBlockBody(fn.Body, fsc)
 	var fs *flowSignal
@@ -900,7 +941,7 @@ func (in *Interp) InvokeScriptBlock(sb *ScriptBlockValue, args []any, input []an
 	in.depth++
 	defer func() { in.depth-- }()
 	bsc := newScope(sc)
-	bsc.vars["args"] = args
+	bsc.define("args", args)
 	if sb.Body != nil && sb.Body.Params != nil {
 		for i, p := range sb.Body.Params.Parameters {
 			var v any
@@ -913,11 +954,11 @@ func (in *Interp) InvokeScriptBlock(sb *ScriptBlockValue, args []any, input []an
 				}
 				v = d
 			}
-			bsc.vars[normalizeVarName(p.Name)] = v
+			bsc.define(normalizeVarName(p.Name), v)
 		}
 	}
 	if len(input) > 0 {
-		bsc.vars["input"] = input
+		bsc.define("input", input)
 	}
 	out, err := in.evalScriptBlockBody(sb.Body, bsc)
 	var fs *flowSignal

@@ -722,6 +722,7 @@ func (in *Interp) objectMethod(o *Object, n string, args []any, sc *scope) (any,
 	case "System.Random":
 		switch n {
 		case "next":
+			in.markImpure("nondeterminism: System.Random.Next")
 			state, _ := o.Data.(int64)
 			state = state*6364136223846793005 + 1442695040888963407
 			o.Data = state
@@ -778,6 +779,8 @@ func (in *Interp) objectMethod(o *Object, n string, args []any, sc *scope) (any,
 // Invoke-Expression) with the depth guard.
 func (in *Interp) invokeNestedScript(src string) (any, error) {
 	if in.opts.EngineScriptHook != nil {
+		// A replay from the evaluation cache would not re-fire the hook.
+		in.markImpure("engine-script hook observed code")
 		in.opts.EngineScriptHook(src)
 	}
 	if in.depth >= in.opts.MaxDepth {

@@ -100,10 +100,12 @@ func (in *Interp) runPowerShell(args []commandArg, input []any) ([]any, error) {
 		return nil, nil
 	}
 	if in.opts.IEXHook != nil {
+		in.markImpure("iex hook observed code")
 		in.opts.IEXHook(script)
 		return nil, nil
 	}
 	if in.opts.EngineScriptHook != nil {
+		in.markImpure("engine-script hook observed code")
 		in.opts.EngineScriptHook(script)
 	}
 	if in.depth >= in.opts.MaxDepth {

@@ -1,0 +1,167 @@
+package psinterp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// evalPurity runs one snippet on a fresh interpreter with the given
+// preloaded variables and returns the purity report.
+func evalPurity(t *testing.T, src string, preload map[string]any) Purity {
+	t.Helper()
+	in := New(Options{})
+	for k, v := range preload {
+		in.SetVar(k, v)
+	}
+	if _, err := in.EvalSnippet(src); err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return in.Purity()
+}
+
+func TestPurityPureArithmetic(t *testing.T) {
+	p := evalPurity(t, "'a' + 'b' * 3", nil)
+	if !p.Pure {
+		t.Errorf("string arithmetic impure: %s", p.Reason)
+	}
+	if len(p.ReadVars) != 0 {
+		t.Errorf("no preloaded reads expected, got %v", p.ReadVars)
+	}
+}
+
+func TestPurityRecordsPreloadedReads(t *testing.T) {
+	p := evalPurity(t, "$zebra + $apple", map[string]any{
+		"apple":  "a",
+		"zebra":  "z",
+		"unused": "u",
+	})
+	if !p.Pure {
+		t.Fatalf("impure: %s", p.Reason)
+	}
+	// Only the variables actually read, sorted.
+	if want := []string{"apple", "zebra"}; !reflect.DeepEqual(p.ReadVars, want) {
+		t.Errorf("ReadVars = %v, want %v", p.ReadVars, want)
+	}
+}
+
+func TestPurityScriptDefinedVarsNotRecorded(t *testing.T) {
+	p := evalPurity(t, "$x = 'local'; $x + $x", nil)
+	if !p.Pure {
+		t.Fatalf("impure: %s", p.Reason)
+	}
+	if len(p.ReadVars) != 0 {
+		t.Errorf("script-defined variable reads must not be recorded: %v", p.ReadVars)
+	}
+}
+
+func TestPurityImpuritySources(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		preload map[string]any
+	}{
+		{"get-random", "Get-Random -Minimum 1 -Maximum 10", nil},
+		{"get-date", "Get-Date", nil},
+		{"env-read", "$env:comspec", nil},
+		{"env-read-static", "[Environment]::GetEnvironmentVariable('Path')", nil},
+		{"env-write", "$env:xyzvar = 'v'", nil},
+		{"machinename", "[Environment]::MachineName", nil},
+		{"datetime-now", "[DateTime]::Now", nil},
+		{"newguid", "[guid]::NewGuid()", nil},
+		{"console-write", "Write-Host 'hello'", nil},
+		{"nonwhitelisted-command", "Start-Sleep -s 0", nil},
+		{"wildcard-get-variable", "$seed = 1; Get-Variable se*", map[string]any{"seed2": 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := New(Options{})
+			for k, v := range tc.preload {
+				in.SetVar(k, v)
+			}
+			in.EvalSnippet(tc.src) // some cases error under DenyHost; impurity must still be marked
+			p := in.Purity()
+			if p.Pure {
+				t.Errorf("%q reported pure", tc.src)
+			}
+			if p.Reason == "" {
+				t.Error("impure without a reason")
+			}
+		})
+	}
+}
+
+func TestPurityLenientUndefinedReadIsImpure(t *testing.T) {
+	// In non-strict mode a read of an undefined variable yields nil.
+	// The absence of a variable cannot be fingerprinted, so such runs
+	// must never be cached.
+	in := New(Options{})
+	if _, err := in.EvalSnippet("$neverdefined"); err != nil {
+		t.Fatal(err)
+	}
+	if p := in.Purity(); p.Pure {
+		t.Error("lenient undefined-variable read reported pure")
+	}
+}
+
+func TestPurityFirstReasonWins(t *testing.T) {
+	in := New(Options{})
+	in.EvalSnippet("Get-Random; Get-Date")
+	p := in.Purity()
+	if p.Reason != "command: get-random" {
+		t.Errorf("first impurity cause not retained: %q", p.Reason)
+	}
+}
+
+func TestPurityWhitelistedBuiltinsStayPure(t *testing.T) {
+	srcs := []string{
+		"('a','b','c' | ForEach-Object { $_ }) -join ''",
+		"Write-Output 'x'",
+		"1,5,3 | Sort-Object",
+		"(New-Object Net.WebClient) -ne $null",
+		"Invoke-Expression '1 + 1'",
+	}
+	for _, src := range srcs {
+		in := New(Options{})
+		if _, err := in.EvalSnippet(src); err != nil {
+			t.Fatalf("eval %q: %v", src, err)
+		}
+		if p := in.Purity(); !p.Pure {
+			t.Errorf("%q impure: %s", src, p.Reason)
+		}
+	}
+}
+
+func TestCopyValueGate(t *testing.T) {
+	// Copyable scalars and nested slices.
+	orig := []any{"s", int64(3), 1.5, true, Char('x'), nil, []any{"inner"}, Bytes{1, 2}}
+	cp, ok := CopyValue(orig)
+	if !ok {
+		t.Fatal("scalar slice refused")
+	}
+	cps := cp.([]any)
+	cps[6].([]any)[0] = "MUTATED"
+	cps[7].(Bytes)[0] = 99
+	if orig[6].([]any)[0] != "inner" || orig[7].(Bytes)[0] != 1 {
+		t.Error("CopyValue aliased nested data")
+	}
+	// Reference types are refused.
+	for _, v := range []any{NewHashtable(), NewObject("X"), &ScriptBlockValue{}} {
+		if _, ok := CopyValue(v); ok {
+			t.Errorf("CopyValue accepted %T", v)
+		}
+	}
+	if _, ok := CopyValue([]any{"fine", NewHashtable()}); ok {
+		t.Error("CopyValue accepted a slice holding a hashtable")
+	}
+}
+
+func TestValueSizeGrowsWithPayload(t *testing.T) {
+	small := ValueSize("ab")
+	big := ValueSize(string(make([]byte, 4096)))
+	if big <= small {
+		t.Errorf("size not monotonic: %d <= %d", big, small)
+	}
+	if n := ValueSize([]any{"abc", Bytes{1, 2, 3}}); n <= 0 {
+		t.Errorf("composite size = %d", n)
+	}
+}

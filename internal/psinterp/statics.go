@@ -231,8 +231,10 @@ func (in *Interp) staticProperty(typeName, member string) (any, error) {
 		case "newline":
 			return "\r\n", nil
 		case "machinename":
+			in.markImpure("env read: [environment]::machinename")
 			return in.env["computername"], nil
 		case "username":
+			in.markImpure("env read: [environment]::username")
 			return in.env["username"], nil
 		case "systemdirectory":
 			return "C:\\WINDOWS\\system32", nil
@@ -263,6 +265,7 @@ func (in *Interp) staticProperty(typeName, member string) (any, error) {
 	case "datetime":
 		switch m {
 		case "now", "utcnow":
+			in.markImpure("nondeterminism: [datetime]::" + m)
 			return "01/01/2021 00:00:00", nil
 		}
 	case "intptr":
@@ -292,10 +295,12 @@ func (in *Interp) staticMethod(typeName, method string, args []any) (any, error)
 		return in.regexStatic(m, args)
 	case "environment":
 		if m == "getenvironmentvariable" && len(args) >= 1 {
+			in.markImpure("env read: [environment]::getenvironmentvariable")
 			return in.env[strings.ToLower(ToString(args[0]))], nil
 		}
 		if m == "setenvironmentvariable" && len(args) >= 2 {
-			in.env[strings.ToLower(ToString(args[0]))] = ToString(args[1])
+			in.markImpure("env write: [environment]::setenvironmentvariable")
+			in.setEnv(strings.ToLower(ToString(args[0])), ToString(args[1]))
 			return nil, nil
 		}
 	case "runtime.interopservices.marshal", "marshal":
@@ -321,6 +326,7 @@ func (in *Interp) staticMethod(typeName, method string, args []any) (any, error)
 	case "io.path", "path":
 		switch m {
 		case "gettemppath":
+			in.markImpure("env read: [io.path]::gettemppath")
 			return in.env["temp"] + "\\", nil
 		case "combine":
 			parts := make([]string, len(args))
@@ -341,10 +347,12 @@ func (in *Interp) staticMethod(typeName, method string, args []any) (any, error)
 			}
 			return "", nil
 		case "getrandomfilename":
+			in.markImpure("nondeterminism: [io.path]::getrandomfilename")
 			return "deterministic.tmp", nil
 		}
 	case "guid":
 		if m == "newguid" {
+			in.markImpure("nondeterminism: [guid]::newguid")
 			in.steps += 7 // advance a little entropy deterministically
 			return fmt.Sprintf("%08x-0000-4000-8000-000000000000", in.steps), nil
 		}
@@ -836,7 +844,10 @@ func marshalStatic(m string, args []any) (any, error) {
 }
 
 // writeConsole appends console output to the transcript and host.
+// Console output is an observable side effect a cached replay would
+// not reproduce, so it marks the run impure.
 func (in *Interp) writeConsole(s string) {
+	in.markImpure("console output")
 	if in.console.Len() < in.opts.MaxStringLen {
 		in.console.WriteString(s)
 		in.console.WriteByte('\n')

@@ -74,6 +74,13 @@ type lexer struct {
 func Tokenize(src string) (toks []Token, err error) {
 	defer limits.Recover("pstoken.Tokenize", &err)
 	l := &lexer{src: src, line: 1, state: sStmtStart, lastEnd: -1}
+	// Pre-size the token slice from the source length. PowerShell
+	// averages roughly six source bytes per token; starting near that
+	// estimate turns the append-growth cascade (the dominant
+	// allocation in tokenization) into at most one or two regrowths.
+	if est := len(src)/6 + 8; est > 16 {
+		l.toks = make([]Token, 0, est)
+	}
 	l.run()
 	if l.err != nil {
 		return l.toks, l.err
@@ -358,72 +365,103 @@ func (l *lexer) lexBlockComment(start int) {
 
 func (l *lexer) lexSingleQuoted(start int) {
 	l.pos++ // opening quote
+	// Scan by byte: the only special character is the quote itself,
+	// which is ASCII and therefore can never be a UTF-8 continuation
+	// byte. Content is a zero-copy slice of the source unless an
+	// escaped quote ('') forces a rebuild, and even then verbatim
+	// spans are appended chunk-wise rather than rune-by-rune.
 	var sb strings.Builder
+	chunk := l.pos
 	for l.pos < len(l.src) {
-		r, size := l.runeAt(l.pos)
-		if r == '\'' {
-			if l.peek(1) == '\'' {
-				sb.WriteByte('\'')
-				l.pos += 2
-				continue
-			}
-			l.pos += size
-			l.emitKind(String, start, sb.String(), SingleQuoted, false)
-			l.state = l.afterOperand()
-			return
+		i := strings.IndexByte(l.src[l.pos:], '\'')
+		if i < 0 {
+			break
 		}
-		sb.WriteRune(r)
-		l.pos += size
+		q := l.pos + i
+		if q+1 < len(l.src) && l.src[q+1] == '\'' {
+			sb.WriteString(l.src[chunk:q])
+			sb.WriteByte('\'')
+			l.pos = q + 2
+			chunk = l.pos
+			continue
+		}
+		var content string
+		if sb.Len() == 0 {
+			content = l.src[chunk:q]
+		} else {
+			sb.WriteString(l.src[chunk:q])
+			content = sb.String()
+		}
+		l.pos = q + 1
+		l.emitKind(String, start, content, SingleQuoted, false)
+		l.state = l.afterOperand()
+		return
 	}
+	l.pos = len(l.src)
 	l.fail(start, "unterminated single-quoted string")
 }
 
 func (l *lexer) lexDoubleQuoted(start int) {
 	l.pos++ // opening quote
+	// Content diverges from the raw source only on escaped quotes ("")
+	// and backtick escapes; embedded $( ) subexpressions are copied
+	// verbatim. So scan by byte for the three ASCII special characters
+	// (safe: they are never UTF-8 continuation bytes), keep a pending
+	// verbatim chunk, and materialize a builder only on divergence —
+	// the common escape-free string is a zero-copy source slice.
 	var sb strings.Builder
+	chunk := l.pos
 	for l.pos < len(l.src) {
-		r, size := l.runeAt(l.pos)
-		switch r {
+		switch l.src[l.pos] {
 		case '"':
-			if l.peek(1) == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				sb.WriteString(l.src[chunk:l.pos])
 				sb.WriteByte('"')
 				l.pos += 2
+				chunk = l.pos
 				continue
 			}
-			l.pos += size
-			l.emitKind(String, start, sb.String(), DoubleQuoted, false)
+			var content string
+			if sb.Len() == 0 {
+				content = l.src[chunk:l.pos]
+			} else {
+				sb.WriteString(l.src[chunk:l.pos])
+				content = sb.String()
+			}
+			l.pos++
+			l.emitKind(String, start, content, DoubleQuoted, false)
 			l.state = l.afterOperand()
 			return
 		case '`':
-			r2, s2 := l.runeAt(l.pos + size)
+			r2, s2 := l.runeAt(l.pos + 1)
 			if s2 == 0 {
 				l.fail(start, "unterminated double-quoted string")
 				return
 			}
+			sb.WriteString(l.src[chunk:l.pos])
 			if esc, ok := doubleQuoteEscapes[r2]; ok {
 				sb.WriteRune(esc)
 			} else {
 				sb.WriteRune(r2)
 			}
-			l.pos += size + s2
+			l.pos += 1 + s2
+			chunk = l.pos
 		case '$':
-			if l.peek(1) == '(' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '(' {
 				// Embedded subexpression: find the balanced close so
-				// quotes inside do not end the string.
+				// quotes inside do not end the string. The text stays
+				// verbatim, so it remains part of the pending chunk.
 				end, ok := FindMatchingParen(l.src, l.pos+1)
 				if !ok {
 					l.fail(start, "unterminated subexpression in string")
 					return
 				}
-				sb.WriteString(l.src[l.pos : end+1])
 				l.pos = end + 1
 				continue
 			}
-			sb.WriteRune(r)
-			l.pos += size
+			l.pos++
 		default:
-			sb.WriteRune(r)
-			l.pos += size
+			l.pos++
 		}
 	}
 	l.fail(start, "unterminated double-quoted string")
@@ -828,8 +866,13 @@ func (l *lexer) lexDash(start int) {
 // scanTickedIdent scans identifier characters allowing backtick escapes,
 // returning the tick-stripped text.
 func (l *lexer) scanTickedIdent() (string, bool) {
+	// Tick-free identifiers (the overwhelming majority) come back as a
+	// zero-copy slice of the source; a builder is materialized only on
+	// the first backtick, seeded with the verbatim span so far.
+	start := l.pos
 	var sb strings.Builder
 	hadTicks := false
+	chunk := start
 	for l.pos < len(l.src) {
 		r, size := l.runeAt(l.pos)
 		if r == '`' {
@@ -837,18 +880,23 @@ func (l *lexer) scanTickedIdent() (string, bool) {
 			if s2 == 0 || !isIdentChar(r2) {
 				break
 			}
+			sb.WriteString(l.src[chunk:l.pos])
 			sb.WriteRune(r2)
 			hadTicks = true
 			l.pos += size + s2
+			chunk = l.pos
 			continue
 		}
 		if !isIdentChar(r) {
 			break
 		}
-		sb.WriteRune(r)
 		l.pos += size
 	}
-	return sb.String(), hadTicks
+	if !hadTicks {
+		return l.src[start:l.pos], false
+	}
+	sb.WriteString(l.src[chunk:l.pos])
+	return sb.String(), true
 }
 
 func (l *lexer) lexSimpleOperator(start int, r rune) {
@@ -1013,8 +1061,12 @@ func isHexDigit(b byte) bool {
 // according to the current state.
 func (l *lexer) lexWord(start int) {
 	l.pos = start
+	// Same chunked strategy as the string lexers: tick-free words (the
+	// common case) are zero-copy source slices; the builder exists
+	// only once a backtick escape makes the content diverge.
 	var sb strings.Builder
 	hadTicks := false
+	chunk := start
 	narrow := l.state == sMember || l.state == sHash || l.state == sExpr || l.state == sPostfix
 	for l.pos < len(l.src) {
 		r, size := l.runeAt(l.pos)
@@ -1023,9 +1075,11 @@ func (l *lexer) lexWord(start int) {
 			if s2 == 0 || r2 == '\n' || r2 == '\r' {
 				break
 			}
+			sb.WriteString(l.src[chunk:l.pos])
 			sb.WriteRune(r2)
 			hadTicks = true
 			l.pos += size + s2
+			chunk = l.pos
 			continue
 		}
 		if narrow {
@@ -1035,7 +1089,6 @@ func (l *lexer) lexWord(start int) {
 		} else if !isWordChar(r) || r == '<' || r == '>' || r == '[' || r == ']' {
 			break
 		}
-		sb.WriteRune(r)
 		l.pos += size
 	}
 	if l.pos == start {
@@ -1045,7 +1098,13 @@ func (l *lexer) lexWord(start int) {
 		l.emit(Unknown, start, l.src[start:l.pos])
 		return
 	}
-	word := sb.String()
+	var word string
+	if !hadTicks {
+		word = l.src[start:l.pos]
+	} else {
+		sb.WriteString(l.src[chunk:l.pos])
+		word = sb.String()
+	}
 	l.classifyWord(start, word, hadTicks)
 }
 

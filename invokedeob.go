@@ -71,6 +71,13 @@ type Options struct {
 	// MaxOutputBytes bounds the total bytes produced across all
 	// unwrapped layers in one run (default 64 MiB).
 	MaxOutputBytes int
+	// DisableEvalCache turns off evaluation memoization: every
+	// recoverable piece is interpreted from scratch even when an
+	// identical (text, visible-bindings) pair was evaluated before.
+	// The cache is semantically gated — only pure, deterministic
+	// evaluations are memoized — so this switch affects performance
+	// only; outputs are byte-identical either way.
+	DisableEvalCache bool
 	// Jobs bounds DeobfuscateBatch worker-pool concurrency (default
 	// GOMAXPROCS). Ignored outside batch runs.
 	Jobs int
@@ -96,6 +103,7 @@ func (o *Options) toCore() core.Options {
 		FunctionTracing:        o.FunctionTracing,
 		MaxAllocBytes:          o.MaxAllocBytes,
 		MaxOutputBytes:         o.MaxOutputBytes,
+		DisableEvalCache:       o.DisableEvalCache,
 		Jobs:                   o.Jobs,
 		ScriptTimeout:          o.ScriptTimeout,
 	}
@@ -124,6 +132,15 @@ type Stats struct {
 	// TimedOut reports that the run was interrupted by the envelope and
 	// the Result holds partial progress.
 	TimedOut bool
+	// EvalCacheHits counts piece evaluations answered from the
+	// evaluation cache (interpreter runs skipped entirely).
+	EvalCacheHits int64
+	// EvalCacheMisses counts piece evaluations that ran the interpreter
+	// and whose pure result was cached for future lookups.
+	EvalCacheMisses int64
+	// EvalCacheSkips counts piece evaluations that ran but were not
+	// cacheable (impure, failed, or holding uncopyable values).
+	EvalCacheSkips int64
 }
 
 // PassStat is the aggregated trace of one pipeline pass across a
@@ -148,6 +165,13 @@ type PassStat struct {
 	// miss is a real tokenize/parse, a hit was answered from memory.
 	CacheHits   int64
 	CacheMisses int64
+	// EvalHits / EvalMisses / EvalSkips are the pass's evaluation-cache
+	// outcomes: a hit replayed a memoized pure evaluation without
+	// constructing an interpreter, a miss evaluated and cached, a skip
+	// evaluated but was uncacheable (impure piece or failed run).
+	EvalHits   int64
+	EvalMisses int64
+	EvalSkips  int64
 }
 
 // Result is the outcome of a deobfuscation.
@@ -229,6 +253,9 @@ func toResult(res *core.Result) *Result {
 			Reverts:     p.Reverts,
 			CacheHits:   p.CacheHits,
 			CacheMisses: p.CacheMisses,
+			EvalHits:    p.EvalHits,
+			EvalMisses:  p.EvalMisses,
+			EvalSkips:   p.EvalSkips,
 		}
 	}
 	return &Result{
@@ -249,6 +276,9 @@ func toResult(res *core.Result) *Result {
 			PiecesPanicked:     res.Stats.PiecesPanicked,
 			PiecesOverBudget:   res.Stats.PiecesOverBudget,
 			TimedOut:           res.Stats.TimedOut,
+			EvalCacheHits:      res.Stats.EvalCacheHits,
+			EvalCacheMisses:    res.Stats.EvalCacheMisses,
+			EvalCacheSkips:     res.Stats.EvalCacheSkips,
 		},
 	}
 }
