@@ -10,12 +10,12 @@ BENCHCOUNT ?= 5
 BENCHJSON ?= BENCH_pr3.json
 PROFILEDIR ?= .profile
 
-.PHONY: all check vet build test race equivalence fuzz-smoke bench-compare bench-json profile clean
+.PHONY: all check vet build test race soak equivalence fuzz-smoke serve-smoke bench-compare bench-json profile clean
 
 all: check
 
 # check is the tier-1 gate.
-check: vet build race equivalence fuzz-smoke
+check: vet build race soak equivalence serve-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# soak runs the slow hostile-input variants that are opt-in (-soak test
+# flag) so the default `go test ./...` stays fast. They still gate
+# `make check`: the full coverage is not lost, just moved here.
+soak:
+	$(GO) test ./internal/pipeline -run TestOversizeHostileTextSoak -soak -count=1 -timeout 10m
 
 # equivalence re-runs the refactor guards explicitly (they are also in
 # the plain suite): byte-identical output against the frozen pre-refactor
@@ -44,6 +50,13 @@ fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzDeobfuscate$$ -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzDeobfuscateEnvelope -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/psinterp -run '^$$' -fuzz FuzzEvalSnippet -fuzztime $(FUZZTIME)
+
+# serve-smoke is the end-to-end binary check for the HTTP service:
+# build deobserver, bind an ephemeral port, round-trip a script via
+# curl, check /healthz and /statsz, then SIGTERM and verify a graceful
+# drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # bench-compare measures the single-script engine benchmark and the
 # batch driver at 1/2/4 workers, writing bench.new. When a bench.old

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteCorpus pins the profiling corpus emit path: 24 numbered,
+// non-empty .ps1 files in the target directory.
+func TestWriteCorpus(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeCorpus(dir); err != nil {
+		t.Fatalf("writeCorpus: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 24 {
+		t.Fatalf("wrote %d files, want 24", len(entries))
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".ps1" {
+			t.Errorf("unexpected file %q, want .ps1", e.Name())
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strings.TrimSpace(string(b))) == 0 {
+			t.Errorf("%s is empty", e.Name())
+		}
+	}
+	// Determinism: a second emit produces the same file set and bytes.
+	dir2 := t.TempDir()
+	if err := writeCorpus(dir2); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		a, _ := os.ReadFile(filepath.Join(dir, e.Name()))
+		b, err := os.ReadFile(filepath.Join(dir2, e.Name()))
+		if err != nil {
+			t.Fatalf("second emit missing %s: %v", e.Name(), err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s not deterministic across emits", e.Name())
+		}
+	}
+}
+
+// TestMeasureSmoke runs the full measurement pipeline at a tiny
+// benchtime and validates the report shape: every benchmark present
+// with sane counters, and the whole thing JSON-marshalable (the file
+// the real invocation writes).
+func TestMeasureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measure runs real engine benchmarks")
+	}
+	rep, err := measure(time.Millisecond)
+	if err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+	for _, name := range []string{"deobfuscate", "batch_jobs4", "batch_duplicated_cache_on", "batch_duplicated_cache_off"} {
+		m, ok := rep.Bench[name]
+		if !ok {
+			t.Errorf("report missing benchmark %q", name)
+			continue
+		}
+		if m.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %d, want > 0", name, m.NsPerOp)
+		}
+		if m.AllocsPerOp <= 0 {
+			t.Errorf("%s: allocs_per_op = %d, want > 0", name, m.AllocsPerOp)
+		}
+	}
+	if rep.Bench["deobfuscate"].ParsesPerOp <= 0 {
+		t.Errorf("parses_per_run = %d, want > 0", rep.Bench["deobfuscate"].ParsesPerOp)
+	}
+	if rep.Bench["deobfuscate"].EvalCache == nil {
+		t.Error("single-script eval cache stats missing")
+	}
+	if rep.BaselinePR2.AllocsPerOp <= 0 {
+		t.Error("frozen PR2 baseline missing from report")
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report not marshalable: %v", err)
+	}
+	var back report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("report not round-trippable: %v", err)
+	}
+	if back.GoVersion == "" || back.Generated == "" {
+		t.Error("provenance fields empty after round trip")
+	}
+}

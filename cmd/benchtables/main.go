@@ -11,31 +11,51 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/experiments"
 )
 
+// errNothingSelected reports an invocation that named no experiment.
+var errNothingSelected = errors.New("no experiment selected")
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) && !errors.Is(err, errNothingSelected) {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+		}
+		os.Exit(2)
+	}
+}
+
+// run parses args and renders the selected experiments to stdout.
+// Factored from main so tests can drive the emit paths in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		tableN   = flag.Int("table", 0, "run one table (1-5)")
-		figureN  = flag.Int("figure", 0, "run one figure (5 or 6)")
-		all      = flag.Bool("all", false, "run every experiment")
-		ablation = flag.Bool("ablation", false, "run the engine ablations")
-		amsi     = flag.Bool("amsi", false, "run the AMSI comparison (paper §V-B)")
-		funnel   = flag.Bool("funnel", false, "run the dataset preprocessing funnel (paper §IV-B1)")
-		quick    = flag.Bool("quick", false, "reduced sample counts and simulated latency")
-		samples  = flag.Int("samples", 0, "override the sample count")
-		seed     = flag.Int64("seed", 0, "override the corpus seed")
+		tableN   = fs.Int("table", 0, "run one table (1-5)")
+		figureN  = fs.Int("figure", 0, "run one figure (5 or 6)")
+		all      = fs.Bool("all", false, "run every experiment")
+		ablation = fs.Bool("ablation", false, "run the engine ablations")
+		amsi     = fs.Bool("amsi", false, "run the AMSI comparison (paper §V-B)")
+		funnel   = fs.Bool("funnel", false, "run the dataset preprocessing funnel (paper §IV-B1)")
+		quick    = fs.Bool("quick", false, "reduced sample counts and simulated latency")
+		samples  = fs.Int("samples", 0, "override the sample count")
+		seed     = fs.Int64("seed", 0, "override the corpus seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	cfg := experiments.Config{Seed: *seed, Samples: *samples, Quick: *quick}
 	ran := false
 	show := func(s fmt.Stringer) {
-		fmt.Println(s)
-		fmt.Println()
+		fmt.Fprintln(stdout, s)
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if *all || *tableN == 1 {
@@ -69,7 +89,8 @@ func main() {
 		show(experiments.DatasetFunnel(cfg))
 	}
 	if !ran {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errNothingSelected
 	}
+	return nil
 }

@@ -46,17 +46,6 @@ type BatchResult struct {
 // stops the pool promptly: scripts not yet started return ErrCanceled
 // results.
 func (d *Deobfuscator) DeobfuscateBatch(ctx context.Context, inputs []BatchInput) []BatchResult {
-	results := make([]BatchResult, len(inputs))
-	if len(inputs) == 0 {
-		return results
-	}
-	jobs := d.opts.Jobs
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
-	}
-	if jobs > len(inputs) {
-		jobs = len(inputs)
-	}
 	// One parse cache and one evaluation cache for the whole batch.
 	// Both are safe for concurrent use and bounded, so hostile inputs
 	// cannot balloon them. Malware corpora are dominated by families
@@ -67,6 +56,31 @@ func (d *Deobfuscator) DeobfuscateBatch(ctx context.Context, inputs []BatchInput
 	var evalCache *pipeline.EvalCache
 	if !d.opts.DisableEvalCache {
 		evalCache = NewEvalCache(0, 0)
+	}
+	return d.DeobfuscateBatchShared(ctx, inputs, cache, evalCache)
+}
+
+// DeobfuscateBatchShared is DeobfuscateBatch over caller-owned caches,
+// so a long-lived embedder (the HTTP server) can pool parse and
+// evaluation work across many batch requests instead of starting each
+// one cold. A nil cache gets a fresh batch-local one; a nil evalCache
+// disables evaluation memoization for the batch (callers wanting the
+// default behavior pass NewEvalCache(0, 0) unless
+// Options.DisableEvalCache is set).
+func (d *Deobfuscator) DeobfuscateBatchShared(ctx context.Context, inputs []BatchInput, cache *pipeline.Cache, evalCache *pipeline.EvalCache) []BatchResult {
+	results := make([]BatchResult, len(inputs))
+	if len(inputs) == 0 {
+		return results
+	}
+	if cache == nil {
+		cache = pipeline.NewCache(0, 0)
+	}
+	jobs := d.opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(inputs) {
+		jobs = len(inputs)
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup

@@ -279,6 +279,17 @@ func NewEvalCache(maxEntries int, maxBytes int64) *pipeline.EvalCache {
 	return pipeline.NewEvalCache(maxEntries, maxBytes, psinterp.CopyValue, psinterp.ValueSize)
 }
 
+// DeobfuscateShared is DeobfuscateContext drawing from caller-owned
+// caches instead of per-run ones, for long-lived embedders (the HTTP
+// server) that amortize parse and evaluation work across request
+// boundaries the way DeobfuscateBatch amortizes across a batch. Both
+// caches are bounded and safe for concurrent runs; a nil cache gets a
+// fresh per-run one (and a nil evalCache follows Options.DisableEvalCache,
+// exactly like DeobfuscateContext).
+func (d *Deobfuscator) DeobfuscateShared(ctx context.Context, src string, cache *pipeline.Cache, evalCache *pipeline.EvalCache) (*Result, error) {
+	return d.deobfuscate(ctx, src, cache, evalCache)
+}
+
 // deobfuscate is the pipeline driver behind DeobfuscateContext and
 // DeobfuscateBatch. A nil cache gets a fresh per-run cache; batch runs
 // pass a shared one so identical layers across scripts parse once. The

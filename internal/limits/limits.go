@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"runtime"
 )
 
@@ -43,6 +44,12 @@ var (
 	// ErrPanic signals a recovered internal panic; the concrete error is
 	// a *PanicError carrying the panic value and stack.
 	ErrPanic = errors.New("limits: internal panic")
+	// ErrInputBudget signals that an input was rejected before any
+	// processing began because it exceeded a size limit (request body,
+	// script length, batch width). It is the admission-side sibling of
+	// ErrOutputBudget: the former rejects oversized inputs up front, the
+	// latter stops runs whose unwrapped layers grow past the cap.
+	ErrInputBudget = errors.New("limits: input size limit exceeded")
 )
 
 // PanicError is the structured error produced when a panic is caught at
@@ -119,6 +126,35 @@ func Name(err error) string {
 		return "ErrOutputBudget"
 	case errors.Is(err, ErrPanic):
 		return "ErrPanic"
+	case errors.Is(err, ErrInputBudget):
+		return "ErrInputBudget"
 	}
 	return ""
+}
+
+// HTTPStatus maps a taxonomy error onto the HTTP status code a serving
+// frontend should answer with. The split follows the taxonomy's blame
+// assignment: input-shaped violations (oversized input, hostile nesting,
+// budget-exhausting payloads) are the client's fault and map to 4xx,
+// while internal faults map to 5xx. Errors outside the taxonomy — and
+// nil — map to 500: an unclassified failure is an internal one.
+func HTTPStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrDeadline):
+		// The per-request processing deadline expired.
+		return http.StatusGatewayTimeout // 504
+	case errors.Is(err, ErrCanceled):
+		// The client went away mid-run. 499 is the de facto "client
+		// closed request" status (nginx convention); no stdlib constant.
+		return 499
+	case errors.Is(err, ErrInputBudget):
+		return http.StatusRequestEntityTooLarge // 413
+	case errors.Is(err, ErrMemBudget),
+		errors.Is(err, ErrParseDepth),
+		errors.Is(err, ErrOutputBudget):
+		// The input itself forced the engine past a resource bound: the
+		// request was well-formed but unprocessable within policy.
+		return http.StatusUnprocessableEntity // 422
+	}
+	return http.StatusInternalServerError // 500 (ErrPanic and unclassified)
 }

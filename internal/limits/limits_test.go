@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"testing"
 	"time"
 )
@@ -67,6 +68,7 @@ func TestName(t *testing.T) {
 		{ErrMemBudget, "ErrMemBudget"},
 		{ErrParseDepth, "ErrParseDepth"},
 		{ErrOutputBudget, "ErrOutputBudget"},
+		{ErrInputBudget, "ErrInputBudget"},
 		{&PanicError{Op: "x", Value: "y"}, "ErrPanic"},
 		{fmt.Errorf("wrapped: %w", ErrDeadline), "ErrDeadline"},
 		{errors.New("other"), ""},
@@ -74,6 +76,37 @@ func TestName(t *testing.T) {
 	for _, c := range cases {
 		if got := Name(c.err); got != c.want {
 			t.Errorf("Name(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{ErrDeadline, http.StatusGatewayTimeout},
+		{ErrCanceled, 499},
+		{ErrInputBudget, http.StatusRequestEntityTooLarge},
+		{ErrMemBudget, http.StatusUnprocessableEntity},
+		{ErrParseDepth, http.StatusUnprocessableEntity},
+		{ErrOutputBudget, http.StatusUnprocessableEntity},
+		{ErrPanic, http.StatusInternalServerError},
+		{&PanicError{Op: "x", Value: "y"}, http.StatusInternalServerError},
+		{fmt.Errorf("wrapped: %w", ErrDeadline), http.StatusGatewayTimeout},
+		{errors.New("other"), http.StatusInternalServerError},
+		{nil, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+	// Every named taxonomy member must map somewhere deliberate, so a
+	// future sentinel cannot silently fall through to 500.
+	for _, err := range []error{ErrDeadline, ErrCanceled, ErrMemBudget, ErrParseDepth, ErrOutputBudget, ErrInputBudget} {
+		if got := HTTPStatus(err); got == http.StatusInternalServerError {
+			t.Errorf("taxonomy member %v maps to the unclassified 500 bucket", err)
 		}
 	}
 }

@@ -57,6 +57,17 @@ type CacheStats struct {
 	Bytes int64
 }
 
+// HitRate returns Hits / (Hits + Misses), or 0 with no traffic. Serving
+// frontends surface this per scrape; because Stats() snapshots the
+// counters under the cache lock, the ratio is internally consistent
+// even while concurrent requests keep hitting the cache.
+func (s CacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
 // cacheEntry memoizes the artifacts of one exact source text. Each
 // artifact is computed at most once (sync.Once) even under concurrent
 // batch workers; an entry evicted mid-flight stays valid for the

@@ -69,6 +69,16 @@ type EvalCacheStats struct {
 	Bytes int64
 }
 
+// HitRate returns Hits / (Hits + Misses), or 0 with no traffic. Skips
+// are excluded: an uncacheable evaluation is not a cache miss, it was
+// never a candidate.
+func (s EvalCacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
 // EvalCache memoizes the output values of pure, deterministic snippet
 // evaluations, keyed by exact snippet text plus the environment
 // fingerprint (the sorted set of preloaded variables the run read and

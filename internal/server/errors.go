@@ -1,0 +1,90 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
+)
+
+// Stable error names for service-level conditions outside the limits
+// taxonomy. They share the taxonomy's Err* convention so clients
+// dispatch on one namespace.
+const (
+	nameInvalidSyntax    = "ErrInvalidSyntax"
+	nameBadRequest       = "ErrBadRequest"
+	nameSaturated        = "ErrSaturated"
+	nameDraining         = "ErrDraining"
+	nameMethodNotAllowed = "ErrMethodNotAllowed"
+)
+
+// errorInfo is the wire shape of one error.
+type errorInfo struct {
+	// Name is the stable, machine-dispatchable error name: a limits
+	// taxonomy name (ErrDeadline, ErrInputBudget, ...) or one of the
+	// service-level names above.
+	Name string `json:"name"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+	// Status echoes the HTTP status for clients reading bodies off a
+	// middlebox that rewrote the status line.
+	Status int `json:"status"`
+}
+
+// errorBody is the JSON envelope of every non-2xx response.
+type errorBody struct {
+	Error errorInfo `json:"error"`
+	// Partial carries the salvaged partial result when an envelope
+	// violation interrupted a run that had already recovered outer
+	// layers — the same contract as the library, where the result is
+	// non-nil alongside the taxonomy error.
+	Partial *resultBody `json:"partial,omitempty"`
+}
+
+// writeJSON marshals v with the given status. Marshal failures become
+// a plain 500: the DTOs here contain only marshalable fields, so this
+// is a belt-and-suspenders path.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":{"name":"ErrPanic","message":"response marshal failed","status":500}}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// writeError emits the structured error envelope.
+func writeError(w http.ResponseWriter, status int, name, message string, partial *resultBody) {
+	writeJSON(w, status, errorBody{
+		Error:   errorInfo{Name: name, Message: message, Status: status},
+		Partial: partial,
+	})
+}
+
+// writeRetryAfter emits an error with a Retry-After hint (saturation
+// and drain responses, where the client's correct move is to back off
+// and come back).
+func writeRetryAfter(w http.ResponseWriter, status int, name, message string, retryAfter int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, status, name, message, nil)
+}
+
+// classify maps an engine error onto (status, name): limits taxonomy
+// members through limits.HTTPStatus, invalid syntax to 422, everything
+// else to 500.
+func classify(err error) (int, string) {
+	if name := limits.Name(err); name != "" {
+		return limits.HTTPStatus(err), name
+	}
+	if errors.Is(err, core.ErrInvalidSyntax) {
+		// The request was well-formed JSON carrying a script that does
+		// not parse as PowerShell: unprocessable content, client-side.
+		return http.StatusUnprocessableEntity, nameInvalidSyntax
+	}
+	return http.StatusInternalServerError, "ErrInternal"
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
+)
+
+// Endpoint and rejection labels for the counters.
+const (
+	endpointDeobfuscate = "deobfuscate"
+	endpointBatch       = "batch"
+
+	rejectSaturated = "saturated"
+	rejectDraining  = "draining"
+)
+
+// serverStats aggregates per-request engine outcomes across the
+// server's lifetime. One mutex is plenty: the critical sections are a
+// few integer adds, dwarfed by the engine work between them.
+type serverStats struct {
+	mu        sync.Mutex
+	start     time.Time
+	requests  map[string]int64
+	completed map[string]int64
+	rejected  map[string]int64
+	errors    map[string]int64
+	inFlight  int64
+	// agg sums every run's Stats (batch items included), so statsz
+	// exposes fleet-level pieces/layers/cache counters, not just the
+	// last request's.
+	agg core.Stats
+	// passes folds every run's PassTrace by pass name, preserving
+	// first-seen order like the engine's own Trace.
+	passOrder []string
+	passes    map[string]*pipeline.PassStat
+}
+
+func newServerStats() *serverStats {
+	return &serverStats{
+		start:     time.Now(),
+		requests:  make(map[string]int64),
+		completed: make(map[string]int64),
+		rejected:  make(map[string]int64),
+		errors:    make(map[string]int64),
+		passes:    make(map[string]*pipeline.PassStat),
+	}
+}
+
+func (st *serverStats) request(endpoint string) {
+	st.mu.Lock()
+	st.requests[endpoint]++
+	st.inFlight++
+	st.mu.Unlock()
+}
+
+func (st *serverStats) complete(endpoint string) {
+	st.mu.Lock()
+	st.completed[endpoint]++
+	st.mu.Unlock()
+}
+
+func (st *serverStats) reject(reason string) {
+	st.mu.Lock()
+	st.rejected[reason]++
+	st.mu.Unlock()
+}
+
+func (st *serverStats) observeError(name string) {
+	st.mu.Lock()
+	st.errors[name]++
+	st.mu.Unlock()
+}
+
+// requestDone decrements the in-flight gauge; deferred by handlers
+// alongside admission release.
+func (st *serverStats) requestDone() {
+	st.mu.Lock()
+	st.inFlight--
+	st.mu.Unlock()
+}
+
+// observeRun folds one run's Stats and PassTrace into the aggregates.
+func (st *serverStats) observeRun(res *core.Result) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a, s := &st.agg, res.Stats
+	a.TokensNormalized += s.TokensNormalized
+	a.PiecesAttempted += s.PiecesAttempted
+	a.PiecesRecovered += s.PiecesRecovered
+	a.VariablesTraced += s.VariablesTraced
+	a.VariablesInlined += s.VariablesInlined
+	a.LayersUnwrapped += s.LayersUnwrapped
+	a.IdentifiersRenamed += s.IdentifiersRenamed
+	a.Iterations += s.Iterations
+	a.Duration += s.Duration
+	a.PiecesTimedOut += s.PiecesTimedOut
+	a.PiecesPanicked += s.PiecesPanicked
+	a.PiecesOverBudget += s.PiecesOverBudget
+	a.TimedOut = a.TimedOut || s.TimedOut
+	a.EvalCacheHits += s.EvalCacheHits
+	a.EvalCacheMisses += s.EvalCacheMisses
+	a.EvalCacheSkips += s.EvalCacheSkips
+	for _, p := range res.PassTrace {
+		agg, ok := st.passes[p.Pass]
+		if !ok {
+			cp := p
+			cp.BytesIn, cp.BytesOut = 0, 0 // sizes are per-run, meaningless summed
+			st.passes[p.Pass] = &cp
+			st.passOrder = append(st.passOrder, p.Pass)
+			continue
+		}
+		agg.Runs += p.Runs
+		agg.Duration += p.Duration
+		agg.Reverts += p.Reverts
+		agg.CacheHits += p.CacheHits
+		agg.CacheMisses += p.CacheMisses
+		agg.EvalHits += p.EvalHits
+		agg.EvalMisses += p.EvalMisses
+		agg.EvalSkips += p.EvalSkips
+	}
+}
+
+// cacheStatsBody is the wire shape of one cache's counters.
+type cacheStatsBody struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Skips     int64   `json:"skips,omitempty"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// statszBody is the GET /statsz response.
+type statszBody struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Draining      bool             `json:"draining"`
+	InFlight      int64            `json:"in_flight"`
+	Workers       int              `json:"workers"`
+	QueueDepth    int              `json:"queue_depth"`
+	Requests      map[string]int64 `json:"requests"`
+	Completed     map[string]int64 `json:"completed"`
+	Rejected      map[string]int64 `json:"rejected"`
+	Errors        map[string]int64 `json:"errors"`
+	// Stats is the engine work summed over every run the server
+	// performed (same struct as the library's per-run Stats).
+	Stats core.Stats `json:"stats"`
+	// PassTrace is the per-pass aggregate across all runs (BytesIn/Out
+	// zeroed: per-run sizes do not sum meaningfully).
+	PassTrace []pipeline.PassStat `json:"pass_trace"`
+	// ParseCache / EvalCache are the shared amortization pools — the
+	// hit rates here are the serving payoff of sharing them across
+	// request boundaries.
+	ParseCache cacheStatsBody  `json:"parse_cache"`
+	EvalCache  *cacheStatsBody `json:"eval_cache,omitempty"`
+}
+
+// healthzBody is the GET /healthz response.
+type healthzBody struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	InFlight int64  `json:"in_flight"`
+}
+
+// handleHealthz reports liveness: 200 while serving, 503 once draining
+// so load balancers stop routing here during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	draining := s.Draining()
+	s.stats.mu.Lock()
+	inFlight := s.stats.inFlight
+	s.stats.mu.Unlock()
+	body := healthzBody{Status: "ok", Draining: draining, InFlight: inFlight}
+	status := http.StatusOK
+	if draining {
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+// handleStatsz reports the aggregated serving counters as JSON.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	st := s.stats
+	st.mu.Lock()
+	body := statszBody{
+		UptimeSeconds: time.Since(st.start).Seconds(),
+		Draining:      s.Draining(),
+		InFlight:      st.inFlight,
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.cfg.QueueDepth,
+		Requests:      copyCounts(st.requests),
+		Completed:     copyCounts(st.completed),
+		Rejected:      copyCounts(st.rejected),
+		Errors:        copyCounts(st.errors),
+		Stats:         st.agg,
+		PassTrace:     make([]pipeline.PassStat, 0, len(st.passOrder)),
+	}
+	for _, name := range st.passOrder {
+		body.PassTrace = append(body.PassTrace, *st.passes[name])
+	}
+	st.mu.Unlock()
+	pc := s.cache.Stats()
+	body.ParseCache = cacheStatsBody{
+		Hits: pc.Hits, Misses: pc.Misses, Evictions: pc.Evictions,
+		Entries: pc.Entries, Bytes: pc.Bytes, HitRate: pc.HitRate(),
+	}
+	if s.evalCache != nil {
+		ec := s.evalCache.Stats()
+		body.EvalCache = &cacheStatsBody{
+			Hits: ec.Hits, Misses: ec.Misses, Skips: ec.Skips,
+			Evictions: ec.Evictions, Entries: ec.Entries, Bytes: ec.Bytes,
+			HitRate: ec.HitRate(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func copyCounts(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
