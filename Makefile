@@ -10,12 +10,12 @@ BENCHCOUNT ?= 5
 BENCHJSON ?= BENCH_pr3.json
 PROFILEDIR ?= .profile
 
-.PHONY: all check vet build test race soak equivalence fuzz-smoke serve-smoke bench-compare bench-json profile clean
+.PHONY: all check vet build test race soak equivalence fuzz-smoke serve-smoke loadtest loadtest-smoke bench-compare bench-json profile clean
 
 all: check
 
 # check is the tier-1 gate.
-check: vet build race soak equivalence serve-smoke fuzz-smoke
+check: vet build race soak equivalence serve-smoke loadtest-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +57,19 @@ fuzz-smoke:
 # drain.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# loadtest floods a deliberately small local deobserver (1 worker,
+# quotas on, aggressive shedding) with the full hostile traffic mix via
+# cmd/loadgen and asserts that light traffic survives: success rate,
+# p99 SLO, zero light 5xx. The JSON report is written to BENCH_pr6.json
+# (override with BENCHJSON=...). loadtest-smoke is the seconds-scale
+# variant gating `make check`: light traffic against a default-config
+# server, full success required.
+loadtest:
+	sh scripts/loadtest.sh
+
+loadtest-smoke:
+	sh scripts/loadtest.sh smoke
 
 # bench-compare measures the single-script engine benchmark and the
 # batch driver at 1/2/4 workers, writing bench.new. When a bench.old

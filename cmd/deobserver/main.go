@@ -11,6 +11,13 @@
 //	GET  /healthz                                      liveness + drain state
 //	GET  /statsz                                       aggregated serving stats
 //
+// Overload resilience: -quota-rps/-quota-burst/-quota-buckets enable
+// per-tenant token-bucket quotas keyed by the X-Api-Key header
+// (429 ErrQuota with an honest Retry-After), and -heavy-cost /
+// -shed-highwater tune cost-aware shedding (predicted-heavy requests
+// answered 503 ErrShed once the admission window passes the high-water
+// mark, so light traffic keeps flowing).
+//
 // The listen address is printed to stdout as "deobserver listening on
 // ADDR" once the socket is bound, so -addr 127.0.0.1:0 (ephemeral
 // port) is scriptable. On SIGINT/SIGTERM the server drains: new
@@ -63,6 +70,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		jobs         = fs.Int("jobs", 0, "per-batch engine workers (0 = GOMAXPROCS)")
 		scriptTO     = fs.Duration("script-timeout", 0, "per-script deadline inside /v1/batch (0 = request deadline only)")
 		noEvalCache  = fs.Bool("no-eval-cache", false, "disable the shared evaluation cache")
+		quotaRate    = fs.Float64("quota-rps", 0, "per-tenant quota in requests/second, keyed by "+server.APIKeyHeader+" (0 = quotas off)")
+		quotaBurst   = fs.Float64("quota-burst", 0, "per-tenant token-bucket burst (0 = max(quota-rps, 1))")
+		quotaBuckets = fs.Int("quota-buckets", 1024, "max tenant buckets tracked at once (LRU eviction beyond)")
+		heavyCost    = fs.Float64("heavy-cost", 32768, "cost-estimate score at which a request is classified heavy (effective bytes)")
+		shedHW       = fs.Float64("shed-highwater", 0.75, "admission-window occupancy fraction above which heavy requests are shed (negative = shedding off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +87,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		MaxBodyBytes:    *maxBody,
 		MaxScriptBytes:  *maxScript,
 		MaxBatchScripts: *maxBatch,
+		QuotaRate:       *quotaRate,
+		QuotaBurst:      *quotaBurst,
+		QuotaMaxBuckets: *quotaBuckets,
+		HeavyCost:       *heavyCost,
+		ShedHighWater:   *shedHW,
 		Engine: core.Options{
 			Jobs:             *jobs,
 			ScriptTimeout:    *scriptTO,

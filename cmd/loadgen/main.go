@@ -1,0 +1,717 @@
+// Command loadgen is the fault-injecting load harness for deobserver.
+// It drives a mixed stream of duplicated, distinct, heavy and hostile
+// traffic at a target QPS against a live server, injects client-side
+// faults (mid-body disconnects, slow-loris bodies, oversize scripts,
+// quota-busting key floods), and reports per-class p50/p99 latency,
+// status counts and goodput, plus the server's own /statsz deltas
+// (shed/429/503/504 counters, cost classes, quota activity).
+//
+// Traffic classes, weighted by -mix:
+//
+//	light       small distinct scripts — the traffic that must survive
+//	dup         one fixed light script repeated (cache-amortized)
+//	heavy       large high-entropy base64 payload scripts (sheddable)
+//
+// Light, dup and heavy rotate over -tenants distinct X-Api-Key values
+// (many ordinary users — heavy load is expensive, not high-volume, so
+// shedding rather than the quota must catch it); the fault classes
+// share one hostile key, so per-tenant quotas can contain them.
+//
+//	oversize    scripts past the server's -max-script (expect 413)
+//	disconnect  client aborts mid-body (fault injection)
+//	slowloris   body trickled byte-by-byte (fault injection)
+//	keyflood    distinct X-Api-Key per request (quota LRU churn)
+//	quotabuster one hostile key hammering its bucket (expect 429s)
+//
+// With -assert-* flags set, loadgen exits non-zero when the measured
+// light-traffic SLOs fail, which is what lets `make loadtest` convert
+// "the service degrades gracefully" into a checkable property:
+//
+//	loadgen -url http://127.0.0.1:8713 -qps 150 -duration 10s \
+//	    -assert-light-p99 2s -assert-light-success 0.5
+//
+// The report is written as JSON to -json (and a summary to stdout).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The traffic classes. Order here is the report order.
+var classOrder = []string{"light", "dup", "heavy", "oversize", "disconnect", "slowloris", "keyflood", "quotabuster"}
+
+// defaultMix is the class weighting used when -mix is not given.
+const defaultMix = "light=40,dup=20,heavy=15,oversize=5,disconnect=5,slowloris=3,keyflood=6,quotabuster=6"
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+	}
+	os.Exit(code)
+}
+
+type options struct {
+	url           string
+	qps           float64
+	duration      time.Duration
+	workers       int
+	mix           map[string]int
+	seed          int64
+	apiKey        string
+	tenants       int
+	timeout       time.Duration
+	heavyBytes    int
+	oversizeBytes int
+	slowTime      time.Duration
+	jsonPath      string
+
+	assertLightP99     time.Duration
+	assertLightSuccess float64
+	assertMaxLight5xx  float64
+}
+
+// run parses flags, drives the load, prints the report and evaluates
+// assertions. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url        = fs.String("url", "", "base URL of the target server (required), e.g. http://127.0.0.1:8713")
+		qps        = fs.Float64("qps", 100, "target offered load in requests/second")
+		duration   = fs.Duration("duration", 10*time.Second, "how long to drive traffic")
+		workers    = fs.Int("workers", 64, "max concurrent in-flight requests; ticks past this are counted harness_dropped")
+		mixFlag    = fs.String("mix", defaultMix, "class weights as name=weight, comma separated")
+		seed       = fs.Int64("seed", 1, "PRNG seed (traffic is deterministic given seed+qps+duration)")
+		apiKey     = fs.String("api-key", "loadgen", "X-Api-Key prefix; light/dup traffic spreads over -tenants keys, heavy/hostile classes share one")
+		tenants    = fs.Int("tenants", 16, "distinct tenant keys the light/dup classes rotate through")
+		timeout    = fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+		heavyBytes = fs.Int("heavy-bytes", 48<<10, "payload size of heavy-class scripts")
+		oversize   = fs.Int("oversize-bytes", 2<<20, "script size for the oversize class (should exceed the server's -max-script)")
+		slowTime   = fs.Duration("slowloris-time", 2*time.Second, "how long a slowloris body trickles before completing")
+		jsonPath   = fs.String("json", "", "write the full JSON report to this path")
+
+		assertP99     = fs.Duration("assert-light-p99", 0, "fail unless served light-traffic p99 latency is at or below this (0 = no assertion)")
+		assertSuccess = fs.Float64("assert-light-success", 0, "fail unless the fraction of light traffic answered 200 is at least this (0 = no assertion)")
+		assertMax5xx  = fs.Float64("assert-max-light-5xx", -1, "fail if the fraction of light traffic answered 5xx exceeds this (negative = no assertion)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, nil
+	}
+	if *url == "" {
+		fs.Usage()
+		return 2, fmt.Errorf("-url is required")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return 2, err
+	}
+	opts := options{
+		url: strings.TrimRight(*url, "/"), qps: *qps, duration: *duration,
+		workers: *workers, mix: mix, seed: *seed, apiKey: *apiKey, tenants: *tenants,
+		timeout: *timeout, heavyBytes: *heavyBytes, oversizeBytes: *oversize,
+		slowTime: *slowTime, jsonPath: *jsonPath,
+		assertLightP99: *assertP99, assertLightSuccess: *assertSuccess,
+		assertMaxLight5xx: *assertMax5xx,
+	}
+
+	rep, err := drive(opts)
+	if err != nil {
+		return 2, err
+	}
+	printSummary(stdout, rep)
+	if opts.jsonPath != "" {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(opts.jsonPath, append(b, '\n'), 0o644); err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(stdout, "loadgen: report written to %s\n", opts.jsonPath)
+	}
+	if fails := rep.SLO.Failures; len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(stderr, "loadgen: SLO FAIL:", f)
+		}
+		return 1, nil
+	}
+	if rep.SLO.Asserted {
+		fmt.Fprintln(stdout, "loadgen: SLO PASS")
+	}
+	return 0, nil
+}
+
+// parseMix parses "light=40,heavy=10" into weights, rejecting unknown
+// classes and non-positive weights.
+func parseMix(s string) (map[string]int, error) {
+	known := map[string]bool{}
+	for _, c := range classOrder {
+		known[c] = true
+	}
+	mix := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q: want name=weight", part)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown traffic class %q (have %s)", name, strings.Join(classOrder, ", "))
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight in %q: want a non-negative integer", part)
+		}
+		if w > 0 {
+			mix[name] = w
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("mix %q selects no traffic", s)
+	}
+	return mix, nil
+}
+
+// pickClass selects a class by weight from rng.
+func pickClass(rng *rand.Rand, mix map[string]int) string {
+	total := 0
+	for _, c := range classOrder {
+		total += mix[c]
+	}
+	n := rng.Intn(total)
+	for _, c := range classOrder {
+		n -= mix[c]
+		if n < 0 {
+			return c
+		}
+	}
+	return classOrder[0] // unreachable with a valid mix
+}
+
+// classStats accumulates one class's outcomes.
+type classStats struct {
+	sent      int64
+	transport int64 // transport-level failures (includes injected aborts)
+	statuses  map[int]int64
+	latencies []float64 // ms, only for requests that got a response
+}
+
+// recorder is the shared, mutex-guarded result sink.
+type recorder struct {
+	mu      sync.Mutex
+	classes map[string]*classStats
+	dropped int64 // ticks skipped because all workers were busy
+}
+
+func newRecorder() *recorder {
+	r := &recorder{classes: map[string]*classStats{}}
+	for _, c := range classOrder {
+		r.classes[c] = &classStats{statuses: map[int]int64{}}
+	}
+	return r
+}
+
+func (r *recorder) record(class string, status int, latency time.Duration, transportErr bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := r.classes[class]
+	cs.sent++
+	if transportErr {
+		cs.transport++
+		return
+	}
+	cs.statuses[status]++
+	cs.latencies = append(cs.latencies, float64(latency)/float64(time.Millisecond))
+}
+
+// drive runs the load loop and assembles the report.
+func drive(opts options) (*report, error) {
+	client := &http.Client{Timeout: opts.timeout}
+	before, err := scrapeStatsz(client, opts.url)
+	if err != nil {
+		return nil, fmt.Errorf("scraping /statsz before the run: %w", err)
+	}
+
+	rec := newRecorder()
+	rng := rand.New(rand.NewSource(opts.seed))
+	sem := make(chan struct{}, opts.workers)
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / opts.qps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(opts.duration)
+	gen := newTrafficGen(opts, rng)
+
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		class := pickClass(rng, opts.mix)
+		req := gen.next(class)
+		select {
+		case sem <- struct{}{}:
+		default:
+			// All workers busy: the harness itself is the bottleneck.
+			// Count it so offered-vs-dispatched is honest in the report.
+			rec.mu.Lock()
+			rec.dropped++
+			rec.mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			status, lat, terr := req.fire(client, opts)
+			rec.record(req.class, status, lat, terr)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeStatsz(client, opts.url)
+	if err != nil {
+		return nil, fmt.Errorf("scraping /statsz after the run: %w", err)
+	}
+	return buildReport(opts, rec, elapsed, before, after), nil
+}
+
+// trafficGen builds one request per tick, deterministically from the
+// shared rng.
+type trafficGen struct {
+	opts options
+	rng  *rand.Rand
+	n    int
+	// dupScript is the one fixed script the dup class repeats.
+	dupScript string
+}
+
+func newTrafficGen(opts options, rng *rand.Rand) *trafficGen {
+	return &trafficGen{
+		opts:      opts,
+		rng:       rng,
+		dupScript: `IEX ("Wri{0}e-Ho{1}t 'dup traffic'" -f 't','s')`,
+	}
+}
+
+// genRequest is one prepared request: a body plus delivery behavior.
+type genRequest struct {
+	class  string
+	body   string
+	apiKey string
+	// fault selects a delivery mode: "", "disconnect" or "slowloris".
+	fault string
+}
+
+const base64Alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+// blob builds n pseudo-random base64-alphabet bytes.
+func (g *trafficGen) blob(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = base64Alphabet[g.rng.Intn(len(base64Alphabet))]
+	}
+	return string(b)
+}
+
+func (g *trafficGen) next(class string) genRequest {
+	g.n++
+	// Light, dup and heavy traffic models many ordinary tenants, each
+	// under its own quota bucket — heavy scripts are expensive, not
+	// high-volume, so cost-aware shedding (not the quota) must catch
+	// them. The fault classes ride one hostile key, so per-key quotas
+	// isolate the damage.
+	r := genRequest{class: class, apiKey: g.opts.apiKey + "-hostile"}
+	switch class {
+	case "light", "dup", "heavy":
+		r.apiKey = fmt.Sprintf("%s-t%d", g.opts.apiKey, g.rng.Intn(maxInt(1, g.opts.tenants)))
+	}
+	switch class {
+	case "light":
+		// Distinct per request so the parse cache cannot amortize it:
+		// this measures real light-work latency, not cache hits.
+		r.body = scriptJSON(fmt.Sprintf(
+			`$m%d = "light %d"; IEX ("Wri{0}e-Ho{1}t $m%d" -f 't','s')`, g.n, g.n, g.n))
+	case "dup":
+		r.body = scriptJSON(g.dupScript)
+	case "heavy":
+		// A large high-entropy payload: big, blob-dense, expensive to
+		// scan — exactly what costEstimate flags heavy. A distinct
+		// prefix defeats cache amortization.
+		r.body = scriptJSON(fmt.Sprintf(
+			`$p%d = "%s"; Write-Host $p%d.Length`, g.n, g.blob(g.opts.heavyBytes), g.n))
+	case "oversize":
+		r.body = scriptJSON(`$x = "` + strings.Repeat("A", g.opts.oversizeBytes) + `"`)
+	case "disconnect":
+		r.body = scriptJSON(g.dupScript)
+		r.fault = "disconnect"
+	case "slowloris":
+		r.body = scriptJSON(g.dupScript)
+		r.fault = "slowloris"
+	case "keyflood":
+		// A fresh key every request: quota-bucket LRU churn.
+		r.body = scriptJSON(`Write-Host 'keyflood'`)
+		r.apiKey = fmt.Sprintf("flood-%d", g.n)
+	case "quotabuster":
+		// One hostile key hammering its own bucket.
+		r.body = scriptJSON(`Write-Host 'buster'`)
+		r.apiKey = "quota-buster"
+	}
+	return r
+}
+
+func scriptJSON(script string) string {
+	b, _ := json.Marshal(map[string]string{"script": script})
+	return string(b)
+}
+
+// fire delivers the request per its fault mode. Returns the HTTP
+// status (0 on transport error), latency, and whether the outcome was
+// a transport-level failure.
+func (r genRequest) fire(client *http.Client, opts options) (int, time.Duration, bool) {
+	url := opts.url + "/v1/deobfuscate"
+	start := time.Now()
+	switch r.fault {
+	case "disconnect":
+		// Send part of the body, then abort the connection mid-request.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		pr, pw := io.Pipe()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, pr)
+		if err != nil {
+			return 0, time.Since(start), true
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Api-Key", r.apiKey)
+		go func() {
+			pw.Write([]byte(r.body[:len(r.body)/2]))
+			time.Sleep(20 * time.Millisecond)
+			cancel() // abort mid-body
+			pw.Close()
+		}()
+		resp, err := client.Do(req)
+		if err != nil {
+			// The expected outcome: the abort surfaced client-side.
+			return 0, time.Since(start), true
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, time.Since(start), false
+	case "slowloris":
+		req, err := http.NewRequest(http.MethodPost, url, &trickleReader{
+			data: []byte(r.body), chunk: 3,
+			interval: opts.slowTime / time.Duration(len(r.body)/3+1),
+		})
+		if err != nil {
+			return 0, time.Since(start), true
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Api-Key", r.apiKey)
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, time.Since(start), true
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, time.Since(start), false
+	default:
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(r.body)))
+		if err != nil {
+			return 0, time.Since(start), true
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Api-Key", r.apiKey)
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, time.Since(start), true
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, time.Since(start), false
+	}
+}
+
+// trickleReader yields its data a few bytes at a time with a delay
+// between reads — a polite slow-loris.
+type trickleReader struct {
+	data     []byte
+	pos      int
+	chunk    int
+	interval time.Duration
+	started  bool
+}
+
+func (t *trickleReader) Read(p []byte) (int, error) {
+	if t.pos >= len(t.data) {
+		return 0, io.EOF
+	}
+	if t.started {
+		time.Sleep(t.interval)
+	}
+	t.started = true
+	n := t.chunk
+	if n > len(t.data)-t.pos {
+		n = len(t.data) - t.pos
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, t.data[t.pos:t.pos+n])
+	t.pos += n
+	return n, nil
+}
+
+// statszSnapshot is the subset of GET /statsz the harness scrapes.
+type statszSnapshot struct {
+	Rejected     map[string]int64 `json:"rejected"`
+	StatusCounts map[string]int64 `json:"status_counts"`
+	Classes      map[string]int64 `json:"classes"`
+	Quota        *struct {
+		Allowed   int64 `json:"allowed"`
+		Rejected  int64 `json:"rejected"`
+		Evictions int64 `json:"evictions"`
+		Buckets   int   `json:"buckets"`
+	} `json:"quota"`
+}
+
+func scrapeStatsz(client *http.Client, baseURL string) (*statszSnapshot, error) {
+	resp, err := client.Get(baseURL + "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/statsz returned %d", resp.StatusCode)
+	}
+	var snap statszSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// deltaCounts subtracts before from after, key-wise.
+func deltaCounts(before, after map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// percentile returns the p-th percentile (0..100) of sorted ms values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// classReport is one class's section of the report.
+type classReport struct {
+	Sent           int64            `json:"sent"`
+	TransportErrs  int64            `json:"transport_errors"`
+	Statuses       map[string]int64 `json:"statuses"`
+	P50Ms          float64          `json:"p50_ms"`
+	P99Ms          float64          `json:"p99_ms"`
+	SuccessRate    float64          `json:"success_rate"`
+	GoodputPerSec  float64          `json:"goodput_rps"`
+	FiveXXFraction float64          `json:"fraction_5xx"`
+}
+
+// sloReport records the assertions and their outcomes.
+type sloReport struct {
+	Asserted       bool     `json:"asserted"`
+	LightP99Ms     float64  `json:"light_p99_ms"`
+	LightSuccess   float64  `json:"light_success_rate"`
+	Light5xx       float64  `json:"light_fraction_5xx"`
+	LightGoodput   float64  `json:"light_goodput_rps"`
+	Failures       []string `json:"failures,omitempty"`
+	AssertP99Ms    float64  `json:"assert_p99_ms,omitempty"`
+	AssertSuccess  float64  `json:"assert_success,omitempty"`
+	AssertMax5xx   float64  `json:"assert_max_5xx,omitempty"`
+	HeavySheddedBy string   `json:"heavy_shed_observed_via,omitempty"`
+}
+
+// report is the full JSON output.
+type report struct {
+	Target         string                 `json:"target"`
+	QPS            float64                `json:"qps"`
+	DurationSec    float64                `json:"duration_s"`
+	Seed           int64                  `json:"seed"`
+	Mix            map[string]int         `json:"mix"`
+	HarnessDropped int64                  `json:"harness_dropped"`
+	Classes        map[string]classReport `json:"classes"`
+	// ServerDelta is the /statsz movement attributable to this run.
+	ServerDelta struct {
+		Rejected     map[string]int64 `json:"rejected"`
+		StatusCounts map[string]int64 `json:"status_counts"`
+		Classes      map[string]int64 `json:"classes"`
+		Quota        map[string]int64 `json:"quota,omitempty"`
+	} `json:"server_delta"`
+	SLO sloReport `json:"slo"`
+}
+
+// lightClasses are the classes whose traffic the SLO protects: cheap
+// legitimate work, duplicated or not.
+var lightClasses = []string{"light", "dup"}
+
+func buildReport(opts options, rec *recorder, elapsed time.Duration, before, after *statszSnapshot) *report {
+	rep := &report{
+		Target: opts.url, QPS: opts.qps, DurationSec: elapsed.Seconds(),
+		Seed: opts.seed, Mix: opts.mix, Classes: map[string]classReport{},
+	}
+	rec.mu.Lock()
+	rep.HarnessDropped = rec.dropped
+	var lightLat []float64
+	var lightSent, lightOK, light5xx int64
+	for _, name := range classOrder {
+		cs := rec.classes[name]
+		if cs.sent == 0 {
+			continue
+		}
+		sort.Float64s(cs.latencies)
+		cr := classReport{
+			Sent: cs.sent, TransportErrs: cs.transport,
+			Statuses: map[string]int64{},
+			P50Ms:    percentile(cs.latencies, 50),
+			P99Ms:    percentile(cs.latencies, 99),
+		}
+		var ok, n5xx int64
+		for status, c := range cs.statuses {
+			cr.Statuses[strconv.Itoa(status)] = c
+			if status == http.StatusOK {
+				ok += c
+			}
+			if status >= 500 {
+				n5xx += c
+			}
+		}
+		cr.SuccessRate = float64(ok) / float64(cs.sent)
+		cr.GoodputPerSec = float64(ok) / elapsed.Seconds()
+		cr.FiveXXFraction = float64(n5xx) / float64(cs.sent)
+		rep.Classes[name] = cr
+		for _, lc := range lightClasses {
+			if name == lc {
+				lightLat = append(lightLat, cs.latencies...)
+				lightSent += cs.sent
+				lightOK += ok
+				light5xx += n5xx
+			}
+		}
+	}
+	rec.mu.Unlock()
+
+	rep.ServerDelta.Rejected = deltaCounts(before.Rejected, after.Rejected)
+	rep.ServerDelta.StatusCounts = deltaCounts(before.StatusCounts, after.StatusCounts)
+	rep.ServerDelta.Classes = deltaCounts(before.Classes, after.Classes)
+	if after.Quota != nil {
+		q := map[string]int64{
+			"allowed": after.Quota.Allowed, "rejected": after.Quota.Rejected,
+			"evictions": after.Quota.Evictions, "buckets": int64(after.Quota.Buckets),
+		}
+		if before.Quota != nil {
+			q["allowed"] -= before.Quota.Allowed
+			q["rejected"] -= before.Quota.Rejected
+			q["evictions"] -= before.Quota.Evictions
+		}
+		rep.ServerDelta.Quota = q
+	}
+
+	sort.Float64s(lightLat)
+	slo := &rep.SLO
+	slo.LightP99Ms = percentile(lightLat, 99)
+	if lightSent > 0 {
+		slo.LightSuccess = float64(lightOK) / float64(lightSent)
+		slo.Light5xx = float64(light5xx) / float64(lightSent)
+	}
+	slo.LightGoodput = float64(lightOK) / elapsed.Seconds()
+
+	if opts.assertLightP99 > 0 {
+		slo.Asserted = true
+		slo.AssertP99Ms = float64(opts.assertLightP99) / float64(time.Millisecond)
+		if slo.LightP99Ms > slo.AssertP99Ms {
+			slo.Failures = append(slo.Failures, fmt.Sprintf(
+				"light p99 %.1fms exceeds SLO %.1fms", slo.LightP99Ms, slo.AssertP99Ms))
+		}
+	}
+	if opts.assertLightSuccess > 0 {
+		slo.Asserted = true
+		slo.AssertSuccess = opts.assertLightSuccess
+		if slo.LightSuccess < opts.assertLightSuccess {
+			slo.Failures = append(slo.Failures, fmt.Sprintf(
+				"light success rate %.3f below floor %.3f", slo.LightSuccess, opts.assertLightSuccess))
+		}
+	}
+	if opts.assertMaxLight5xx >= 0 {
+		slo.Asserted = true
+		slo.AssertMax5xx = opts.assertMaxLight5xx
+		if slo.Light5xx > opts.assertMaxLight5xx {
+			slo.Failures = append(slo.Failures, fmt.Sprintf(
+				"light 5xx fraction %.3f exceeds cap %.3f", slo.Light5xx, opts.assertMaxLight5xx))
+		}
+	}
+	return rep
+}
+
+func printSummary(w io.Writer, rep *report) {
+	fmt.Fprintf(w, "loadgen: %s for %.1fs at %.0f qps (harness dropped %d ticks)\n",
+		rep.Target, rep.DurationSec, rep.QPS, rep.HarnessDropped)
+	for _, name := range classOrder {
+		cr, ok := rep.Classes[name]
+		if !ok {
+			continue
+		}
+		var statuses []string
+		for _, code := range sortedKeys(cr.Statuses) {
+			statuses = append(statuses, fmt.Sprintf("%s:%d", code, cr.Statuses[code]))
+		}
+		fmt.Fprintf(w, "loadgen: %-11s sent %4d  p50 %7.1fms  p99 %7.1fms  ok %.2f  goodput %6.1f/s  [%s]",
+			name, cr.Sent, cr.P50Ms, cr.P99Ms, cr.SuccessRate, cr.GoodputPerSec, strings.Join(statuses, " "))
+		if cr.TransportErrs > 0 {
+			fmt.Fprintf(w, " transport-errs %d", cr.TransportErrs)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "loadgen: light aggregate: p99 %.1fms  success %.3f  goodput %.1f/s  5xx %.3f\n",
+		rep.SLO.LightP99Ms, rep.SLO.LightSuccess, rep.SLO.LightGoodput, rep.SLO.Light5xx)
+	if len(rep.ServerDelta.Rejected) > 0 || len(rep.ServerDelta.Classes) > 0 {
+		fmt.Fprintf(w, "loadgen: server delta: rejected %v classes %v statuses %v quota %v\n",
+			rep.ServerDelta.Rejected, rep.ServerDelta.Classes, rep.ServerDelta.StatusCounts, rep.ServerDelta.Quota)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -50,6 +50,19 @@ var (
 	// ErrOutputBudget: the former rejects oversized inputs up front, the
 	// latter stops runs whose unwrapped layers grow past the cap.
 	ErrInputBudget = errors.New("limits: input size limit exceeded")
+	// ErrQuota signals that a per-tenant rate quota rejected the request
+	// before any processing began. Unlike ErrInputBudget (this request
+	// is too big) it blames the request's arrival rate: the same request
+	// would be accepted once the tenant's token bucket refills, so the
+	// serving frontend pairs it with a Retry-After computed from the
+	// bucket's actual refill time.
+	ErrQuota = errors.New("limits: per-tenant quota exceeded")
+	// ErrShed signals that the server refused a request predicted to be
+	// expensive while operating above its overload high-water mark.
+	// Nothing is wrong with the request itself: it is cost-aware load
+	// shedding, sacrificing heavy work first so cheap traffic keeps
+	// flowing. Retrying after the pressure subsides should succeed.
+	ErrShed = errors.New("limits: heavy request shed under overload")
 )
 
 // PanicError is the structured error produced when a panic is caught at
@@ -128,6 +141,10 @@ func Name(err error) string {
 		return "ErrPanic"
 	case errors.Is(err, ErrInputBudget):
 		return "ErrInputBudget"
+	case errors.Is(err, ErrQuota):
+		return "ErrQuota"
+	case errors.Is(err, ErrShed):
+		return "ErrShed"
 	}
 	return ""
 }
@@ -149,6 +166,14 @@ func HTTPStatus(err error) int {
 		return 499
 	case errors.Is(err, ErrInputBudget):
 		return http.StatusRequestEntityTooLarge // 413
+	case errors.Is(err, ErrQuota):
+		// The tenant exceeded its rate allowance; the identical request
+		// succeeds once the bucket refills.
+		return http.StatusTooManyRequests // 429
+	case errors.Is(err, ErrShed):
+		// The server is overloaded and chose to drop this (predicted
+		// heavy) request; a later retry against a calmer server is fine.
+		return http.StatusServiceUnavailable // 503
 	case errors.Is(err, ErrMemBudget),
 		errors.Is(err, ErrParseDepth),
 		errors.Is(err, ErrOutputBudget):

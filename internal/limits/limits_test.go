@@ -69,6 +69,8 @@ func TestName(t *testing.T) {
 		{ErrParseDepth, "ErrParseDepth"},
 		{ErrOutputBudget, "ErrOutputBudget"},
 		{ErrInputBudget, "ErrInputBudget"},
+		{ErrQuota, "ErrQuota"},
+		{ErrShed, "ErrShed"},
 		{&PanicError{Op: "x", Value: "y"}, "ErrPanic"},
 		{fmt.Errorf("wrapped: %w", ErrDeadline), "ErrDeadline"},
 		{errors.New("other"), ""},
@@ -88,6 +90,8 @@ func TestHTTPStatus(t *testing.T) {
 		{ErrDeadline, http.StatusGatewayTimeout},
 		{ErrCanceled, 499},
 		{ErrInputBudget, http.StatusRequestEntityTooLarge},
+		{ErrQuota, http.StatusTooManyRequests},
+		{ErrShed, http.StatusServiceUnavailable},
 		{ErrMemBudget, http.StatusUnprocessableEntity},
 		{ErrParseDepth, http.StatusUnprocessableEntity},
 		{ErrOutputBudget, http.StatusUnprocessableEntity},
@@ -104,7 +108,7 @@ func TestHTTPStatus(t *testing.T) {
 	}
 	// Every named taxonomy member must map somewhere deliberate, so a
 	// future sentinel cannot silently fall through to 500.
-	for _, err := range []error{ErrDeadline, ErrCanceled, ErrMemBudget, ErrParseDepth, ErrOutputBudget, ErrInputBudget} {
+	for _, err := range []error{ErrDeadline, ErrCanceled, ErrMemBudget, ErrParseDepth, ErrOutputBudget, ErrInputBudget, ErrQuota, ErrShed} {
 		if got := HTTPStatus(err); got == http.StatusInternalServerError {
 			t.Errorf("taxonomy member %v maps to the unclassified 500 bucket", err)
 		}

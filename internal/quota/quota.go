@@ -1,0 +1,189 @@
+// Package quota implements per-tenant token-bucket rate limiting for
+// the serving frontend. Every tenant (API key) owns a bucket that
+// holds up to Burst tokens and refills at Rate tokens per second; a
+// request costs one token, and a request that finds an empty bucket is
+// rejected together with the exact duration until the next token
+// accrues, so the HTTP layer can answer 429 with an honest Retry-After
+// instead of a guess.
+//
+// The limiter is designed for hostile traffic:
+//
+//   - Bucket count is bounded. Keys are tracked in an LRU; once
+//     MaxBuckets distinct keys exist, admitting a new key evicts the
+//     least-recently-seen bucket. A flood of fabricated keys therefore
+//     costs O(MaxBuckets) memory forever, not O(keys seen).
+//   - Time is injectable. All refill arithmetic flows through the
+//     configured clock, so tests drive burst consumption, refill
+//     recovery and Retry-After values deterministically.
+//   - One mutex guards the whole limiter. The critical section is a
+//     map lookup plus a few float operations — microscopic next to the
+//     engine work behind it — and a single lock keeps eviction,
+//     refill and the LRU ordering trivially consistent.
+package quota
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+)
+
+// Config tunes a Limiter. The zero value is not useful (Rate must be
+// positive); New resolves the remaining zero fields to defaults.
+type Config struct {
+	// Rate is the steady-state allowance in tokens (requests) per
+	// second per key. Must be > 0.
+	Rate float64
+	// Burst is the bucket capacity: how many requests a silent tenant
+	// can fire back-to-back before the rate applies. Zero means
+	// max(Rate, 1).
+	Burst float64
+	// MaxBuckets bounds how many distinct keys are tracked at once
+	// (LRU eviction beyond it). Zero means 1024.
+	MaxBuckets int
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+// Decision is the outcome of one Allow call.
+type Decision struct {
+	// OK reports whether the request is within quota.
+	OK bool
+	// RetryAfter is how long until the bucket accrues the one token
+	// this request needed. Zero when OK.
+	RetryAfter time.Duration
+	// Remaining is the token balance left after this decision.
+	Remaining float64
+}
+
+// Stats is a point-in-time snapshot of the limiter's counters.
+type Stats struct {
+	// Rate and Burst echo the configuration for /statsz.
+	Rate  float64
+	Burst float64
+	// Buckets is the number of keys currently tracked.
+	Buckets int
+	// MaxBuckets is the configured LRU bound.
+	MaxBuckets int
+	// Allowed and Rejected count Allow outcomes over the limiter's
+	// lifetime.
+	Allowed  int64
+	Rejected int64
+	// Evictions counts buckets dropped by the LRU bound.
+	Evictions int64
+}
+
+// bucket is one tenant's token balance. Tokens are only materialized
+// on access: the balance plus the last-refill timestamp fully encode
+// the continuous refill.
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+// Limiter is a bounded collection of per-key token buckets. Safe for
+// concurrent use.
+type Limiter struct {
+	rate  float64
+	burst float64
+	max   int
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*list.Element
+	// lru orders buckets most-recently-used first; Back() is the next
+	// eviction victim. Elements hold *bucket.
+	lru       list.List
+	allowed   int64
+	rejected  int64
+	evictions int64
+}
+
+// New builds a Limiter. It returns nil when cfg.Rate <= 0 (quota
+// disabled), so callers can treat a nil Limiter as "no limiting".
+func New(cfg Config) *Limiter {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(cfg.Rate, 1)
+	}
+	if cfg.MaxBuckets <= 0 {
+		cfg.MaxBuckets = 1024
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Limiter{
+		rate:    cfg.Rate,
+		burst:   cfg.Burst,
+		max:     cfg.MaxBuckets,
+		now:     cfg.Now,
+		buckets: make(map[string]*list.Element, cfg.MaxBuckets),
+	}
+}
+
+// Allow charges one token against key's bucket. A nil Limiter allows
+// everything (quota disabled).
+func (l *Limiter) Allow(key string) Decision {
+	if l == nil {
+		return Decision{OK: true, Remaining: math.Inf(1)}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.bucketFor(key, now)
+	// Continuous refill since the bucket was last touched, capped at
+	// the burst capacity.
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		l.allowed++
+		return Decision{OK: true, Remaining: b.tokens}
+	}
+	l.rejected++
+	need := 1 - b.tokens
+	return Decision{
+		RetryAfter: time.Duration(need / l.rate * float64(time.Second)),
+		Remaining:  b.tokens,
+	}
+}
+
+// bucketFor returns key's bucket, creating (and possibly evicting) as
+// needed, and marks it most recently used. Callers hold l.mu.
+func (l *Limiter) bucketFor(key string, now time.Time) *bucket {
+	if el, ok := l.buckets[key]; ok {
+		l.lru.MoveToFront(el)
+		return el.Value.(*bucket)
+	}
+	if len(l.buckets) >= l.max {
+		victim := l.lru.Back()
+		l.lru.Remove(victim)
+		delete(l.buckets, victim.Value.(*bucket).key)
+		l.evictions++
+	}
+	b := &bucket{key: key, tokens: l.burst, last: now}
+	l.buckets[key] = l.lru.PushFront(b)
+	return b
+}
+
+// Stats snapshots the limiter's counters. A nil Limiter reports the
+// zero Stats.
+func (l *Limiter) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Rate:       l.rate,
+		Burst:      l.burst,
+		Buckets:    len(l.buckets),
+		MaxBuckets: l.max,
+		Allowed:    l.allowed,
+		Rejected:   l.rejected,
+		Evictions:  l.evictions,
+	}
+}

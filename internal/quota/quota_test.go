@@ -1,0 +1,247 @@
+package quota
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock so every refill computation in
+// the tests is exact.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestLimiter(clock *fakeClock, rate, burst float64, maxBuckets int) *Limiter {
+	return New(Config{Rate: rate, Burst: burst, MaxBuckets: maxBuckets, Now: clock.Now})
+}
+
+// TestBurstConsumption: a fresh key spends its whole burst back-to-back
+// with zero elapsed time, then the next request is rejected.
+func TestBurstConsumption(t *testing.T) {
+	clock := newFakeClock()
+	l := newTestLimiter(clock, 1, 3, 0)
+	for i := 0; i < 3; i++ {
+		d := l.Allow("k")
+		if !d.OK {
+			t.Fatalf("request %d within burst rejected: %+v", i, d)
+		}
+		if want := float64(3 - i - 1); d.Remaining != want {
+			t.Errorf("request %d remaining = %v, want %v", i, d.Remaining, want)
+		}
+	}
+	if d := l.Allow("k"); d.OK {
+		t.Fatalf("request past the burst allowed: %+v", d)
+	}
+	st := l.Stats()
+	if st.Allowed != 3 || st.Rejected != 1 {
+		t.Errorf("stats = %+v, want 3 allowed / 1 rejected", st)
+	}
+}
+
+// TestRefillRecovery: after the burst is spent, tokens come back at
+// exactly Rate per second and become spendable precisely when whole.
+func TestRefillRecovery(t *testing.T) {
+	clock := newFakeClock()
+	l := newTestLimiter(clock, 2, 2, 0) // 2 tokens/s, burst 2
+	l.Allow("k")
+	l.Allow("k") // bucket empty
+	if d := l.Allow("k"); d.OK {
+		t.Fatal("empty bucket allowed a request")
+	}
+	// 2 tokens/s: after 499ms the token is still fractional...
+	clock.Advance(499 * time.Millisecond)
+	if d := l.Allow("k"); d.OK {
+		t.Fatalf("allowed at 499ms with only %.3f tokens accrued", 1+d.Remaining)
+	}
+	// ...and at the full 500ms boundary it is whole.
+	clock.Advance(1 * time.Millisecond)
+	if d := l.Allow("k"); !d.OK {
+		t.Fatalf("rejected at 500ms despite a full token: %+v", d)
+	}
+	// A long idle period refills only to Burst, never beyond.
+	clock.Advance(time.Hour)
+	d := l.Allow("k")
+	if !d.OK || d.Remaining != 1 {
+		t.Errorf("after long idle: %+v, want OK with remaining=1 (burst cap)", d)
+	}
+}
+
+// TestRetryAfterExact: the rejection's RetryAfter is the exact time
+// until one token accrues, and waiting exactly that long succeeds.
+func TestRetryAfterExact(t *testing.T) {
+	clock := newFakeClock()
+	l := newTestLimiter(clock, 0.5, 1, 0) // one token every 2s
+	if d := l.Allow("k"); !d.OK {
+		t.Fatal("burst of 1 rejected")
+	}
+	d := l.Allow("k")
+	if d.OK {
+		t.Fatal("empty bucket allowed")
+	}
+	if d.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want exactly 2s", d.RetryAfter)
+	}
+	// A partial refill shrinks RetryAfter proportionally.
+	clock.Advance(1500 * time.Millisecond)
+	d = l.Allow("k")
+	if d.OK {
+		t.Fatal("allowed with 0.75 tokens")
+	}
+	if d.RetryAfter != 500*time.Millisecond {
+		t.Fatalf("RetryAfter after partial refill = %v, want 500ms", d.RetryAfter)
+	}
+	clock.Advance(d.RetryAfter)
+	if d := l.Allow("k"); !d.OK {
+		t.Fatalf("rejected after waiting the advertised RetryAfter: %+v", d)
+	}
+}
+
+// TestPerKeyIsolation: one tenant exhausting its bucket must not
+// consume any other tenant's allowance.
+func TestPerKeyIsolation(t *testing.T) {
+	clock := newFakeClock()
+	l := newTestLimiter(clock, 1, 2, 0)
+	l.Allow("greedy")
+	l.Allow("greedy")
+	if d := l.Allow("greedy"); d.OK {
+		t.Fatal("greedy tenant not limited")
+	}
+	for i := 0; i < 2; i++ {
+		if d := l.Allow("polite"); !d.OK {
+			t.Fatalf("polite tenant request %d rejected because of greedy's usage: %+v", i, d)
+		}
+	}
+	// The anonymous key ("") is just another bucket.
+	if d := l.Allow(""); !d.OK {
+		t.Fatalf("anonymous bucket rejected with full burst: %+v", d)
+	}
+}
+
+// TestLRUBoundUnderKeyChurn: hostile key churn never grows the bucket
+// table past MaxBuckets, evicts the least-recently-used key, and keeps
+// recently-active tenants' state intact.
+func TestLRUBoundUnderKeyChurn(t *testing.T) {
+	clock := newFakeClock()
+	l := newTestLimiter(clock, 1, 2, 4)
+	// An active tenant spends one of its two tokens.
+	l.Allow("active")
+	// Hostile churn: many single-use keys.
+	for i := 0; i < 100; i++ {
+		// Touch "active" every few keys so it stays recent and survives.
+		if i%2 == 0 {
+			l.Allow("active")
+			clock.Advance(time.Second) // refill what active spends
+		}
+		if d := l.Allow(fmt.Sprintf("churn-%d", i)); !d.OK {
+			t.Fatalf("fresh churn key %d rejected: %+v", i, d)
+		}
+	}
+	st := l.Stats()
+	if st.Buckets > 4 {
+		t.Fatalf("bucket table grew to %d entries despite MaxBuckets=4", st.Buckets)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded under 100-key churn with a 4-bucket bound")
+	}
+	// The churned-out keys lost their state: reusing one re-creates it
+	// with a full burst (the deliberate cost of bounding memory).
+	if d := l.Allow("churn-0"); !d.OK || d.Remaining != 1 {
+		t.Errorf("evicted key not recreated fresh: %+v", d)
+	}
+}
+
+// TestEvictionPicksLRU: the evicted bucket is the least recently used
+// one, not an arbitrary map entry.
+func TestEvictionPicksLRU(t *testing.T) {
+	clock := newFakeClock()
+	l := newTestLimiter(clock, 100, 100, 2)
+	l.Allow("a")
+	l.Allow("b")
+	l.Allow("a") // a is now more recent than b
+	l.Allow("c") // evicts b
+	st := l.Stats()
+	if st.Buckets != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 buckets / 1 eviction", st)
+	}
+	// a kept its drained state (two spends), b was reset.
+	da := l.Allow("a")
+	if !da.OK || da.Remaining != 100-3 {
+		t.Errorf("surviving key a lost its state: %+v", da)
+	}
+	db := l.Allow("b")
+	if !db.OK || db.Remaining != 99 {
+		t.Errorf("evicted key b not recreated with a full burst: %+v", db)
+	}
+}
+
+// TestDefaults pins New's zero-field resolution and the nil-limiter
+// (disabled) contract.
+func TestDefaults(t *testing.T) {
+	if l := New(Config{Rate: 0}); l != nil {
+		t.Error("Rate<=0 should return a nil (disabled) limiter")
+	}
+	var nilL *Limiter
+	if d := nilL.Allow("any"); !d.OK {
+		t.Error("nil limiter must allow everything")
+	}
+	if st := nilL.Stats(); st != (Stats{}) {
+		t.Errorf("nil limiter stats = %+v, want zero", st)
+	}
+	l := New(Config{Rate: 5})
+	st := l.Stats()
+	if st.Burst != 5 || st.MaxBuckets != 1024 {
+		t.Errorf("defaults = %+v, want Burst=5 MaxBuckets=1024", st)
+	}
+	if st := New(Config{Rate: 0.25}).Stats(); st.Burst != 1 {
+		t.Errorf("sub-1 rate burst default = %v, want 1", st.Burst)
+	}
+}
+
+// TestConcurrentAllow shakes the single-mutex paths under the race
+// detector: many goroutines over overlapping keys, with churn past the
+// LRU bound.
+func TestConcurrentAllow(t *testing.T) {
+	clock := newFakeClock()
+	l := newTestLimiter(clock, 1000, 1000, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Allow(fmt.Sprintf("key-%d", (g+i)%12))
+				if i%10 == 0 {
+					clock.Advance(time.Millisecond)
+					l.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Buckets > 8 {
+		t.Errorf("bucket bound violated under concurrency: %d > 8", st.Buckets)
+	}
+	if st.Allowed+st.Rejected != 8*200 {
+		t.Errorf("allowed+rejected = %d, want %d", st.Allowed+st.Rejected, 8*200)
+	}
+}

@@ -8,6 +8,7 @@
 package score
 
 import (
+	"math"
 	"regexp"
 	"strings"
 
@@ -430,4 +431,46 @@ func analyzeRegex(src string, counts map[string]int) {
 // Score returns the obfuscation score of src.
 func Score(src string) int {
 	return Analyze(src).Score
+}
+
+// Entropy returns the Shannon entropy of src in bits per byte (0..8).
+// Plain PowerShell source sits around 4–5 bits; base64 payloads push
+// toward 6, and compressed or encrypted blobs toward 8. The serving
+// frontend uses this as a cheap single-pass predictor of decode-heavy
+// scripts (cost-aware admission); the detector side can use it to
+// corroborate encoding findings.
+func Entropy(src string) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	var freq [256]int
+	for i := 0; i < len(src); i++ {
+		freq[src[i]]++
+	}
+	n := float64(len(src))
+	h := 0.0
+	for _, c := range freq {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// EncodedBlobDensity reports the fraction of src (0..1) covered by
+// long base64-alphabet runs — the same signature base64Re uses for
+// technique detection, reduced to a coverage ratio. A script that is
+// mostly one giant encoded payload scores near 1; ordinary source
+// scores near 0.
+func EncodedBlobDensity(src string) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, span := range base64Re.FindAllStringIndex(src, -1) {
+		covered += span[1] - span[0]
+	}
+	return float64(covered) / float64(len(src))
 }

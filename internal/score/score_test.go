@@ -1,6 +1,7 @@
 package score
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -140,5 +141,53 @@ func TestDeobfuscationReducesScore(t *testing.T) {
 	}
 	if Score("Write-Host hello") >= Score(obf) {
 		t.Errorf("clean score %d >= obfuscated score %d", Score("Write-Host hello"), Score(obf))
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy(""); got != 0 {
+		t.Errorf("Entropy(\"\") = %v, want 0", got)
+	}
+	if got := Entropy("aaaaaaaa"); got != 0 {
+		t.Errorf("single-symbol entropy = %v, want 0", got)
+	}
+	// Two equiprobable symbols: exactly 1 bit.
+	if got := Entropy("abababab"); got != 1 {
+		t.Errorf("two-symbol entropy = %v, want 1", got)
+	}
+	// All 256 byte values once: exactly 8 bits, the ceiling.
+	all := make([]byte, 256)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	if got := Entropy(string(all)); got != 8 {
+		t.Errorf("uniform-byte entropy = %v, want 8", got)
+	}
+	// Ordering sanity on realistic material: plain source < base64 blob.
+	plain := Entropy("Write-Host 'hello world'; Get-ChildItem | Sort-Object Name")
+	blob := Entropy("aGVsbG8gd29ybGQhIHRoaXMgaXMgYSBsb25nIGJhc2U2NCBibG9iIHdpdGggbWl4ZWQgY2FzZQ==")
+	if plain >= blob {
+		t.Errorf("entropy ordering: plain %v >= base64 %v", plain, blob)
+	}
+}
+
+func TestEncodedBlobDensity(t *testing.T) {
+	if got := EncodedBlobDensity(""); got != 0 {
+		t.Errorf("empty density = %v, want 0", got)
+	}
+	if got := EncodedBlobDensity("Write-Host hi"); got != 0 {
+		t.Errorf("plain source density = %v, want 0", got)
+	}
+	// One 60-char base64 run inside a 100-char script: density 0.6.
+	blob := strings.Repeat("QWer7890", 7) + "Qwer" // 60 base64 chars
+	src := `$p = "` + blob + `"; Write-Host $p ####`
+	got := EncodedBlobDensity(src)
+	want := float64(len(blob)) / float64(len(src))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("density = %v, want %v (src len %d)", got, want, len(src))
+	}
+	// A script that is one giant payload approaches 1.
+	if got := EncodedBlobDensity(strings.Repeat("Abc0123+", 512)); got < 0.99 {
+		t.Errorf("pure-blob density = %v, want ~1", got)
 	}
 }

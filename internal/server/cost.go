@@ -1,0 +1,55 @@
+package server
+
+import (
+	"github.com/invoke-deobfuscation/invokedeob/internal/score"
+)
+
+// Cost classes reported in /statsz and used by the shedding decision.
+const (
+	classLight = "light"
+	classHeavy = "heavy"
+)
+
+// costEstimate predicts how expensive a script will be to deobfuscate,
+// in "effective bytes", from a cheap single-pass scan — no tokenizing,
+// no parsing, so it is safe to run on every admitted request before
+// any engine work. The model mirrors what the corpus studies
+// (PowerDrive, PowerPeeler) report about real malware batches: cost is
+// dominated by size, amplified when the bytes are mostly encoded
+// payload (every base64/compressed blob is a layer the engine must
+// decode, re-parse and re-scan) and when entropy says the content is
+// packed rather than plain source.
+//
+//	cost = len × (1 + 4·blobDensity) × (1 + max(0, entropy−4)/2)
+//
+// A 10 KiB plain script scores ≈10k; the same 10 KiB as a dense
+// base64 payload (density ≈1, entropy ≈6) scores ≈100k. The absolute
+// scale is arbitrary — Config.HeavyCost draws the light/heavy line.
+func costEstimate(script string) float64 {
+	n := float64(len(script))
+	if n == 0 {
+		return 0
+	}
+	blob := score.EncodedBlobDensity(script)
+	entropyFactor := 1.0
+	if h := score.Entropy(script); h > 4 {
+		entropyFactor += (h - 4) / 2
+	}
+	return n * (1 + 4*blob) * entropyFactor
+}
+
+// classifyCost maps a cost onto the light/heavy class label.
+func (s *Server) classifyCost(cost float64) string {
+	if cost >= s.cfg.HeavyCost {
+		return classHeavy
+	}
+	return classLight
+}
+
+// underPressure reports whether the admission window is at or above
+// the shed high-water mark. The caller holds its own admission token,
+// so the occupancy read includes the request being decided — a lone
+// heavy request on an idle server never trips this.
+func (s *Server) underPressure() bool {
+	return len(s.admit) >= s.shedThreshold
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCostEstimate pins the estimator's behavior at the level the
+// shedding decision cares about: ordering and which side of the
+// default heavy line realistic inputs land on. The absolute scale is
+// deliberately not pinned — HeavyCost draws the line.
+func TestCostEstimate(t *testing.T) {
+	if got := costEstimate(""); got != 0 {
+		t.Errorf("empty script cost = %v, want 0", got)
+	}
+
+	plainSmall := "IEX (\"Wri{0}e-Ho{1}t 'hi'\" -f 't','s')"
+	plainBig := strings.Repeat("Write-Host 'line of ordinary script'; ", 400) // ~15 KiB plain
+	blob := strings.Repeat("QWJjZDEyMzQ1Njc4OTArL2FiY2RlZmdoaWprbG1ubw==", 1500)
+	blobScript := `$p = [Convert]::FromBase64String("` + blob + `")` // ~66 KiB payload
+
+	cPlainSmall := costEstimate(plainSmall)
+	cPlainBig := costEstimate(plainBig)
+	cBlob := costEstimate(blobScript)
+
+	// Monotone in size, amplified by encoded payload.
+	if !(cPlainSmall < cPlainBig && cPlainBig < cBlob) {
+		t.Errorf("cost ordering violated: small=%v big=%v blob=%v", cPlainSmall, cPlainBig, cBlob)
+	}
+	// The blob amplification must exceed the pure length ratio: the
+	// payload script is ~4x the plain one by bytes but must cost more
+	// than 4x, or density/entropy contribute nothing.
+	if cBlob/cPlainBig < float64(len(blobScript))/float64(len(plainBig))*2 {
+		t.Errorf("blob amplification too weak: blob=%v (len %d) vs plain=%v (len %d)",
+			cBlob, len(blobScript), cPlainBig, len(plainBig))
+	}
+
+	// Default-threshold classification: the small script is light, the
+	// payload bomb is heavy.
+	s := New(Config{})
+	if got := s.classifyCost(cPlainSmall); got != classLight {
+		t.Errorf("small plain script classified %q, want light (cost %v)", got, cPlainSmall)
+	}
+	if got := s.classifyCost(cBlob); got != classHeavy {
+		t.Errorf("payload script classified %q, want heavy (cost %v)", got, cBlob)
+	}
+}
+
+// TestShedThresholdResolution pins the high-water arithmetic.
+func TestShedThresholdResolution(t *testing.T) {
+	cases := []struct {
+		name      string
+		workers   int
+		queue     int
+		highWater float64
+		want      int
+	}{
+		{"default 0.75 of 8", 2, 6, 0, 6},
+		{"half of 3 rounds up", 1, 2, 0.5, 2},
+		{"floor of 1", 1, -1, 0.1, 1},
+		{"full window", 2, 2, 1, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Config{Workers: tc.workers, QueueDepth: tc.queue, ShedHighWater: tc.highWater})
+			if s.shedThreshold != tc.want {
+				t.Errorf("threshold = %d, want %d (cap %d)", s.shedThreshold, tc.want, cap(s.admit))
+			}
+		})
+	}
+	// Negative disables: the threshold sits past the window capacity.
+	s := New(Config{Workers: 1, QueueDepth: 1, ShedHighWater: -1})
+	if s.shedThreshold <= cap(s.admit) {
+		t.Errorf("disabled shedding still reachable: threshold %d, cap %d", s.shedThreshold, cap(s.admit))
+	}
+}

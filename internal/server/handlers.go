@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/core"
 	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
@@ -114,8 +115,66 @@ func (s *Server) admitRequest(w http.ResponseWriter) (release func(), ok bool) {
 	}, true
 }
 
+// checkQuota charges the request against its tenant's token bucket
+// (keyed by APIKeyHeader; unkeyed traffic shares the anonymous
+// bucket). Quota exhaustion answers 429 ErrQuota with a Retry-After
+// computed from the bucket's actual refill time, before admission and
+// before the body is read, so a quota-busting flood costs the server
+// one map lookup per request. A nil limiter (quotas disabled) always
+// passes.
+func (s *Server) checkQuota(w http.ResponseWriter, r *http.Request) bool {
+	if s.quota == nil {
+		return true
+	}
+	key := r.Header.Get(APIKeyHeader)
+	if key == "" {
+		key = anonKey
+	}
+	dec := s.quota.Allow(key)
+	if dec.OK {
+		return true
+	}
+	s.stats.reject(rejectQuota)
+	writeRetryAfter(w, limits.HTTPStatus(limits.ErrQuota), "ErrQuota",
+		fmt.Sprintf("per-tenant quota exceeded (%.3g req/s, burst %.3g); bucket refills in %s",
+			s.cfg.QuotaRate, s.cfg.QuotaBurst, dec.RetryAfter.Round(time.Millisecond)),
+		retryAfterSeconds(dec.RetryAfter))
+	return false
+}
+
+// retryAfterSeconds rounds a refill duration up to the whole seconds
+// the Retry-After header speaks, never below 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// checkShed classifies the request's predicted cost and, when the
+// admission window is above the shed high-water mark, refuses heavy
+// work with 503 ErrShed so light traffic keeps flowing. Admitted
+// requests are counted per class either way.
+func (s *Server) checkShed(w http.ResponseWriter, cost float64) bool {
+	class := s.classifyCost(cost)
+	if class == classHeavy && s.underPressure() {
+		s.stats.reject(rejectShedHeavy)
+		s.stats.observeClass("heavy_shed")
+		writeRetryAfter(w, limits.HTTPStatus(limits.ErrShed), "ErrShed",
+			fmt.Sprintf("server over %d%% of admission capacity; shedding predicted-heavy work (cost %.0f >= %.0f) so light traffic keeps flowing",
+				int(s.cfg.ShedHighWater*100), cost, s.cfg.HeavyCost), 2)
+		return false
+	}
+	s.stats.observeClass(class)
+	return true
+}
+
 // acquireSlot blocks until a worker slot frees or the request deadline
-// expires. On deadline it writes the taxonomy error and reports false.
+// expires. On deadline it writes the taxonomy error and reports false;
+// the 504 carries a Retry-After because the correct client move — like
+// the 429/503 refusals — is to back off and retry, ideally against a
+// less-loaded replica.
 func (s *Server) acquireSlot(ctx context.Context, w http.ResponseWriter) (release func(), ok bool) {
 	select {
 	case s.slots <- struct{}{}:
@@ -124,7 +183,7 @@ func (s *Server) acquireSlot(ctx context.Context, w http.ResponseWriter) (releas
 		err := limits.FromContext(ctx.Err())
 		status, name := classify(err)
 		s.stats.observeError(name)
-		writeError(w, status, name, "request deadline expired while queued for a worker", nil)
+		writeRetryAfter(w, status, name, "request deadline expired while queued for a worker", 1)
 		return nil, false
 	}
 }
@@ -184,6 +243,11 @@ func (s *Server) handleDeobfuscate(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	// Tenant quota before admission: a quota-busting flood is answered
+	// from the token bucket alone, without consuming admission tokens.
+	if !s.checkQuota(w, r) {
+		return
+	}
 	// Admission before body read: a saturated server sheds load without
 	// paying to parse what it cannot serve.
 	release, ok := s.admitRequest(w)
@@ -198,6 +262,11 @@ func (s *Server) handleDeobfuscate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.checkScript(w, "script", req.Script) {
+		return
+	}
+	// Cost-aware degradation: under pressure, predicted-heavy scripts
+	// are refused here — after size checks, before any engine work.
+	if !s.checkShed(w, costEstimate(req.Script)) {
 		return
 	}
 	ctx, cancel, ok := s.requestContext(r)
@@ -234,6 +303,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	if !s.checkQuota(w, r) {
+		return
+	}
 	release, ok := s.admitRequest(w)
 	if !ok {
 		return
@@ -257,12 +329,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	inputs := make([]core.BatchInput, len(req.Scripts))
+	batchCost := 0.0
 	for i, sc := range req.Scripts {
 		label := fmt.Sprintf("scripts[%d]", i)
 		if !s.checkScript(w, label, sc.Script) {
 			return
 		}
+		batchCost += costEstimate(sc.Script)
 		inputs[i] = core.BatchInput{Name: sc.Name, Script: sc.Script}
+	}
+	// A batch sheds as a unit on its summed cost: it occupies one
+	// admission token and one worker slot regardless of width, so its
+	// pressure contribution is the whole batch's work.
+	if !s.checkShed(w, batchCost) {
+		return
 	}
 	ctx, cancel, ok := s.requestContext(r)
 	if !ok {

@@ -1,0 +1,323 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	"github.com/invoke-deobfuscation/invokedeob/internal/quota"
+)
+
+// instantServer returns a server whose engine work completes
+// immediately, for tests that exercise the pre-engine gates.
+func instantServer(cfg Config) *Server {
+	s := New(cfg)
+	s.runSingle = func(ctx context.Context, script string) (*core.Result, error) {
+		return &core.Result{Script: script}, nil
+	}
+	s.runBatch = func(ctx context.Context, inputs []core.BatchInput) []core.BatchResult {
+		out := make([]core.BatchResult, len(inputs))
+		for i, in := range inputs {
+			out[i] = core.BatchResult{Index: i, Name: in.Name, Result: &core.Result{Script: in.Script}}
+		}
+		return out
+	}
+	return s
+}
+
+// fakeQuota swaps the server's limiter for one on a fake clock.
+func fakeQuota(s *Server, clock *fakeClock, rate, burst float64, maxBuckets int) {
+	s.quota = quota.New(quota.Config{Rate: rate, Burst: burst, MaxBuckets: maxBuckets, Now: clock.Now})
+}
+
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) Now() time.Time { return c.t }
+
+// TestQuotaPerTenant drives the whole quota path over HTTP with a fake
+// clock: burst consumption, 429 ErrQuota with an honest Retry-After,
+// per-key isolation, the anonymous bucket, and refill recovery.
+func TestQuotaPerTenant(t *testing.T) {
+	s := instantServer(Config{QuotaRate: 1, QuotaBurst: 2})
+	clock := &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	fakeQuota(s, clock, 0.5, 2, 0) // 1 token / 2s, burst 2
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	keyed := map[string]string{APIKeyHeader: "tenant-a"}
+	for i := 0; i < 2; i++ {
+		if pr := postJSON(t, ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host a"), keyed); pr.status != http.StatusOK {
+			t.Fatalf("burst request %d: status %d (%s)", i, pr.status, pr.raw)
+		}
+	}
+	pr := postJSON(t, ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host a"), keyed)
+	if pr.status != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status = %d, want 429", pr.status)
+	}
+	if pr.eb.Error.Name != "ErrQuota" {
+		t.Errorf("error name = %q, want ErrQuota", pr.eb.Error.Name)
+	}
+	// The bucket is empty and refills at 1 token per 2s: Retry-After
+	// must say 2 seconds, not a generic hint.
+	if ra, err := strconv.Atoi(pr.retryAfter); err != nil || ra != 2 {
+		t.Errorf("Retry-After = %q, want exactly 2 (refill time of an empty 0.5/s bucket)", pr.retryAfter)
+	}
+
+	// Another tenant is isolated from tenant-a's exhaustion.
+	if pr := postJSON(t, ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host b"),
+		map[string]string{APIKeyHeader: "tenant-b"}); pr.status != http.StatusOK {
+		t.Errorf("isolated tenant rejected: %d (%s)", pr.status, pr.raw)
+	}
+	// Unkeyed traffic shares one anonymous bucket.
+	for i := 0; i < 2; i++ {
+		if pr := postJSON(t, ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host anon"), nil); pr.status != http.StatusOK {
+			t.Fatalf("anonymous burst request %d: status %d", i, pr.status)
+		}
+	}
+	if pr := postJSON(t, ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host anon"), nil); pr.status != http.StatusTooManyRequests {
+		t.Errorf("anonymous bucket not enforced: status %d", pr.status)
+	}
+
+	// Refill recovery: advance past one refill period and tenant-a is
+	// served again.
+	clock.t = clock.t.Add(2 * time.Second)
+	if pr := postJSON(t, ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host a"), keyed); pr.status != http.StatusOK {
+		t.Errorf("post-refill request rejected: %d (%s)", pr.status, pr.raw)
+	}
+
+	// /v1/batch flows through the same gate.
+	clock.t = clock.t.Add(time.Hour) // refill tenant-a to full burst
+	batch := `{"scripts":[{"script":"Write-Host x"}]}`
+	postJSON(t, ts.Client(), ts.URL+"/v1/batch", batch, keyed)
+	postJSON(t, ts.Client(), ts.URL+"/v1/batch", batch, keyed)
+	if pr := postJSON(t, ts.Client(), ts.URL+"/v1/batch", batch, keyed); pr.status != http.StatusTooManyRequests || pr.eb.Error.Name != "ErrQuota" {
+		t.Errorf("batch over-quota = %d %q, want 429 ErrQuota", pr.status, pr.eb.Error.Name)
+	}
+
+	// The quota counters surface in /statsz.
+	var sb statszBody
+	getJSON(t, ts, "/statsz", &sb)
+	if sb.Quota == nil {
+		t.Fatal("statsz missing quota section with quotas enabled")
+	}
+	if sb.Quota.Rejected == 0 || sb.Quota.Allowed == 0 {
+		t.Errorf("quota counters not moving: %+v", sb.Quota)
+	}
+	if sb.Rejected[rejectQuota] == 0 {
+		t.Errorf("rejected[quota] = 0, want > 0 (rejected map: %v)", sb.Rejected)
+	}
+	if sb.StatusCounts["429"] == 0 {
+		t.Errorf("status_counts missing 429s: %v", sb.StatusCounts)
+	}
+}
+
+// heavyScript builds a script whose costEstimate clears the given
+// threshold by pure size (low entropy, no blobs).
+func heavyScript(threshold float64) string {
+	return strings.Repeat("Write-Host 'heavy heavy heavy'; ", int(threshold/30)+4)
+}
+
+// TestCostAwareShedding is the deterministic degradation test: with
+// the admission window pushed past the high-water mark by blocked
+// work, a predicted-heavy request is refused 503 ErrShed while a light
+// request sails through to a worker.
+func TestCostAwareShedding(t *testing.T) {
+	// Workers 1 + queue 2 = window of 3; high water 0.5 -> threshold 2.
+	// One blocked request holds a token, so any probe (holding the
+	// second) decides under pressure.
+	cfg := Config{Workers: 1, QueueDepth: 2, HeavyCost: 1000, ShedHighWater: 0.5}
+	s, release, started := blockingServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	go doPost(ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host busy"), nil)
+	<-started // the worker slot and one admission token are held
+
+	// Heavy probe: shed before any engine work.
+	pr := postJSON(t, ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody(heavyScript(1000)), nil)
+	if pr.status != http.StatusServiceUnavailable {
+		t.Fatalf("heavy probe status = %d, want 503", pr.status)
+	}
+	if pr.eb.Error.Name != "ErrShed" {
+		t.Errorf("heavy probe error = %q, want ErrShed", pr.eb.Error.Name)
+	}
+	if pr.retryAfter == "" {
+		t.Error("shed response without Retry-After")
+	}
+
+	// Light probe: admitted and queued despite the same pressure; it
+	// completes once the blocked work releases.
+	lightDone := make(chan postResult, 1)
+	go func() {
+		lpr, err := doPost(ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host light"), nil)
+		if err != nil {
+			t.Error(err)
+		}
+		lightDone <- lpr
+	}()
+	waitFor(t, func() bool { return len(s.admit) == 2 }) // light sits queued
+	release()
+	if lpr := <-lightDone; lpr.status != http.StatusOK {
+		t.Fatalf("light request under pressure = %d, want 200 (%s)", lpr.status, lpr.raw)
+	}
+
+	// Class counters recorded the split.
+	var sb statszBody
+	getJSON(t, ts, "/statsz", &sb)
+	if sb.Classes["heavy_shed"] == 0 {
+		t.Errorf("classes[heavy_shed] = 0, want > 0: %v", sb.Classes)
+	}
+	if sb.Classes[classLight] == 0 {
+		t.Errorf("classes[light] = 0, want > 0: %v", sb.Classes)
+	}
+	if sb.Rejected[rejectShedHeavy] == 0 {
+		t.Errorf("rejected[shed-heavy] = 0: %v", sb.Rejected)
+	}
+	if sb.StatusCounts["503"] == 0 || sb.StatusCounts["200"] == 0 {
+		t.Errorf("status_counts incomplete: %v", sb.StatusCounts)
+	}
+}
+
+// TestHeavyServedWhenIdle: classification alone must never refuse
+// work — an idle server runs heavy scripts.
+func TestHeavyServedWhenIdle(t *testing.T) {
+	s := instantServer(Config{Workers: 2, HeavyCost: 100, ShedHighWater: 0.9})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	pr := postJSON(t, ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody(heavyScript(100)), nil)
+	if pr.status != http.StatusOK {
+		t.Fatalf("heavy request on idle server = %d, want 200 (%s)", pr.status, pr.raw)
+	}
+	var sb statszBody
+	getJSON(t, ts, "/statsz", &sb)
+	if sb.Classes[classHeavy] != 1 {
+		t.Errorf("classes[heavy] = %d, want 1: %v", sb.Classes[classHeavy], sb.Classes)
+	}
+}
+
+// TestBatchShedsOnSummedCost: a batch of individually-light scripts
+// whose total clears the heavy line sheds as a unit under pressure.
+func TestBatchShedsOnSummedCost(t *testing.T) {
+	cfg := Config{Workers: 1, QueueDepth: 2, HeavyCost: 1000, ShedHighWater: 0.5}
+	s, release, started := blockingServer(t, cfg)
+	defer release()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	go doPost(ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host busy"), nil)
+	<-started
+
+	var scripts []string
+	for i := 0; i < 10; i++ {
+		scripts = append(scripts, fmt.Sprintf(`{"script":%q}`, strings.Repeat("Write-Host batchy; ", 10)))
+	}
+	body := `{"scripts":[` + strings.Join(scripts, ",") + `]}`
+	pr := postJSON(t, ts.Client(), ts.URL+"/v1/batch", body, nil)
+	if pr.status != http.StatusServiceUnavailable || pr.eb.Error.Name != "ErrShed" {
+		t.Fatalf("wide batch under pressure = %d %q, want 503 ErrShed", pr.status, pr.eb.Error.Name)
+	}
+	release()
+}
+
+// TestQueuedDeadline504RetryAfter: the queued-deadline 504 carries a
+// Retry-After like the other back-off responses.
+func TestQueuedDeadline504RetryAfter(t *testing.T) {
+	s, release, started := blockingServer(t, Config{Workers: 1, QueueDepth: 4})
+	defer release()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	go doPost(ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host busy"), nil)
+	<-started
+	pr := postJSON(t, ts.Client(), ts.URL+"/v1/deobfuscate",
+		scriptBody("Write-Host queued"), map[string]string{TimeoutHeader: "30ms"})
+	if pr.status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", pr.status)
+	}
+	if pr.retryAfter == "" {
+		t.Error("queued-deadline 504 without Retry-After")
+	}
+	release()
+}
+
+// TestTimeoutHeaderTable is the X-Deob-Timeout edge-case suite: each
+// malformed/negative/zero value gets a deterministic 400, valid values
+// set the deadline, and over-cap values clamp to MaxTimeout.
+func TestTimeoutHeaderTable(t *testing.T) {
+	const maxTO = 200 * time.Millisecond
+	const defaultTO = 5 * time.Second
+	cases := []struct {
+		name string
+		hdr  string // "" = header absent
+		// want400 means the request is rejected before any engine work.
+		want400 bool
+		// wantDeadline is the expected context budget for served
+		// requests (checked within a slack window).
+		wantDeadline time.Duration
+	}{
+		{"absent uses default", "", false, defaultTO},
+		{"valid value used", "90ms", false, 90 * time.Millisecond},
+		{"over max clamps", "1h", false, maxTO},
+		{"exactly max passes unclamped", "200ms", false, maxTO},
+		{"malformed word", "soon", true, 0},
+		{"number without unit", "10", true, 0},
+		{"zero", "0s", true, 0},
+		{"negative", "-5s", true, 0},
+		{"empty-ish garbage", "ms", true, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Config{MaxTimeout: maxTO, DefaultTimeout: defaultTO})
+			var sawDeadline time.Duration
+			ran := false
+			s.runSingle = func(ctx context.Context, script string) (*core.Result, error) {
+				ran = true
+				dl, ok := ctx.Deadline()
+				if !ok {
+					t.Error("request context carries no deadline")
+				}
+				sawDeadline = time.Until(dl)
+				return &core.Result{Script: script}, nil
+			}
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			var hdr map[string]string
+			if tc.hdr != "" {
+				hdr = map[string]string{TimeoutHeader: tc.hdr}
+			}
+			pr := postJSON(t, ts.Client(), ts.URL+"/v1/deobfuscate", scriptBody("Write-Host t"), hdr)
+			if tc.want400 {
+				if pr.status != http.StatusBadRequest {
+					t.Fatalf("status = %d, want 400", pr.status)
+				}
+				if pr.eb.Error.Name != nameBadRequest {
+					t.Errorf("error name = %q, want %q", pr.eb.Error.Name, nameBadRequest)
+				}
+				if ran {
+					t.Error("engine ran despite an invalid timeout header")
+				}
+				return
+			}
+			if pr.status != http.StatusOK {
+				t.Fatalf("status = %d, want 200 (%s)", pr.status, pr.raw)
+			}
+			if !ran {
+				t.Fatal("engine never ran")
+			}
+			// The observed remaining budget can only be at or below the
+			// requested deadline, and must not be wildly below it.
+			if sawDeadline > tc.wantDeadline {
+				t.Errorf("deadline budget %v exceeds requested %v (cap not enforced?)", sawDeadline, tc.wantDeadline)
+			}
+			if sawDeadline < tc.wantDeadline-tc.wantDeadline/2 {
+				t.Errorf("deadline budget %v far below requested %v", sawDeadline, tc.wantDeadline)
+			}
+		})
+	}
+}

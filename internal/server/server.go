@@ -12,6 +12,17 @@
 //     bounded admission queue; when both are full the server answers
 //     429 with Retry-After immediately rather than buffering unbounded
 //     work it cannot finish.
+//   - Fairness across tenants. Per-tenant token-bucket quotas (keyed by
+//     X-Api-Key, one shared anonymous bucket for unkeyed traffic) stop
+//     one abusive or unlucky tenant from saturating the admission
+//     window for everyone; quota rejections are 429 ErrQuota with a
+//     Retry-After computed from the bucket's actual refill time, and
+//     bucket count is LRU-bounded so key churn cannot exhaust memory.
+//   - Cost-aware degradation. A cheap pre-scan (length, entropy,
+//     encoded-blob density) classifies each request light or heavy;
+//     once the admission window passes the shed high-water mark, heavy
+//     requests are refused first (503 ErrShed) so cheap traffic keeps
+//     flowing instead of everything collapsing together.
 //   - Envelope enforcement per request. Every request runs under a
 //     deadline (client-requested via the X-Deob-Timeout header, capped,
 //     or the server default) and the PR 1 limits taxonomy; violations
@@ -29,6 +40,7 @@ package server
 
 import (
 	"context"
+	"math"
 	"net/http"
 	"runtime"
 	"sync"
@@ -36,12 +48,21 @@ import (
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/core"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
+	"github.com/invoke-deobfuscation/invokedeob/internal/quota"
 )
 
 // TimeoutHeader is the request header carrying the client's requested
 // processing deadline as a Go duration string ("500ms", "10s"). It is
 // capped at Config.MaxTimeout; absent, Config.DefaultTimeout applies.
 const TimeoutHeader = "X-Deob-Timeout"
+
+// APIKeyHeader identifies the tenant for per-tenant quotas. Requests
+// without it share one anonymous bucket, so unkeyed traffic is rate
+// limited collectively rather than escaping quotas altogether.
+const APIKeyHeader = "X-Api-Key"
+
+// anonKey is the shared bucket key for requests without APIKeyHeader.
+const anonKey = "anonymous"
 
 // Config tunes the service. The zero value selects production-shaped
 // defaults for every field.
@@ -68,6 +89,25 @@ type Config struct {
 	// MaxBatchScripts bounds the scripts per /v1/batch request. Zero
 	// means 64.
 	MaxBatchScripts int
+	// QuotaRate is the per-tenant steady-state allowance in requests
+	// per second (token-bucket refill rate), keyed by APIKeyHeader.
+	// Zero or negative disables quotas.
+	QuotaRate float64
+	// QuotaBurst is the token-bucket capacity per tenant. Zero means
+	// max(QuotaRate, 1).
+	QuotaBurst float64
+	// QuotaMaxBuckets bounds how many tenant buckets exist at once
+	// (LRU eviction beyond it), so hostile key churn cannot exhaust
+	// memory. Zero means 1024.
+	QuotaMaxBuckets int
+	// HeavyCost is the costEstimate score (effective bytes) at or
+	// above which a request is classified heavy and becomes sheddable
+	// under pressure. Zero means 32768.
+	HeavyCost float64
+	// ShedHighWater is the admission-window occupancy fraction (0..1]
+	// at or above which heavy requests are shed. Zero means 0.75;
+	// negative disables cost-aware shedding.
+	ShedHighWater float64
 	// Engine configures the underlying deobfuscator shared by all
 	// requests.
 	Engine core.Options
@@ -99,6 +139,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchScripts <= 0 {
 		c.MaxBatchScripts = 64
 	}
+	if c.QuotaBurst <= 0 && c.QuotaRate > 0 {
+		c.QuotaBurst = c.QuotaRate
+		if c.QuotaBurst < 1 {
+			c.QuotaBurst = 1
+		}
+	}
+	if c.QuotaMaxBuckets <= 0 {
+		c.QuotaMaxBuckets = 1024
+	}
+	if c.HeavyCost == 0 {
+		c.HeavyCost = 32768
+	}
+	if c.ShedHighWater == 0 {
+		c.ShedHighWater = 0.75
+	}
 	return c
 }
 
@@ -120,6 +175,14 @@ type Server struct {
 	// slots is the worker pool: holding a token means executing engine
 	// work. Waiting for a token is bounded by the request deadline.
 	slots chan struct{}
+
+	// quota is the per-tenant token-bucket limiter (nil when quotas
+	// are disabled; a nil limiter allows everything).
+	quota *quota.Limiter
+	// shedThreshold is the admission-window occupancy (token count) at
+	// or above which heavy requests are shed; cap(admit)+1 when
+	// shedding is disabled.
+	shedThreshold int
 
 	// drainMu guards the draining flag against the in-flight WaitGroup:
 	// requests register under the read lock, Drain flips the flag under
@@ -148,6 +211,19 @@ func New(cfg Config) *Server {
 		admit: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		slots: make(chan struct{}, cfg.Workers),
 		stats: newServerStats(),
+		quota: quota.New(quota.Config{
+			Rate:       cfg.QuotaRate,
+			Burst:      cfg.QuotaBurst,
+			MaxBuckets: cfg.QuotaMaxBuckets,
+		}),
+	}
+	if cfg.ShedHighWater < 0 {
+		s.shedThreshold = cap(s.admit) + 1 // unreachable: shedding off
+	} else {
+		s.shedThreshold = int(math.Ceil(cfg.ShedHighWater * float64(cap(s.admit))))
+		if s.shedThreshold < 1 {
+			s.shedThreshold = 1
+		}
 	}
 	if !cfg.Engine.DisableEvalCache {
 		s.evalCache = core.NewEvalCache(0, 0)
@@ -161,14 +237,16 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's routing handler.
+// Handler returns the service's routing handler. Every response flows
+// through the status-counting middleware so /statsz can report
+// shed/429/503/504 rates for the load harness to scrape.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/deobfuscate", s.handleDeobfuscate)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
-	return mux
+	return s.stats.countStatuses(mux)
 }
 
 // begin registers an in-flight request unless the server is draining.

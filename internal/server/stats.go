@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -16,6 +17,8 @@ const (
 
 	rejectSaturated = "saturated"
 	rejectDraining  = "draining"
+	rejectQuota     = "quota"
+	rejectShedHeavy = "shed-heavy"
 )
 
 // serverStats aggregates per-request engine outcomes across the
@@ -28,7 +31,15 @@ type serverStats struct {
 	completed map[string]int64
 	rejected  map[string]int64
 	errors    map[string]int64
-	inFlight  int64
+	// statuses counts every response by HTTP status code (keyed by its
+	// decimal string for direct JSON use), fed by the countStatuses
+	// middleware: the scrape surface for shed/429/503/504 rates.
+	statuses map[string]int64
+	// classes counts cost classifications of admitted work ("light",
+	// "heavy") plus "heavy_shed" for heavy requests refused under
+	// pressure, so operators can see the degradation order acting.
+	classes  map[string]int64
+	inFlight int64
 	// agg sums every run's Stats (batch items included), so statsz
 	// exposes fleet-level pieces/layers/cache counters, not just the
 	// last request's.
@@ -46,6 +57,8 @@ func newServerStats() *serverStats {
 		completed: make(map[string]int64),
 		rejected:  make(map[string]int64),
 		errors:    make(map[string]int64),
+		statuses:  make(map[string]int64),
+		classes:   make(map[string]int64),
 		passes:    make(map[string]*pipeline.PassStat),
 	}
 }
@@ -73,6 +86,48 @@ func (st *serverStats) observeError(name string) {
 	st.mu.Lock()
 	st.errors[name]++
 	st.mu.Unlock()
+}
+
+func (st *serverStats) observeClass(class string) {
+	st.mu.Lock()
+	st.classes[class]++
+	st.mu.Unlock()
+}
+
+// statusWriter records the status code a handler wrote (200 when the
+// handler never called WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// countStatuses wraps next so every response increments the per-status
+// counter, regardless of which rejection or error path produced it.
+func (st *serverStats) countStatuses(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		st.mu.Lock()
+		st.statuses[strconv.Itoa(sw.status)]++
+		st.mu.Unlock()
+	})
 }
 
 // requestDone decrements the in-flight gauge; deferred by handlers
@@ -146,6 +201,14 @@ type statszBody struct {
 	Completed     map[string]int64 `json:"completed"`
 	Rejected      map[string]int64 `json:"rejected"`
 	Errors        map[string]int64 `json:"errors"`
+	// StatusCounts counts every response by HTTP status code — the
+	// scrape surface the load harness uses for shed/429/503/504 rates.
+	StatusCounts map[string]int64 `json:"status_counts"`
+	// Classes counts admitted work by predicted cost class ("light",
+	// "heavy") plus "heavy_shed" refusals under pressure.
+	Classes map[string]int64 `json:"classes"`
+	// Quota reports the per-tenant limiter, when enabled.
+	Quota *quotaStatsBody `json:"quota,omitempty"`
 	// Stats is the engine work summed over every run the server
 	// performed (same struct as the library's per-run Stats).
 	Stats core.Stats `json:"stats"`
@@ -157,6 +220,17 @@ type statszBody struct {
 	// request boundaries.
 	ParseCache cacheStatsBody  `json:"parse_cache"`
 	EvalCache  *cacheStatsBody `json:"eval_cache,omitempty"`
+}
+
+// quotaStatsBody is the wire shape of the per-tenant limiter's state.
+type quotaStatsBody struct {
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      float64 `json:"burst"`
+	Buckets    int     `json:"buckets"`
+	MaxBuckets int     `json:"max_buckets"`
+	Allowed    int64   `json:"allowed"`
+	Rejected   int64   `json:"rejected"`
+	Evictions  int64   `json:"evictions"`
 }
 
 // healthzBody is the GET /healthz response.
@@ -196,6 +270,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Completed:     copyCounts(st.completed),
 		Rejected:      copyCounts(st.rejected),
 		Errors:        copyCounts(st.errors),
+		StatusCounts:  copyCounts(st.statuses),
+		Classes:       copyCounts(st.classes),
 		Stats:         st.agg,
 		PassTrace:     make([]pipeline.PassStat, 0, len(st.passOrder)),
 	}
@@ -203,6 +279,14 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		body.PassTrace = append(body.PassTrace, *st.passes[name])
 	}
 	st.mu.Unlock()
+	if s.quota != nil {
+		q := s.quota.Stats()
+		body.Quota = &quotaStatsBody{
+			RatePerSec: q.Rate, Burst: q.Burst,
+			Buckets: q.Buckets, MaxBuckets: q.MaxBuckets,
+			Allowed: q.Allowed, Rejected: q.Rejected, Evictions: q.Evictions,
+		}
+	}
 	pc := s.cache.Stats()
 	body.ParseCache = cacheStatsBody{
 		Hits: pc.Hits, Misses: pc.Misses, Evictions: pc.Evictions,
