@@ -10,12 +10,18 @@ BENCHCOUNT ?= 5
 BENCHJSON ?= BENCH_pr3.json
 PROFILEDIR ?= .profile
 
-.PHONY: all check vet build test race soak equivalence fuzz-smoke serve-smoke loadtest loadtest-smoke bench-compare bench-json profile clean
+.PHONY: all check fmt vet build test race soak equivalence goldens fuzz-smoke serve-smoke loadtest loadtest-smoke bench-compare bench-json profile clean
 
 all: check
 
 # check is the tier-1 gate.
-check: vet build race soak equivalence serve-smoke loadtest-smoke fuzz-smoke
+check: fmt vet build race soak equivalence serve-smoke loadtest-smoke fuzz-smoke
+
+# fmt fails (and lists the offenders) when any file is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -37,16 +43,26 @@ soak:
 	$(GO) test ./internal/pipeline -run TestOversizeHostileTextSoak -soak -count=1 -timeout 10m
 
 # equivalence re-runs the refactor guards explicitly (they are also in
-# the plain suite): byte-identical output against the frozen pre-refactor
-# goldens, and the parses-per-run budget on the fixed 3-layer script.
+# the plain suite): byte-identical output against the frozen goldens of
+# both language frontends, and the parses-per-run budget on the fixed
+# 3-layer script.
 equivalence:
-	$(GO) test ./internal/core -run 'TestEquivalenceGolden|TestParseCount' -count=1
+	$(GO) test ./internal/core -run TestEquivalenceGolden -count=1
+	$(GO) test ./internal/psfront -run TestParseCount -count=1
+	$(GO) test ./internal/jsfront -run TestJSGolden -count=1
+
+# goldens deliberately regenerates both frontends' golden suites from
+# the current engine output. Run it only when an intentional behaviour
+# change has been reviewed, and commit the diff.
+goldens:
+	$(GO) test ./internal/core -run TestEquivalenceGolden -update-golden -count=1
+	$(GO) test ./internal/jsfront -run TestJSGolden -update-golden -count=1
 
 # fuzz-smoke gives each native fuzz target a short budget. Any panic or
 # envelope violation found within the budget fails the gate.
 fuzz-smoke:
-	$(GO) test ./internal/core -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/core -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/psfront -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/psfront -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzDeobfuscate$$ -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzDeobfuscateEnvelope -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/psinterp -run '^$$' -fuzz FuzzEvalSnippet -fuzztime $(FUZZTIME)

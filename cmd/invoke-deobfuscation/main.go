@@ -1,4 +1,4 @@
-// Command invoke-deobfuscation deobfuscates PowerShell scripts from
+// Command invoke-deobfuscation deobfuscates obfuscated scripts from
 // files or stdin, printing the recovered scripts to stdout.
 //
 // Usage:
@@ -9,6 +9,10 @@
 // file arguments the scripts are deobfuscated concurrently on a worker
 // pool (see -jobs) and printed in argument order, each under a
 // "===== name =====" header.
+//
+// The -lang flag selects the language frontend ("powershell",
+// "javascript", or an alias like ps1/js); without it each script's
+// language is auto-detected.
 package main
 
 import (
@@ -35,6 +39,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("invoke-deobfuscation", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		lang        = fs.String("lang", "", "language frontend: powershell, javascript, or an alias (empty = auto-detect per script)")
 		showStats   = fs.Bool("stats", false, "print deobfuscation statistics to stderr")
 		showLayers  = fs.Bool("layers", false, "print each intermediate layer")
 		showTrace   = fs.Bool("trace", false, "print the per-pass pipeline trace (time, bytes, reverts, parse- and eval-cache hits) to stderr")
@@ -54,6 +59,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 	opts := &invokedeob.Options{
+		Lang:                   *lang,
 		DisableRename:          *noRename,
 		DisableReformat:        *noReformat,
 		DisableVariableTracing: *noTrace,

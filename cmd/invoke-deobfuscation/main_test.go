@@ -186,3 +186,32 @@ func TestRunTrace(t *testing.T) {
 		t.Errorf("trace missing ast pass: %q", es)
 	}
 }
+
+func TestRunLangFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("var s = 'cli' + 'test'; use(s);")
+	if err := run([]string{"-lang", "javascript"}, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "'clitest'") {
+		t.Errorf("stdout = %q", stdout.String())
+	}
+	// An unknown language fails with the taxonomy name.
+	stdout.Reset()
+	stderr.Reset()
+	err := run([]string{"-lang", "cobol"}, strings.NewReader("x"), &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "ErrBadLang") {
+		t.Errorf("err = %v, want ErrBadLang", err)
+	}
+}
+
+func TestRunLangAutoDetect(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	in := strings.NewReader("var x = String.fromCharCode(104, 105); console.log(x.split(''))")
+	if err := run(nil, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "'hi'") {
+		t.Errorf("auto-detected JS not decoded: %q", stdout.String())
+	}
+}

@@ -1,6 +1,11 @@
 package baselines
 
-import "github.com/invoke-deobfuscation/invokedeob/internal/core"
+import (
+	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+
+	// Register the standard language frontends with the engine driver.
+	_ "github.com/invoke-deobfuscation/invokedeob/internal/frontends"
+)
 
 // InvokeDeobfuscation adapts the paper's tool (our core engine) to the
 // Tool interface so experiments treat all five tools uniformly.

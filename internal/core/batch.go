@@ -14,6 +14,10 @@ type BatchInput struct {
 	Name string
 	// Script is the source text.
 	Script string
+	// Lang selects the language frontend for this script, overriding
+	// Options.Lang. Empty falls back to Options.Lang, then to per-script
+	// auto-detection — a batch can mix languages freely.
+	Lang string
 }
 
 // BatchResult is the outcome of one script in a batch run.
@@ -95,7 +99,11 @@ func (d *Deobfuscator) DeobfuscateBatchShared(ctx context.Context, inputs []Batc
 				if d.opts.ScriptTimeout > 0 {
 					sctx, cancel = context.WithTimeout(ctx, d.opts.ScriptTimeout)
 				}
-				res, err := d.deobfuscate(sctx, in.Script, cache, evalCache)
+				lang := in.Lang
+				if lang == "" {
+					lang = d.opts.Lang
+				}
+				res, err := d.deobfuscate(sctx, in.Script, lang, cache, evalCache)
 				cancel()
 				results[i] = BatchResult{Name: in.Name, Index: i, Result: res, Err: err}
 			}

@@ -1,22 +1,25 @@
-// Package core implements the Invoke-Deobfuscation engine: the paper's
-// three-phase AST-based, semantics-preserving deobfuscator.
+// Package core implements the Invoke-Deobfuscation engine driver: the
+// paper's three-phase AST-based, semantics-preserving deobfuscation
+// pipeline, generalized over pluggable language frontends.
 //
-//  1. Token parsing (§III-A): lexical recovery of L1 obfuscation —
-//     ticking, random case, aliases — rewriting tokens in reverse order.
+//  1. Token parsing (§III-A): lexical recovery of L1 obfuscation.
 //  2. Recovery based on AST (§III-B): recoverable nodes are evaluated
-//     with the embedded interpreter under variable tracing (Algorithm 1),
-//     results are spliced strictly in place, and multi-layer
-//     Invoke-Expression / powershell -EncodedCommand wrappers are
-//     unwrapped until a fixpoint.
+//     under variable tracing (Algorithm 1), results are spliced strictly
+//     in place, and multi-layer wrappers are unwrapped until a fixpoint.
 //  3. Rename and reformat (§III-C): statistically random identifiers
 //     become var{N}/func{N} and whitespace is normalized.
 //
-// The phases are composed as passes over a pipeline.Document: every
-// phase — and every per-splice validOrRevert syntax check (§IV-A) —
-// draws its token stream and AST from one bounded, content-keyed parse
-// cache instead of re-parsing identical text, and each pass execution
-// is traced (duration, bytes in/out, reverts, cache hits) into
+// The driver is language-neutral: it resolves a frontend.Frontend from
+// the registry — by Options.Lang, or per script by auto-detection — and
+// runs the passes that frontend supplies over a pipeline.Document.
+// Every phase, and every per-splice validOrRevert syntax check (§IV-A),
+// draws its artifacts from one bounded, content-keyed parse cache
+// namespaced by language, and each pass execution is traced into
 // Result.PassTrace.
+//
+// Importing this package alone registers no languages; callers import
+// internal/frontends (or a specific frontend package) for that. The
+// facade package does so for every embedder going through it.
 //
 // Every phase re-validates syntax and reverts on regression, so the
 // output is always parseable and semantically consistent with the
@@ -27,125 +30,29 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/frontend"
 	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
-	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
-	"github.com/invoke-deobfuscation/invokedeob/internal/psnames"
 )
 
-// defaultMaxOutputBytes caps the total bytes produced across unwrapped
-// layers per run (zip-bomb guard).
-const defaultMaxOutputBytes = 64 << 20
-
 // Options configures the deobfuscator. The zero value enables every
-// phase with the paper's defaults.
-type Options struct {
-	// MaxIterations bounds the multi-layer fixpoint loop. Zero means 10.
-	MaxIterations int
-	// StepBudget bounds interpreter work per recoverable piece. Zero
-	// means 500k steps.
-	StepBudget int
-	// MaxPieceLen skips recoverable pieces larger than this many bytes.
-	// Zero means 1 MiB.
-	MaxPieceLen int
-	// Blocklist overrides the default irrelevant-command blocklist.
-	Blocklist map[string]bool
-	// DisableTokenPhase turns off phase 1 (ablation).
-	DisableTokenPhase bool
-	// DisableASTPhase turns off phase 2 (ablation).
-	DisableASTPhase bool
-	// DisableVariableTracing turns off the symbol table, reducing the
-	// engine to context-free direct execution (ablation; emulates the
-	// weakness the paper identifies in prior work).
-	DisableVariableTracing bool
-	// DisableRename turns off phase 3 renaming.
-	DisableRename bool
-	// DisableReformat turns off phase 3 reformatting.
-	DisableReformat bool
-	// FunctionTracing enables the extension the paper leaves as future
-	// work (§V-C "Complex Obfuscation"): recovery through user-defined
-	// decoder functions. A function qualifies when its body is pure —
-	// only safe commands and no free variables beyond its parameters —
-	// in which case calls to it become recoverable pieces with the
-	// definition in scope. Off by default to match the paper's tool.
-	FunctionTracing bool
-	// MaxAllocBytes bounds the memory a single recoverable piece may
-	// allocate in the embedded interpreter. Zero means the interpreter
-	// default (64 MiB).
-	MaxAllocBytes int64
-	// MaxOutputBytes bounds the total bytes produced across all
-	// unwrapped layers in one run (zip-bomb guard). Zero means 64 MiB.
-	MaxOutputBytes int
-	// DisableEvalCache turns off evaluation memoization: every
-	// recoverable piece is interpreted from scratch even when an
-	// identical (text, visible-bindings) pair was already evaluated in a
-	// previous fixpoint iteration, a nested layer, or another script of
-	// a batch. The cache is semantically gated (only pure, deterministic
-	// runs are memoized), so disabling it changes performance only;
-	// outputs are byte-identical either way.
-	DisableEvalCache bool
-	// Jobs bounds DeobfuscateBatch worker-pool concurrency. Zero means
-	// GOMAXPROCS.
-	Jobs int
-	// ScriptTimeout, when positive, gives each script in a
-	// DeobfuscateBatch run its own wall-clock deadline (derived from the
-	// batch context), so one pathological script cannot starve its
-	// siblings. Zero means only the batch context's deadline applies.
-	ScriptTimeout time.Duration
-}
+// phase with the paper's defaults. It is an alias of frontend.Options,
+// the one option surface shared by the driver and the frontends.
+type Options = frontend.Options
 
-// Stats counts the work performed during one deobfuscation.
-type Stats struct {
-	// TokensNormalized is the number of tokens rewritten by phase 1.
-	TokensNormalized int
-	// PiecesAttempted is the number of recoverable pieces evaluated.
-	PiecesAttempted int
-	// PiecesRecovered is the number of pieces replaced with literals.
-	PiecesRecovered int
-	// VariablesTraced is the number of variable values recorded.
-	VariablesTraced int
-	// VariablesInlined is the number of variable reads replaced.
-	VariablesInlined int
-	// LayersUnwrapped counts Invoke-Expression / -EncodedCommand layers
-	// removed.
-	LayersUnwrapped int
-	// IdentifiersRenamed counts renamed variables and functions.
-	IdentifiersRenamed int
-	// Iterations is the number of fixpoint rounds executed.
-	Iterations int
-	// Duration is wall-clock deobfuscation time.
-	Duration time.Duration
-	// PiecesTimedOut counts pieces whose evaluation was cut off by the
-	// context deadline or cancelation.
-	PiecesTimedOut int
-	// PiecesPanicked counts pieces whose evaluation hit an internal
-	// panic that was converted to an error at an isolation barrier.
-	PiecesPanicked int
-	// PiecesOverBudget counts pieces whose evaluation exhausted the
-	// interpreter memory budget.
-	PiecesOverBudget int
-	// TimedOut reports that the run as a whole was interrupted by the
-	// envelope (deadline, cancelation or output budget) and Result holds
-	// partial progress.
-	TimedOut bool
-	// EvalCacheHits counts piece evaluations answered from the
-	// evaluation cache (interpreter runs skipped entirely).
-	EvalCacheHits int64
-	// EvalCacheMisses counts piece evaluations that ran the interpreter
-	// and whose pure result was inserted into the cache.
-	EvalCacheMisses int64
-	// EvalCacheSkips counts piece evaluations that ran but were not
-	// cacheable (impure, failed, or holding uncopyable values).
-	EvalCacheSkips int64
-}
+// Stats counts the work performed during one deobfuscation (an alias
+// of frontend.Stats).
+type Stats = frontend.Stats
 
 // Result is the outcome of a deobfuscation run.
 type Result struct {
 	// Script is the final deobfuscated script.
 	Script string
+	// Lang is the canonical name of the language frontend that handled
+	// the run (explicit Options.Lang or the auto-detected guess).
+	Lang string
 	// Layers holds the script after each fixpoint iteration, innermost
 	// last (useful for analysts, mirrors PSDecode's layer output).
 	Layers []string
@@ -159,8 +66,7 @@ type Result struct {
 
 // Deobfuscator runs the three-phase pipeline.
 type Deobfuscator struct {
-	opts      Options
-	blocklist map[string]bool
+	opts Options
 }
 
 // New returns a Deobfuscator with the given options.
@@ -174,86 +80,15 @@ func New(opts Options) *Deobfuscator {
 	if opts.MaxPieceLen == 0 {
 		opts.MaxPieceLen = 1 << 20
 	}
-	bl := opts.Blocklist
-	if bl == nil {
-		bl = psnames.DefaultBlocklist()
-	}
-	return &Deobfuscator{opts: opts, blocklist: bl}
+	return &Deobfuscator{opts: opts}
 }
 
 // ErrInvalidSyntax reports that the input script does not parse.
 var ErrInvalidSyntax = errors.New("core: input has invalid syntax")
 
-// run carries the per-run state every pass shares: the owning
-// Deobfuscator's options, the stats being accumulated, and the
-// execution envelope. Documents and the parse cache travel separately
-// (on the PassContext) so nested payload layers can fork Documents
-// while drawing from the same cache.
-type run struct {
-	d     *Deobfuscator
-	stats *Stats
-	env   *envelope
-}
-
-// The four phases as registered passes. Each is a thin adapter from
-// the pipeline.Pass interface onto the phase implementation; nested
-// payload layers reuse the phase implementations directly on forked
-// Documents (their work is attributed to the enclosing ast pass).
-type (
-	tokenPass    struct{ r *run }
-	astPass      struct{ r *run }
-	renamePass   struct{ r *run }
-	reformatPass struct{ r *run }
-)
-
-func (p *tokenPass) Name() string { return "token" }
-func (p *tokenPass) Run(pc *pipeline.PassContext) error {
-	p.r.tokenPhase(pc, pc.Doc)
-	return nil
-}
-
-func (p *astPass) Name() string { return "ast" }
-func (p *astPass) Run(pc *pipeline.PassContext) error {
-	p.r.astPhase(pc, pc.Doc, 0)
-	return nil
-}
-
-func (p *renamePass) Name() string { return "rename" }
-func (p *renamePass) Run(pc *pipeline.PassContext) error {
-	p.r.renamePhase(pc, pc.Doc)
-	return nil
-}
-
-func (p *reformatPass) Name() string { return "reformat" }
-func (p *reformatPass) Run(pc *pipeline.PassContext) error {
-	p.r.reformatPhase(pc, pc.Doc)
-	return nil
-}
-
-// layerPasses returns the passes of the fixpoint loop (phases 1–2) in
-// order, honoring the ablation switches.
-func (d *Deobfuscator) layerPasses(r *run) []pipeline.Pass {
-	var passes []pipeline.Pass
-	if !d.opts.DisableTokenPhase {
-		passes = append(passes, &tokenPass{r})
-	}
-	if !d.opts.DisableASTPhase {
-		passes = append(passes, &astPass{r})
-	}
-	return passes
-}
-
-// finalPasses returns the once-only finishing passes (phase 3).
-func (d *Deobfuscator) finalPasses(r *run) []pipeline.Pass {
-	var passes []pipeline.Pass
-	if !d.opts.DisableRename {
-		passes = append(passes, &renamePass{r})
-	}
-	if !d.opts.DisableReformat {
-		passes = append(passes, &reformatPass{r})
-	}
-	return passes
-}
+// ErrBadLang reports an unknown Options.Lang / BatchInput.Lang,
+// re-exported from the shared limits package.
+var ErrBadLang = limits.ErrBadLang
 
 // Deobfuscate runs the full pipeline on a script with no deadline. It
 // is a thin wrapper over DeobfuscateContext.
@@ -269,14 +104,15 @@ func (d *Deobfuscator) Deobfuscate(src string) (*Result, error) {
 // result (with Stats.TimedOut set) together with the taxonomy error —
 // both return values are non-nil in that case.
 func (d *Deobfuscator) DeobfuscateContext(ctx context.Context, src string) (*Result, error) {
-	return d.deobfuscate(ctx, src, nil, nil)
+	return d.deobfuscate(ctx, src, d.opts.Lang, nil, nil)
 }
 
-// NewEvalCache returns an evaluation cache wired with the interpreter's
-// deep-copier and size estimator, suitable for sharing across the runs
-// of a batch. Non-positive bounds select the pipeline defaults.
+// NewEvalCache returns an evaluation cache suitable for sharing across
+// the runs of a batch (or across languages: entries are namespaced by
+// frontend, which also supplies the value copier and size estimator
+// per run). Non-positive bounds select the pipeline defaults.
 func NewEvalCache(maxEntries int, maxBytes int64) *pipeline.EvalCache {
-	return pipeline.NewEvalCache(maxEntries, maxBytes, psinterp.CopyValue, psinterp.ValueSize)
+	return pipeline.NewEvalCache(maxEntries, maxBytes)
 }
 
 // DeobfuscateShared is DeobfuscateContext drawing from caller-owned
@@ -287,7 +123,28 @@ func NewEvalCache(maxEntries int, maxBytes int64) *pipeline.EvalCache {
 // fresh per-run one (and a nil evalCache follows Options.DisableEvalCache,
 // exactly like DeobfuscateContext).
 func (d *Deobfuscator) DeobfuscateShared(ctx context.Context, src string, cache *pipeline.Cache, evalCache *pipeline.EvalCache) (*Result, error) {
-	return d.deobfuscate(ctx, src, cache, evalCache)
+	return d.deobfuscate(ctx, src, d.opts.Lang, cache, evalCache)
+}
+
+// DeobfuscateSharedLang is DeobfuscateShared with a per-call language
+// override, mirroring BatchInput.Lang: an empty lang falls back to
+// Options.Lang, and an empty result of that falls back to per-script
+// auto-detection. Serving frontends use it to honor a request-level
+// language field without building one engine per language.
+func (d *Deobfuscator) DeobfuscateSharedLang(ctx context.Context, src, lang string, cache *pipeline.Cache, evalCache *pipeline.EvalCache) (*Result, error) {
+	if lang == "" {
+		lang = d.opts.Lang
+	}
+	return d.deobfuscate(ctx, src, lang, cache, evalCache)
+}
+
+// resolveFrontend maps an explicit language name (or, when empty, the
+// auto-detection guess for src) to a registered frontend.
+func resolveFrontend(lang, src string) (frontend.Frontend, error) {
+	if lang != "" {
+		return frontend.Get(lang)
+	}
+	return frontend.DetectFrontend(src)
 }
 
 // deobfuscate is the pipeline driver behind DeobfuscateContext and
@@ -296,12 +153,16 @@ func (d *Deobfuscator) DeobfuscateShared(ctx context.Context, src string, cache 
 // same applies to evalCache: nil gets a fresh per-run evaluation cache
 // (unless Options.DisableEvalCache), batch runs share one so identical
 // pure pieces across scripts are interpreted once.
-func (d *Deobfuscator) deobfuscate(ctx context.Context, src string, cache *pipeline.Cache, evalCache *pipeline.EvalCache) (res *Result, err error) {
+func (d *Deobfuscator) deobfuscate(ctx context.Context, src, lang string, cache *pipeline.Cache, evalCache *pipeline.EvalCache) (res *Result, err error) {
 	defer limits.Recover("core.Deobfuscate", &err)
 	start := time.Now()
-	res = &Result{}
-	env := newEnvelope(ctx, d.opts.MaxOutputBytes)
-	if cerr := env.check(); cerr != nil {
+	fe, err := resolveFrontend(lang, src)
+	if err != nil {
+		return nil, err
+	}
+	res = &Result{Lang: fe.Name()}
+	env := frontend.NewEnvelope(ctx, d.opts.MaxOutputBytes)
+	if cerr := env.Check(); cerr != nil {
 		return nil, cerr
 	}
 	if cache == nil {
@@ -310,10 +171,14 @@ func (d *Deobfuscator) deobfuscate(ctx context.Context, src string, cache *pipel
 	if evalCache == nil && !d.opts.DisableEvalCache {
 		evalCache = NewEvalCache(0, 0)
 	}
-	doc := pipeline.NewDocument(src, cache.View())
-	pc := &pipeline.PassContext{Doc: doc, Eval: evalCache.View()}
+	doc := pipeline.NewDocument(src, cache.View(fe))
+	pc := &pipeline.PassContext{Doc: doc, Eval: evalCache.View(fe)}
 	runner := pipeline.NewRunner(nil)
-	r := &run{d: d, stats: &res.Stats, env: env}
+	bl := d.opts.Blocklist
+	if bl == nil {
+		bl = fe.DefaultBlocklist()
+	}
+	r := &frontend.Run{Opts: &d.opts, Blocklist: bl, Stats: &res.Stats, Env: env}
 	// Up-front validity check. The parse lands in the cache, so the
 	// first ast-pass iteration (and the final safety net, if the script
 	// never changes) reuses it instead of re-parsing.
@@ -322,9 +187,9 @@ func (d *Deobfuscator) deobfuscate(ctx context.Context, src string, cache *pipel
 		// for nesting-limit rejections, ErrParseDepth.
 		return nil, fmt.Errorf("%w: %w", ErrInvalidSyntax, perr)
 	}
-	layers := d.layerPasses(r)
+	layers := fe.LayerPasses(r)
 	for iter := 0; iter < d.opts.MaxIterations; iter++ {
-		if env.violated() {
+		if env.Violated() {
 			break
 		}
 		res.Stats.Iterations = iter + 1
@@ -341,15 +206,16 @@ func (d *Deobfuscator) deobfuscate(ctx context.Context, src string, cache *pipel
 		// Charge only the per-iteration growth: re-charging the full
 		// layer every round would bill a large-but-legitimate script
 		// MaxIterations times over. Bomb chains that genuinely expand
-		// are billed in full where they unwrap (deobPayload).
-		if env.chargeOutput(len(next)-len(prev)) != nil {
+		// are billed in full where they unwrap (the frontend's payload
+		// unwrapping).
+		if env.ChargeOutput(len(next)-len(prev)) != nil {
 			doc.SetText(prev)
 			break
 		}
 		res.Layers = append(res.Layers, next)
 	}
-	if !env.violated() {
-		for _, p := range d.finalPasses(r) {
+	if !env.Violated() {
+		for _, p := range fe.FinalPasses(r) {
 			if rerr := runner.Run(p, pc); rerr != nil {
 				break
 			}
@@ -374,26 +240,9 @@ func (d *Deobfuscator) deobfuscate(ctx context.Context, src string, cache *pipel
 		res.Stats.EvalCacheSkips = pc.Eval.Skips
 	}
 	res.Stats.Duration = time.Since(start)
-	if envErr := env.check(); envErr != nil {
+	if envErr := env.Check(); envErr != nil {
 		res.Stats.TimedOut = true
 		return res, envErr
 	}
 	return res, nil
-}
-
-// validOrRevert returns candidate when it parses, fallback otherwise
-// (the paper's per-step syntax check, §IV-A). The validity parse goes
-// through the run's cache — a candidate checked here and then kept is
-// never re-parsed by the next pass — and reverts are counted into the
-// pass trace.
-func (r *run) validOrRevert(pc *pipeline.PassContext, view *pipeline.View, candidate, fallback string) string {
-	if strings.TrimSpace(candidate) == "" {
-		pc.Reverts++
-		return fallback
-	}
-	if !view.Valid(candidate) {
-		pc.Reverts++
-		return fallback
-	}
-	return candidate
 }

@@ -1,16 +1,14 @@
 package core
 
 import (
-	"context"
-	"errors"
-	"time"
-
 	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 )
 
 // Structured error taxonomy for envelope violations, re-exported from
 // the shared limits package so callers can classify failures with
-// errors.Is without importing internal/limits directly.
+// errors.Is without importing internal/limits directly. The envelope
+// itself lives in internal/frontend (frontend.Envelope), shared by the
+// driver and every language frontend.
 var (
 	// ErrDeadline reports that the context deadline expired mid-run.
 	ErrDeadline = limits.ErrDeadline
@@ -28,88 +26,3 @@ var (
 	// isolation barrier.
 	ErrPanic = limits.ErrPanic
 )
-
-// envelope carries the per-run execution limits through the pipeline:
-// the caller's context (deadline / cancelation) and the remaining
-// output byte budget shared by all unwrapped layers. A Deobfuscator is
-// reusable across runs, so this state lives on the run, not on the
-// Deobfuscator.
-type envelope struct {
-	ctx             context.Context
-	outputRemaining int
-	// err latches the first envelope violation so later checks fail
-	// fast without re-deriving it.
-	err error
-}
-
-func newEnvelope(ctx context.Context, maxOutput int) *envelope {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if maxOutput <= 0 {
-		maxOutput = defaultMaxOutputBytes
-	}
-	return &envelope{ctx: ctx, outputRemaining: maxOutput}
-}
-
-// check returns the latched violation or a fresh context error, nil
-// while the envelope is intact.
-func (e *envelope) check() error {
-	if e == nil {
-		return nil
-	}
-	if e.err != nil {
-		return e.err
-	}
-	if cerr := e.ctx.Err(); cerr != nil {
-		e.err = limits.FromContext(cerr)
-		return e.err
-	}
-	// ctx.Err() turns non-nil only once the context's timer goroutine
-	// has fired; right at the deadline instant it can lag the wall
-	// clock by a scheduling quantum. The interpreter checks
-	// time.Now() against the deadline directly, so mirror that here —
-	// otherwise a piece can fail with ErrDeadline while the run-level
-	// check still reads the envelope as intact.
-	if dl, ok := e.ctx.Deadline(); ok && !time.Now().Before(dl) {
-		e.err = ErrDeadline
-		return e.err
-	}
-	return nil
-}
-
-// violated reports whether the envelope has already been broken.
-func (e *envelope) violated() bool { return e.check() != nil }
-
-// chargeOutput debits n bytes of layer output from the shared budget.
-// Non-positive charges (a layer that shrank) are free — the budget is
-// never refunded, so oscillating layers cannot mint headroom.
-func (e *envelope) chargeOutput(n int) error {
-	if e == nil || n <= 0 {
-		return nil
-	}
-	if n > e.outputRemaining {
-		e.outputRemaining = 0
-		if e.err == nil {
-			e.err = ErrOutputBudget
-		}
-		return ErrOutputBudget
-	}
-	e.outputRemaining -= n
-	return nil
-}
-
-// classifyEvalFailure buckets a per-piece evaluation failure into the
-// Stats counters. Failures outside the taxonomy (unsupported feature,
-// runtime error in the piece) are the normal give-up path and are not
-// counted here.
-func classifyEvalFailure(stats *Stats, err error) {
-	switch {
-	case errors.Is(err, ErrDeadline) || errors.Is(err, ErrCanceled):
-		stats.PiecesTimedOut++
-	case errors.Is(err, ErrMemBudget):
-		stats.PiecesOverBudget++
-	case errors.Is(err, ErrPanic):
-		stats.PiecesPanicked++
-	}
-}

@@ -4,9 +4,6 @@ import (
 	"context"
 	"testing"
 	"time"
-
-	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
-	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
 )
 
 // Native fuzz targets. `go test` runs the seed corpus; `go test -fuzz`
@@ -36,35 +33,6 @@ func fuzzSeeds(f *testing.F) {
 	}
 }
 
-func FuzzTokenize(f *testing.F) {
-	fuzzSeeds(f)
-	f.Fuzz(func(t *testing.T, src string) {
-		toks, _ := pstoken.Tokenize(src)
-		for _, tok := range toks {
-			if tok.Start < 0 || tok.End() > len(src) {
-				t.Fatalf("token %v out of bounds for input %q", tok, src)
-			}
-			if src[tok.Start:tok.End()] != tok.Text {
-				t.Fatalf("token text mismatch at %d in %q", tok.Start, src)
-			}
-		}
-	})
-}
-
-func FuzzParse(f *testing.F) {
-	fuzzSeeds(f)
-	f.Fuzz(func(t *testing.T, src string) {
-		root, err := psparser.Parse(src)
-		if err != nil || root == nil {
-			return
-		}
-		ext := root.Extent()
-		if ext.Start < 0 || ext.End > len(src) {
-			t.Fatalf("root extent %v out of bounds for %q", ext, src)
-		}
-	})
-}
-
 func FuzzDeobfuscate(f *testing.F) {
 	fuzzSeeds(f)
 	d := New(Options{MaxIterations: 3, StepBudget: 50_000})
@@ -76,7 +44,7 @@ func FuzzDeobfuscate(f *testing.F) {
 		if err != nil {
 			return // invalid input is fine
 		}
-		if _, perr := psparser.Parse(res.Script); perr != nil {
+		if perr := psParseErr(res.Script); perr != nil {
 			t.Fatalf("output does not parse for input %q:\n%s\n%v", src, res.Script, perr)
 		}
 	})

@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 	"unicode/utf16"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/frontend"
 )
 
 // encodeCommand renders script as a powershell -EncodedCommand layer
@@ -195,14 +197,14 @@ func TestOutputBudgetChargesGrowthOnly(t *testing.T) {
 // refund the output budget (growth-only charging must never mint
 // headroom for a later bomb).
 func TestOutputBudgetNoRefundOnShrink(t *testing.T) {
-	env := newEnvelope(context.Background(), 100)
-	if err := env.chargeOutput(-1 << 30); err != nil {
+	env := frontend.NewEnvelope(context.Background(), 100)
+	if err := env.ChargeOutput(-1 << 30); err != nil {
 		t.Fatalf("negative charge must be free, got %v", err)
 	}
-	if err := env.chargeOutput(100); err != nil {
+	if err := env.ChargeOutput(100); err != nil {
 		t.Fatalf("charge within budget failed: %v", err)
 	}
-	if err := env.chargeOutput(1); !errors.Is(err, ErrOutputBudget) {
+	if err := env.ChargeOutput(1); !errors.Is(err, ErrOutputBudget) {
 		t.Fatalf("budget refunded by shrink: %v", err)
 	}
 }

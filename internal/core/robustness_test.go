@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
-	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
 )
 
 // TestDeepNesting: deeply nested parentheses and concatenations must
@@ -63,7 +62,7 @@ func TestBudgetExhaustionGraceful(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, perr := psparser.Parse(res.Script); perr != nil {
+	if perr := psParseErr(res.Script); perr != nil {
 		t.Errorf("budget-limited output unparseable: %v", perr)
 	}
 }
@@ -105,7 +104,7 @@ func TestPathologicalRegexInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, perr := psparser.Parse(res.Script); perr != nil {
+	if perr := psParseErr(res.Script); perr != nil {
 		t.Error(perr)
 	}
 }
@@ -123,7 +122,7 @@ func TestCorpusNeverPanics(t *testing.T) {
 			t.Errorf("%s: %v", s.ID, err)
 			continue
 		}
-		if _, perr := psparser.Parse(res.Script); perr != nil {
+		if perr := psParseErr(res.Script); perr != nil {
 			t.Errorf("%s: output unparseable: %v", s.ID, perr)
 		}
 	}

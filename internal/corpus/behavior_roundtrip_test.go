@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	_ "github.com/invoke-deobfuscation/invokedeob/internal/frontends"
 	"github.com/invoke-deobfuscation/invokedeob/internal/sandbox"
 )
 

@@ -1,0 +1,75 @@
+package frontend
+
+import (
+	"regexp"
+	"strings"
+)
+
+// detectWindow bounds how much of the script detection inspects; the
+// discriminating signals of both languages appear early, and hostile
+// megabyte inputs should not pay a full scan before admission.
+const detectWindow = 64 << 10
+
+// Signal patterns. Detection is a cheap vote, not a parser: each
+// regexp is anchored on word boundaries so substrings inside string
+// literals rarely dominate, and the caller treats the result as a
+// default the user can always override with an explicit lang.
+var (
+	jsShebang = regexp.MustCompile(`^#!.*\b(node|deno|bun|qjs)\b`)
+	psShebang = regexp.MustCompile(`^#!.*\b(pwsh|powershell)\b`)
+
+	psSignals = []*regexp.Regexp{
+		regexp.MustCompile(`(?i)\bparam\s*\(`),
+		regexp.MustCompile(`\$[A-Za-z_{][A-Za-z0-9_]*`), // $-sigil variables
+		regexp.MustCompile("`[a-zA-Z]"),                 // backtick ticking
+		regexp.MustCompile(`(?i)\b(Write-Host|Invoke-Expression|iex|New-Object|Get-ChildItem|Start-Process|Invoke-WebRequest)\b`),
+		regexp.MustCompile(`(?i)-(join|split|replace|bxor|enc|encodedcommand|nop)\b`),
+		regexp.MustCompile(`(?i)\[(char|int|string|byte|convert|text\.encoding)\]`),
+	}
+	jsSignals = []*regexp.Regexp{
+		regexp.MustCompile(`\bfunction\s*\(`),
+		regexp.MustCompile(`=>`),
+		regexp.MustCompile(`\b(var|let|const)\s+[A-Za-z_$][A-Za-z0-9_$]*\s*=`),
+		regexp.MustCompile(`\bString\.fromCharCode\b`),
+		regexp.MustCompile(`\b(document|window|console|eval|unescape|atob)\s*[.(]`),
+		regexp.MustCompile(`\.(join|split|charCodeAt|charAt)\s*\(`),
+	}
+)
+
+// Detect guesses the language of src with cheap lexical heuristics and
+// returns the canonical frontend name. It never fails: with no
+// discriminating signal it returns "powershell", the platform's
+// historical default, so every pre-multi-language caller keeps its
+// behavior.
+func Detect(src string) string {
+	if len(src) > detectWindow {
+		src = src[:detectWindow]
+	}
+	head := strings.TrimLeft(src, " \t\r\n\uFEFF")
+	if jsShebang.MatchString(head) {
+		return "javascript"
+	}
+	if psShebang.MatchString(head) {
+		return "powershell"
+	}
+	ps, js := 0, 0
+	for _, re := range psSignals {
+		if re.MatchString(src) {
+			ps++
+		}
+	}
+	for _, re := range jsSignals {
+		if re.MatchString(src) {
+			js++
+		}
+	}
+	if js > ps {
+		return "javascript"
+	}
+	return "powershell"
+}
+
+// DetectFrontend resolves Detect's guess through the registry.
+func DetectFrontend(src string) (Frontend, error) {
+	return Get(Detect(src))
+}

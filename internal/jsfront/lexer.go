@@ -1,0 +1,280 @@
+package jsfront
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokType classifies a JavaScript token.
+type TokType int
+
+const (
+	// Ident is an identifier or keyword.
+	Ident TokType = iota
+	// Number is a numeric literal (decimal, hex, octal, exponent).
+	Number
+	// Str is a single- or double-quoted string literal.
+	Str
+	// Template is a backtick template literal (kept opaque).
+	Template
+	// Regex is a regular-expression literal.
+	Regex
+	// Punct is an operator or punctuation token.
+	Punct
+	// Comment is a line or block comment.
+	Comment
+)
+
+// Token is one lexical token with its source extent.
+type Token struct {
+	Type  TokType
+	Start int
+	End   int
+	// Text is the raw source slice [Start, End).
+	Text string
+	// Value is the decoded string value for Str tokens (escape
+	// sequences resolved).
+	Value string
+}
+
+// puncts lists multi-character operators longest-first so the lexer's
+// greedy match never splits one (a `++` read as two `+` would turn
+// `a++ + "x"` into a bogus concat chain).
+var puncts = []string{
+	">>>=", "===", "!==", "**=", "<<=", ">>=", ">>>", "...",
+	"=>", "==", "!=", "<=", ">=", "&&", "||", "??", "?.",
+	"++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"<<", ">>", "**",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+	"?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// regexCanFollow reports whether a `/` after the given token starts a
+// regex literal rather than a division — the standard one-token-lookback
+// heuristic: division needs a value on its left.
+func regexCanFollow(prev *Token) bool {
+	if prev == nil {
+		return true
+	}
+	switch prev.Type {
+	case Number, Str, Template, Regex:
+		return false
+	case Ident:
+		// Keywords that end a non-value position.
+		switch prev.Text {
+		case "return", "typeof", "instanceof", "in", "of", "new", "delete",
+			"void", "do", "else", "case", "yield", "await", "throw":
+			return true
+		}
+		return false
+	case Punct:
+		switch prev.Text {
+		case ")", "]", "}":
+			return false
+		}
+		return true
+	}
+	return true
+}
+
+// Lex tokenizes JavaScript source. It fails on unterminated strings,
+// templates, comments and regexes — the deobfuscator treats a lexable,
+// bracket-balanced script as valid, so lexer errors are syntax errors.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	var prev *Token
+	i := 0
+	push := func(t Token) {
+		toks = append(toks, t)
+		if t.Type != Comment {
+			prev = &toks[len(toks)-1]
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			j := strings.IndexByte(src[i:], '\n')
+			if j < 0 {
+				j = len(src) - i
+			}
+			push(Token{Type: Comment, Start: i, End: i + j, Text: src[i : i+j]})
+			i += j
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			j := strings.Index(src[i+2:], "*/")
+			if j < 0 {
+				return nil, fmt.Errorf("jsfront: unterminated block comment at %d", i)
+			}
+			end := i + 2 + j + 2
+			push(Token{Type: Comment, Start: i, End: end, Text: src[i:end]})
+			i = end
+		case c == '\'' || c == '"':
+			end, err := scanString(src, i)
+			if err != nil {
+				return nil, err
+			}
+			text := src[i:end]
+			val, err := decodeString(text)
+			if err != nil {
+				return nil, err
+			}
+			push(Token{Type: Str, Start: i, End: end, Text: text, Value: val})
+			i = end
+		case c == '`':
+			end, err := scanTemplate(src, i)
+			if err != nil {
+				return nil, err
+			}
+			push(Token{Type: Template, Start: i, End: end, Text: src[i:end]})
+			i = end
+		case isDigit(c) || (c == '.' && i+1 < len(src) && isDigit(src[i+1])):
+			end := scanNumber(src, i)
+			push(Token{Type: Number, Start: i, End: end, Text: src[i:end]})
+			i = end
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			push(Token{Type: Ident, Start: i, End: j, Text: src[i:j]})
+			i = j
+		case c == '/' && regexCanFollow(prev):
+			end, err := scanRegex(src, i)
+			if err != nil {
+				return nil, err
+			}
+			push(Token{Type: Regex, Start: i, End: end, Text: src[i:end]})
+			i = end
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					push(Token{Type: Punct, Start: i, End: i + len(p), Text: p})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("jsfront: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	return toks, nil
+}
+
+// scanString returns the end offset (past the closing quote) of the
+// string literal starting at i.
+func scanString(src string, i int) (int, error) {
+	quote := src[i]
+	j := i + 1
+	for j < len(src) {
+		switch src[j] {
+		case '\\':
+			j += 2
+			continue
+		case quote:
+			return j + 1, nil
+		case '\n':
+			return 0, fmt.Errorf("jsfront: unterminated string at %d", i)
+		}
+		j++
+	}
+	return 0, fmt.Errorf("jsfront: unterminated string at %d", i)
+}
+
+// scanTemplate returns the end offset of the template literal starting
+// at i. Interpolations are not parsed; nested backticks inside `${}`
+// are not supported (rare, and the decoder never rewrites templates).
+func scanTemplate(src string, i int) (int, error) {
+	j := i + 1
+	for j < len(src) {
+		switch src[j] {
+		case '\\':
+			j += 2
+			continue
+		case '`':
+			return j + 1, nil
+		}
+		j++
+	}
+	return 0, fmt.Errorf("jsfront: unterminated template at %d", i)
+}
+
+// scanRegex returns the end offset of the regex literal starting at i,
+// including flags.
+func scanRegex(src string, i int) (int, error) {
+	j := i + 1
+	inClass := false
+	for j < len(src) {
+		switch src[j] {
+		case '\\':
+			j += 2
+			continue
+		case '[':
+			inClass = true
+		case ']':
+			inClass = false
+		case '/':
+			if !inClass {
+				j++
+				for j < len(src) && isIdentPart(src[j]) {
+					j++
+				}
+				return j, nil
+			}
+		case '\n':
+			return 0, fmt.Errorf("jsfront: unterminated regex at %d", i)
+		}
+		j++
+	}
+	return 0, fmt.Errorf("jsfront: unterminated regex at %d", i)
+}
+
+// scanNumber returns the end offset of the numeric literal starting at
+// i (decimal, legacy octal, 0x/0o/0b, fraction, exponent).
+func scanNumber(src string, i int) int {
+	j := i
+	if src[j] == '0' && j+1 < len(src) && (src[j+1] == 'x' || src[j+1] == 'X' ||
+		src[j+1] == 'o' || src[j+1] == 'O' || src[j+1] == 'b' || src[j+1] == 'B') {
+		j += 2
+		for j < len(src) && (isDigit(src[j]) || (src[j] >= 'a' && src[j] <= 'f') || (src[j] >= 'A' && src[j] <= 'F')) {
+			j++
+		}
+		return j
+	}
+	for j < len(src) && isDigit(src[j]) {
+		j++
+	}
+	if j < len(src) && src[j] == '.' {
+		j++
+		for j < len(src) && isDigit(src[j]) {
+			j++
+		}
+	}
+	if j < len(src) && (src[j] == 'e' || src[j] == 'E') {
+		k := j + 1
+		if k < len(src) && (src[k] == '+' || src[k] == '-') {
+			k++
+		}
+		if k < len(src) && isDigit(src[k]) {
+			j = k
+			for j < len(src) && isDigit(src[j]) {
+				j++
+			}
+		}
+	}
+	return j
+}

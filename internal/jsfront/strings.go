@@ -1,0 +1,167 @@
+package jsfront
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// decodeString resolves the escape sequences of a quoted JS string
+// literal (raw text including quotes) into its runtime value: hex
+// (\xNN), unicode (\uNNNN and \u{...}), legacy octal (\NNN), the
+// single-character escapes, and line continuations. Lone UTF-16
+// surrogate halves (expressible via \u) are replaced with U+FFFD, which
+// matches how they round-trip through well-formed output anyway.
+func decodeString(raw string) (string, error) {
+	if len(raw) < 2 {
+		return "", fmt.Errorf("jsfront: malformed string literal %q", raw)
+	}
+	body := raw[1 : len(raw)-1]
+	if !strings.ContainsRune(body, '\\') {
+		return body, nil
+	}
+	var units []uint16
+	flush := func(s string) {
+		units = append(units, utf16.Encode([]rune(s))...)
+	}
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		if c != '\\' {
+			j := strings.IndexByte(body[i:], '\\')
+			if j < 0 {
+				flush(body[i:])
+				break
+			}
+			flush(body[i : i+j])
+			i += j
+			continue
+		}
+		if i+1 >= len(body) {
+			return "", fmt.Errorf("jsfront: dangling backslash in %q", raw)
+		}
+		e := body[i+1]
+		switch e {
+		case 'n':
+			units = append(units, '\n')
+			i += 2
+		case 't':
+			units = append(units, '\t')
+			i += 2
+		case 'r':
+			units = append(units, '\r')
+			i += 2
+		case 'b':
+			units = append(units, '\b')
+			i += 2
+		case 'f':
+			units = append(units, '\f')
+			i += 2
+		case 'v':
+			units = append(units, '\v')
+			i += 2
+		case '0':
+			// \0 is NUL unless followed by a digit (legacy octal below).
+			if i+2 >= len(body) || body[i+2] < '0' || body[i+2] > '7' {
+				units = append(units, 0)
+				i += 2
+				break
+			}
+			fallthrough
+		case '1', '2', '3', '4', '5', '6', '7':
+			j := i + 1
+			val := 0
+			for j < len(body) && j < i+4 && body[j] >= '0' && body[j] <= '7' {
+				val = val*8 + int(body[j]-'0')
+				j++
+			}
+			if val > 0xFF {
+				// Three octal digits max out at \377.
+				val /= 8
+				j--
+			}
+			units = append(units, uint16(val))
+			i = j
+		case 'x':
+			if i+4 > len(body) {
+				return "", fmt.Errorf("jsfront: truncated \\x escape in %q", raw)
+			}
+			v, err := strconv.ParseUint(body[i+2:i+4], 16, 16)
+			if err != nil {
+				return "", fmt.Errorf("jsfront: bad \\x escape in %q", raw)
+			}
+			units = append(units, uint16(v))
+			i += 4
+		case 'u':
+			if i+2 < len(body) && body[i+2] == '{' {
+				end := strings.IndexByte(body[i+3:], '}')
+				if end < 0 {
+					return "", fmt.Errorf("jsfront: unterminated \\u{} escape in %q", raw)
+				}
+				v, err := strconv.ParseUint(body[i+3:i+3+end], 16, 32)
+				if err != nil || v > 0x10FFFF {
+					return "", fmt.Errorf("jsfront: bad \\u{} escape in %q", raw)
+				}
+				units = append(units, utf16.Encode([]rune{rune(v)})...)
+				i += 3 + end + 1
+				break
+			}
+			if i+6 > len(body) {
+				return "", fmt.Errorf("jsfront: truncated \\u escape in %q", raw)
+			}
+			v, err := strconv.ParseUint(body[i+2:i+6], 16, 17)
+			if err != nil {
+				return "", fmt.Errorf("jsfront: bad \\u escape in %q", raw)
+			}
+			units = append(units, uint16(v))
+			i += 6
+		case '\n':
+			i += 2 // line continuation
+		case '\r':
+			i += 2
+			if i < len(body) && body[i] == '\n' {
+				i++
+			}
+		default:
+			// \' \" \\ \` \/ and any other identity escape.
+			flush(string(e))
+			i += 2
+		}
+	}
+	return string(utf16.Decode(units)), nil
+}
+
+// QuoteJS renders s as a single-quoted JavaScript string literal, the
+// frontend's canonical string form. Printable characters stay literal;
+// control characters and non-UTF-8 content use the shortest escape.
+func QuoteJS(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s) + 2)
+	sb.WriteByte('\'')
+	for _, r := range s {
+		switch r {
+		case '\'':
+			sb.WriteString(`\'`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case utf8.RuneError:
+			sb.WriteString(`�`)
+		default:
+			if r < 0x20 || r == 0x7f {
+				fmt.Fprintf(&sb, `\x%02x`, r)
+				break
+			}
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}

@@ -1,0 +1,3 @@
+var name = '\u0065\u0076\u0069\u006c';
+var emoji = '\u{1F600}';
+send(name, emoji);

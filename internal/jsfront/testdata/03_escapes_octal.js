@@ -1,0 +1,2 @@
+var tag = '\150\151\41';
+log(tag);

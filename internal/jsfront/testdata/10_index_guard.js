@@ -1,0 +1,4 @@
+var arr = ['o', 'n', 'e'];
+var first = arr[0];
+var word = ['t', 'w', 'o'].join('');
+use(first, word);

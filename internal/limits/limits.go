@@ -63,6 +63,11 @@ var (
 	// shedding, sacrificing heavy work first so cheap traffic keeps
 	// flowing. Retrying after the pressure subsides should succeed.
 	ErrShed = errors.New("limits: heavy request shed under overload")
+	// ErrBadLang signals that the caller named a language no registered
+	// frontend implements. It blames the request (an explicit `lang`
+	// value the deployment does not support), so it maps to 422: the
+	// request was well-formed but unprocessable as specified.
+	ErrBadLang = errors.New("limits: unknown language")
 )
 
 // PanicError is the structured error produced when a panic is caught at
@@ -145,6 +150,8 @@ func Name(err error) string {
 		return "ErrQuota"
 	case errors.Is(err, ErrShed):
 		return "ErrShed"
+	case errors.Is(err, ErrBadLang):
+		return "ErrBadLang"
 	}
 	return ""
 }
@@ -176,7 +183,8 @@ func HTTPStatus(err error) int {
 		return http.StatusServiceUnavailable // 503
 	case errors.Is(err, ErrMemBudget),
 		errors.Is(err, ErrParseDepth),
-		errors.Is(err, ErrOutputBudget):
+		errors.Is(err, ErrOutputBudget),
+		errors.Is(err, ErrBadLang):
 		// The input itself forced the engine past a resource bound: the
 		// request was well-formed but unprocessable within policy.
 		return http.StatusUnprocessableEntity // 422

@@ -1,10 +1,17 @@
-// Package pipeline provides the pass-pipeline architecture the
-// deobfuscation engine is built on: a bounded, content-hash-keyed parse
-// cache shared by every phase of a run (and, in batch mode, across
-// scripts), a Document type that lazily memoizes its token stream and
-// AST through that cache, a Pass interface the engine's phases
-// implement, and a Runner/Trace pair that records per-pass duration,
-// bytes in/out, reverts and cache hit rates.
+// Package pipeline provides the language-neutral pass-pipeline
+// architecture the deobfuscation engine is built on: a bounded,
+// content-hash-keyed parse cache shared by every phase of a run (and,
+// in batch mode, across scripts), a Document type that lazily memoizes
+// its token stream and AST through that cache, a Pass interface the
+// engine's phases implement, and a Runner/Trace pair that records
+// per-pass duration, bytes in/out, reverts and cache hit rates.
+//
+// The package knows nothing about any concrete language: tokenizing
+// and parsing are delegated to a Lang (the structural subset of a
+// frontend), artifacts are opaque `any` values the owning frontend
+// asserts back to its concrete types, and every cache key is
+// namespaced by the frontend's name so identical bytes submitted as
+// different languages can never collide.
 //
 // The cache is the amortization foothold: the fixpoint loop, the
 // per-splice validity checks, literal detection, piece evaluation,
@@ -14,13 +21,30 @@
 package pipeline
 
 import (
+	"errors"
 	"hash/maphash"
 	"sync"
-
-	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
-	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
-	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
 )
+
+// Lang is the minimal structural surface of a language frontend the
+// pipeline needs: a stable name (the cache namespace) and the two
+// artifact producers. The full frontend.Frontend interface satisfies
+// Lang; pipeline deliberately depends on nothing more so the frontend
+// package can import pipeline without a cycle.
+type Lang interface {
+	// Name identifies the language ("powershell", "javascript"). It is
+	// part of every cache key.
+	Name() string
+	// Tokenize produces the language's token-stream artifact.
+	Tokenize(src string) (any, error)
+	// Parse produces the language's AST artifact. A nil error means the
+	// source is syntactically valid.
+	Parse(src string) (any, error)
+}
+
+// ErrNoLang is returned by Views and Documents that were constructed
+// without a language.
+var ErrNoLang = errors.New("pipeline: no language frontend attached")
 
 // Default cache bounds. Hostile inputs that manufacture unbounded
 // distinct sub-texts (every splice producing new candidate strings)
@@ -42,6 +66,17 @@ const (
 // per process is fine: buckets compare full text, so collisions cost
 // a chain walk, never a wrong answer.
 var hashSeed = maphash.MakeSeed()
+
+// hashKey hashes a (language, text) pair. The NUL separator keeps the
+// namespace unambiguous (language names never contain NUL).
+func hashKey(lang, text string) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	h.WriteString(lang)
+	h.WriteByte(0)
+	h.WriteString(text)
+	return h.Sum64()
+}
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
@@ -68,45 +103,64 @@ func (s CacheStats) HitRate() float64 {
 	return 0
 }
 
-// cacheEntry memoizes the artifacts of one exact source text. Each
-// artifact is computed at most once (sync.Once) even under concurrent
-// batch workers; an entry evicted mid-flight stays valid for the
-// goroutines already holding it.
+// LangCacheStats is the per-language slice of a cache's traffic,
+// reported by LangStats so serving frontends can attribute hit rates
+// to frontends without conflating mixed-language traffic.
+type LangCacheStats struct {
+	// Hits / Misses count this language's artifact requests only.
+	Hits, Misses int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no traffic.
+func (s LangCacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// cacheEntry memoizes the artifacts of one exact (language, text)
+// pair. Each artifact is computed at most once (sync.Once) even under
+// concurrent batch workers; an entry evicted mid-flight stays valid
+// for the goroutines already holding it.
 type cacheEntry struct {
+	lang string
 	text string
 
 	tokOnce sync.Once
-	toks    []pstoken.Token
+	toks    any
 	tokErr  error
 
 	astOnce sync.Once
-	ast     *psast.ScriptBlock
+	ast     any
 	astErr  error
 }
 
-func (e *cacheEntry) tokens() ([]pstoken.Token, error, bool) {
+func (e *cacheEntry) tokens(l Lang) (any, error, bool) {
 	hit := true
 	e.tokOnce.Do(func() {
 		hit = false
-		e.toks, e.tokErr = pstoken.Tokenize(e.text)
+		e.toks, e.tokErr = l.Tokenize(e.text)
 	})
 	return e.toks, e.tokErr, hit
 }
 
-func (e *cacheEntry) parse() (*psast.ScriptBlock, error, bool) {
+func (e *cacheEntry) parse(l Lang) (any, error, bool) {
 	hit := true
 	e.astOnce.Do(func() {
 		hit = false
-		e.ast, e.astErr = psparser.Parse(e.text)
+		e.ast, e.astErr = l.Parse(e.text)
 	})
 	return e.ast, e.astErr, hit
 }
 
 // Cache is a bounded, thread-safe memoization of tokenize/parse results
-// keyed by content hash (verified against the full text, so hash
-// collisions degrade to misses, never wrong answers). One Cache serves
-// one deobfuscation run, or — in batch mode — is shared by all workers
-// so identical layers across scripts parse once.
+// keyed by content hash over (language, text) — verified against both,
+// so hash collisions degrade to misses, never wrong answers, and the
+// same bytes cached for one language are invisible to another. One
+// Cache serves one deobfuscation run, or — in batch and server mode —
+// is shared by all workers so identical layers across scripts parse
+// once per language.
 type Cache struct {
 	mu         sync.Mutex
 	maxEntries int
@@ -116,6 +170,7 @@ type Cache struct {
 	fifo       []*cacheEntry // eviction order (insertion order)
 
 	hits, misses, evictions int64
+	perLang                 map[string]*LangCacheStats
 }
 
 // NewCache returns a Cache bounded by maxEntries texts and maxBytes of
@@ -131,24 +186,25 @@ func NewCache(maxEntries int, maxBytes int64) *Cache {
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
 		buckets:    make(map[uint64][]*cacheEntry),
+		perLang:    make(map[string]*LangCacheStats),
 	}
 }
 
-// lookup returns the entry for text, creating (and bounding) it as
-// needed. A nil return means the text is too large to cache.
-func (c *Cache) lookup(text string) *cacheEntry {
+// lookup returns the entry for (lang, text), creating (and bounding) it
+// as needed. A nil return means the text is too large to cache.
+func (c *Cache) lookup(lang, text string) *cacheEntry {
 	if len(text) > maxCacheableText {
 		return nil
 	}
-	key := maphash.String(hashSeed, text)
+	key := hashKey(lang, text)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range c.buckets[key] {
-		if e.text == text {
+		if e.lang == lang && e.text == text {
 			return e
 		}
 	}
-	e := &cacheEntry{text: text}
+	e := &cacheEntry{lang: lang, text: text}
 	c.buckets[key] = append(c.buckets[key], e)
 	c.fifo = append(c.fifo, e)
 	c.bytes += int64(len(text))
@@ -162,7 +218,7 @@ func (c *Cache) lookup(text string) *cacheEntry {
 func (c *Cache) evictOldestLocked() {
 	victim := c.fifo[0]
 	c.fifo = c.fifo[1:]
-	key := maphash.String(hashSeed, victim.text)
+	key := hashKey(victim.lang, victim.text)
 	bucket := c.buckets[key]
 	for i, e := range bucket {
 		if e == victim {
@@ -177,60 +233,76 @@ func (c *Cache) evictOldestLocked() {
 	c.evictions++
 }
 
-// record folds a hit/miss observation into the global counters.
-func (c *Cache) record(hit bool) {
+// record folds a hit/miss observation into the global and per-language
+// counters.
+func (c *Cache) record(lang string, hit bool) {
 	c.mu.Lock()
+	ls := c.perLang[lang]
+	if ls == nil {
+		ls = &LangCacheStats{}
+		c.perLang[lang] = ls
+	}
 	if hit {
 		c.hits++
+		ls.Hits++
 	} else {
 		c.misses++
+		ls.Misses++
 	}
 	c.mu.Unlock()
 }
 
-// Tokenize returns the (possibly memoized) token stream of src.
-// The returned slice is shared: callers must not mutate it.
-func (c *Cache) Tokenize(src string) ([]pstoken.Token, error) {
-	toks, err, _ := c.tokenize(src)
+// Tokenize returns the (possibly memoized) token artifact of src under
+// language l. The returned artifact is shared: callers must not mutate
+// it.
+func (c *Cache) Tokenize(l Lang, src string) (any, error) {
+	toks, err, _ := c.tokenize(l, src)
 	return toks, err
 }
 
-func (c *Cache) tokenize(src string) ([]pstoken.Token, error, bool) {
-	e := c.lookup(src)
+func (c *Cache) tokenize(l Lang, src string) (any, error, bool) {
+	if l == nil {
+		return nil, ErrNoLang, false
+	}
+	e := c.lookup(l.Name(), src)
 	if e == nil {
-		toks, err := pstoken.Tokenize(src)
-		c.record(false)
+		toks, err := l.Tokenize(src)
+		c.record(l.Name(), false)
 		return toks, err, false
 	}
-	toks, err, hit := e.tokens()
-	c.record(hit)
+	toks, err, hit := e.tokens(l)
+	c.record(l.Name(), hit)
 	return toks, err, hit
 }
 
-// Parse returns the (possibly memoized) AST of src. Parse errors are
-// memoized too — a failed candidate rejected once by validOrRevert is
-// never re-parsed. The returned AST is shared: callers must treat it as
-// immutable (every consumer in this codebase walks ASTs read-only).
-func (c *Cache) Parse(src string) (*psast.ScriptBlock, error) {
-	sb, err, _ := c.parse(src)
+// Parse returns the (possibly memoized) AST artifact of src under
+// language l. Parse errors are memoized too — a failed candidate
+// rejected once by a validity check is never re-parsed. The returned
+// AST is shared: callers must treat it as immutable (every consumer in
+// this codebase walks ASTs read-only).
+func (c *Cache) Parse(l Lang, src string) (any, error) {
+	sb, err, _ := c.parse(l, src)
 	return sb, err
 }
 
-func (c *Cache) parse(src string) (*psast.ScriptBlock, error, bool) {
-	e := c.lookup(src)
+func (c *Cache) parse(l Lang, src string) (any, error, bool) {
+	if l == nil {
+		return nil, ErrNoLang, false
+	}
+	e := c.lookup(l.Name(), src)
 	if e == nil {
-		sb, err := psparser.Parse(src)
-		c.record(false)
+		sb, err := l.Parse(src)
+		c.record(l.Name(), false)
 		return sb, err, false
 	}
-	sb, err, hit := e.parse()
-	c.record(hit)
+	sb, err, hit := e.parse(l)
+	c.record(l.Name(), hit)
 	return sb, err, hit
 }
 
-// Valid reports whether src parses, through the cache.
-func (c *Cache) Valid(src string) bool {
-	_, err := c.Parse(src)
+// Valid reports whether src parses under language l, through the cache.
+func (c *Cache) Valid(l Lang, src string) bool {
+	_, err := c.Parse(l, src)
 	return err == nil
 }
 
@@ -247,24 +319,47 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
-// View returns a per-run accounting view of the cache. Views forward
-// every request to the shared Cache but keep their own hit/miss
-// counters, so per-pass trace attribution stays exact even when many
-// batch workers share one Cache. A View is not safe for concurrent use;
-// each run owns its own.
-func (c *Cache) View() *View {
-	return &View{c: c}
+// LangStats snapshots the per-language hit/miss counters.
+func (c *Cache) LangStats() map[string]LangCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]LangCacheStats, len(c.perLang))
+	for lang, ls := range c.perLang {
+		out[lang] = *ls
+	}
+	return out
 }
 
-// View is a single-run window onto a shared Cache. See Cache.View.
+// Entries reports the number of distinct cached (language, text) pairs.
+func (c *Cache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.fifo)
+}
+
+// View returns a per-run accounting view of the cache bound to one
+// language. Views forward every request to the shared Cache but keep
+// their own hit/miss counters, so per-pass trace attribution stays
+// exact even when many batch workers share one Cache. A View is not
+// safe for concurrent use; each run owns its own.
+func (c *Cache) View(l Lang) *View {
+	return &View{c: c, lang: l}
+}
+
+// View is a single-run, single-language window onto a shared Cache.
+// See Cache.View.
 type View struct {
-	c *Cache
+	c    *Cache
+	lang Lang
 	// Hits and Misses count this view's requests only.
 	Hits, Misses int64
 }
 
 // Cache returns the underlying shared cache.
 func (v *View) Cache() *Cache { return v.c }
+
+// Lang returns the language this view is bound to.
+func (v *View) Lang() Lang { return v.lang }
 
 func (v *View) observe(hit bool) {
 	if hit {
@@ -275,15 +370,15 @@ func (v *View) observe(hit bool) {
 }
 
 // Tokenize is Cache.Tokenize with per-view accounting.
-func (v *View) Tokenize(src string) ([]pstoken.Token, error) {
-	toks, err, hit := v.c.tokenize(src)
+func (v *View) Tokenize(src string) (any, error) {
+	toks, err, hit := v.c.tokenize(v.lang, src)
 	v.observe(hit)
 	return toks, err
 }
 
 // Parse is Cache.Parse with per-view accounting.
-func (v *View) Parse(src string) (*psast.ScriptBlock, error) {
-	sb, err, hit := v.c.parse(src)
+func (v *View) Parse(src string) (any, error) {
+	sb, err, hit := v.c.parse(v.lang, src)
 	v.observe(hit)
 	return sb, err
 }

@@ -1,16 +1,16 @@
 package pipeline
 
-import (
-	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
-	"github.com/invoke-deobfuscation/invokedeob/internal/pstoken"
-)
-
 // Document owns one script's source text as it flows through the
 // passes. Its token stream and AST are not stored on the Document
-// itself but memoized in the run's parse cache keyed by content, so a
-// pass that rewrites the text and then reverts gets the original
-// artifacts back for free, and two Documents holding identical text
-// (e.g. an unwrapped payload equal to a prior layer) share one parse.
+// itself but memoized in the run's parse cache keyed by (language,
+// content), so a pass that rewrites the text and then reverts gets the
+// original artifacts back for free, and two Documents holding
+// identical text (e.g. an unwrapped payload equal to a prior layer)
+// share one parse.
+//
+// Artifacts are opaque `any` values produced by the view's Lang; the
+// owning frontend asserts them back to its concrete token-stream and
+// AST types.
 //
 // Invariants:
 //   - Text is the single source of truth; AST/Tokens always describe
@@ -28,11 +28,8 @@ type Document struct {
 }
 
 // NewDocument returns a Document over text drawing from the given
-// cache view. A nil view gets a fresh private cache.
+// cache view (which carries the language).
 func NewDocument(text string, view *View) *Document {
-	if view == nil {
-		view = NewCache(0, 0).View()
-	}
 	return &Document{view: view, text: text}
 }
 
@@ -46,18 +43,27 @@ func (d *Document) Len() int { return len(d.text) }
 // fetched lazily on the next AST/Tokens call.
 func (d *Document) SetText(text string) { d.text = text }
 
-// AST returns the memoized parse of the current text.
-func (d *Document) AST() (*psast.ScriptBlock, error) {
+// AST returns the memoized parse artifact of the current text.
+func (d *Document) AST() (any, error) {
+	if d.view == nil {
+		return nil, ErrNoLang
+	}
 	return d.view.Parse(d.text)
 }
 
-// Tokens returns the memoized token stream of the current text.
-func (d *Document) Tokens() ([]pstoken.Token, error) {
+// Tokens returns the memoized token artifact of the current text.
+func (d *Document) Tokens() (any, error) {
+	if d.view == nil {
+		return nil, ErrNoLang
+	}
 	return d.view.Tokenize(d.text)
 }
 
 // Valid reports whether the current text parses.
 func (d *Document) Valid() bool {
+	if d.view == nil {
+		return false
+	}
 	return d.view.Valid(d.text)
 }
 
@@ -66,7 +72,7 @@ func (d *Document) View() *View { return d.view }
 
 // Fork returns a new Document over different text sharing this
 // Document's cache view — used for nested payload layers, which want
-// the same amortization pool as their parent.
+// the same amortization pool (and language) as their parent.
 func (d *Document) Fork(text string) *Document {
 	return &Document{view: d.view, text: text}
 }

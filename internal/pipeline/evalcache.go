@@ -1,9 +1,23 @@
 package pipeline
 
 import (
-	"hash/maphash"
 	"sync"
 )
+
+// EvalOps is the value-handling surface of a language frontend the
+// evaluation cache needs: a namespace (the frontend name, so identical
+// snippet bytes under different languages can never share an entry), a
+// deep copier, and a retained-size estimator. The full
+// frontend.Frontend interface satisfies EvalOps.
+type EvalOps interface {
+	// Name identifies the language; it namespaces every entry key.
+	Name() string
+	// CopyValue returns a deep, unaliased copy of v, or false to refuse
+	// the value (reference types that cannot be safely shared).
+	CopyValue(v any) (any, bool)
+	// ValueSize estimates v's retained size in bytes.
+	ValueSize(v any) int
+}
 
 // Evaluation-cache bounds. The eval cache is smaller than the parse
 // cache because each entry retains output values in addition to the
@@ -28,7 +42,7 @@ const (
 // Binding is one (variable, value-fingerprint) pair of an evaluation's
 // environment fingerprint: the exact preloaded variables the run read,
 // with a collision-free textual fingerprint of each value at read time.
-// Bindings are recorded sorted by name (psinterp.Purity.ReadVars order)
+// Bindings are recorded sorted by name (the frontend's read-set order)
 // so entry comparison is a single ordered walk.
 type Binding struct {
 	// Name is the normalized (lower-cased, scope-stripped) variable name.
@@ -45,6 +59,7 @@ type Binding struct {
 // the deep-copied output values. Entries are immutable after insert;
 // lookups copy the values out again so no caller ever aliases them.
 type evalEntry struct {
+	lang     string
 	bindings []Binding
 	values   []any
 	bytes    int64 // retained-size share charged to the cache budget
@@ -79,20 +94,35 @@ func (s EvalCacheStats) HitRate() float64 {
 	return 0
 }
 
+// LangEvalStats is the per-language slice of an eval cache's traffic.
+type LangEvalStats struct {
+	// Hits / Misses / Skips count this language's evaluations only.
+	Hits, Misses, Skips int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no traffic.
+func (s LangEvalStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
 // EvalCache memoizes the output values of pure, deterministic snippet
-// evaluations, keyed by exact snippet text plus the environment
-// fingerprint (the sorted set of preloaded variables the run read and
-// their values). It is the evaluation-phase sibling of the parse Cache:
-// bounded (FIFO over both an entry count and a byte budget), safe for
-// concurrent batch workers, and observed through per-run EvalViews so
-// trace attribution stays exact.
+// evaluations, keyed by language plus exact snippet text plus the
+// environment fingerprint (the sorted set of preloaded variables the
+// run read and their values). It is the evaluation-phase sibling of
+// the parse Cache: bounded (FIFO over both an entry count and a byte
+// budget), safe for concurrent batch workers, and observed through
+// per-run EvalViews so trace attribution stays exact.
 //
-// The cache itself is value-agnostic: callers inject a copier (deep,
-// unaliased copies or refusal) and a sizer (byte estimates) so the
-// pipeline package needs no knowledge of interpreter value types.
-// Values are deep-copied on insert AND on every hit, so a splice that
-// later mutates a returned slice can never corrupt the cache or
-// another run.
+// The cache itself is value-agnostic: each view carries its
+// frontend's EvalOps (deep copier + sizer) so the pipeline package
+// needs no knowledge of interpreter value types, and an entry's values
+// are always copied by the same language's copier that inserted them
+// (keys are language-namespaced). Values are deep-copied on insert AND
+// on every hit, so a splice that later mutates a returned slice can
+// never corrupt the cache or another run.
 type EvalCache struct {
 	mu         sync.Mutex
 	maxEntries int
@@ -101,17 +131,15 @@ type EvalCache struct {
 	buckets    map[uint64][]*evalEntry
 	fifo       []*evalEntry
 
-	copier func(any) (any, bool)
-	sizer  func(any) int
-
 	hits, misses, skips, evictions int64
+	perLang                        map[string]*LangEvalStats
 }
 
 // NewEvalCache returns an EvalCache bounded by maxEntries results and
 // maxBytes of retained data. Non-positive bounds select the defaults.
-// copier must return a deep, unaliased copy (or false to refuse the
-// value); sizer estimates retained bytes. Both must be non-nil.
-func NewEvalCache(maxEntries int, maxBytes int64, copier func(any) (any, bool), sizer func(any) int) *EvalCache {
+// Value copying and sizing are supplied per view (EvalCache.View), so
+// one shared cache can serve several language frontends.
+func NewEvalCache(maxEntries int, maxBytes int64) *EvalCache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultEvalMaxEntries
 	}
@@ -122,29 +150,29 @@ func NewEvalCache(maxEntries int, maxBytes int64, copier func(any) (any, bool), 
 		maxEntries: maxEntries,
 		maxBytes:   maxBytes,
 		buckets:    make(map[uint64][]*evalEntry),
-		copier:     copier,
-		sizer:      sizer,
+		perLang:    make(map[string]*LangEvalStats),
 	}
 }
 
-// lookup finds a cached result for snippet whose recorded bindings all
-// match the currently visible values, returning deep copies of the
-// cached output values.
-func (c *EvalCache) lookup(snippet string, visible func(name string) (fp string, ok bool)) ([]any, bool) {
+// lookup finds a cached result for (lang, snippet) whose recorded
+// bindings all match the currently visible values, returning deep
+// copies of the cached output values.
+func (c *EvalCache) lookup(ops EvalOps, snippet string, visible func(name string) (fp string, ok bool)) ([]any, bool) {
 	if len(snippet) > maxCacheableSnippet {
 		return nil, false
 	}
-	key := maphash.String(hashSeed, snippet)
+	lang := ops.Name()
+	key := hashKey(lang, snippet)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range c.buckets[key] {
-		if e.snippet != snippet {
+		if e.lang != lang || e.snippet != snippet {
 			continue
 		}
 		if !bindingsMatch(e.bindings, visible) {
 			continue
 		}
-		out, ok := c.copyValuesLocked(e.values)
+		out, ok := copyValues(ops, e.values)
 		if !ok {
 			// Cannot happen for values that passed insert's copier, but
 			// degrade to a miss rather than trust it.
@@ -172,14 +200,14 @@ func bindingsMatch(bindings []Binding, visible func(string) (string, bool)) bool
 	return true
 }
 
-// copyValuesLocked deep-copies a cached value slice out of the cache.
-func (c *EvalCache) copyValuesLocked(values []any) ([]any, bool) {
+// copyValues deep-copies a cached value slice through the view's ops.
+func copyValues(ops EvalOps, values []any) ([]any, bool) {
 	if values == nil {
 		return nil, true
 	}
 	out := make([]any, len(values))
 	for i, v := range values {
-		cp, ok := c.copier(v)
+		cp, ok := ops.CopyValue(v)
 		if !ok {
 			return nil, false
 		}
@@ -191,14 +219,13 @@ func (c *EvalCache) copyValuesLocked(values []any) ([]any, bool) {
 // insert stores a pure evaluation result. The values are deep-copied
 // before retention; values the copier refuses make the whole result
 // uncacheable (recorded as a skip).
-func (c *EvalCache) insert(snippet string, bindings []Binding, values []any) bool {
+func (c *EvalCache) insert(ops EvalOps, snippet string, bindings []Binding, values []any) bool {
+	lang := ops.Name()
 	if len(snippet) > maxCacheableSnippet {
-		c.mu.Lock()
-		c.skips++
-		c.mu.Unlock()
+		c.recordSkip(lang)
 		return false
 	}
-	var size int64 = int64(len(snippet)) + 64
+	var size int64 = int64(len(lang)+len(snippet)) + 64
 	for _, b := range bindings {
 		size += int64(len(b.Name) + len(b.FP) + 32)
 	}
@@ -209,26 +236,24 @@ func (c *EvalCache) insert(snippet string, bindings []Binding, values []any) boo
 	if values != nil {
 		stored = make([]any, len(values))
 		for i, v := range values {
-			cp, ok := c.copier(v)
+			cp, ok := ops.CopyValue(v)
 			if !ok {
-				c.mu.Lock()
-				c.skips++
-				c.mu.Unlock()
+				c.recordSkip(lang)
 				return false
 			}
 			stored[i] = cp
-			size += int64(c.sizer(v))
+			size += int64(ops.ValueSize(v))
 		}
 	}
-	key := maphash.String(hashSeed, snippet)
-	e := &evalEntry{snippet: snippet, bindings: bindings, values: stored, bytes: size}
+	key := hashKey(lang, snippet)
+	e := &evalEntry{lang: lang, snippet: snippet, bindings: bindings, values: stored, bytes: size}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Dedup: a concurrent worker may have inserted the same result
 	// already; cap per-snippet chains so one text cannot monopolize.
 	same := 0
 	for _, old := range c.buckets[key] {
-		if old.snippet != snippet {
+		if old.lang != lang || old.snippet != snippet {
 			continue
 		}
 		same++
@@ -238,6 +263,7 @@ func (c *EvalCache) insert(snippet string, bindings []Binding, values []any) boo
 	}
 	if same >= maxEntriesPerSnippet {
 		c.skips++
+		c.langStatsLocked(lang).Skips++
 		return false
 	}
 	c.buckets[key] = append(c.buckets[key], e)
@@ -265,7 +291,7 @@ func equalBindings(a, b []Binding) bool {
 func (c *EvalCache) evictOldestLocked() {
 	victim := c.fifo[0]
 	c.fifo = c.fifo[1:]
-	key := maphash.String(hashSeed, victim.snippet)
+	key := hashKey(victim.lang, victim.snippet)
 	bucket := c.buckets[key]
 	for i, e := range bucket {
 		if e == victim {
@@ -278,6 +304,24 @@ func (c *EvalCache) evictOldestLocked() {
 	}
 	c.bytes -= victim.bytes
 	c.evictions++
+}
+
+// langStatsLocked returns the per-language counter, creating it as
+// needed. Callers hold c.mu.
+func (c *EvalCache) langStatsLocked(lang string) *LangEvalStats {
+	ls := c.perLang[lang]
+	if ls == nil {
+		ls = &LangEvalStats{}
+		c.perLang[lang] = ls
+	}
+	return ls
+}
+
+func (c *EvalCache) recordSkip(lang string) {
+	c.mu.Lock()
+	c.skips++
+	c.langStatsLocked(lang).Skips++
+	c.mu.Unlock()
 }
 
 // Stats snapshots the eval-cache counters.
@@ -294,27 +338,40 @@ func (c *EvalCache) Stats() EvalCacheStats {
 	}
 }
 
-// View returns a per-run accounting window onto the shared cache.
-// A nil receiver yields a nil view, and every EvalView method accepts
-// a nil receiver as "caching disabled" — callers need no branching.
-func (c *EvalCache) View() *EvalView {
+// LangStats snapshots the per-language hit/miss/skip counters.
+func (c *EvalCache) LangStats() map[string]LangEvalStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]LangEvalStats, len(c.perLang))
+	for lang, ls := range c.perLang {
+		out[lang] = *ls
+	}
+	return out
+}
+
+// View returns a per-run accounting window onto the shared cache bound
+// to one frontend's value operations. A nil receiver yields a nil
+// view, and every EvalView method accepts a nil receiver as "caching
+// disabled" — callers need no branching.
+func (c *EvalCache) View(ops EvalOps) *EvalView {
 	if c == nil {
 		return nil
 	}
-	return &EvalView{c: c}
+	return &EvalView{c: c, ops: ops}
 }
 
 // EvalView is a single-run window onto a shared EvalCache, counting
 // this run's hits/misses/skips for exact per-run trace attribution.
 // Not safe for concurrent use; each run owns its own.
 type EvalView struct {
-	c *EvalCache
+	c   *EvalCache
+	ops EvalOps
 	// Hits, Misses and Skips count this view's requests only.
 	Hits, Misses, Skips int64
 }
 
 // Enabled reports whether a cache backs this view.
-func (v *EvalView) Enabled() bool { return v != nil && v.c != nil }
+func (v *EvalView) Enabled() bool { return v != nil && v.c != nil && v.ops != nil }
 
 // Cache returns the underlying shared cache (nil when disabled).
 func (v *EvalView) Cache() *EvalCache {
@@ -334,11 +391,12 @@ func (v *EvalView) Lookup(snippet string, visible func(name string) (fp string, 
 	if !v.Enabled() {
 		return nil, false
 	}
-	out, ok := v.c.lookup(snippet, visible)
+	out, ok := v.c.lookup(v.ops, snippet, visible)
 	if ok {
 		v.Hits++
 		v.c.mu.Lock()
 		v.c.hits++
+		v.c.langStatsLocked(v.ops.Name()).Hits++
 		v.c.mu.Unlock()
 	}
 	return out, ok
@@ -354,8 +412,9 @@ func (v *EvalView) Insert(snippet string, bindings []Binding, values []any) {
 	v.Misses++
 	v.c.mu.Lock()
 	v.c.misses++
+	v.c.langStatsLocked(v.ops.Name()).Misses++
 	v.c.mu.Unlock()
-	v.c.insert(snippet, bindings, values)
+	v.c.insert(v.ops, snippet, bindings, values)
 }
 
 // Skip records an evaluation whose result must not be cached (impure,
@@ -367,5 +426,6 @@ func (v *EvalView) Skip() {
 	v.Skips++
 	v.c.mu.Lock()
 	v.c.skips++
+	v.c.langStatsLocked(v.ops.Name()).Skips++
 	v.c.mu.Unlock()
 }

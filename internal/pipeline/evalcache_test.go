@@ -6,35 +6,39 @@ import (
 	"testing"
 )
 
-// testEvalCache builds a cache with a slice-aware deep copier so the
-// aliasing tests can detect shallow copies.
-func testEvalCache(maxEntries int, maxBytes int64) *EvalCache {
-	var copier func(v any) (any, bool)
-	copier = func(v any) (any, bool) {
-		switch x := v.(type) {
-		case string, int64, int, float64, bool, nil:
-			return x, true
-		case []any:
-			out := make([]any, len(x))
-			for i, e := range x {
-				cp, ok := copier(e)
-				if !ok {
-					return nil, false
-				}
-				out[i] = cp
+// fakeOps is a stub EvalOps with a slice-aware deep copier so the
+// aliasing tests can detect shallow copies. The eval cache is
+// language-neutral; tests run against a fake instead of a frontend.
+type fakeOps struct{ name string }
+
+func (o fakeOps) Name() string { return o.name }
+
+func (o fakeOps) CopyValue(v any) (any, bool) {
+	switch x := v.(type) {
+	case string, int64, int, float64, bool, nil:
+		return x, true
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			cp, ok := o.CopyValue(e)
+			if !ok {
+				return nil, false
 			}
-			return out, true
+			out[i] = cp
 		}
-		return nil, false
+		return out, true
 	}
-	sizer := func(v any) int {
-		if s, ok := v.(string); ok {
-			return len(s)
-		}
-		return 16
-	}
-	return NewEvalCache(maxEntries, maxBytes, copier, sizer)
+	return nil, false
 }
+
+func (o fakeOps) ValueSize(v any) int {
+	if s, ok := v.(string); ok {
+		return len(s)
+	}
+	return 16
+}
+
+func testOps() fakeOps { return fakeOps{name: "fake"} }
 
 func fpOf(env map[string]string) func(string) (string, bool) {
 	return func(name string) (string, bool) {
@@ -44,8 +48,8 @@ func fpOf(env map[string]string) func(string) (string, bool) {
 }
 
 func TestEvalCacheHitRequiresSameBindings(t *testing.T) {
-	c := testEvalCache(0, 0)
-	v := c.View()
+	c := NewEvalCache(0, 0)
+	v := c.View(testOps())
 	v.Insert("$a + $b", []Binding{{"a", "s:x"}, {"b", "i:2"}}, []any{"x2"})
 
 	// Identical bindings: hit.
@@ -76,9 +80,36 @@ func TestEvalCacheHitRequiresSameBindings(t *testing.T) {
 	}
 }
 
+// TestEvalCacheLangNamespacing: identical snippet bytes inserted under
+// one language must be invisible to another language's view.
+func TestEvalCacheLangNamespacing(t *testing.T) {
+	c := NewEvalCache(0, 0)
+	ps := c.View(fakeOps{name: "powershell"})
+	js := c.View(fakeOps{name: "javascript"})
+	ps.Insert("'a' + 'b'", nil, []any{"ab"})
+	if _, ok := js.Lookup("'a' + 'b'", fpOf(nil)); ok {
+		t.Error("javascript view hit a powershell entry")
+	}
+	if out, ok := ps.Lookup("'a' + 'b'", fpOf(nil)); !ok || out[0] != "ab" {
+		t.Errorf("powershell view should hit its own entry: %v ok=%t", out, ok)
+	}
+	js.Insert("'a' + 'b'", nil, []any{"AB-js"})
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2 (one per language)", st.Entries)
+	}
+	ls := c.LangStats()
+	if got := ls["powershell"]; got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("powershell eval stats = %+v, want 1 hit / 1 miss", got)
+	}
+	if got := ls["javascript"]; got.Hits != 0 || got.Misses != 1 {
+		t.Errorf("javascript eval stats = %+v, want 0 hits / 1 miss", got)
+	}
+}
+
 func TestEvalCacheNoBindingSnippets(t *testing.T) {
-	c := testEvalCache(0, 0)
-	v := c.View()
+	c := NewEvalCache(0, 0)
+	v := c.View(testOps())
 	v.Insert("1 + 1", nil, []any{int64(2)})
 	out, ok := v.Lookup("1 + 1", fpOf(nil))
 	if !ok || out[0] != int64(2) {
@@ -93,8 +124,8 @@ func TestEvalCacheNoBindingSnippets(t *testing.T) {
 }
 
 func TestEvalCacheDeepCopiesBothWays(t *testing.T) {
-	c := testEvalCache(0, 0)
-	v := c.View()
+	c := NewEvalCache(0, 0)
+	v := c.View(testOps())
 	orig := []any{[]any{"a", "b"}}
 	v.Insert("x", nil, orig)
 	// Mutating the inserted slice must not corrupt the cache.
@@ -115,8 +146,8 @@ func TestEvalCacheDeepCopiesBothWays(t *testing.T) {
 }
 
 func TestEvalCacheRefusedValuesAreSkips(t *testing.T) {
-	c := testEvalCache(0, 0)
-	v := c.View()
+	c := NewEvalCache(0, 0)
+	v := c.View(testOps())
 	type opaque struct{}
 	v.Insert("x", nil, []any{opaque{}}) // copier refuses
 	if _, ok := v.Lookup("x", fpOf(nil)); ok {
@@ -129,8 +160,8 @@ func TestEvalCacheRefusedValuesAreSkips(t *testing.T) {
 }
 
 func TestEvalCacheEntryAndByteBounds(t *testing.T) {
-	c := testEvalCache(4, 0)
-	v := c.View()
+	c := NewEvalCache(4, 0)
+	v := c.View(testOps())
 	for i := 0; i < 20; i++ {
 		v.Insert(fmt.Sprintf("snippet %d", i), nil, []any{int64(i)})
 	}
@@ -142,8 +173,8 @@ func TestEvalCacheEntryAndByteBounds(t *testing.T) {
 		t.Errorf("evictions = %d, want 16", st.Evictions)
 	}
 	// Byte budget: every entry charges at least snippet+64 bytes.
-	cb := testEvalCache(0, 256)
-	vb := cb.View()
+	cb := NewEvalCache(0, 256)
+	vb := cb.View(testOps())
 	for i := 0; i < 20; i++ {
 		vb.Insert(fmt.Sprintf("snippet-%04d", i), nil, []any{"v"})
 	}
@@ -157,8 +188,8 @@ func TestEvalCacheEntryAndByteBounds(t *testing.T) {
 }
 
 func TestEvalCachePerSnippetChainBound(t *testing.T) {
-	c := testEvalCache(0, 0)
-	v := c.View()
+	c := NewEvalCache(0, 0)
+	v := c.View(testOps())
 	// One snippet under ever-changing bindings must not grow an
 	// unbounded chain.
 	for i := 0; i < 50; i++ {
@@ -177,8 +208,8 @@ func TestEvalCachePerSnippetChainBound(t *testing.T) {
 }
 
 func TestEvalCacheOversizeSnippetNotCached(t *testing.T) {
-	c := testEvalCache(0, 0)
-	v := c.View()
+	c := NewEvalCache(0, 0)
+	v := c.View(testOps())
 	big := string(make([]byte, maxCacheableSnippet+1))
 	v.Insert(big, nil, []any{"x"})
 	if st := c.Stats(); st.Entries != 0 {
@@ -203,19 +234,24 @@ func TestEvalViewNilReceiverSafe(t *testing.T) {
 		t.Error("nil view has a cache")
 	}
 	var c *EvalCache
-	if c.View() != nil {
+	if c.View(testOps()) != nil {
 		t.Error("nil cache yields non-nil view")
+	}
+	// A view with no ops is disabled too.
+	live := NewEvalCache(0, 0)
+	if live.View(nil).Enabled() {
+		t.Error("ops-less view enabled")
 	}
 }
 
 func TestEvalCacheConcurrent(t *testing.T) {
-	c := testEvalCache(64, 0)
+	c := NewEvalCache(64, 0)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			v := c.View() // each worker owns its view, like batch runs
+			v := c.View(testOps()) // each worker owns its view, like batch runs
 			for i := 0; i < 200; i++ {
 				snippet := fmt.Sprintf("s%d", i%16)
 				env := fpOf(map[string]string{"a": "i:1"})

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"strings"
 	"time"
 )
 
@@ -28,6 +29,23 @@ type PassContext struct {
 	// when evaluation memoization is disabled; EvalView methods accept
 	// a nil receiver).
 	Eval *EvalView
+}
+
+// ValidOrRevert returns candidate when it parses under view's
+// language, fallback otherwise (the paper's per-step syntax check,
+// §IV-A). The validity parse goes through the run's cache — a
+// candidate checked here and then kept is never re-parsed by the next
+// pass — and reverts are counted into the pass trace.
+func (pc *PassContext) ValidOrRevert(view *View, candidate, fallback string) string {
+	if strings.TrimSpace(candidate) == "" {
+		pc.Reverts++
+		return fallback
+	}
+	if !view.Valid(candidate) {
+		pc.Reverts++
+		return fallback
+	}
+	return candidate
 }
 
 // passFunc adapts a function to the Pass interface.

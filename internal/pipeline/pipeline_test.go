@@ -6,31 +6,66 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
 
 // -soak opts into the full-size hostile-input variants that dominate
-// wall-clock time (minutes of tokenizing multi-MiB adversarial text).
-// The default suite runs trimmed-but-representative fast variants so
-// `go test ./internal/pipeline` stays in CI-iteration territory;
-// `make check` passes -soak to keep the full coverage on the tier-1
-// gate.
+// wall-clock time (multi-MiB adversarial text). The default suite runs
+// trimmed-but-representative fast variants so `go test
+// ./internal/pipeline` stays in CI-iteration territory; `make check`
+// passes -soak to keep the full coverage on the tier-1 gate.
 var soak = flag.Bool("soak", false, "run full-size hostile soak variants (wired into make check)")
+
+// fakeLang is a minimal Lang stub: the pipeline is language-neutral, so
+// its tests run against a fake instead of a real frontend (which would
+// also create an import cycle from in-package tests). Texts containing
+// "INVALID" fail to parse, preserving the memoized-failure coverage.
+// Call counters are atomic so the concurrency tests can assert
+// memoization (each distinct text tokenizes/parses at most once).
+type fakeLang struct {
+	name      string
+	tokenizes atomic.Int64
+	parses    atomic.Int64
+}
+
+type fakeAST struct{ text string }
+
+func (l *fakeLang) Name() string { return l.name }
+
+func (l *fakeLang) Tokenize(src string) (any, error) {
+	l.tokenizes.Add(1)
+	return strings.Fields(src), nil
+}
+
+func (l *fakeLang) Parse(src string) (any, error) {
+	l.parses.Add(1)
+	if strings.Contains(src, "INVALID") {
+		return nil, fmt.Errorf("fakeLang: syntax error in %q", src)
+	}
+	return &fakeAST{text: src}, nil
+}
+
+func newFakeLang() *fakeLang { return &fakeLang{name: "fake"} }
 
 func TestCacheParseMemoized(t *testing.T) {
 	c := NewCache(0, 0)
+	l := newFakeLang()
 	const src = "Write-Host hi"
-	a1, err := c.Parse(src)
+	a1, err := c.Parse(l, src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := c.Parse(src)
+	a2, err := c.Parse(l, src)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a1 != a2 {
 		t.Error("second Parse of identical text returned a different AST pointer")
+	}
+	if n := l.parses.Load(); n != 1 {
+		t.Errorf("frontend parsed %d times, want 1", n)
 	}
 	st := c.Stats()
 	if st.Hits != 1 || st.Misses != 1 {
@@ -40,48 +75,115 @@ func TestCacheParseMemoized(t *testing.T) {
 
 func TestCacheParseErrorsMemoized(t *testing.T) {
 	c := NewCache(0, 0)
-	const bad = "while ("
-	if _, err := c.Parse(bad); err == nil {
+	l := newFakeLang()
+	const bad = "INVALID («"
+	if _, err := c.Parse(l, bad); err == nil {
 		t.Fatal("want a parse error")
 	}
-	if _, err := c.Parse(bad); err == nil {
+	if _, err := c.Parse(l, bad); err == nil {
 		t.Fatal("want the memoized parse error")
+	}
+	if n := l.parses.Load(); n != 1 {
+		t.Errorf("failed text re-parsed: %d calls, want 1", n)
 	}
 	st := c.Stats()
 	if st.Hits != 1 {
 		t.Errorf("failed parse was not memoized: %+v", st)
 	}
-	if c.Valid(bad) {
+	if c.Valid(l, bad) {
 		t.Error("Valid(bad) = true")
 	}
-	if !c.Valid("Write-Host ok") {
+	if !c.Valid(l, "Write-Host ok") {
 		t.Error("Valid(good) = false")
 	}
 }
 
 func TestCacheTokenizeMemoized(t *testing.T) {
 	c := NewCache(0, 0)
+	l := newFakeLang()
 	const src = "Write-Host hi"
-	t1, err := c.Tokenize(src)
+	t1, err := c.Tokenize(l, src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, err := c.Tokenize(src)
+	t2, err := c.Tokenize(l, src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(t1) == 0 || len(t2) != len(t1) {
-		t.Errorf("token streams differ: %d vs %d", len(t1), len(t2))
+	if len(t1.([]string)) == 0 || len(t2.([]string)) != len(t1.([]string)) {
+		t.Errorf("token artifacts differ: %v vs %v", t1, t2)
+	}
+	if n := l.tokenizes.Load(); n != 1 {
+		t.Errorf("frontend tokenized %d times, want 1", n)
 	}
 	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
 		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
 	}
 }
 
+func TestCacheNilLang(t *testing.T) {
+	c := NewCache(0, 0)
+	if _, err := c.Parse(nil, "x"); !errors.Is(err, ErrNoLang) {
+		t.Errorf("Parse(nil) err = %v, want ErrNoLang", err)
+	}
+	if _, err := c.Tokenize(nil, "x"); !errors.Is(err, ErrNoLang) {
+		t.Errorf("Tokenize(nil) err = %v, want ErrNoLang", err)
+	}
+	if c.Valid(nil, "x") {
+		t.Error("Valid(nil lang) = true")
+	}
+}
+
+// TestCacheLangNamespacing is the regression test for frontend-keyed
+// caching: identical bytes submitted under two different languages must
+// occupy two distinct entries and never serve each other's artifacts.
+func TestCacheLangNamespacing(t *testing.T) {
+	c := NewCache(0, 0)
+	ps := &fakeLang{name: "powershell"}
+	js := &fakeLang{name: "javascript"}
+	const src = "shared bytes, different language"
+	a1, err := c.Parse(ps, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Parse(js, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Error("identical bytes under two languages shared one artifact")
+	}
+	if got := c.Entries(); got != 2 {
+		t.Errorf("entries = %d, want 2 (one per language)", got)
+	}
+	// Both were first requests for their language: two global misses.
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 0 hits / 2 misses", st)
+	}
+	// Each language hits only its own entry.
+	if _, err := c.Parse(ps, src); err != nil {
+		t.Fatal(err)
+	}
+	ls := c.LangStats()
+	if got := ls["powershell"]; got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("powershell lang stats = %+v, want 1 hit / 1 miss", got)
+	}
+	if got := ls["javascript"]; got.Hits != 0 || got.Misses != 1 {
+		t.Errorf("javascript lang stats = %+v, want 0 hits / 1 miss", got)
+	}
+	if got := ls["powershell"].HitRate(); got != 0.5 {
+		t.Errorf("powershell hit rate = %v, want 0.5", got)
+	}
+	if ps.parses.Load() != 1 || js.parses.Load() != 1 {
+		t.Errorf("parse calls = ps %d / js %d, want 1 each", ps.parses.Load(), js.parses.Load())
+	}
+}
+
 func TestCacheEntryBound(t *testing.T) {
 	c := NewCache(4, 0)
+	l := newFakeLang()
 	for i := 0; i < 20; i++ {
-		c.Parse(fmt.Sprintf("Write-Host %d", i))
+		c.Parse(l, fmt.Sprintf("Write-Host %d", i))
 	}
 	st := c.Stats()
 	if st.Entries > 4 {
@@ -95,8 +197,9 @@ func TestCacheEntryBound(t *testing.T) {
 func TestCacheByteBound(t *testing.T) {
 	// 64-byte budget: each ~40-byte script evicts its predecessor.
 	c := NewCache(0, 64)
+	l := newFakeLang()
 	for i := 0; i < 10; i++ {
-		c.Parse(fmt.Sprintf("Write-Host %030d", i))
+		c.Parse(l, fmt.Sprintf("Write-Host %030d", i))
 	}
 	st := c.Stats()
 	if st.Bytes > 64 {
@@ -106,13 +209,14 @@ func TestCacheByteBound(t *testing.T) {
 		t.Error("no evictions under a 64-byte budget")
 	}
 	// Evicted texts still parse correctly (re-inserted as new entries).
-	if _, err := c.Parse(fmt.Sprintf("Write-Host %030d", 0)); err != nil {
+	if _, err := c.Parse(l, fmt.Sprintf("Write-Host %030d", 0)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCacheConcurrent(t *testing.T) {
 	c := NewCache(64, 0)
+	l := newFakeLang()
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -120,12 +224,12 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				src := fmt.Sprintf("Write-Host %d", i%32)
-				if _, err := c.Parse(src); err != nil {
+				if _, err := c.Parse(l, src); err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
 				}
-				c.Tokenize(src)
-				c.Valid("while (") // memoized failure
+				c.Tokenize(l, src)
+				c.Valid(l, "INVALID («") // memoized failure
 			}
 		}(w)
 	}
@@ -138,7 +242,8 @@ func TestCacheConcurrent(t *testing.T) {
 
 func TestViewAccounting(t *testing.T) {
 	c := NewCache(0, 0)
-	v1, v2 := c.View(), c.View()
+	l := newFakeLang()
+	v1, v2 := c.View(l), c.View(l)
 	v1.Parse("Write-Host shared") // miss (global), miss (v1)
 	v2.Parse("Write-Host shared") // hit (global), but v2's own first request
 	if v1.Misses != 1 || v1.Hits != 0 {
@@ -150,10 +255,14 @@ func TestViewAccounting(t *testing.T) {
 	if v1.Cache() != c || v2.Cache() != c {
 		t.Error("View.Cache() should return the shared cache")
 	}
+	if v1.Lang() != Lang(l) {
+		t.Error("View.Lang() should return the bound language")
+	}
 }
 
 func TestDocumentSetTextRevertHitsCache(t *testing.T) {
-	doc := NewDocument("Write-Host original", nil)
+	c := NewCache(0, 0)
+	doc := NewDocument("Write-Host original", c.View(newFakeLang()))
 	if _, err := doc.AST(); err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +281,8 @@ func TestDocumentSetTextRevertHitsCache(t *testing.T) {
 }
 
 func TestDocumentForkSharesView(t *testing.T) {
-	doc := NewDocument("Write-Host outer", nil)
+	c := NewCache(0, 0)
+	doc := NewDocument("Write-Host outer", c.View(newFakeLang()))
 	if _, err := doc.AST(); err != nil {
 		t.Fatal(err)
 	}
@@ -188,6 +298,19 @@ func TestDocumentForkSharesView(t *testing.T) {
 	}
 	if doc.Text() != "Write-Host outer" || fork.Len() != len("Write-Host outer") {
 		t.Error("fork must not disturb the parent's text")
+	}
+}
+
+func TestDocumentWithoutLang(t *testing.T) {
+	doc := NewDocument("anything", nil)
+	if _, err := doc.AST(); !errors.Is(err, ErrNoLang) {
+		t.Errorf("AST() err = %v, want ErrNoLang", err)
+	}
+	if _, err := doc.Tokens(); !errors.Is(err, ErrNoLang) {
+		t.Errorf("Tokens() err = %v, want ErrNoLang", err)
+	}
+	if doc.Valid() {
+		t.Error("langless document reports valid")
 	}
 }
 
@@ -220,7 +343,8 @@ func TestTraceAggregation(t *testing.T) {
 }
 
 func TestRunnerRecordsPassExecution(t *testing.T) {
-	doc := NewDocument("Write-Host before", nil)
+	c := NewCache(0, 0)
+	doc := NewDocument("Write-Host before", c.View(newFakeLang()))
 	r := NewRunner(nil)
 	pass := NewPass("demo", func(pc *PassContext) error {
 		if _, err := pc.Doc.AST(); err != nil { // one cache miss
@@ -258,12 +382,12 @@ func TestRunnerRecordsPassExecution(t *testing.T) {
 
 func TestOversizeTextBypassesCache(t *testing.T) {
 	c := NewCache(0, 0)
-	// A single giant word tokenizes in linear time, so this exercises
-	// the full Tokenize path (not just the bound check) while staying
-	// fast; the adversarial NUL-bomb variant lives in the -soak test.
+	l := newFakeLang()
 	big := "Write-Host " + strings.Repeat("a", maxCacheableText+1)
 	// Oversize text must not enter the cache (would evict everything)...
-	c.Tokenize(big) // tokenizing is safe even if the text doesn't parse
+	if _, err := c.Tokenize(l, big); err != nil {
+		t.Fatal(err)
+	}
 	if st := c.Stats(); st.Entries != 0 {
 		t.Errorf("oversize text was cached: %+v", st)
 	}
@@ -271,23 +395,27 @@ func TestOversizeTextBypassesCache(t *testing.T) {
 	if st := c.Stats(); st.Hits != 0 || st.Misses != 1 {
 		t.Errorf("bypass accounting = %+v, want 0 hits / 1 miss", st)
 	}
+	// The bypass still delegates to the frontend each time.
+	c.Tokenize(l, big)
+	if n := l.tokenizes.Load(); n != 2 {
+		t.Errorf("bypass tokenize calls = %d, want 2", n)
+	}
 }
 
-// TestOversizeHostileTextSoak is the original full-size variant: 4 MiB
-// of NUL bytes, the worst tokenizer input we know (every byte becomes
-// its own error token). It takes minutes, so it runs only under -soak
-// (make check); the fast variant above keeps the bypass logic covered
-// on every run.
+// TestOversizeHostileTextSoak is the full-size variant over hostile
+// content (NUL bytes). With a stub Lang it is no longer minutes of
+// work, but it keeps the multi-MiB allocation path exercised under
+// -soak (make check).
 func TestOversizeHostileTextSoak(t *testing.T) {
 	if !*soak {
-		t.Skip("multi-minute hostile tokenize; run with -soak (make check)")
+		t.Skip("multi-MiB hostile input; run with -soak (make check)")
 	}
 	if testing.Short() {
 		t.Skip("skipping soak in -short mode")
 	}
 	c := NewCache(0, 0)
 	big := "Write-Host " + string(make([]byte, maxCacheableText+1))
-	c.Tokenize(big)
+	c.Tokenize(newFakeLang(), big)
 	if st := c.Stats(); st.Entries != 0 {
 		t.Errorf("oversize hostile text was cached: %+v", st)
 	}
@@ -300,11 +428,17 @@ func TestCacheStatsHitRate(t *testing.T) {
 	if got := (CacheStats{Hits: 3, Misses: 1}).HitRate(); got != 0.75 {
 		t.Errorf("parse hit rate = %v, want 0.75", got)
 	}
+	if (LangCacheStats{}).HitRate() != 0 {
+		t.Error("zero-traffic per-lang parse hit rate should be 0")
+	}
 	if (EvalCacheStats{}).HitRate() != 0 {
 		t.Error("zero-traffic eval hit rate should be 0")
 	}
 	// Skips must not dilute the eval rate.
 	if got := (EvalCacheStats{Hits: 1, Misses: 1, Skips: 100}).HitRate(); got != 0.5 {
 		t.Errorf("eval hit rate = %v, want 0.5", got)
+	}
+	if got := (LangEvalStats{Hits: 1, Misses: 1, Skips: 9}).HitRate(); got != 0.5 {
+		t.Errorf("per-lang eval hit rate = %v, want 0.5", got)
 	}
 }

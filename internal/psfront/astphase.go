@@ -1,10 +1,11 @@
-package core
+package psfront
 
 import (
 	"sort"
 	"strconv"
 	"strings"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/frontend"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psast"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
@@ -81,7 +82,7 @@ func (s *astState) setRepl(n psast.Node, text string) {
 // fork holding a nested payload layer; either way tokens, ASTs and
 // validity checks come from the shared parse cache.
 func (r *run) astPhase(pc *pipeline.PassContext, doc *pipeline.Document, depth int) {
-	root, err := doc.AST()
+	root, err := docAST(doc)
 	if err != nil {
 		return
 	}
@@ -96,13 +97,13 @@ func (r *run) astPhase(pc *pipeline.PassContext, doc *pipeline.Document, depth i
 		vars:      make(map[string]varEntry),
 		safeFuncs: make(map[string]*psast.FunctionDefinition),
 	}
-	if r.d.opts.FunctionTracing {
+	if r.Opts.FunctionTracing {
 		s.collectPureFunctions(root)
 		s.buildPrelude()
 	}
 	s.visit(root, visitCtx{scope: []int{0}})
 	out := s.textOf(root)
-	doc.SetText(r.validOrRevert(pc, s.view, out, s.src))
+	doc.SetText(pc.ValidOrRevert(s.view, out, s.src))
 }
 
 // enterScope derives a child scope path.
@@ -263,7 +264,7 @@ func (s *astState) visit(n psast.Node, ctx visitCtx) {
 // is skipped, so the traversal winds down in O(nodes) instead of the
 // O(nodes x subtree) cost of safety analysis and recovery.
 func (s *astState) process(n psast.Node, ctx visitCtx) {
-	if s.r.env.violated() {
+	if s.r.Env.Violated() {
 		return
 	}
 	if v, ok := n.(*psast.VariableExpression); ok {
@@ -280,7 +281,7 @@ func (s *astState) process(n psast.Node, ctx visitCtx) {
 
 // processVariable implements lines 8–25 of Algorithm 1 for reads.
 func (s *astState) processVariable(v *psast.VariableExpression, ctx visitCtx) {
-	if ctx.assignLHS || s.r.d.opts.DisableVariableTracing {
+	if ctx.assignLHS || s.r.Opts.DisableVariableTracing {
 		return
 	}
 	name := canonicalVarName(v.Name)
@@ -301,7 +302,7 @@ func (s *astState) processVariable(v *psast.VariableExpression, ctx visitCtx) {
 		return
 	}
 	s.setRepl(v, lit)
-	s.r.stats.VariablesInlined++
+	s.r.Stats.VariablesInlined++
 }
 
 // canonicalVarName returns the lower-cased plain variable name, or ""
@@ -325,7 +326,7 @@ func canonicalVarName(name string) string {
 
 // processAssignment implements lines 13–20 of Algorithm 1.
 func (s *astState) processAssignment(a *psast.Assignment, ctx visitCtx) {
-	if s.r.d.opts.DisableVariableTracing || s.r.env.violated() {
+	if s.r.Opts.DisableVariableTracing || s.r.Env.Violated() {
 		return
 	}
 	v, ok := a.Left.(*psast.VariableExpression)
@@ -363,7 +364,7 @@ func (s *astState) processAssignment(a *psast.Assignment, ctx visitCtx) {
 		return
 	}
 	s.vars[name] = varEntry{value: value, scope: append([]int(nil), ctx.scope...)}
-	s.r.stats.VariablesTraced++
+	s.r.Stats.VariablesTraced++
 }
 
 // applyCompound folds a compound assignment over traced values.
@@ -406,7 +407,7 @@ func (s *astState) evaluateStatementValue(n psast.Node, ctx visitCtx) (any, bool
 	}
 	out, err := s.evalText(text, ctx)
 	if err != nil {
-		classifyEvalFailure(s.r.stats, err)
+		frontend.ClassifyEvalFailure(s.r.Stats, err)
 		return nil, false
 	}
 	value := psinterp.Unwrap(out)
@@ -420,7 +421,7 @@ func (s *astState) evaluateStatementValue(n psast.Node, ctx visitCtx) (any, bool
 // the result is a string or number (paper §III-B2).
 func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
 	text := s.textOf(n)
-	if len(text) > s.r.d.opts.MaxPieceLen {
+	if len(text) > s.r.Opts.MaxPieceLen {
 		return
 	}
 	if s.isTrivialPiece(n, text) {
@@ -429,10 +430,10 @@ func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
 	if !s.isSafePiece(n, ctx) {
 		return
 	}
-	s.r.stats.PiecesAttempted++
+	s.r.Stats.PiecesAttempted++
 	out, err := s.evalText(text, ctx)
 	if err != nil {
-		classifyEvalFailure(s.r.stats, err)
+		frontend.ClassifyEvalFailure(s.r.Stats, err)
 		return
 	}
 	value := psinterp.Unwrap(out)
@@ -440,11 +441,11 @@ func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
 	if !ok || lit == text {
 		return
 	}
-	if len(lit) > s.r.d.opts.MaxPieceLen {
+	if len(lit) > s.r.Opts.MaxPieceLen {
 		return
 	}
 	s.setRepl(n, lit)
-	s.r.stats.PiecesRecovered++
+	s.r.Stats.PiecesRecovered++
 }
 
 // buildPrelude memoizes the safe-function definition prelude. Sorted
@@ -473,7 +474,7 @@ func (s *astState) buildPrelude() {
 // would see it: only when tracing is active for this context and the
 // recording scope is visible from the current one.
 func (s *astState) visibleValue(name string, ctx visitCtx) (any, bool) {
-	if ctx.inFunc || s.r.d.opts.DisableVariableTracing {
+	if ctx.inFunc || s.r.Opts.DisableVariableTracing {
 		return nil, false
 	}
 	e, ok := s.vars[name]
@@ -527,7 +528,7 @@ func valueFP(v any) (string, bool) {
 // cached. The piece's parse still comes from the run's parse cache, so
 // even uncacheable evaluations skip re-parsing.
 func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
-	if err := s.r.env.check(); err != nil {
+	if err := s.r.Env.Check(); err != nil {
 		return nil, err
 	}
 	snippet := text
@@ -545,23 +546,21 @@ func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
 		return values, nil
 	}
 	opts := psinterp.Options{
-		MaxSteps:      s.r.d.opts.StepBudget,
+		MaxSteps:      s.r.Opts.StepBudget,
 		StrictVars:    true,
 		Blocklist:     s.blocklistForEval(),
-		MaxAllocBytes: s.r.d.opts.MaxAllocBytes,
+		MaxAllocBytes: s.r.Opts.MaxAllocBytes,
 	}
-	if s.r.env != nil {
-		opts.Ctx = s.r.env.ctx
-	}
+	opts.Ctx = s.r.Env.Context()
 	in := psinterp.New(opts)
-	if !ctx.inFunc && !s.r.d.opts.DisableVariableTracing {
+	if !ctx.inFunc && !s.r.Opts.DisableVariableTracing {
 		for name, e := range s.vars {
 			if scopeVisible(e.scope, ctx.scope) {
 				in.SetVar(name, e.value)
 			}
 		}
 	}
-	sb, err := s.view.Parse(snippet)
+	sb, err := viewParse(s.view, snippet)
 	if err != nil {
 		eval.Skip()
 		return nil, err
@@ -646,7 +645,7 @@ func (s *astState) isPureFunction(fd *psast.FunctionDefinition) bool {
 		switch x := node.(type) {
 		case *psast.Command:
 			name, ok := s.commandLiteralName(x)
-			if !ok || s.r.d.blocklist[psinterp.NormalizeCommandName(name)] ||
+			if !ok || s.r.Blocklist[psinterp.NormalizeCommandName(name)] ||
 				!safeCommands[psinterp.NormalizeCommandName(name)] {
 				pure = false
 				return
@@ -708,7 +707,7 @@ func assignedWithin(root psast.Node, lower string) bool {
 }
 
 func (s *astState) blocklistForEval() map[string]bool {
-	return s.r.d.blocklist
+	return s.r.Blocklist
 }
 
 // isTrivialPiece reports pieces whose recovery cannot simplify anything:
@@ -778,7 +777,7 @@ func (s *astState) isSafePiece(n psast.Node, ctx visitCtx) bool {
 				return
 			}
 			canonical := psinterp.NormalizeCommandName(name)
-			if s.r.d.blocklist[canonical] {
+			if s.r.Blocklist[canonical] {
 				safe = false
 				return
 			}
@@ -845,7 +844,7 @@ func (s *astState) variableKnown(name string, ctx visitCtx, inScriptBlock bool) 
 		"psculture", "psuiculture":
 		return true
 	}
-	if s.r.d.opts.DisableVariableTracing || ctx.inFunc {
+	if s.r.Opts.DisableVariableTracing || ctx.inFunc {
 		return false
 	}
 	key := canonicalVarName(name)
@@ -967,7 +966,7 @@ func (s *astState) literalValue(text string) (any, bool) {
 	if trimmed == "" {
 		return nil, false
 	}
-	root, err := s.view.Parse(trimmed)
+	root, err := viewParse(s.view, trimmed)
 	if err != nil {
 		return nil, false
 	}

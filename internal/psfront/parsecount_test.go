@@ -1,4 +1,4 @@
-package core
+package psfront
 
 import (
 	"encoding/base64"
@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	"github.com/invoke-deobfuscation/invokedeob/internal/corpus"
 	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
 )
 
@@ -48,7 +50,7 @@ const preRefactorParseCount = 55
 
 func TestParseCountBudget(t *testing.T) {
 	script := threeLayerScript()
-	d := New(Options{})
+	d := core.New(core.Options{Lang: "powershell"})
 	// Warm-up run outside the measurement so one-time costs don't skew.
 	if _, err := d.Deobfuscate(script); err != nil {
 		t.Fatalf("warm-up: %v", err)
@@ -75,20 +77,22 @@ func TestParseCountBudget(t *testing.T) {
 }
 
 // TestParseCountReportsAllInputs prints (verbose mode) the per-input
-// parse counts over the equivalence corpus — a quick profiling aid, not
-// an assertion.
+// parse counts over the deterministic corpus — a quick profiling aid,
+// not an assertion. The corpus parameters pin the same inputs as the
+// core equivalence suite.
 func TestParseCountReportsAllInputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("profiling aid")
 	}
-	d := New(Options{})
+	samples := corpus.Generate(corpus.Config{Seed: 20220627, N: 24, MaxL3Layers: 3})
+	d := core.New(core.Options{Lang: "powershell"})
 	var total int64
-	for i, s := range equivalenceCorpus() {
+	for i, s := range samples {
 		before := psparser.ParseCalls()
 		if _, err := d.Deobfuscate(s.Source); err != nil {
 			t.Fatalf("corpus_%02d: %v", i, err)
 		}
 		total += psparser.ParseCalls() - before
 	}
-	t.Log(fmt.Sprintf("total parses across %d corpus scripts: %d", len(equivalenceCorpus()), total))
+	t.Log(fmt.Sprintf("total parses across %d corpus scripts: %d", len(samples), total))
 }

@@ -1,0 +1,123 @@
+package psfront
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psinterp"
+)
+
+// deob runs the full driver over src with this frontend (the package's
+// init registration makes "powershell" resolvable).
+func deob(t *testing.T, src string) string {
+	t.Helper()
+	res, err := core.New(core.Options{Lang: "powershell"}).Deobfuscate(src)
+	if err != nil {
+		t.Fatalf("Deobfuscate(%q): %v", src, err)
+	}
+	return res.Script
+}
+
+func TestSemanticsPreservedForCleanScripts(t *testing.T) {
+	// Deobfuscating an already-clean script must not change behaviour
+	// or structure materially.
+	clean := []string{
+		"Write-Host hello",
+		"$total = 0\nforeach ($n in 1..10) { $total += $n }\nWrite-Output $total",
+		"function Get-Sum($a, $b) { $a + $b }\nGet-Sum 1 2",
+		"if (Test-Path 'C:\\x') { Remove-Item 'C:\\x' } else { Write-Host 'missing' }",
+	}
+	for _, src := range clean {
+		got := deob(t, src)
+		before := runConsoleOutputs(t, src)
+		after := runConsoleOutputs(t, got)
+		if before != after {
+			t.Errorf("output changed for %q:\nbefore %q\nafter  %q\nscript %q", src, before, after, got)
+		}
+	}
+}
+
+// runConsoleOutputs executes a script and returns console plus pipeline
+// output, ignoring errors (scripts may use denied side effects).
+func runConsoleOutputs(t *testing.T, src string) string {
+	t.Helper()
+	in := psinterp.New(psinterp.Options{})
+	out, _ := in.EvalSnippet(src)
+	return in.Console() + "|" + psinterp.ToString(psinterp.Unwrap(out))
+}
+
+func TestIsRandomName(t *testing.T) {
+	random := []string{"xkcdqz", "bqqzrtk4x", "KJQWXZb0", "sdfs" + "xdjmd" + "lsffs"}
+	// The paper's vowel band [32%,42%] is narrow; these names sit
+	// inside it (as realistic multi-name concatenations do).
+	normal := []string{"resulturl", "filepath", "clientbase", "remoteclient"}
+	for _, s := range random {
+		if !IsRandomName(s) {
+			t.Errorf("IsRandomName(%q) = false", s)
+		}
+	}
+	for _, s := range normal {
+		if IsRandomName(s) {
+			t.Errorf("IsRandomName(%q) = true", s)
+		}
+	}
+	// Low letter ratio is random regardless of vowels.
+	if !IsRandomName("a1_2__34$%") {
+		t.Error("low-letter name not random")
+	}
+}
+
+// TestQuoteSingleRoundTrip: quoting then evaluating yields the original
+// string for arbitrary content.
+func TestQuoteSingleRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "\x00") {
+			return true
+		}
+		lit := QuoteSingle(s)
+		in := psinterp.New(psinterp.Options{})
+		out, err := in.EvalSnippet(lit)
+		if err != nil {
+			// Some exotic unicode may not tokenize; acceptable as long
+			// as common content round-trips.
+			return !isPrintableASCII(s)
+		}
+		return psinterp.ToString(psinterp.Unwrap(out)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isPrintableASCII(s string) bool {
+	for _, r := range s {
+		if r < 32 || r > 126 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLiteralValue(t *testing.T) {
+	tests := []struct {
+		src  string
+		want any
+		ok   bool
+	}{
+		{"'str'", "str", true},
+		{"('wrapped')", "wrapped", true},
+		{"42", int64(42), true},
+		{"$var", nil, false},
+		{"'a'+'b'", nil, false},
+		{"bareword", nil, false},
+		{"", nil, false},
+	}
+	for _, tt := range tests {
+		got, ok := literalValue(tt.src)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("literalValue(%q) = %v,%v want %v,%v", tt.src, got, ok, tt.want, tt.ok)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package core
+package psfront
 
 import (
 	"strings"
@@ -29,9 +29,9 @@ func (r *run) reformatPhase(pc *pipeline.PassContext, doc *pipeline.Document) {
 	view := doc.View()
 	src := doc.Text()
 	collapsed := collapseWhitespace(view, src)
-	toks, err := view.Tokenize(collapsed)
+	toks, err := viewTokenize(view, collapsed)
 	if err != nil {
-		doc.SetText(r.validOrRevert(pc, view, collapsed, src))
+		doc.SetText(pc.ValidOrRevert(view, collapsed, src))
 		return
 	}
 	var literal []span   // strings and comments: braces inside do not nest
@@ -46,13 +46,13 @@ func (r *run) reformatPhase(pc *pipeline.PassContext, doc *pipeline.Document) {
 		}
 	}
 	indented := reindent(collapsed, literal, multiline)
-	doc.SetText(r.validOrRevert(pc, view, indented, src))
+	doc.SetText(pc.ValidOrRevert(view, indented, src))
 }
 
 // collapseWhitespace reduces runs of spaces and tabs outside strings and
 // comments to a single space and trims trailing whitespace.
 func collapseWhitespace(view *pipeline.View, src string) string {
-	toks, err := view.Tokenize(src)
+	toks, err := viewTokenize(view, src)
 	if err != nil {
 		return src
 	}

@@ -1,4 +1,4 @@
-package core
+package psfront
 
 import (
 	"fmt"
@@ -17,7 +17,7 @@ import (
 // run's cache — when phases 1–2 reached a fixpoint, the last ast pass
 // already cached this exact text.
 func (r *run) renamePhase(pc *pipeline.PassContext, doc *pipeline.Document) {
-	toks, err := doc.Tokens()
+	toks, err := docTokens(doc)
 	if err != nil {
 		return
 	}
@@ -53,17 +53,17 @@ func (r *run) renamePhase(pc *pipeline.PassContext, doc *pipeline.Document) {
 			key := strings.ToLower(tok.Content)
 			if repl, ok := varMap[key]; ok {
 				out = out[:tok.Start] + "$" + repl + out[tok.End():]
-				r.stats.IdentifiersRenamed++
+				r.Stats.IdentifiersRenamed++
 			}
 		case pstoken.Command, pstoken.CommandArgument:
 			key := strings.ToLower(tok.Content)
 			if repl, ok := funcMap[key]; ok {
 				out = out[:tok.Start] + repl + out[tok.End():]
-				r.stats.IdentifiersRenamed++
+				r.Stats.IdentifiersRenamed++
 			}
 		}
 	}
-	doc.SetText(r.validOrRevert(pc, doc.View(), out, src))
+	doc.SetText(pc.ValidOrRevert(doc.View(), out, src))
 }
 
 // collectVariableNames returns unique user variable names (lower-cased)
@@ -90,7 +90,7 @@ func collectVariableNames(toks []pstoken.Token) []string {
 // collectFunctionNames returns user-defined function names (lower-cased)
 // in definition order, from the Document's cached AST.
 func collectFunctionNames(doc *pipeline.Document) []string {
-	root, err := doc.AST()
+	root, err := docAST(doc)
 	if err != nil {
 		return nil
 	}

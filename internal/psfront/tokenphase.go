@@ -1,4 +1,4 @@
-package core
+package psfront
 
 import (
 	"regexp"
@@ -15,7 +15,7 @@ import (
 // stream and the rewrite's validity check both come from the run's
 // parse cache via doc.
 func (r *run) tokenPhase(pc *pipeline.PassContext, doc *pipeline.Document) {
-	toks, err := doc.Tokens()
+	toks, err := docTokens(doc)
 	if err != nil {
 		return
 	}
@@ -34,8 +34,8 @@ func (r *run) tokenPhase(pc *pipeline.PassContext, doc *pipeline.Document) {
 	if changed == 0 {
 		return
 	}
-	r.stats.TokensNormalized += changed
-	doc.SetText(r.validOrRevert(pc, doc.View(), out, src))
+	r.Stats.TokensNormalized += changed
+	doc.SetText(pc.ValidOrRevert(doc.View(), out, src))
 }
 
 // typeNameArg matches bare-word arguments that are .NET type names

@@ -1,4 +1,4 @@
-package core
+package psfront
 
 import (
 	"strings"
@@ -168,7 +168,7 @@ func (s *astState) replaceWithInner(n psast.Node, code string, ctx visitCtx) {
 		inner = "$(" + inner + ")"
 	}
 	s.setRepl(n, inner)
-	s.r.stats.LayersUnwrapped++
+	s.r.Stats.LayersUnwrapped++
 }
 
 // replaceElementWithInner substitutes one pipeline element with the
@@ -181,7 +181,7 @@ func (s *astState) replaceElementWithInner(n psast.Node, code string) {
 		return
 	}
 	s.setRepl(n, "("+inner+")")
-	s.r.stats.LayersUnwrapped++
+	s.r.Stats.LayersUnwrapped++
 }
 
 // deobPayload recursively deobfuscates a payload and reports its
@@ -196,14 +196,14 @@ func (s *astState) deobPayload(code string) (string, int, bool) {
 	if trimmed == "" {
 		return "", 0, false
 	}
-	if s.r.env.violated() || s.r.env.chargeOutput(len(trimmed)) != nil {
+	if s.r.Env.Violated() || s.r.Env.ChargeOutput(len(trimmed)) != nil {
 		return "", 0, false
 	}
-	if _, err := s.view.Parse(trimmed); err != nil {
+	if _, err := viewParse(s.view, trimmed); err != nil {
 		return "", 0, false
 	}
 	inner := s.r.deobfuscateLayer(s.pc, s.doc.Fork(trimmed), s.depth+1)
-	root, err := s.view.Parse(inner)
+	root, err := viewParse(s.view, inner)
 	if err != nil || root.Body == nil {
 		return "", 0, false
 	}
@@ -217,15 +217,15 @@ func (s *astState) deobPayload(code string) (string, int, bool) {
 // work (time, reverts, cache traffic) is attributed to the enclosing
 // ast pass in the trace.
 func (r *run) deobfuscateLayer(pc *pipeline.PassContext, doc *pipeline.Document, depth int) string {
-	for iter := 0; iter < r.d.opts.MaxIterations; iter++ {
-		if r.env.violated() {
+	for iter := 0; iter < r.Opts.MaxIterations; iter++ {
+		if r.Env.Violated() {
 			break
 		}
 		prev := doc.Text()
-		if !r.d.opts.DisableTokenPhase {
+		if !r.Opts.DisableTokenPhase {
 			r.tokenPhase(pc, doc)
 		}
-		if !r.d.opts.DisableASTPhase {
+		if !r.Opts.DisableASTPhase {
 			r.astPhase(pc, doc, depth)
 		}
 		next := doc.Text()
@@ -234,7 +234,7 @@ func (r *run) deobfuscateLayer(pc *pipeline.PassContext, doc *pipeline.Document,
 		}
 		// Growth-only charge, mirroring the top-level fixpoint loop;
 		// deobPayload already charged this layer's full size on entry.
-		if r.env.chargeOutput(len(next)-len(prev)) != nil {
+		if r.Env.ChargeOutput(len(next)-len(prev)) != nil {
 			doc.SetText(prev)
 			break
 		}

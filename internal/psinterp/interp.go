@@ -116,10 +116,10 @@ type Options struct {
 
 // Interp evaluates PowerShell ASTs.
 type Interp struct {
-	opts    Options
-	host    Host
-	steps   int
-	depth   int
+	opts   Options
+	host   Host
+	steps  int
+	depth  int
 	global *scope
 	// env holds the simulated Windows environment. It initially aliases
 	// the read-only sharedDefaultEnv; envOwned tracks whether it has

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	"github.com/invoke-deobfuscation/invokedeob/internal/frontend"
 	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
 )
@@ -18,7 +19,12 @@ import (
 type scriptRequest struct {
 	// Name labels the script in responses and logs (sample ID, path...).
 	Name string `json:"name,omitempty"`
-	// Script is the PowerShell source text.
+	// Lang selects the language frontend ("powershell", "javascript",
+	// or a registered alias). Empty falls back to the engine's
+	// configured language, then to per-script auto-detection. Unknown
+	// names answer 422 ErrBadLang.
+	Lang string `json:"lang,omitempty"`
+	// Script is the source text.
 	Script string `json:"script"`
 }
 
@@ -32,7 +38,10 @@ type batchRequest struct {
 // directly, so the HTTP surface and the library report identical
 // counters.
 type resultBody struct {
-	Name   string     `json:"name,omitempty"`
+	Name string `json:"name,omitempty"`
+	// Lang is the canonical name of the frontend that handled the run
+	// (the explicit request lang or the auto-detected guess).
+	Lang   string     `json:"lang,omitempty"`
 	Script string     `json:"script"`
 	Stats  core.Stats `json:"stats"`
 	// PassTrace is the per-pass execution trace (runs, duration, bytes,
@@ -47,6 +56,7 @@ type resultBody struct {
 type batchItemBody struct {
 	Name   string `json:"name,omitempty"`
 	Index  int    `json:"index"`
+	Lang   string `json:"lang,omitempty"`
 	Script string `json:"script,omitempty"`
 	// Error carries the per-script failure, if any; a script can carry
 	// both a partial Script and an Error (envelope violation mid-run).
@@ -69,6 +79,7 @@ func toResultBody(name string, res *core.Result, withLayers bool) *resultBody {
 	}
 	body := &resultBody{
 		Name:      name,
+		Lang:      res.Lang,
 		Script:    res.Script,
 		Stats:     res.Stats,
 		PassTrace: res.PassTrace,
@@ -77,6 +88,20 @@ func toResultBody(name string, res *core.Result, withLayers bool) *resultBody {
 		body.Layers = res.Layers
 	}
 	return body
+}
+
+// langLabel resolves the per-language counter key for one run: the
+// engine's canonical resolution when a result exists, the (normalized)
+// requested name when the run failed before resolving, "unknown" when
+// nothing was requested either.
+func langLabel(res *core.Result, requested string) string {
+	if res != nil && res.Lang != "" {
+		return res.Lang
+	}
+	if requested != "" {
+		return frontend.Normalize(requested)
+	}
+	return "unknown"
 }
 
 // wantLayers reports whether the request opted into layer output.
@@ -280,8 +305,9 @@ func (s *Server) handleDeobfuscate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := s.runSingle(ctx, req.Script)
+	res, err := s.runSingle(ctx, req.Lang, req.Script)
 	releaseSlot()
+	s.stats.observeLang(langLabel(res, req.Lang))
 	if res != nil {
 		s.stats.observeRun(res)
 	}
@@ -336,7 +362,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		batchCost += costEstimate(sc.Script)
-		inputs[i] = core.BatchInput{Name: sc.Name, Script: sc.Script}
+		inputs[i] = core.BatchInput{Name: sc.Name, Lang: sc.Lang, Script: sc.Script}
 	}
 	// A batch sheds as a unit on its summed cost: it occupies one
 	// admission token and one worker slot regardless of width, so its
@@ -360,8 +386,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := batchResponse{Results: make([]batchItemBody, len(results))}
 	for i, br := range results {
 		item := batchItemBody{Name: br.Name, Index: br.Index}
+		s.stats.observeLang(langLabel(br.Result, req.Scripts[br.Index].Lang))
 		if br.Result != nil {
 			s.stats.observeRun(br.Result)
+			item.Lang = br.Result.Lang
 			item.Script = br.Result.Script
 			stats := br.Result.Stats
 			item.Stats = &stats

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestLangSelection exercises the request-level language field end to
+// end: an explicit JS request is decoded by the JS frontend, an alias
+// resolves, an unknown language answers 422 ErrBadLang, and omitting
+// the field auto-detects per script.
+func TestLangSelection(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Explicit lang.
+	pr := postJSON(t, client, ts.URL+"/v1/deobfuscate",
+		`{"lang":"javascript","script":"var s = 'pay' + 'load'; use(s);"}`, nil)
+	if pr.status != http.StatusOK {
+		t.Fatalf("explicit js: status %d body %s", pr.status, pr.raw)
+	}
+	var body resultBody
+	if err := json.Unmarshal(pr.raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Lang != "javascript" {
+		t.Errorf("lang = %q, want javascript", body.Lang)
+	}
+	if !strings.Contains(body.Script, "'payload'") {
+		t.Errorf("JS decoder did not run: %q", body.Script)
+	}
+
+	// Alias resolves to the same frontend.
+	pr = postJSON(t, client, ts.URL+"/v1/deobfuscate",
+		`{"lang":"js","script":"var s = 'pay' + 'load';"}`, nil)
+	if pr.status != http.StatusOK {
+		t.Fatalf("alias js: status %d body %s", pr.status, pr.raw)
+	}
+	body = resultBody{}
+	if err := json.Unmarshal(pr.raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Lang != "javascript" {
+		t.Errorf("alias lang = %q, want javascript", body.Lang)
+	}
+
+	// Unknown language: 422 ErrBadLang.
+	pr = postJSON(t, client, ts.URL+"/v1/deobfuscate",
+		`{"lang":"cobol","script":"DISPLAY 'HI'."}`, nil)
+	if pr.status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown lang: status %d, want 422 (body %s)", pr.status, pr.raw)
+	}
+	if pr.eb.Error.Name != "ErrBadLang" {
+		t.Errorf("error name = %q, want ErrBadLang", pr.eb.Error.Name)
+	}
+
+	// Omitted lang auto-detects: a JS-idiom script lands on the JS
+	// frontend, a PowerShell one on the PowerShell frontend.
+	pr = postJSON(t, client, ts.URL+"/v1/deobfuscate",
+		`{"script":"var x = String.fromCharCode(104); console.log(x.split(''))"}`, nil)
+	if pr.status != http.StatusOK {
+		t.Fatalf("detect js: status %d body %s", pr.status, pr.raw)
+	}
+	body = resultBody{}
+	if err := json.Unmarshal(pr.raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Lang != "javascript" {
+		t.Errorf("detected lang = %q, want javascript", body.Lang)
+	}
+	pr = postJSON(t, client, ts.URL+"/v1/deobfuscate",
+		scriptBody("Write-Host hi"), nil)
+	if pr.status != http.StatusOK {
+		t.Fatalf("detect ps: status %d body %s", pr.status, pr.raw)
+	}
+	body = resultBody{}
+	if err := json.Unmarshal(pr.raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Lang != "powershell" {
+		t.Errorf("detected lang = %q, want powershell", body.Lang)
+	}
+}
+
+// TestBatchPerScriptLang asserts /v1/batch honors a per-script lang and
+// isolates a bad one to its item.
+func TestBatchPerScriptLang(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	reqBody := `{"scripts":[` +
+		`{"name":"js","lang":"javascript","script":"var s = 'a' + 'b';"},` +
+		`{"name":"ps","lang":"powershell","script":"iex ('write-host '+'hi')"},` +
+		`{"name":"bad","lang":"fortran","script":"x"}]}`
+	pr := postJSON(t, ts.Client(), ts.URL+"/v1/batch", reqBody, nil)
+	if pr.status != http.StatusOK {
+		t.Fatalf("batch status %d body %s", pr.status, pr.raw)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(pr.raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	js, ps, bad := resp.Results[0], resp.Results[1], resp.Results[2]
+	if js.Lang != "javascript" || !strings.Contains(js.Script, "'ab'") {
+		t.Errorf("js item = %+v", js)
+	}
+	if ps.Lang != "powershell" || !strings.Contains(ps.Script, "Write-Host") {
+		t.Errorf("ps item = %+v", ps)
+	}
+	if bad.Error == nil || bad.Error.Name != "ErrBadLang" {
+		t.Errorf("bad item error = %+v, want ErrBadLang", bad.Error)
+	}
+	if bad.Error != nil && bad.Error.Status != http.StatusUnprocessableEntity {
+		t.Errorf("bad item status = %d, want 422", bad.Error.Status)
+	}
+}
+
+// TestStatszPerLanguage asserts /statsz reports per-language run counts
+// and per-frontend cache hit rates after mixed-language traffic.
+func TestStatszPerLanguage(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Two runs per language over identical bytes-per-language, so each
+	// frontend's second run hits its namespaced cache slice.
+	for i := 0; i < 2; i++ {
+		pr := postJSON(t, client, ts.URL+"/v1/deobfuscate",
+			`{"lang":"javascript","script":"var s = 'a' + 'b';"}`, nil)
+		if pr.status != http.StatusOK {
+			t.Fatalf("js run: status %d body %s", pr.status, pr.raw)
+		}
+		pr = postJSON(t, client, ts.URL+"/v1/deobfuscate",
+			`{"lang":"powershell","script":"Write-Host hi"}`, nil)
+		if pr.status != http.StatusOK {
+			t.Fatalf("ps run: status %d body %s", pr.status, pr.raw)
+		}
+	}
+
+	resp, err := client.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body statszBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Langs["javascript"] != 2 || body.Langs["powershell"] != 2 {
+		t.Errorf("langs = %v, want 2 javascript and 2 powershell", body.Langs)
+	}
+	js, ok := body.ParseCache.ByLang["javascript"]
+	if !ok {
+		t.Fatalf("parse_cache.by_lang missing javascript: %+v", body.ParseCache.ByLang)
+	}
+	ps, ok := body.ParseCache.ByLang["powershell"]
+	if !ok {
+		t.Fatalf("parse_cache.by_lang missing powershell: %+v", body.ParseCache.ByLang)
+	}
+	// The repeated identical request must have hit its own frontend's
+	// namespace.
+	if js.Hits == 0 {
+		t.Errorf("javascript parse-cache slice shows no hits: %+v", js)
+	}
+	if ps.Hits == 0 {
+		t.Errorf("powershell parse-cache slice shows no hits: %+v", ps)
+	}
+	if js.HitRate <= 0 || ps.HitRate <= 0 {
+		t.Errorf("per-frontend hit rates not reported: js %+v ps %+v", js, ps)
+	}
+}

@@ -18,7 +18,7 @@ import (
 // immediately, for tests that exercise the pre-engine gates.
 func instantServer(cfg Config) *Server {
 	s := New(cfg)
-	s.runSingle = func(ctx context.Context, script string) (*core.Result, error) {
+	s.runSingle = func(ctx context.Context, lang, script string) (*core.Result, error) {
 		return &core.Result{Script: script}, nil
 	}
 	s.runBatch = func(ctx context.Context, inputs []core.BatchInput) []core.BatchResult {
@@ -276,7 +276,7 @@ func TestTimeoutHeaderTable(t *testing.T) {
 			s := New(Config{MaxTimeout: maxTO, DefaultTimeout: defaultTO})
 			var sawDeadline time.Duration
 			ran := false
-			s.runSingle = func(ctx context.Context, script string) (*core.Result, error) {
+			s.runSingle = func(ctx context.Context, lang, script string) (*core.Result, error) {
 				ran = true
 				dl, ok := ctx.Deadline()
 				if !ok {

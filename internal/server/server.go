@@ -49,6 +49,9 @@ import (
 	"github.com/invoke-deobfuscation/invokedeob/internal/core"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
 	"github.com/invoke-deobfuscation/invokedeob/internal/quota"
+
+	// Register the standard language frontends with the engine driver.
+	_ "github.com/invoke-deobfuscation/invokedeob/internal/frontends"
 )
 
 // TimeoutHeader is the request header carrying the client's requested
@@ -197,7 +200,7 @@ type Server struct {
 	// runSingle / runBatch execute engine work; tests substitute
 	// deterministic fakes to exercise admission and drain without
 	// timing dependence.
-	runSingle func(ctx context.Context, script string) (*core.Result, error)
+	runSingle func(ctx context.Context, lang, script string) (*core.Result, error)
 	runBatch  func(ctx context.Context, inputs []core.BatchInput) []core.BatchResult
 }
 
@@ -228,8 +231,8 @@ func New(cfg Config) *Server {
 	if !cfg.Engine.DisableEvalCache {
 		s.evalCache = core.NewEvalCache(0, 0)
 	}
-	s.runSingle = func(ctx context.Context, script string) (*core.Result, error) {
-		return s.eng.DeobfuscateShared(ctx, script, s.cache, s.evalCache)
+	s.runSingle = func(ctx context.Context, lang, script string) (*core.Result, error) {
+		return s.eng.DeobfuscateSharedLang(ctx, script, lang, s.cache, s.evalCache)
 	}
 	s.runBatch = func(ctx context.Context, inputs []core.BatchInput) []core.BatchResult {
 		return s.eng.DeobfuscateBatchShared(ctx, inputs, s.cache, s.evalCache)

@@ -78,7 +78,7 @@ func blockingServer(t *testing.T, cfg Config) (*Server, func(), chan struct{}) {
 	s := New(cfg)
 	block := make(chan struct{})
 	started := make(chan struct{}, 64)
-	s.runSingle = func(ctx context.Context, script string) (*core.Result, error) {
+	s.runSingle = func(ctx context.Context, lang, script string) (*core.Result, error) {
 		started <- struct{}{}
 		select {
 		case <-block:
@@ -214,7 +214,7 @@ func TestDeadlineTaxonomy(t *testing.T) {
 	})
 	t.Run("client deadline capped at MaxTimeout", func(t *testing.T) {
 		s := New(Config{MaxTimeout: 20 * time.Millisecond})
-		s.runSingle = func(ctx context.Context, script string) (*core.Result, error) {
+		s.runSingle = func(ctx context.Context, lang, script string) (*core.Result, error) {
 			dl, ok := ctx.Deadline()
 			if !ok {
 				t.Error("no deadline on request context")
@@ -382,7 +382,7 @@ func TestRequestValidation(t *testing.T) {
 // partial result alongside a taxonomy error, the error body carries it.
 func TestPartialResultOnEnvelopeViolation(t *testing.T) {
 	s := New(Config{})
-	s.runSingle = func(ctx context.Context, script string) (*core.Result, error) {
+	s.runSingle = func(ctx context.Context, lang, script string) (*core.Result, error) {
 		res := &core.Result{Script: "partial layer"}
 		res.Stats.TimedOut = true
 		return res, limits.ErrDeadline
@@ -429,7 +429,7 @@ func TestConfigDefaults(t *testing.T) {
 // TestLayersOptIn: layers appear only with ?layers=1.
 func TestLayersOptIn(t *testing.T) {
 	s := New(Config{})
-	s.runSingle = func(ctx context.Context, script string) (*core.Result, error) {
+	s.runSingle = func(ctx context.Context, lang, script string) (*core.Result, error) {
 		return &core.Result{Script: "out", Layers: []string{"l1", "l2"}}, nil
 	}
 	ts := httptest.NewServer(s.Handler())

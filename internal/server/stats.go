@@ -38,7 +38,10 @@ type serverStats struct {
 	// classes counts cost classifications of admitted work ("light",
 	// "heavy") plus "heavy_shed" for heavy requests refused under
 	// pressure, so operators can see the degradation order acting.
-	classes  map[string]int64
+	classes map[string]int64
+	// langs counts engine runs by resolved language frontend (batch
+	// items included), so mixed-language traffic is attributable.
+	langs    map[string]int64
 	inFlight int64
 	// agg sums every run's Stats (batch items included), so statsz
 	// exposes fleet-level pieces/layers/cache counters, not just the
@@ -59,6 +62,7 @@ func newServerStats() *serverStats {
 		errors:    make(map[string]int64),
 		statuses:  make(map[string]int64),
 		classes:   make(map[string]int64),
+		langs:     make(map[string]int64),
 		passes:    make(map[string]*pipeline.PassStat),
 	}
 }
@@ -91,6 +95,12 @@ func (st *serverStats) observeError(name string) {
 func (st *serverStats) observeClass(class string) {
 	st.mu.Lock()
 	st.classes[class]++
+	st.mu.Unlock()
+}
+
+func (st *serverStats) observeLang(lang string) {
+	st.mu.Lock()
+	st.langs[lang]++
 	st.mu.Unlock()
 }
 
@@ -188,6 +198,18 @@ type cacheStatsBody struct {
 	Entries   int     `json:"entries"`
 	Bytes     int64   `json:"bytes"`
 	HitRate   float64 `json:"hit_rate"`
+	// ByLang attributes the cache's traffic to language frontends
+	// (entries are namespaced per frontend), so a mixed-language fleet
+	// can see each frontend's amortization payoff separately.
+	ByLang map[string]langCacheStatsBody `json:"by_lang,omitempty"`
+}
+
+// langCacheStatsBody is one frontend's slice of a cache's traffic.
+type langCacheStatsBody struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Skips   int64   `json:"skips,omitempty"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // statszBody is the GET /statsz response.
@@ -207,6 +229,9 @@ type statszBody struct {
 	// Classes counts admitted work by predicted cost class ("light",
 	// "heavy") plus "heavy_shed" refusals under pressure.
 	Classes map[string]int64 `json:"classes"`
+	// Langs counts engine runs by resolved language frontend (batch
+	// items included).
+	Langs map[string]int64 `json:"langs"`
 	// Quota reports the per-tenant limiter, when enabled.
 	Quota *quotaStatsBody `json:"quota,omitempty"`
 	// Stats is the engine work summed over every run the server
@@ -272,6 +297,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Errors:        copyCounts(st.errors),
 		StatusCounts:  copyCounts(st.statuses),
 		Classes:       copyCounts(st.classes),
+		Langs:         copyCounts(st.langs),
 		Stats:         st.agg,
 		PassTrace:     make([]pipeline.PassStat, 0, len(st.passOrder)),
 	}
@@ -292,12 +318,29 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Hits: pc.Hits, Misses: pc.Misses, Evictions: pc.Evictions,
 		Entries: pc.Entries, Bytes: pc.Bytes, HitRate: pc.HitRate(),
 	}
+	if byLang := s.cache.LangStats(); len(byLang) > 0 {
+		body.ParseCache.ByLang = make(map[string]langCacheStatsBody, len(byLang))
+		for lang, ls := range byLang {
+			body.ParseCache.ByLang[lang] = langCacheStatsBody{
+				Hits: ls.Hits, Misses: ls.Misses, HitRate: ls.HitRate(),
+			}
+		}
+	}
 	if s.evalCache != nil {
 		ec := s.evalCache.Stats()
 		body.EvalCache = &cacheStatsBody{
 			Hits: ec.Hits, Misses: ec.Misses, Skips: ec.Skips,
 			Evictions: ec.Evictions, Entries: ec.Entries, Bytes: ec.Bytes,
 			HitRate: ec.HitRate(),
+		}
+		if byLang := s.evalCache.LangStats(); len(byLang) > 0 {
+			body.EvalCache.ByLang = make(map[string]langCacheStatsBody, len(byLang))
+			for lang, ls := range byLang {
+				body.EvalCache.ByLang[lang] = langCacheStatsBody{
+					Hits: ls.Hits, Misses: ls.Misses, Skips: ls.Skips,
+					HitRate: ls.HitRate(),
+				}
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, body)

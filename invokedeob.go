@@ -30,6 +30,8 @@ import (
 	"time"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+	"github.com/invoke-deobfuscation/invokedeob/internal/frontend"
+	_ "github.com/invoke-deobfuscation/invokedeob/internal/frontends"
 	"github.com/invoke-deobfuscation/invokedeob/internal/keyinfo"
 	"github.com/invoke-deobfuscation/invokedeob/internal/limits"
 	"github.com/invoke-deobfuscation/invokedeob/internal/obfuscate"
@@ -42,6 +44,10 @@ import (
 // paper's defaults: all phases on, ten fixpoint iterations, the
 // built-in command blocklist.
 type Options struct {
+	// Lang names the language frontend ("powershell", "javascript", or
+	// an alias like "ps1"/"js"). Empty auto-detects per script; unknown
+	// names fail with ErrBadLang.
+	Lang string
 	// MaxIterations bounds the multi-layer fixpoint loop (default 10).
 	MaxIterations int
 	// StepBudget bounds interpreter work per recoverable piece
@@ -92,6 +98,7 @@ func (o *Options) toCore() core.Options {
 		return core.Options{}
 	}
 	return core.Options{
+		Lang:                   o.Lang,
 		MaxIterations:          o.MaxIterations,
 		StepBudget:             o.StepBudget,
 		DisableTokenPhase:      o.DisableTokenPhase,
@@ -178,6 +185,9 @@ type PassStat struct {
 type Result struct {
 	// Script is the deobfuscated script.
 	Script string
+	// Lang is the canonical name of the language frontend that handled
+	// the run (the explicit Options.Lang, or the auto-detected guess).
+	Lang string
 	// Layers holds the intermediate script after each fixpoint round.
 	Layers []string
 	// Stats summarizes the work performed.
@@ -186,8 +196,13 @@ type Result struct {
 	PassTrace []PassStat
 }
 
-// ErrInvalidSyntax reports that the input does not parse as PowerShell.
+// ErrInvalidSyntax reports that the input does not parse under the
+// selected language frontend.
 var ErrInvalidSyntax = core.ErrInvalidSyntax
+
+// ErrBadLang reports an unknown Options.Lang / BatchInput.Lang value.
+// HTTP embedders map it to 422.
+var ErrBadLang = core.ErrBadLang
 
 // Structured error taxonomy for execution-envelope violations. Classify
 // failures with errors.Is; ErrorName maps an error back to its taxonomy
@@ -260,6 +275,7 @@ func toResult(res *core.Result) *Result {
 	}
 	return &Result{
 		Script:    res.Script,
+		Lang:      res.Lang,
 		Layers:    append([]string(nil), res.Layers...),
 		PassTrace: trace,
 		Stats: Stats{
@@ -289,6 +305,10 @@ type BatchInput struct {
 	Name string
 	// Script is the source text.
 	Script string
+	// Lang selects this script's language frontend, overriding
+	// Options.Lang; empty falls back to Options.Lang, then to
+	// auto-detection. A batch can mix languages freely.
+	Lang string
 }
 
 // BatchResult is the outcome of one script in a batch run.
@@ -316,7 +336,7 @@ type BatchResult struct {
 func DeobfuscateBatch(ctx context.Context, inputs []BatchInput, opts *Options) []BatchResult {
 	coreIn := make([]core.BatchInput, len(inputs))
 	for i, in := range inputs {
-		coreIn[i] = core.BatchInput{Name: in.Name, Script: in.Script}
+		coreIn[i] = core.BatchInput{Name: in.Name, Script: in.Script, Lang: in.Lang}
 	}
 	coreOut := core.New(opts.toCore()).DeobfuscateBatch(ctx, coreIn)
 	out := make([]BatchResult, len(coreOut))
@@ -331,7 +351,31 @@ func DeobfuscateBatch(ctx context.Context, inputs []BatchInput, opts *Options) [
 // validation of the same scripts (corpus preprocessing, dataset
 // funnels) parses once.
 func ValidSyntax(script string) bool {
-	return pipeline.DefaultCache().Valid(script)
+	ok, err := ValidSyntaxLang(script, "powershell")
+	return err == nil && ok
+}
+
+// ValidSyntaxLang is ValidSyntax for any registered language. Unknown
+// language names fail with ErrBadLang.
+func ValidSyntaxLang(script, lang string) (bool, error) {
+	fe, err := frontend.Get(lang)
+	if err != nil {
+		return false, err
+	}
+	return pipeline.DefaultCache().Valid(fe, script), nil
+}
+
+// Languages lists the registered language frontends (canonical names,
+// sorted) — the valid values for Options.Lang.
+func Languages() []string {
+	return frontend.Names()
+}
+
+// DetectLanguage guesses a script's language with cheap lexical
+// heuristics, returning a canonical frontend name. It never fails:
+// with no discriminating signal it returns "powershell".
+func DetectLanguage(script string) string {
+	return frontend.Detect(script)
 }
 
 // Detection reports one identified obfuscation technique.
