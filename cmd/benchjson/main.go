@@ -10,7 +10,15 @@
 // Usage:
 //
 //	benchjson [-o BENCH_pr3.json] [-benchtime 1s]
+//	benchjson -contended [-o BENCH_pr8.json]   # cache-tier contention report
 //	benchjson -emit-corpus DIR    # write the 24-sample profile corpus
+//
+// The -contended mode (see `make bench-contended`) measures the
+// sharded cache tier under a many-goroutine workload: single-mutex vs
+// sharded parse-cache ns/op at simulated multi-core GOMAXPROCS, the
+// duplicate-wave coalescing guarantee (at most one evaluation per
+// distinct script), and a full in-process kill/restart cycle through
+// the warm-restart snapshot. It writes BENCH_pr8.json.
 //
 // The -emit-corpus mode writes the deterministic 24-sample corpus as
 // .ps1 files for `make profile`, which feeds them through the CLI
@@ -88,6 +96,7 @@ func main() {
 		out        = flag.String("o", "BENCH_pr3.json", "output file")
 		benchtime  = flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
 		emitCorpus = flag.String("emit-corpus", "", "write the 24-sample profiling corpus to this directory and exit")
+		contended  = flag.Bool("contended", false, "measure the sharded cache tier under contention and write the BENCH_pr8 report")
 	)
 	flag.Parse()
 	if *emitCorpus != "" {
@@ -97,24 +106,44 @@ func main() {
 		}
 		return
 	}
+	if *contended {
+		rep, err := measureContended(*benchtime)
+		if err == nil {
+			err = writeReport(*out, rep)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: parse contention speedup %.2fx at %d simulated cores (%d shards), "+
+			"duplicate wave %.2f evals/distinct (%d coalesced waits), restart warm hits %d\n",
+			*out, rep.ParseContended.Speedup, rep.SimulatedCores, rep.ParseContended.Shards,
+			rep.DuplicateWave.EvaluationsPerDistinct, rep.DuplicateWave.CoalescedWaits,
+			rep.WarmRestart.FirstRunWarmHits)
+		return
+	}
 	rep, err := measure(*benchtime)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	b, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	b = append(b, '\n')
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
+	if err := writeReport(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s: single %d allocs/op (PR2 %d, -%.1f%%), duplicated-batch speedup %.2fx\n",
 		*out, rep.Bench["deobfuscate"].AllocsPerOp, rep.BaselinePR2.AllocsPerOp,
 		rep.AllocsReductionPct, rep.DuplicatedSpeedup)
+}
+
+// writeReport marshals any report shape to path as indented JSON.
+func writeReport(path string, rep any) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
 }
 
 // writeCorpus materializes the deterministic 24-sample corpus used by

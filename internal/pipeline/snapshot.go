@@ -1,0 +1,253 @@
+package pipeline
+
+// Warm-restart snapshot wire format.
+//
+// A snapshot persists only lang-namespaced *source texts* — never
+// tokens, ASTs or interpreter values. Artifacts are re-derived by the
+// owning frontend at load time, which buys three properties at once:
+// the format is frontend-agnostic (no per-language serializers to
+// version), it survives artifact-layout changes across deploys (a new
+// parser simply re-derives), and a corrupted snapshot can never inject
+// a malformed artifact — the worst case is a cold start.
+//
+// Layout (all integers little-endian):
+//
+//	magic    [8]byte  "IDOBSNP1"
+//	version  uint32   currently 1
+//	nParse   uint32   parse-cache record count
+//	nEval    uint32   eval-cache record count
+//	records  nParse+nEval × { langLen uint32, lang, textLen uint32, text }
+//	crc      uint32   IEEE CRC-32 of everything above
+//
+// Decoding is defensive: counts and lengths are capped, every read is
+// length-checked, and the CRC must match. Any violation returns
+// ErrSnapshotCorrupt and the caller starts cold.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// snapshotMagic identifies a cache snapshot file; the trailing '1' is
+// a coarse format generation alongside the explicit version field.
+var snapshotMagic = [8]byte{'I', 'D', 'O', 'B', 'S', 'N', 'P', '1'}
+
+const (
+	// snapshotVersion is the current wire version.
+	snapshotVersion = 1
+	// snapshotMaxRecords caps each section's record count before any
+	// allocation, so a corrupt count cannot balloon memory.
+	snapshotMaxRecords = 1 << 20
+	// snapshotMaxLangLen caps a record's language-name length.
+	snapshotMaxLangLen = 256
+	// snapshotMaxTextLen caps a record's text length (matches the
+	// largest text either cache would retain).
+	snapshotMaxTextLen = maxCacheableText
+)
+
+// ErrSnapshotCorrupt reports a snapshot that failed structural or
+// checksum validation. Loaders treat it (and any other decode error)
+// as "no snapshot": start cold, never crash.
+var ErrSnapshotCorrupt = errors.New("pipeline: cache snapshot corrupt")
+
+// SnapshotData is the decoded content of a warm-restart snapshot:
+// parse-cache texts and eval-cache snippets, each namespaced by
+// frontend name.
+type SnapshotData struct {
+	Parse []SnapshotEntry
+	Eval  []SnapshotEntry
+}
+
+// crcWriter folds everything written through it into a running CRC-32
+// while forwarding to the underlying writer.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// EncodeSnapshot writes data to w in the snapshot wire format.
+func EncodeSnapshot(w io.Writer, data SnapshotData) error {
+	if len(data.Parse) > snapshotMaxRecords || len(data.Eval) > snapshotMaxRecords {
+		return fmt.Errorf("pipeline: snapshot too large (%d parse / %d eval records)",
+			len(data.Parse), len(data.Eval))
+	}
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		_, err := cw.Write(u32[:])
+		return err
+	}
+	if err := writeU32(snapshotVersion); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(data.Parse))); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(data.Eval))); err != nil {
+		return err
+	}
+	writeRecord := func(e SnapshotEntry) error {
+		if len(e.Lang) > snapshotMaxLangLen || len(e.Text) > snapshotMaxTextLen {
+			return fmt.Errorf("pipeline: snapshot record exceeds caps (lang %d, text %d bytes)",
+				len(e.Lang), len(e.Text))
+		}
+		if err := writeU32(uint32(len(e.Lang))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(cw, e.Lang); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(len(e.Text))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(cw, e.Text)
+		return err
+	}
+	for _, e := range data.Parse {
+		if err := writeRecord(e); err != nil {
+			return err
+		}
+	}
+	for _, e := range data.Eval {
+		if err := writeRecord(e); err != nil {
+			return err
+		}
+	}
+	// The trailer CRC covers everything before it; write it to the
+	// buffered writer directly so it is excluded from its own checksum.
+	binary.LittleEndian.PutUint32(u32[:], cw.crc)
+	if _, err := bw.Write(u32[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// crcReader folds everything read through it into a running CRC-32.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// DecodeSnapshot reads a snapshot from r, validating structure, caps
+// and checksum. Any malformation — short file, bad magic, unsupported
+// version, oversize counts or lengths, trailing garbage, CRC mismatch
+// — yields ErrSnapshotCorrupt (wrapped with detail).
+func DecodeSnapshot(r io.Reader) (SnapshotData, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	corrupt := func(format string, args ...any) (SnapshotData, error) {
+		return SnapshotData{}, fmt.Errorf("%w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return corrupt("short magic: %v", err)
+	}
+	if magic != snapshotMagic {
+		return corrupt("bad magic %q", magic[:])
+	}
+	var u32 [4]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(cr, u32[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	version, err := readU32()
+	if err != nil {
+		return corrupt("short version: %v", err)
+	}
+	if version != snapshotVersion {
+		return corrupt("unsupported version %d", version)
+	}
+	nParse, err := readU32()
+	if err != nil {
+		return corrupt("short parse count: %v", err)
+	}
+	nEval, err := readU32()
+	if err != nil {
+		return corrupt("short eval count: %v", err)
+	}
+	if nParse > snapshotMaxRecords || nEval > snapshotMaxRecords {
+		return corrupt("record counts %d/%d exceed cap", nParse, nEval)
+	}
+	readRecord := func() (SnapshotEntry, error) {
+		langLen, err := readU32()
+		if err != nil {
+			return SnapshotEntry{}, fmt.Errorf("short lang length: %w", err)
+		}
+		if langLen > snapshotMaxLangLen {
+			return SnapshotEntry{}, fmt.Errorf("lang length %d exceeds cap", langLen)
+		}
+		lang := make([]byte, langLen)
+		if _, err := io.ReadFull(cr, lang); err != nil {
+			return SnapshotEntry{}, fmt.Errorf("short lang: %w", err)
+		}
+		textLen, err := readU32()
+		if err != nil {
+			return SnapshotEntry{}, fmt.Errorf("short text length: %w", err)
+		}
+		if textLen > snapshotMaxTextLen {
+			return SnapshotEntry{}, fmt.Errorf("text length %d exceeds cap", textLen)
+		}
+		text := make([]byte, textLen)
+		if _, err := io.ReadFull(cr, text); err != nil {
+			return SnapshotEntry{}, fmt.Errorf("short text: %w", err)
+		}
+		return SnapshotEntry{Lang: string(lang), Text: string(text)}, nil
+	}
+	data := SnapshotData{}
+	if nParse > 0 {
+		data.Parse = make([]SnapshotEntry, 0, min(int(nParse), 4096))
+	}
+	for i := uint32(0); i < nParse; i++ {
+		e, err := readRecord()
+		if err != nil {
+			return corrupt("parse record %d: %v", i, err)
+		}
+		data.Parse = append(data.Parse, e)
+	}
+	if nEval > 0 {
+		data.Eval = make([]SnapshotEntry, 0, min(int(nEval), 4096))
+	}
+	for i := uint32(0); i < nEval; i++ {
+		e, err := readRecord()
+		if err != nil {
+			return corrupt("eval record %d: %v", i, err)
+		}
+		data.Eval = append(data.Eval, e)
+	}
+	// The stored CRC covers everything read so far; read it raw (not
+	// through the CRC reader) and require an exact end-of-file after.
+	payloadCRC := cr.crc
+	if _, err := io.ReadFull(cr.r, u32[:]); err != nil {
+		return corrupt("short checksum: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(u32[:]); got != payloadCRC {
+		return corrupt("checksum mismatch: stored %08x, computed %08x", got, payloadCRC)
+	}
+	var one [1]byte
+	if n, _ := cr.r.Read(one[:]); n != 0 {
+		return corrupt("trailing garbage after checksum")
+	}
+	return data, nil
+}

@@ -521,12 +521,17 @@ func valueFP(v any) (string, bool) {
 // consulted under the key (snippet text, fingerprints of the visible
 // bindings a previous pure run read). On a hit the memoized output is
 // replayed — deep-copied, so splices can never alias cached state — and
-// no interpreter is constructed at all. On a miss the piece runs, and
-// if the interpreter's purity report confirms the run was deterministic
-// and side-effect-free, the result is inserted keyed by the exact
-// variables it read. Impure, failed or budget-violating runs are never
-// cached. The piece's parse still comes from the run's parse cache, so
-// even uncacheable evaluations skip re-parsing.
+// no interpreter is constructed at all. On a miss, Acquire coalesces
+// with any concurrent evaluation of the same snippet (a near-clone
+// wave across server requests costs one interpreter run) and this run
+// either waits for that leader's published result or becomes the
+// leader itself, holding a ticket it must resolve. If the interpreter's
+// purity report confirms the run was deterministic and side-effect-free,
+// the result is inserted keyed by the exact variables it read. Impure,
+// failed or budget-violating runs are never cached — their tickets
+// resolve as skips, releasing any coalesced waiters to retry under
+// their own envelopes. The piece's parse still comes from the run's
+// parse cache, so even uncacheable evaluations skip re-parsing.
 func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
 	if err := s.r.Env.Check(); err != nil {
 		return nil, err
@@ -536,15 +541,20 @@ func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
 		snippet = s.prelude + text
 	}
 	eval := s.pc.Eval
-	if values, ok := eval.Lookup(snippet, func(name string) (string, bool) {
+	values, ok, ticket := eval.Acquire(s.r.Env.Context(), snippet, func(name string) (string, bool) {
 		v, ok := s.visibleValue(name, ctx)
 		if !ok {
 			return "", false
 		}
 		return valueFP(v)
-	}); ok {
+	})
+	if ok {
 		return values, nil
 	}
+	// Backstop: if the evaluation below panics or returns early, the
+	// flight is released (idempotently) so coalesced waiters never hang
+	// on — or inherit — this run's failure.
+	defer ticket.Abort()
 	opts := psinterp.Options{
 		MaxSteps:      s.r.Opts.StepBudget,
 		StrictVars:    true,
@@ -562,30 +572,30 @@ func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
 	}
 	sb, err := viewParse(s.view, snippet)
 	if err != nil {
-		eval.Skip()
+		ticket.Skip()
 		return nil, err
 	}
 	out, err := in.EvalScript(sb)
 	if err != nil {
 		// Failed runs are never cached: the purity report of an aborted
 		// evaluation is incomplete by construction.
-		eval.Skip()
+		ticket.Skip()
 		return out, err
 	}
-	s.memoizeEval(eval, snippet, ctx, in, out)
+	s.memoizeEval(ticket, ctx, in, out)
 	return out, nil
 }
 
 // memoizeEval inserts a completed evaluation into the cache when the
-// purity report allows it, attributing the outcome (miss vs skip) to
-// the run's EvalView.
-func (s *astState) memoizeEval(eval *pipeline.EvalView, snippet string, ctx visitCtx, in *psinterp.Interp, out []any) {
-	if !eval.Enabled() {
+// purity report allows it, resolving the run's coalescing ticket and
+// attributing the outcome (miss vs skip) to the run's EvalView.
+func (s *astState) memoizeEval(ticket *pipeline.EvalTicket, ctx visitCtx, in *psinterp.Interp, out []any) {
+	if !ticket.Enabled() {
 		return
 	}
 	p := in.Purity()
 	if !p.Pure {
-		eval.Skip()
+		ticket.Skip()
 		return
 	}
 	bindings := make([]pipeline.Binding, 0, len(p.ReadVars))
@@ -595,17 +605,17 @@ func (s *astState) memoizeEval(eval *pipeline.EvalView, snippet string, ctx visi
 			// A read variable we cannot fingerprint (should not happen:
 			// reads are tracked only for preloaded names, which all come
 			// from visibleValue). Refuse to cache rather than risk it.
-			eval.Skip()
+			ticket.Skip()
 			return
 		}
 		fp, ok := valueFP(v)
 		if !ok {
-			eval.Skip()
+			ticket.Skip()
 			return
 		}
 		bindings = append(bindings, pipeline.Binding{Name: name, FP: fp})
 	}
-	eval.Insert(snippet, bindings, out)
+	ticket.Insert(bindings, out)
 }
 
 // collectPureFunctions records user functions whose bodies are pure:

@@ -111,6 +111,15 @@ type Config struct {
 	// at or above which heavy requests are shed. Zero means 0.75;
 	// negative disables cost-aware shedding.
 	ShedHighWater float64
+	// SnapshotPath, when non-empty, enables warm-restart persistence:
+	// the shared caches are loaded from this file at startup (missing
+	// or corrupt files mean a cold start, never a failure) and saved
+	// back on graceful drain and on the SnapshotInterval ticker.
+	SnapshotPath string
+	// SnapshotInterval is the periodic snapshot cadence. Zero means 5m
+	// when SnapshotPath is set; negative disables periodic saves (the
+	// drain-time save still happens).
+	SnapshotInterval time.Duration
 	// Engine configures the underlying deobfuscator shared by all
 	// requests.
 	Engine core.Options
@@ -157,6 +166,9 @@ func (c Config) withDefaults() Config {
 	if c.ShedHighWater == 0 {
 		c.ShedHighWater = 0.75
 	}
+	if c.SnapshotPath != "" && c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 5 * time.Minute
+	}
 	return c
 }
 
@@ -195,6 +207,11 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	// snap tracks warm-restart persistence (nil when SnapshotPath is
+	// unset): startup load outcome, save counters, and the periodic
+	// saver's lifecycle.
+	snap *snapshotState
+
 	stats *serverStats
 
 	// runSingle / runBatch execute engine work; tests substitute
@@ -210,7 +227,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		eng:   core.New(cfg.Engine),
-		cache: pipeline.NewCache(0, 0),
+		cache: core.NewParseCache(0, 0),
 		admit: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		slots: make(chan struct{}, cfg.Workers),
 		stats: newServerStats(),
@@ -230,6 +247,19 @@ func New(cfg Config) *Server {
 	}
 	if !cfg.Engine.DisableEvalCache {
 		s.evalCache = core.NewEvalCache(0, 0)
+	}
+	if cfg.SnapshotPath != "" {
+		s.snap = &snapshotState{
+			path: cfg.SnapshotPath,
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		s.loadSnapshot()
+		if cfg.SnapshotInterval > 0 {
+			go s.snapshotLoop(cfg.SnapshotInterval)
+		} else {
+			close(s.snap.done)
+		}
 	}
 	s.runSingle = func(ctx context.Context, lang, script string) (*core.Result, error) {
 		return s.eng.DeobfuscateSharedLang(ctx, script, lang, s.cache, s.evalCache)
@@ -277,7 +307,10 @@ func (s *Server) Draining() bool {
 // in-flight request to complete (bounded by ctx). In-flight work is
 // never interrupted: a request admitted before the flip finishes and
 // its response is delivered. Drain is idempotent; concurrent calls all
-// wait for the same quiesce.
+// wait for the same quiesce. When warm-restart persistence is enabled,
+// the quiesced caches are saved to the snapshot file exactly once (on
+// timeout the save still runs — a slightly stale snapshot beats a cold
+// restart).
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
@@ -287,12 +320,19 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.inflight.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.snap != nil {
+		s.snap.saveOnDrain.Do(func() {
+			s.stopSnapshotLoop()
+			s.saveSnapshot()
+		})
+	}
+	return err
 }
 
 // requestContext derives the per-request processing deadline: the

@@ -1,0 +1,150 @@
+package server
+
+// Warm-restart persistence wiring: load the cache snapshot at startup,
+// save it on graceful drain and on a periodic ticker, and expose the
+// load/save outcomes through /statsz. All snapshot failures are
+// non-fatal — a missing or corrupt file means a cold start, a failed
+// save means the previous snapshot (if any) stays in place.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/core"
+)
+
+// snapshotLoadTimeout bounds startup warm-up: re-deriving artifacts is
+// useful only if it does not delay readiness indefinitely.
+const snapshotLoadTimeout = 30 * time.Second
+
+// snapshotState tracks the lifecycle of the server's snapshot file.
+type snapshotState struct {
+	path string
+
+	mu        sync.Mutex
+	loaded    bool
+	loadErr   string
+	loadStats core.SnapshotLoadStats
+
+	saves      int64
+	saveErrors int64
+	lastSave   core.SnapshotSaveStats
+	lastErr    string
+
+	saveOnDrain sync.Once
+	stop        chan struct{}
+	stopOnce    sync.Once
+	done        chan struct{}
+}
+
+// loadSnapshot warms the caches from the configured snapshot at
+// startup. A missing file is a normal first boot; any other failure is
+// recorded for /statsz and the server starts cold.
+func (s *Server) loadSnapshot() {
+	ctx, cancel := context.WithTimeout(context.Background(), snapshotLoadTimeout)
+	defer cancel()
+	stats, err := core.LoadCacheSnapshot(ctx, s.snap.path, s.cache, s.evalCache)
+	s.snap.mu.Lock()
+	defer s.snap.mu.Unlock()
+	s.snap.loadStats = stats
+	switch {
+	case err == nil:
+		s.snap.loaded = true
+	case errors.Is(err, os.ErrNotExist):
+		// First boot: no snapshot yet, nothing to report.
+	default:
+		s.snap.loadErr = err.Error()
+	}
+}
+
+// saveSnapshot writes the current cache contents to the configured
+// path, recording the outcome for /statsz.
+func (s *Server) saveSnapshot() {
+	stats, err := core.SaveCacheSnapshot(s.snap.path, s.cache, s.evalCache)
+	s.snap.mu.Lock()
+	defer s.snap.mu.Unlock()
+	if err != nil {
+		s.snap.saveErrors++
+		s.snap.lastErr = err.Error()
+		return
+	}
+	s.snap.saves++
+	s.snap.lastSave = stats
+	s.snap.lastErr = ""
+}
+
+// snapshotLoop periodically persists the caches until stopped, so a
+// crash (no graceful drain) loses at most one interval of warmth.
+func (s *Server) snapshotLoop(interval time.Duration) {
+	defer close(s.snap.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.saveSnapshot()
+		case <-s.snap.stop:
+			return
+		}
+	}
+}
+
+// stopSnapshotLoop halts the periodic saver (idempotent) and waits for
+// an in-progress tick to finish, so a drain-time save never races a
+// ticker save on the same file.
+func (s *Server) stopSnapshotLoop() {
+	if s.snap == nil {
+		return
+	}
+	s.snap.stopOnce.Do(func() { close(s.snap.stop) })
+	<-s.snap.done
+}
+
+// snapshotStatsBody is the /statsz surface of the snapshot lifecycle.
+type snapshotStatsBody struct {
+	Path   string `json:"path"`
+	Loaded bool   `json:"loaded"`
+	// LoadError explains a cold start (missing file, corrupt snapshot).
+	LoadError string `json:"load_error,omitempty"`
+	// Load counters: records present in the file vs records actually
+	// re-derived into the caches.
+	LoadParseEntries int `json:"load_parse_entries"`
+	LoadEvalEntries  int `json:"load_eval_entries"`
+	LoadParseWarmed  int `json:"load_parse_warmed"`
+	LoadEvalWarmed   int `json:"load_eval_warmed"`
+	// Save counters across the server's lifetime (ticker + drain).
+	Saves         int64  `json:"saves"`
+	SaveErrors    int64  `json:"save_errors,omitempty"`
+	LastSaveError string `json:"last_save_error,omitempty"`
+	LastSaveParse int    `json:"last_save_parse_entries"`
+	LastSaveEval  int    `json:"last_save_eval_entries"`
+	LastSaveBytes int64  `json:"last_save_bytes"`
+}
+
+// snapshotStats renders the current snapshot lifecycle state, or nil
+// when persistence is disabled.
+func (s *Server) snapshotStats() *snapshotStatsBody {
+	if s.snap == nil {
+		return nil
+	}
+	s.snap.mu.Lock()
+	defer s.snap.mu.Unlock()
+	return &snapshotStatsBody{
+		Path:             s.snap.path,
+		Loaded:           s.snap.loaded,
+		LoadError:        s.snap.loadErr,
+		LoadParseEntries: s.snap.loadStats.ParseEntries,
+		LoadEvalEntries:  s.snap.loadStats.EvalEntries,
+		LoadParseWarmed:  s.snap.loadStats.ParseLoaded,
+		LoadEvalWarmed:   s.snap.loadStats.EvalLoaded,
+		Saves:            s.snap.saves,
+		SaveErrors:       s.snap.saveErrors,
+		LastSaveError:    s.snap.lastErr,
+		LastSaveParse:    s.snap.lastSave.ParseEntries,
+		LastSaveEval:     s.snap.lastSave.EvalEntries,
+		LastSaveBytes:    s.snap.lastSave.Bytes,
+	}
+}

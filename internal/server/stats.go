@@ -198,6 +198,17 @@ type cacheStatsBody struct {
 	Entries   int     `json:"entries"`
 	Bytes     int64   `json:"bytes"`
 	HitRate   float64 `json:"hit_rate"`
+	// Shards is the lock-stripe count; ShardOccupancy the per-shard
+	// entry counts in shard order (skew here means a hot hash range).
+	Shards         int   `json:"shards"`
+	ShardOccupancy []int `json:"shard_occupancy"`
+	// CoalescedWaits counts requests that blocked on another request's
+	// identical in-flight computation instead of duplicating it.
+	CoalescedWaits int64 `json:"coalesced_waits"`
+	// Warmed / WarmHits are the warm-restart payoff: entries preloaded
+	// from the snapshot, and hits served by them.
+	Warmed   int64 `json:"warmed,omitempty"`
+	WarmHits int64 `json:"warm_hits,omitempty"`
 	// ByLang attributes the cache's traffic to language frontends
 	// (entries are namespaced per frontend), so a mixed-language fleet
 	// can see each frontend's amortization payoff separately.
@@ -245,6 +256,9 @@ type statszBody struct {
 	// request boundaries.
 	ParseCache cacheStatsBody  `json:"parse_cache"`
 	EvalCache  *cacheStatsBody `json:"eval_cache,omitempty"`
+	// Snapshot reports the warm-restart lifecycle (load outcome, save
+	// counters), when persistence is enabled.
+	Snapshot *snapshotStatsBody `json:"snapshot,omitempty"`
 }
 
 // quotaStatsBody is the wire shape of the per-tenant limiter's state.
@@ -317,6 +331,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	body.ParseCache = cacheStatsBody{
 		Hits: pc.Hits, Misses: pc.Misses, Evictions: pc.Evictions,
 		Entries: pc.Entries, Bytes: pc.Bytes, HitRate: pc.HitRate(),
+		Shards: pc.Shards, ShardOccupancy: s.cache.ShardOccupancy(),
+		CoalescedWaits: pc.CoalescedWaits,
+		Warmed:         pc.Warmed, WarmHits: pc.WarmHits,
 	}
 	if byLang := s.cache.LangStats(); len(byLang) > 0 {
 		body.ParseCache.ByLang = make(map[string]langCacheStatsBody, len(byLang))
@@ -332,6 +349,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Hits: ec.Hits, Misses: ec.Misses, Skips: ec.Skips,
 			Evictions: ec.Evictions, Entries: ec.Entries, Bytes: ec.Bytes,
 			HitRate: ec.HitRate(),
+			Shards:  ec.Shards, ShardOccupancy: s.evalCache.ShardOccupancy(),
+			CoalescedWaits: ec.CoalescedWaits,
+			Warmed:         ec.Warmed, WarmHits: ec.WarmHits,
 		}
 		if byLang := s.evalCache.LangStats(); len(byLang) > 0 {
 			body.EvalCache.ByLang = make(map[string]langCacheStatsBody, len(byLang))
@@ -343,6 +363,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	body.Snapshot = s.snapshotStats()
 	writeJSON(w, http.StatusOK, body)
 }
 
