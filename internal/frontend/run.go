@@ -60,6 +60,19 @@ type Options struct {
 	// Jobs bounds DeobfuscateBatch worker-pool concurrency. Zero means
 	// GOMAXPROCS.
 	Jobs int
+	// PieceWorkers bounds the per-run worker pool that evaluates
+	// independent recoverable pieces concurrently inside one ast-phase
+	// walk. Zero means GOMAXPROCS; 1 forces the sequential order. Batch
+	// runs clamp jobs × piece-workers to GOMAXPROCS so a batch does not
+	// oversubscribe the machine. Outputs are byte-identical at any
+	// setting: pieces are partitioned into independence groups first and
+	// results are applied in capture order.
+	PieceWorkers int
+	// DisableSplice turns off batched subtree splicing with incremental
+	// reparse (ablation): every ast-phase replacement round re-renders
+	// the whole script and re-validates it with a full parse, the
+	// pre-splice behavior. Outputs are byte-identical either way.
+	DisableSplice bool
 	// ScriptTimeout, when positive, gives each script in a
 	// DeobfuscateBatch run its own wall-clock deadline (derived from the
 	// batch context), so one pathological script cannot starve its
@@ -110,6 +123,16 @@ type Stats struct {
 	// EvalCacheSkips counts piece evaluations that ran but were not
 	// cacheable (impure, failed, or holding uncopyable values).
 	EvalCacheSkips int64
+	// PiecesParallel counts recoverable pieces evaluated off the walk
+	// goroutine by the piece worker pool (0 when PieceWorkers is 1).
+	PiecesParallel int
+	// SplicesApplied counts ast-phase replacement batches applied as an
+	// incremental Document splice (statement-extent reparse only).
+	SplicesApplied int
+	// SpliceFallbacks counts replacement batches where the splice was
+	// attempted but failed validation and the engine fell back to a full
+	// re-render + reparse.
+	SpliceFallbacks int
 }
 
 // Run carries the per-run state every pass shares: the run's options,

@@ -290,6 +290,23 @@ func (e *cacheEntry) lead(slot *artifactSlot, compute func() (any, error)) (val 
 	return val, err
 }
 
+// publish installs an externally synthesized artifact into an empty
+// slot. It never overwrites a live or completed computation: splice
+// synthesis and a concurrent fresh parse of the same text must agree
+// (both describe the same bytes), so first-writer-wins is safe and
+// keeps the singleflight invariants — a slotComputing leader still owns
+// its done channel. Reports whether the value was installed.
+func (e *cacheEntry) publish(slot *artifactSlot, val any) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if slot.state != slotEmpty {
+		return false
+	}
+	slot.state = slotDone
+	slot.val, slot.err = val, nil
+	return true
+}
+
 // preload derives the slot's artifact eagerly (snapshot load path) and
 // marks it warm. It never overwrites a live computation: if another
 // goroutine is computing or has computed, preload leaves the slot
@@ -577,6 +594,36 @@ func (c *Cache) Preload(l Lang, text string) bool {
 	return false
 }
 
+// Insert publishes synthesized artifacts for (l, text) without running
+// the language's tokenizer or parser — the incremental-splice path,
+// where the frontend assembles the new text's token stream and AST from
+// already-validated slices and shifted reuse of the old artifacts.
+// Artifacts must be exactly what Tokenize/Parse would produce for text;
+// the cache trusts the frontend on this (the splice fuzz suite checks
+// it against full-reparse ground truth). Either artifact may be nil to
+// skip that slot. Existing or in-flight artifacts are never overwritten,
+// and no hits or misses are recorded (synthesis is not traffic).
+// Reports whether at least one artifact was installed (false also for
+// oversize texts, which are never cached).
+func (c *Cache) Insert(l Lang, text string, tokens, ast any) bool {
+	if l == nil {
+		return false
+	}
+	lang := l.Name()
+	e := c.lookup(lang, text, hashKey(lang, text))
+	if e == nil {
+		return false
+	}
+	installed := false
+	if tokens != nil && e.publish(&e.tok, tokens) {
+		installed = true
+	}
+	if ast != nil && e.publish(&e.ast, ast) {
+		installed = true
+	}
+	return installed
+}
+
 // SnapshotEntry is one cached source text in a warm-restart snapshot:
 // the language namespace plus the exact text. Artifacts are never
 // serialized — they are re-derived on load, which keeps the format
@@ -686,6 +733,12 @@ type View struct {
 // Cache returns the underlying shared cache.
 func (v *View) Cache() *Cache { return v.c }
 
+// Fork returns a fresh view onto the same cache and language with
+// zeroed counters. Parallel piece workers each fork the run's view —
+// View counters are not concurrency-safe — and the caller merges the
+// forks' hits/misses back after the workers join.
+func (v *View) Fork() *View { return &View{c: v.c, lang: v.lang} }
+
 // Lang returns the language this view is bound to.
 func (v *View) Lang() Lang { return v.lang }
 
@@ -715,6 +768,13 @@ func (v *View) Parse(src string) (any, error) {
 func (v *View) Valid(src string) bool {
 	_, err := v.Parse(src)
 	return err == nil
+}
+
+// Insert is Cache.Insert under this view's language. Like the Cache
+// method it records no hits or misses; subsequent Tokenize/Parse calls
+// on the same text count as ordinary hits.
+func (v *View) Insert(text string, tokens, ast any) bool {
+	return v.c.Insert(v.lang, text, tokens, ast)
 }
 
 // defaultCache backs package-level conveniences (facade ValidSyntax):

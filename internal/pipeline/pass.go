@@ -29,6 +29,32 @@ type PassContext struct {
 	// when evaluation memoization is disabled; EvalView methods accept
 	// a nil receiver).
 	Eval *EvalView
+
+	// nestedDepth / nestedTime track wall-clock time spent inside nested
+	// payload layers re-entered from within a pass (see BeginNested), so
+	// Runner.Run can split a pass's cumulative duration into self time
+	// vs nested-layer time instead of double-attributing the nested work.
+	nestedDepth int
+	nestedTime  time.Duration
+}
+
+// BeginNested marks entry into a nested payload layer whose pass work
+// executes inside the currently running pass (the ast phase re-enters
+// the token and ast phases for every unwrapped layer). It returns the
+// matching end function, to be called — typically deferred — when the
+// nested layer finishes. Only the outermost nesting level accrues time,
+// so recursive layers are counted once, and Runner.Run subtracts the
+// accrued time from the enclosing pass's SelfDuration while leaving its
+// cumulative Duration intact.
+func (pc *PassContext) BeginNested() func() {
+	pc.nestedDepth++
+	start := time.Now()
+	return func() {
+		pc.nestedDepth--
+		if pc.nestedDepth == 0 {
+			pc.nestedTime += time.Since(start)
+		}
+	}
 }
 
 // ValidOrRevert returns candidate when it parses under view's
@@ -71,8 +97,15 @@ type PassStat struct {
 	// Runs is how many times the pass executed.
 	Runs int
 	// Duration is total wall-clock time spent inside the pass,
-	// including nested payload layers unwrapped from within it.
+	// including nested payload layers unwrapped from within it
+	// (cumulative time).
 	Duration time.Duration
+	// SelfDuration is Duration minus the time spent inside nested
+	// payload layers re-entered from within the pass (the layers'
+	// token/ast work runs under the enclosing ast pass). Summing
+	// SelfDuration across passes approximates the run's wall clock;
+	// summing Duration double-counts every unwrapped layer.
+	SelfDuration time.Duration
 	// BytesIn is the document size when the pass first ran.
 	BytesIn int
 	// BytesOut is the document size after the pass's latest run.
@@ -105,8 +138,10 @@ func NewTrace() *Trace {
 	return &Trace{byName: make(map[string]*PassStat)}
 }
 
-// Record folds one pass execution into the trace.
-func (t *Trace) Record(pass string, d time.Duration, bytesIn, bytesOut, reverts int, hits, misses int64, evalHits, evalMisses, evalSkips int64) {
+// Record folds one pass execution into the trace. d is the execution's
+// cumulative duration, self the portion spent outside nested payload
+// layers.
+func (t *Trace) Record(pass string, d, self time.Duration, bytesIn, bytesOut, reverts int, hits, misses int64, evalHits, evalMisses, evalSkips int64) {
 	st, ok := t.byName[pass]
 	if !ok {
 		st = &PassStat{Pass: pass, BytesIn: bytesIn}
@@ -115,6 +150,7 @@ func (t *Trace) Record(pass string, d time.Duration, bytesIn, bytesOut, reverts 
 	}
 	st.Runs++
 	st.Duration += d
+	st.SelfDuration += self
 	st.BytesOut = bytesOut
 	st.Reverts += reverts
 	st.CacheHits += hits
@@ -161,13 +197,21 @@ func (r *Runner) Run(p Pass, pc *PassContext) error {
 	}
 	reverts0 := pc.Reverts
 	bytesIn := pc.Doc.Len()
+	nested0 := pc.nestedTime
 	start := time.Now()
 	err := p.Run(pc)
+	total := time.Since(start)
 	var eh, em, es int64
 	if pc.Eval != nil {
 		eh, em, es = pc.Eval.Hits-eh0, pc.Eval.Misses-em0, pc.Eval.Skips-es0
 	}
-	r.trace.Record(p.Name(), time.Since(start), bytesIn, pc.Doc.Len(),
+	// Self time excludes the nested payload layers processed inside this
+	// execution; their own pass work would otherwise be attributed twice.
+	self := total - (pc.nestedTime - nested0)
+	if self < 0 {
+		self = 0
+	}
+	r.trace.Record(p.Name(), total, self, bytesIn, pc.Doc.Len(),
 		pc.Reverts-reverts0, view.Hits-hits0, view.Misses-misses0, eh, em, es)
 	return err
 }

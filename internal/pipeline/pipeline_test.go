@@ -316,9 +316,9 @@ func TestDocumentWithoutLang(t *testing.T) {
 
 func TestTraceAggregation(t *testing.T) {
 	tr := NewTrace()
-	tr.Record("token", 2*time.Millisecond, 100, 90, 1, 3, 2, 0, 0, 0)
-	tr.Record("ast", time.Millisecond, 90, 50, 0, 5, 1, 2, 1, 1)
-	tr.Record("token", time.Millisecond, 50, 40, 2, 1, 0, 0, 0, 0)
+	tr.Record("token", 2*time.Millisecond, 2*time.Millisecond, 100, 90, 1, 3, 2, 0, 0, 0)
+	tr.Record("ast", time.Millisecond, time.Millisecond/2, 90, 50, 0, 5, 1, 2, 1, 1)
+	tr.Record("token", time.Millisecond, time.Millisecond, 50, 40, 2, 1, 0, 0, 0, 0)
 	stats := tr.Stats()
 	if len(stats) != 2 {
 		t.Fatalf("got %d pass stats", len(stats))
@@ -329,6 +329,12 @@ func TestTraceAggregation(t *testing.T) {
 	}
 	if tok.Runs != 2 || tok.Duration != 3*time.Millisecond || tok.Reverts != 3 {
 		t.Errorf("token aggregate = %+v", tok)
+	}
+	if tok.SelfDuration != 3*time.Millisecond {
+		t.Errorf("token self-duration = %v, want 3ms", tok.SelfDuration)
+	}
+	if ast := stats[1]; ast.SelfDuration != time.Millisecond/2 {
+		t.Errorf("ast self-duration = %v, want 0.5ms", ast.SelfDuration)
 	}
 	if tok.BytesIn != 100 || tok.BytesOut != 40 {
 		t.Errorf("token bytes = in %d out %d, want first-in 100 / last-out 40", tok.BytesIn, tok.BytesOut)

@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeSplicer wraps fakeLang with a Splicer capability that applies
+// edits textually, rejects batches on demand, and records what it was
+// handed — enough to pin Document.Splice's dispatch contract without a
+// real frontend.
+type fakeSplicer struct {
+	fakeLang
+	reject  bool
+	calls   int
+	gotText string
+	gotLen  int
+}
+
+func (l *fakeSplicer) Splice(view *View, text string, edits []Edit) (string, bool) {
+	l.calls++
+	l.gotText = text
+	l.gotLen = len(edits)
+	if l.reject {
+		return "", false
+	}
+	var b strings.Builder
+	cursor := 0
+	for _, e := range edits {
+		b.WriteString(text[cursor:e.Start])
+		b.WriteString(e.New)
+		cursor = e.End
+	}
+	b.WriteString(text[cursor:])
+	return b.String(), true
+}
+
+func TestDocumentSpliceApplies(t *testing.T) {
+	l := &fakeSplicer{fakeLang: fakeLang{name: "fake"}}
+	doc := NewDocument("aaa bbb ccc", NewCache(0, 0).View(l))
+	ok := doc.Splice([]Edit{{Start: 4, End: 7, New: "XY"}})
+	if !ok {
+		t.Fatal("Splice reported false for an accepted batch")
+	}
+	if got := doc.Text(); got != "aaa XY ccc" {
+		t.Fatalf("Text() = %q after splice, want %q", got, "aaa XY ccc")
+	}
+	if l.calls != 1 || l.gotText != "aaa bbb ccc" || l.gotLen != 1 {
+		t.Fatalf("splicer saw calls=%d text=%q edits=%d", l.calls, l.gotText, l.gotLen)
+	}
+}
+
+func TestDocumentSpliceRejectionLeavesDocument(t *testing.T) {
+	l := &fakeSplicer{fakeLang: fakeLang{name: "fake"}, reject: true}
+	doc := NewDocument("aaa bbb", NewCache(0, 0).View(l))
+	if doc.Splice([]Edit{{Start: 0, End: 3, New: "z"}}) {
+		t.Fatal("Splice reported true for a rejected batch")
+	}
+	if got := doc.Text(); got != "aaa bbb" {
+		t.Fatalf("rejected splice mutated the text: %q", got)
+	}
+}
+
+func TestDocumentSpliceWithoutCapability(t *testing.T) {
+	// A Lang without the Splicer capability: Splice must decline, not
+	// panic, so callers can fall back to the full-reparse path.
+	l := newFakeLang()
+	doc := NewDocument("aaa", NewCache(0, 0).View(l))
+	if doc.Splice([]Edit{{Start: 0, End: 1, New: "b"}}) {
+		t.Fatal("Splice reported true for a Lang with no Splicer")
+	}
+	if doc.Text() != "aaa" {
+		t.Fatalf("text mutated: %q", doc.Text())
+	}
+	// Empty batches decline before dispatch.
+	ls := &fakeSplicer{fakeLang: fakeLang{name: "fake"}}
+	doc2 := NewDocument("aaa", NewCache(0, 0).View(ls))
+	if doc2.Splice(nil) {
+		t.Fatal("Splice reported true for an empty batch")
+	}
+	if ls.calls != 0 {
+		t.Fatalf("empty batch reached the splicer (%d calls)", ls.calls)
+	}
+}

@@ -1,0 +1,219 @@
+package psast
+
+// Shift returns a deep copy of n with every extent offset by delta —
+// the splice path's tool for reusing an already-parsed subtree at a new
+// byte position instead of reparsing its text. With delta == 0 the node
+// itself is returned: cached ASTs are immutable by convention, so an
+// unshifted reuse can share structure freely.
+func Shift(n Node, delta int) Node {
+	if n == nil || delta == 0 {
+		return n
+	}
+	switch x := n.(type) {
+	case *ScriptBlock:
+		return ShiftScriptBlock(x, delta)
+	case *ParamBlock:
+		return shiftParamBlock(x, delta)
+	case *Parameter:
+		return shiftParameter(x, delta)
+	case *NamedBlock:
+		return shiftNamedBlock(x, delta)
+	case *StatementBlock:
+		return shiftStatementBlock(x, delta)
+	case *Pipeline:
+		return &Pipeline{Ext: shiftExt(x.Ext, delta), Elements: shiftSlice(x.Elements, delta), Background: x.Background}
+	case *Command:
+		return &Command{
+			Ext:                shiftExt(x.Ext, delta),
+			InvocationOperator: x.InvocationOperator,
+			Name:               Shift(x.Name, delta),
+			Args:               shiftSlice(x.Args, delta),
+			Redirections:       x.Redirections,
+		}
+	case *CommandParameter:
+		return &CommandParameter{Ext: shiftExt(x.Ext, delta), Name: x.Name, Argument: Shift(x.Argument, delta)}
+	case *CommandExpression:
+		return &CommandExpression{Ext: shiftExt(x.Ext, delta), Expression: Shift(x.Expression, delta)}
+	case *Assignment:
+		return &Assignment{Ext: shiftExt(x.Ext, delta), Left: Shift(x.Left, delta), Operator: x.Operator, Right: Shift(x.Right, delta)}
+	case *If:
+		out := &If{Ext: shiftExt(x.Ext, delta), Else: shiftStatementBlock(x.Else, delta)}
+		if x.Clauses != nil {
+			out.Clauses = make([]IfClause, len(x.Clauses))
+			for i, cl := range x.Clauses {
+				out.Clauses[i] = IfClause{Cond: Shift(cl.Cond, delta), Body: shiftStatementBlock(cl.Body, delta)}
+			}
+		}
+		return out
+	case *While:
+		return &While{Ext: shiftExt(x.Ext, delta), Cond: Shift(x.Cond, delta), Body: shiftStatementBlock(x.Body, delta), Label: x.Label}
+	case *DoLoop:
+		return &DoLoop{Ext: shiftExt(x.Ext, delta), Body: shiftStatementBlock(x.Body, delta), Cond: Shift(x.Cond, delta), Until: x.Until}
+	case *For:
+		return &For{
+			Ext:  shiftExt(x.Ext, delta),
+			Init: Shift(x.Init, delta), Cond: Shift(x.Cond, delta), Iter: Shift(x.Iter, delta),
+			Body: shiftStatementBlock(x.Body, delta),
+		}
+	case *ForEach:
+		out := &ForEach{Ext: shiftExt(x.Ext, delta), Collection: Shift(x.Collection, delta), Body: shiftStatementBlock(x.Body, delta)}
+		if x.Variable != nil {
+			out.Variable = Shift(x.Variable, delta).(*VariableExpression)
+		}
+		return out
+	case *Switch:
+		out := &Switch{Ext: shiftExt(x.Ext, delta), Cond: Shift(x.Cond, delta), Default: shiftStatementBlock(x.Default, delta)}
+		if x.Cases != nil {
+			out.Cases = make([]SwitchCase, len(x.Cases))
+			for i, c := range x.Cases {
+				out.Cases[i] = SwitchCase{Pattern: Shift(c.Pattern, delta), Body: shiftStatementBlock(c.Body, delta)}
+			}
+		}
+		return out
+	case *FunctionDefinition:
+		out := &FunctionDefinition{Ext: shiftExt(x.Ext, delta), Name: x.Name, IsFilter: x.IsFilter, Body: ShiftScriptBlock(x.Body, delta)}
+		if x.Params != nil {
+			out.Params = make([]*Parameter, len(x.Params))
+			for i, p := range x.Params {
+				out.Params[i] = shiftParameter(p, delta)
+			}
+		}
+		return out
+	case *Try:
+		out := &Try{Ext: shiftExt(x.Ext, delta), Body: shiftStatementBlock(x.Body, delta), Finally: shiftStatementBlock(x.Finally, delta)}
+		if x.Catches != nil {
+			out.Catches = make([]*CatchClause, len(x.Catches))
+			for i, c := range x.Catches {
+				out.Catches[i] = &CatchClause{Ext: shiftExt(c.Ext, delta), Types: c.Types, Body: shiftStatementBlock(c.Body, delta)}
+			}
+		}
+		return out
+	case *CatchClause:
+		return &CatchClause{Ext: shiftExt(x.Ext, delta), Types: x.Types, Body: shiftStatementBlock(x.Body, delta)}
+	case *FlowStatement:
+		return &FlowStatement{Ext: shiftExt(x.Ext, delta), Keyword: x.Keyword, Value: Shift(x.Value, delta)}
+	case *BinaryExpression:
+		return &BinaryExpression{Ext: shiftExt(x.Ext, delta), Operator: x.Operator, Left: Shift(x.Left, delta), Right: Shift(x.Right, delta)}
+	case *UnaryExpression:
+		return &UnaryExpression{Ext: shiftExt(x.Ext, delta), Operator: x.Operator, Operand: Shift(x.Operand, delta), Postfix: x.Postfix}
+	case *ConvertExpression:
+		return &ConvertExpression{Ext: shiftExt(x.Ext, delta), TypeName: x.TypeName, Operand: Shift(x.Operand, delta)}
+	case *TypeExpression:
+		return &TypeExpression{Ext: shiftExt(x.Ext, delta), TypeName: x.TypeName}
+	case *ConstantExpression:
+		return &ConstantExpression{Ext: shiftExt(x.Ext, delta), Value: x.Value, Text: x.Text}
+	case *StringConstant:
+		return &StringConstant{Ext: shiftExt(x.Ext, delta), Value: x.Value, Bare: x.Bare, SingleQuoted: x.SingleQuoted, HereString: x.HereString}
+	case *ExpandableString:
+		return &ExpandableString{Ext: shiftExt(x.Ext, delta), Raw: x.Raw, Parts: shiftSlice(x.Parts, delta)}
+	case *VariableExpression:
+		return &VariableExpression{Ext: shiftExt(x.Ext, delta), Name: x.Name, Splatted: x.Splatted}
+	case *MemberExpression:
+		return &MemberExpression{Ext: shiftExt(x.Ext, delta), Target: Shift(x.Target, delta), Member: Shift(x.Member, delta), Static: x.Static}
+	case *InvokeMemberExpression:
+		return &InvokeMemberExpression{
+			Ext:    shiftExt(x.Ext, delta),
+			Target: Shift(x.Target, delta), Member: Shift(x.Member, delta),
+			Static: x.Static, Args: shiftSlice(x.Args, delta),
+		}
+	case *IndexExpression:
+		return &IndexExpression{Ext: shiftExt(x.Ext, delta), Target: Shift(x.Target, delta), Index: Shift(x.Index, delta)}
+	case *ArrayLiteral:
+		return &ArrayLiteral{Ext: shiftExt(x.Ext, delta), Elements: shiftSlice(x.Elements, delta)}
+	case *ArrayExpression:
+		return &ArrayExpression{Ext: shiftExt(x.Ext, delta), Statements: shiftSlice(x.Statements, delta)}
+	case *SubExpression:
+		return &SubExpression{Ext: shiftExt(x.Ext, delta), Statements: shiftSlice(x.Statements, delta)}
+	case *ParenExpression:
+		return &ParenExpression{Ext: shiftExt(x.Ext, delta), Pipeline: Shift(x.Pipeline, delta)}
+	case *ScriptBlockExpression:
+		return &ScriptBlockExpression{Ext: shiftExt(x.Ext, delta), Body: ShiftScriptBlock(x.Body, delta), Source: x.Source}
+	case *Hashtable:
+		out := &Hashtable{Ext: shiftExt(x.Ext, delta)}
+		if x.Entries != nil {
+			out.Entries = make([]HashEntry, len(x.Entries))
+			for i, e := range x.Entries {
+				out.Entries[i] = HashEntry{Key: Shift(e.Key, delta), Value: Shift(e.Value, delta)}
+			}
+		}
+		return out
+	default:
+		// Unknown node kind: shifting would silently corrupt extents, so
+		// refuse by returning nil; Splice callers treat that as a
+		// synthesis failure and fall back to a full reparse.
+		return nil
+	}
+}
+
+// ShiftScriptBlock is Shift specialized to the root node type.
+func ShiftScriptBlock(x *ScriptBlock, delta int) *ScriptBlock {
+	if x == nil {
+		return nil
+	}
+	if delta == 0 {
+		return x
+	}
+	return &ScriptBlock{Ext: shiftExt(x.Ext, delta), Params: shiftParamBlock(x.Params, delta), Body: shiftNamedBlock(x.Body, delta)}
+}
+
+func shiftExt(e Extent, delta int) Extent {
+	return Extent{Start: e.Start + delta, End: e.End + delta}
+}
+
+func shiftSlice(ns []Node, delta int) []Node {
+	if ns == nil {
+		return nil
+	}
+	out := make([]Node, len(ns))
+	for i, n := range ns {
+		out[i] = Shift(n, delta)
+	}
+	return out
+}
+
+func shiftParamBlock(x *ParamBlock, delta int) *ParamBlock {
+	if x == nil {
+		return nil
+	}
+	if delta == 0 {
+		return x
+	}
+	out := &ParamBlock{Ext: shiftExt(x.Ext, delta)}
+	if x.Parameters != nil {
+		out.Parameters = make([]*Parameter, len(x.Parameters))
+		for i, p := range x.Parameters {
+			out.Parameters[i] = shiftParameter(p, delta)
+		}
+	}
+	return out
+}
+
+func shiftParameter(x *Parameter, delta int) *Parameter {
+	if x == nil {
+		return nil
+	}
+	if delta == 0 {
+		return x
+	}
+	return &Parameter{Ext: shiftExt(x.Ext, delta), Name: x.Name, Default: Shift(x.Default, delta)}
+}
+
+func shiftNamedBlock(x *NamedBlock, delta int) *NamedBlock {
+	if x == nil {
+		return nil
+	}
+	if delta == 0 {
+		return x
+	}
+	return &NamedBlock{Ext: shiftExt(x.Ext, delta), Statements: shiftSlice(x.Statements, delta)}
+}
+
+func shiftStatementBlock(x *StatementBlock, delta int) *StatementBlock {
+	if x == nil {
+		return nil
+	}
+	if delta == 0 {
+		return x
+	}
+	return &StatementBlock{Ext: shiftExt(x.Ext, delta), Statements: shiftSlice(x.Statements, delta)}
+}

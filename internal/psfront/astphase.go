@@ -1,9 +1,11 @@
 package psfront
 
 import (
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/invoke-deobfuscation/invokedeob/internal/frontend"
 	"github.com/invoke-deobfuscation/invokedeob/internal/pipeline"
@@ -62,6 +64,26 @@ type astState struct {
 	// only a handful of nodes are rewritten, so this prunes almost the
 	// entire post-order splice.
 	replMin, replMax int
+	// workers is the resolved piece-worker count; above 1, tryRecover
+	// captures pieceJobs instead of evaluating inline, and the jobs are
+	// evaluated in parallel independence rounds (see resolveAllJobs).
+	workers int
+	// jobs holds the captured recoverable-piece evaluations in capture
+	// (post-order) order; pending counts the not-yet-resolved ones.
+	jobs    []*pieceJob
+	pending int
+}
+
+// pieceJob is one deferred recoverable-piece evaluation. The binding
+// snapshot freezes the symbol-table state the sequential order would
+// have evaluated under, so resolving the job later — or on another
+// goroutine — produces byte-identical results: a pure evaluation is a
+// function of (snippet text, read bindings) only.
+type pieceJob struct {
+	n     psast.Node
+	ext   psast.Extent
+	binds map[string]any
+	done  bool
 }
 
 // setRepl records a replacement for n and widens the replacement
@@ -101,9 +123,40 @@ func (r *run) astPhase(pc *pipeline.PassContext, doc *pipeline.Document, depth i
 		s.collectPureFunctions(root)
 		s.buildPrelude()
 	}
+	s.workers = r.pieceWorkers()
 	s.visit(root, visitCtx{scope: []int{0}})
+	s.resolveAllJobs()
+	if len(s.repl) == 0 {
+		return
+	}
+	// Batched splice first: apply all replacements as one extent-sorted
+	// edit set, reparsing only the touched statements and publishing the
+	// synthesized artifacts. Validation parses per iteration drop from
+	// O(replacement batches) toward O(layers); anything the splicer
+	// cannot prove safe falls back to the classic full-text rebuild with
+	// a whole-document validation parse.
+	if !r.Opts.DisableSplice {
+		if doc.Splice(s.buildEdits(root)) {
+			r.Stats.SplicesApplied++
+			return
+		}
+		r.Stats.SpliceFallbacks++
+	}
 	out := s.textOf(root)
 	doc.SetText(pc.ValidOrRevert(s.view, out, s.src))
+}
+
+// pieceWorkers resolves Options.PieceWorkers: zero means one worker per
+// available CPU, anything else is taken as given (minimum one).
+func (r *run) pieceWorkers() int {
+	w := r.Opts.PieceWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // enterScope derives a child scope path.
@@ -397,15 +450,17 @@ func (s *astState) evaluateStatementValue(n psast.Node, ctx visitCtx) (any, bool
 	if n == nil {
 		return nil, false
 	}
-	text := s.textOf(n)
-	// Fast path: the RHS was already recovered to a literal.
-	if v, ok := s.literalValue(text); ok {
+	// Fast path: the RHS is — or was already recovered to — a literal.
+	// literalOfNode resolves that statically from the AST and the
+	// replacement records wherever the answer is certain, so the common
+	// `$x = <recovered literal>` case costs no probe parse.
+	if v, ok := s.literalOfNode(n); ok {
 		return v, true
 	}
 	if !s.isSafePiece(n, ctx) {
 		return nil, false
 	}
-	out, err := s.evalText(text, ctx)
+	out, err := s.evalNode(n, ctx)
 	if err != nil {
 		frontend.ClassifyEvalFailure(s.r.Stats, err)
 		return nil, false
@@ -418,8 +473,20 @@ func (s *astState) evaluateStatementValue(n psast.Node, ctx visitCtx) (any, bool
 }
 
 // tryRecover evaluates a recoverable node and replaces it in place when
-// the result is a string or number (paper §III-B2).
+// the result is a string or number (paper §III-B2). With more than one
+// piece worker the evaluation is deferred: the node is captured as a
+// pieceJob together with a snapshot of its visible bindings, and
+// resolveAllJobs later evaluates independence groups of captured jobs
+// concurrently. With one worker the classic inline path runs unchanged.
 func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
+	if s.workers > 1 {
+		if !s.isSafePiece(n, ctx) {
+			return
+		}
+		s.jobs = append(s.jobs, &pieceJob{n: n, ext: n.Extent(), binds: s.bindingsForNode(n, ctx)})
+		s.pending++
+		return
+	}
 	text := s.textOf(n)
 	if len(text) > s.r.Opts.MaxPieceLen {
 		return
@@ -431,7 +498,14 @@ func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
 		return
 	}
 	s.r.Stats.PiecesAttempted++
-	out, err := s.evalText(text, ctx)
+	out, err := s.evalNode(n, ctx)
+	s.applyRecovery(n, text, out, err)
+}
+
+// applyRecovery turns one piece-evaluation outcome into a replacement
+// record (or a classified failure). Shared by the inline path and the
+// deferred-job paths so both produce byte-identical results.
+func (s *astState) applyRecovery(n psast.Node, text string, out []any, err error) {
 	if err != nil {
 		frontend.ClassifyEvalFailure(s.r.Stats, err)
 		return
@@ -446,6 +520,264 @@ func (s *astState) tryRecover(n psast.Node, ctx visitCtx) {
 	}
 	s.setRepl(n, lit)
 	s.r.Stats.PiecesRecovered++
+}
+
+// bindingsFor snapshots the traced variables visible from ctx — exactly
+// the set evalText would preload. Captured jobs carry the snapshot so a
+// later (possibly concurrent) evaluation sees the symbol table as it
+// stood at the job's place in the sequential order.
+func (s *astState) bindingsFor(ctx visitCtx) map[string]any {
+	if ctx.inFunc || s.r.Opts.DisableVariableTracing || len(s.vars) == 0 {
+		return nil
+	}
+	binds := make(map[string]any, len(s.vars))
+	for name, e := range s.vars {
+		if scopeVisible(e.scope, ctx.scope) {
+			binds[name] = e.value
+		}
+	}
+	return binds
+}
+
+// referencedVars statically collects the canonical names of every
+// variable a pure-expression subtree can read. The second result is
+// false when the subtree can reach variables dynamically — commands
+// (Get-Variable, the safe cmdlets' script blocks), member invocations
+// (a traced script block's .Invoke), nested script blocks or function
+// definitions — in which case the caller must fall back to the full
+// visible snapshot.
+func referencedVars(n psast.Node) (map[string]bool, bool) {
+	names := map[string]bool{}
+	ok := true
+	psast.Walk(n, func(x psast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch v := x.(type) {
+		case *psast.Command, *psast.InvokeMemberExpression,
+			*psast.ScriptBlockExpression, *psast.FunctionDefinition:
+			ok = false
+			return false
+		case *psast.VariableExpression:
+			if name := canonicalVarName(v.Name); name != "" {
+				names[name] = true
+			}
+		}
+		return true
+	}, nil)
+	return names, ok
+}
+
+// bindingsForNode is bindingsFor restricted to the variables the piece
+// can actually read. A 3-layer downloader traces hundreds of variables
+// by the time its last concat piece evaluates; binding only the two or
+// three the piece references cuts the snapshot copy and the per-eval
+// SetVar loop from O(visible) to O(referenced). When the subtree may
+// read variables dynamically it falls back to the full snapshot, so
+// outcomes (including StrictVars failures) are identical either way.
+func (s *astState) bindingsForNode(n psast.Node, ctx visitCtx) map[string]any {
+	if ctx.inFunc || s.r.Opts.DisableVariableTracing || len(s.vars) == 0 {
+		return nil
+	}
+	names, ok := referencedVars(n)
+	if !ok {
+		return s.bindingsFor(ctx)
+	}
+	binds := make(map[string]any, len(names))
+	for name := range names {
+		if e, found := s.vars[name]; found && scopeVisible(e.scope, ctx.scope) {
+			binds[name] = e.value
+		}
+	}
+	return binds
+}
+
+// resolveJob resolves one captured job inline (walk-goroutine path used
+// by the flush sites). Jobs nested inside it must already be resolved.
+func (s *astState) resolveJob(j *pieceJob) {
+	if j.done {
+		return
+	}
+	j.done = true
+	s.pending--
+	if s.r.Env.Violated() {
+		return
+	}
+	text := s.textOf(j.n)
+	if len(text) > s.r.Opts.MaxPieceLen {
+		return
+	}
+	if s.isTrivialPiece(j.n, text) {
+		return
+	}
+	s.r.Stats.PiecesAttempted++
+	out, err := s.evalPiece(s.snippetFor(text), j.binds, s.view, s.pc.Eval)
+	s.applyRecovery(j.n, text, out, err)
+}
+
+// flushIntersecting resolves, in capture order, every pending job whose
+// extent intersects ext — plus pending jobs nested inside those — so a
+// caller about to materialize or probe text within ext observes exactly
+// the replacements the sequential evaluation order would have produced.
+func (s *astState) flushIntersecting(ext psast.Extent) {
+	if s.pending == 0 {
+		return
+	}
+	flush := make([]bool, len(s.jobs))
+	marked := false
+	// Post-order capture means containers follow their contents, so a
+	// reverse scan marks intersecting containers first and then any
+	// still-pending jobs nested inside a marked container.
+	for i := len(s.jobs) - 1; i >= 0; i-- {
+		j := s.jobs[i]
+		if j.done {
+			continue
+		}
+		hit := j.ext.Start < ext.End && ext.Start < j.ext.End
+		if !hit {
+			for k := i + 1; k < len(s.jobs); k++ {
+				if flush[k] && j.ext.Start >= s.jobs[k].ext.Start && j.ext.End <= s.jobs[k].ext.End {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit {
+			flush[i] = true
+			marked = true
+		}
+	}
+	if !marked {
+		return
+	}
+	for i, f := range flush {
+		if f {
+			s.resolveJob(s.jobs[i])
+		}
+	}
+}
+
+// flushAllJobs drains every pending job in capture order. Called before
+// nested-layer recursion and envelope output accounting so those see
+// the same state sequential evaluation would have produced.
+func (s *astState) flushAllJobs() {
+	if s.pending == 0 {
+		return
+	}
+	for _, j := range s.jobs {
+		if !j.done {
+			s.resolveJob(j)
+		}
+	}
+}
+
+// resolveAllJobs drains the captured jobs in independence rounds. A job
+// is ready when no pending earlier-captured job lies inside its extent
+// (post-order capture puts children before parents, so readiness means
+// every nested recovery the job's text depends on is already applied).
+// Ready jobs of one round have pairwise disjoint extents and frozen
+// binding snapshots: their evaluations share no mutable state, so the
+// round evaluates them concurrently on the piece-worker pool, then
+// applies the results sequentially in capture order.
+func (s *astState) resolveAllJobs() {
+	for s.pending > 0 {
+		var ready []*pieceJob
+		for i, j := range s.jobs {
+			if j.done {
+				continue
+			}
+			blocked := false
+			for k := 0; k < i; k++ {
+				inner := s.jobs[k]
+				if !inner.done && inner.ext.Start >= j.ext.Start && inner.ext.End <= j.ext.End {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				ready = append(ready, j)
+			}
+		}
+		if len(ready) == 0 {
+			return // unreachable: the earliest pending job is never blocked
+		}
+		// Stage 1 (sequential): materialize texts and run the cheap
+		// screens. Contained jobs are resolved, so textOf is final.
+		type pieceEval struct {
+			j             *pieceJob
+			text, snippet string
+			out           []any
+			err           error
+		}
+		var evals []*pieceEval
+		for _, j := range ready {
+			j.done = true
+			s.pending--
+			if s.r.Env.Violated() {
+				continue
+			}
+			text := s.textOf(j.n)
+			if len(text) > s.r.Opts.MaxPieceLen {
+				continue
+			}
+			if s.isTrivialPiece(j.n, text) {
+				continue
+			}
+			s.r.Stats.PiecesAttempted++
+			evals = append(evals, &pieceEval{j: j, text: text, snippet: s.snippetFor(text)})
+		}
+		if len(evals) == 0 {
+			continue
+		}
+		// Stage 2: evaluate. Each worker forks the run's cache views
+		// (per-view counters are not concurrency-safe); the envelope and
+		// the caches themselves are shared and synchronized.
+		if s.workers > 1 && len(evals) > 1 {
+			nw := s.workers
+			if nw > len(evals) {
+				nw = len(evals)
+			}
+			views := make([]*pipeline.View, nw)
+			evviews := make([]*pipeline.EvalView, nw)
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				views[w] = s.view.Fork()
+				evviews[w] = s.pc.Eval.Fork()
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := range idx {
+						it := evals[i]
+						it.out, it.err = s.evalPiece(it.snippet, it.j.binds, views[w], evviews[w])
+					}
+				}(w)
+			}
+			for i := range evals {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+			for w := 0; w < nw; w++ {
+				s.view.Hits += views[w].Hits
+				s.view.Misses += views[w].Misses
+				if s.pc.Eval != nil && evviews[w] != nil {
+					s.pc.Eval.Hits += evviews[w].Hits
+					s.pc.Eval.Misses += evviews[w].Misses
+					s.pc.Eval.Skips += evviews[w].Skips
+				}
+			}
+			s.r.Stats.PiecesParallel += len(evals)
+		} else {
+			for _, it := range evals {
+				it.out, it.err = s.evalPiece(it.snippet, it.j.binds, s.view, s.pc.Eval)
+			}
+		}
+		// Stage 3 (sequential): apply in capture order.
+		for _, it := range evals {
+			s.applyRecovery(it.j.n, it.text, it.out, it.err)
+		}
+	}
 }
 
 // buildPrelude memoizes the safe-function definition prelude. Sorted
@@ -468,20 +800,6 @@ func (s *astState) buildPrelude() {
 		defs.WriteByte('\n')
 	}
 	s.prelude = defs.String()
-}
-
-// visibleValue resolves a traced variable as the evaluation preload
-// would see it: only when tracing is active for this context and the
-// recording scope is visible from the current one.
-func (s *astState) visibleValue(name string, ctx visitCtx) (any, bool) {
-	if ctx.inFunc || s.r.Opts.DisableVariableTracing {
-		return nil, false
-	}
-	e, ok := s.vars[name]
-	if !ok || !scopeVisible(e.scope, ctx.scope) {
-		return nil, false
-	}
-	return e.value, true
 }
 
 // valueFP fingerprints a preloaded value for the evaluation-cache key.
@@ -533,16 +851,39 @@ func valueFP(v any) (string, bool) {
 // their own envelopes. The piece's parse still comes from the run's
 // parse cache, so even uncacheable evaluations skip re-parsing.
 func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
+	return s.evalPiece(s.snippetFor(text), s.bindingsFor(ctx), s.view, s.pc.Eval)
+}
+
+// evalNode is evalText with node-aware restricted bindings: the piece's
+// subtree is statically scanned for the variables it can read, so the
+// evaluation binds (and fingerprints) only those instead of the whole
+// visible snapshot.
+func (s *astState) evalNode(n psast.Node, ctx visitCtx) ([]any, error) {
+	return s.evalPiece(s.snippetFor(s.textOf(n)), s.bindingsForNode(n, ctx), s.view, s.pc.Eval)
+}
+
+// snippetFor prepends the memoized safe-function prelude to a piece.
+func (s *astState) snippetFor(text string) string {
+	if s.prelude == "" {
+		return text
+	}
+	return s.prelude + text
+}
+
+// evalPiece is the reentrant core of piece evaluation: everything it
+// touches beyond its arguments is either immutable for the duration of
+// the pass (options, blocklist, prelude) or internally synchronized
+// (the envelope, both shared caches). Parallel piece workers call it
+// with forked views; the walk goroutine calls it with the run's own.
+// The interpreter itself is drawn from a pool and reset per piece, so
+// a hostile corpus's thousands of evaluations recycle a handful of
+// interpreter shells instead of allocating one each.
+func (s *astState) evalPiece(snippet string, binds map[string]any, view *pipeline.View, eval *pipeline.EvalView) ([]any, error) {
 	if err := s.r.Env.Check(); err != nil {
 		return nil, err
 	}
-	snippet := text
-	if s.prelude != "" {
-		snippet = s.prelude + text
-	}
-	eval := s.pc.Eval
 	values, ok, ticket := eval.Acquire(s.r.Env.Context(), snippet, func(name string) (string, bool) {
-		v, ok := s.visibleValue(name, ctx)
+		v, ok := binds[name]
 		if !ok {
 			return "", false
 		}
@@ -562,15 +903,12 @@ func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
 		MaxAllocBytes: s.r.Opts.MaxAllocBytes,
 	}
 	opts.Ctx = s.r.Env.Context()
-	in := psinterp.New(opts)
-	if !ctx.inFunc && !s.r.Opts.DisableVariableTracing {
-		for name, e := range s.vars {
-			if scopeVisible(e.scope, ctx.scope) {
-				in.SetVar(name, e.value)
-			}
-		}
+	in := psinterp.Acquire(opts)
+	defer psinterp.Release(in)
+	for name, v := range binds {
+		in.SetVar(name, v)
 	}
-	sb, err := viewParse(s.view, snippet)
+	sb, err := viewParse(view, snippet)
 	if err != nil {
 		ticket.Skip()
 		return nil, err
@@ -582,14 +920,14 @@ func (s *astState) evalText(text string, ctx visitCtx) ([]any, error) {
 		ticket.Skip()
 		return out, err
 	}
-	s.memoizeEval(ticket, ctx, in, out)
+	s.memoizeEval(ticket, binds, in, out)
 	return out, nil
 }
 
 // memoizeEval inserts a completed evaluation into the cache when the
 // purity report allows it, resolving the run's coalescing ticket and
-// attributing the outcome (miss vs skip) to the run's EvalView.
-func (s *astState) memoizeEval(ticket *pipeline.EvalTicket, ctx visitCtx, in *psinterp.Interp, out []any) {
+// attributing the outcome (miss vs skip) to the given EvalView.
+func (s *astState) memoizeEval(ticket *pipeline.EvalTicket, binds map[string]any, in *psinterp.Interp, out []any) {
 	if !ticket.Enabled() {
 		return
 	}
@@ -600,11 +938,12 @@ func (s *astState) memoizeEval(ticket *pipeline.EvalTicket, ctx visitCtx, in *ps
 	}
 	bindings := make([]pipeline.Binding, 0, len(p.ReadVars))
 	for _, name := range p.ReadVars {
-		v, ok := s.visibleValue(name, ctx)
+		v, ok := binds[name]
 		if !ok {
 			// A read variable we cannot fingerprint (should not happen:
 			// reads are tracked only for preloaded names, which all come
-			// from visibleValue). Refuse to cache rather than risk it.
+			// from the binding snapshot). Refuse to cache rather than
+			// risk it.
 			ticket.Skip()
 			return
 		}
@@ -747,6 +1086,9 @@ func (s *astState) isTrivialPiece(n psast.Node, text string) bool {
 		}
 		return false
 	}
+	if _, isLit, certain := s.staticLiteral(n); certain {
+		return isLit
+	}
 	if _, ok := s.literalValue(text); ok {
 		return true
 	}
@@ -829,8 +1171,7 @@ func (s *astState) commandLiteralName(cmd *psast.Command) (string, bool) {
 	case *psast.StringConstant:
 		return n.Value, true
 	default:
-		text := s.textOf(cmd.Name)
-		if v, ok := s.literalValue(text); ok {
+		if v, ok := s.literalOfNode(cmd.Name); ok {
 			return psinterp.ToString(v), true
 		}
 		return "", false
@@ -1031,4 +1372,189 @@ func constantOf(n psast.Node) (any, bool) {
 		}
 	}
 	return nil, false
+}
+
+// literalOfNode is the node-typed form of literalValue: it resolves
+// whether the node's current text (source plus recorded replacements)
+// denotes a single string/number literal. Where the answer is provable
+// from the AST and the replacement records it is returned without any
+// parse; only genuinely ambiguous shapes fall back to the probe parse
+// literalValue performs. Pending piece jobs intersecting the node are
+// flushed first so the probe sees the sequential-order state.
+func (s *astState) literalOfNode(n psast.Node) (any, bool) {
+	s.flushIntersecting(n.Extent())
+	if v, isLit, certain := s.staticLiteral(n); certain {
+		return v, isLit
+	}
+	return s.literalValue(s.textOf(n))
+}
+
+// staticLiteral predicts literalValue(textOf(n)) without the probe
+// parse. certain=false means the prediction would be a guess and the
+// caller must fall back to the parse probe — it does NOT mean "not a
+// literal". The prediction leans on two invariants: replacement texts
+// are expression-shaped (quoted literals, number renderings, or
+// parenthesized/subexpression-wrapped code), so they can never change
+// the statement structure of an enclosing reparse; and the tokenizer
+// treats signed numbers identically at statement start and in
+// expression position, so constant nodes re-lex to themselves.
+func (s *astState) staticLiteral(n psast.Node) (v any, isLit, certain bool) {
+	if r, ok := s.repl[n]; ok {
+		return staticReplLiteral(r)
+	}
+	switch x := n.(type) {
+	case *psast.Pipeline:
+		if len(x.Elements) == 1 {
+			return s.staticLiteral(x.Elements[0])
+		}
+		return nil, false, true
+	case *psast.CommandExpression:
+		return s.staticLiteral(x.Expression)
+	case *psast.ParenExpression:
+		if p, ok := x.Pipeline.(*psast.Pipeline); ok && len(p.Elements) == 1 {
+			if _, replaced := s.repl[p]; replaced {
+				return nil, false, false
+			}
+			if ce, ok := p.Elements[0].(*psast.CommandExpression); ok {
+				if _, replaced := s.repl[ce]; replaced {
+					return nil, false, false
+				}
+				return s.staticLiteral(ce.Expression)
+			}
+		}
+		return nil, false, true
+	case *psast.StringConstant:
+		if !x.Bare {
+			return x.Value, true, true
+		}
+		// A bare word standalone usually reparses as a command name
+		// (not a literal) — except number-shaped words, which re-lex as
+		// constants. Those are rare; defer them to the exact probe.
+		if _, err := psparser.ParseNumber(x.Value); err == nil {
+			return nil, false, false
+		}
+		return nil, false, true
+	case *psast.ConstantExpression:
+		return x.Value, true, true
+	}
+	// Every other node kind (binary/unary/convert/invoke/subexpression/
+	// variable/command/expandable string/...) reparses to the same
+	// non-literal shape regardless of replacements inside it.
+	return nil, false, true
+}
+
+// staticReplLiteral inverts renderLiteral for replacement texts: the
+// recovery and inlining paths only ever write single-quoted strings or
+// number renderings. Unwrap replacements (raw or wrapped payload code)
+// and float renderings defer to the probe parse.
+func staticReplLiteral(r string) (any, bool, bool) {
+	if r == "" {
+		return nil, false, true // textOf "" -> literalValue rejects empty
+	}
+	if r[0] == '\'' {
+		if v, ok := unquoteSingle(r); ok {
+			return v, true, true
+		}
+		return nil, false, false
+	}
+	if isIntegerText(r) {
+		if v, err := psparser.ParseNumber(r); err == nil {
+			return v, true, true
+		}
+		return nil, false, false
+	}
+	return nil, false, false
+}
+
+// isIntegerText reports a plain optionally-signed decimal rendering —
+// the exact output shape of renderLiteral for int/int64 values.
+func isIntegerText(r string) bool {
+	i := 0
+	if r[0] == '-' {
+		i = 1
+	}
+	if i == len(r) {
+		return false
+	}
+	for ; i < len(r); i++ {
+		if r[i] < '0' || r[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// unquoteSingle inverts QuoteSingle exactly: it accepts only a complete
+// single-quoted literal whose inner quotes are all doubled, returning
+// the decoded value the parser would produce for it.
+func unquoteSingle(r string) (string, bool) {
+	if len(r) < 2 || r[0] != '\'' || r[len(r)-1] != '\'' {
+		return "", false
+	}
+	body := r[1 : len(r)-1]
+	var b strings.Builder
+	b.Grow(len(body))
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\'' {
+			if i+1 >= len(body) || body[i+1] != '\'' {
+				return "", false
+			}
+			b.WriteByte('\'')
+			i++
+			continue
+		}
+		b.WriteByte(body[i])
+	}
+	return b.String(), true
+}
+
+// buildEdits flattens the replacement map into a batch of byte edits
+// against the layer's source: exactly the outermost replaced nodes, in
+// source order, under the same containment/overlap filtering writeTextOf
+// applies — so splicing the edits into the source yields byte-for-byte
+// the text the full rebuild would produce.
+func (s *astState) buildEdits(root psast.Node) []pipeline.Edit {
+	var edits []pipeline.Edit
+	var walk func(n psast.Node)
+	walk = func(n psast.Node) {
+		if r, ok := s.repl[n]; ok {
+			ext := n.Extent()
+			edits = append(edits, pipeline.Edit{Start: ext.Start, End: ext.End, New: r})
+			return
+		}
+		ext := n.Extent()
+		if ext.End <= s.replMin || ext.Start >= s.replMax {
+			return
+		}
+		if _, isExpandable := n.(*psast.ExpandableString); isExpandable {
+			return
+		}
+		children := n.Children()
+		if len(children) == 0 {
+			return
+		}
+		sorted := make([]psast.Node, 0, len(children))
+		for _, c := range children {
+			ce := c.Extent()
+			if ce.Start >= ext.Start && ce.End <= ext.End {
+				sorted = append(sorted, c)
+			}
+		}
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j].Extent().Start < sorted[j-1].Extent().Start; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		last := ext.Start
+		for _, c := range sorted {
+			ce := c.Extent()
+			if ce.Start < last {
+				continue // overlapping (defensive; writeTextOf skips these too)
+			}
+			walk(c)
+			last = ce.End
+		}
+	}
+	walk(root)
+	return edits
 }

@@ -37,10 +37,14 @@ func threeLayerScript() string {
 }
 
 // parseBudget is the ceiling on full psparser.Parse invocations for one
-// default-options run over threeLayerScript. The budget sits between
-// the pipeline engine's measured count and half the pre-refactor cost,
-// so any reintroduction of per-splice full reparses fails loudly.
-const parseBudget = 27
+// default-options run over threeLayerScript. With batched splicing,
+// static literal probes and the merged payload validity gates the run
+// measures exactly 8 (one per distinct text the engine must actually
+// analyze: the source, two decoded payloads, three token-phase
+// rewrites, one piece snippet, the renamed output); the budget is that
+// measurement, so any reintroduction of per-replacement full reparses
+// or per-probe parses fails loudly.
+const parseBudget = 8
 
 // preRefactorParseCount is the measured parse count of the seed engine
 // (PR 1, pre-pipeline) on threeLayerScript, recorded before the

@@ -26,7 +26,7 @@ func (s *astState) tryUnwrapPipeline(p *psast.Pipeline, ctx visitCtx) {
 	if len(p.Elements) == 2 {
 		last, ok := p.Elements[1].(*psast.Command)
 		if ok && s.isInvokeExpression(last) && len(positionalArgs(last)) == 0 {
-			if lit, ok := s.literalValue(s.textOf(p.Elements[0])); ok {
+			if lit, ok := s.literalOfNode(p.Elements[0]); ok {
 				if code, okStr := lit.(string); okStr {
 					s.replaceWithInner(p, code, ctx)
 					return
@@ -57,7 +57,7 @@ func (s *astState) payloadOf(cmd *psast.Command) (string, bool) {
 	if s.isInvokeExpression(cmd) {
 		args := positionalArgs(cmd)
 		if len(args) == 1 {
-			if lit, ok := s.literalValue(s.textOf(args[0])); ok {
+			if lit, ok := s.literalOfNode(args[0]); ok {
 				if code, okStr := lit.(string); okStr {
 					return code, true
 				}
@@ -118,8 +118,7 @@ func (s *astState) extractPowerShellPayload(cmd *psast.Command) (string, bool) {
 		if valueNode == nil {
 			continue
 		}
-		text := s.textOf(valueNode)
-		value, ok := s.literalValue(text)
+		value, ok := s.literalOfNode(valueNode)
 		var payload string
 		if ok {
 			payload = psinterp.ToString(value)
@@ -134,7 +133,11 @@ func (s *astState) extractPowerShellPayload(cmd *psast.Command) (string, bool) {
 			if err != nil {
 				continue
 			}
-			if !s.view.Valid(decoded) {
+			// Validity is checked on the trimmed payload — the exact text
+			// deobPayload parses next — so its gate parse is a cache hit
+			// instead of a second parser invocation per layer.
+			trimmedDec := strings.TrimSpace(decoded)
+			if trimmedDec == "" || !s.view.Valid(trimmedDec) {
 				continue
 			}
 			return decoded, true
@@ -145,7 +148,7 @@ func (s *astState) extractPowerShellPayload(cmd *psast.Command) (string, bool) {
 	// Trailing literal command string: powershell "write-host hi".
 	pos := positionalArgs(cmd)
 	if len(pos) == 1 {
-		if v, ok := s.literalValue(s.textOf(pos[0])); ok {
+		if v, ok := s.literalOfNode(pos[0]); ok {
 			if code, isStr := v.(string); isStr {
 				return code, true
 			}
@@ -196,13 +199,21 @@ func (s *astState) deobPayload(code string) (string, int, bool) {
 	if trimmed == "" {
 		return "", 0, false
 	}
+	// Any pending deferred piece evaluations are drained first: they may
+	// charge the shared envelope, and the sequential order charges them
+	// before the payload's bytes.
+	s.flushAllJobs()
 	if s.r.Env.Violated() || s.r.Env.ChargeOutput(len(trimmed)) != nil {
 		return "", 0, false
 	}
-	if _, err := viewParse(s.view, trimmed); err != nil {
-		return "", 0, false
-	}
+	// No up-front validation parse: an unparseable payload falls out of
+	// the nested fixpoint unchanged (the token phase's ValidOrRevert
+	// refuses to publish invalid rewrites, the ast phase cannot even
+	// start on one) and the exit parse below rejects it — same decision,
+	// one full-document parse fewer per unwrapped layer.
+	endNested := s.pc.BeginNested()
 	inner := s.r.deobfuscateLayer(s.pc, s.doc.Fork(trimmed), s.depth+1)
+	endNested()
 	root, err := viewParse(s.view, inner)
 	if err != nil || root.Body == nil {
 		return "", 0, false

@@ -153,6 +153,16 @@ type Interp struct {
 
 // New returns an interpreter with the given options.
 func New(opts Options) *Interp {
+	in := &Interp{global: newScope(nil)}
+	in.reset(opts)
+	return in
+}
+
+// reset reinitializes the interpreter for a new evaluation under opts,
+// reusing already-allocated maps (global scope, purity sets) where
+// possible. It restores exactly the state New establishes, so a pooled
+// interpreter is indistinguishable from a fresh one.
+func (in *Interp) reset(opts Options) {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 2_000_000
 	}
@@ -169,15 +179,30 @@ func New(opts Options) *Interp {
 	if host == nil {
 		host = DenyHost{}
 	}
-	in := &Interp{
-		opts:   opts,
-		global: newScope(nil),
-		env:    sharedDefaultEnv,
-	}
+	in.opts = opts
 	// Every host call is a side effect: route them through the
 	// impurity-marking wrapper so purity tracking has a single choke
 	// point for the whole Host surface.
 	in.host = impurityHost{in: in, next: host}
+	in.steps = 0
+	in.depth = 0
+	if in.global == nil {
+		in.global = newScope(nil)
+	}
+	in.global.parent = nil
+	clear(in.global.vars)
+	in.env = sharedDefaultEnv
+	in.envOwned = false
+	in.funcs = nil
+	in.console.Reset()
+	in.lastMatches = nil
+	in.allocBytes = 0
+	in.exprDepth = 0
+	in.deadline = time.Time{}
+	in.hasDeadline = false
+	clear(in.preloaded)
+	clear(in.readPreloaded)
+	in.impureReason = ""
 	if opts.Ctx != nil {
 		if dl, ok := opts.Ctx.Deadline(); ok {
 			in.deadline = dl
@@ -187,7 +212,6 @@ func New(opts Options) *Interp {
 	for k, v := range opts.Env {
 		in.setEnv(strings.ToLower(k), v)
 	}
-	return in
 }
 
 // Console returns everything written via Write-Host/Write-Output during

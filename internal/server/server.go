@@ -279,6 +279,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.stats.countStatuses(mux)
 }
 

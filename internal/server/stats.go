@@ -51,6 +51,10 @@ type serverStats struct {
 	// first-seen order like the engine's own Trace.
 	passOrder []string
 	passes    map[string]*pipeline.PassStat
+	// passLat holds per-pass latency histograms (one observation per
+	// run and pass: that run's cumulative duration in the pass), the
+	// scrape surface behind /metrics' *_bucket series.
+	passLat map[string]*latencyHist
 }
 
 func newServerStats() *serverStats {
@@ -64,6 +68,7 @@ func newServerStats() *serverStats {
 		classes:   make(map[string]int64),
 		langs:     make(map[string]int64),
 		passes:    make(map[string]*pipeline.PassStat),
+		passLat:   make(map[string]*latencyHist),
 	}
 }
 
@@ -169,7 +174,16 @@ func (st *serverStats) observeRun(res *core.Result) {
 	a.EvalCacheHits += s.EvalCacheHits
 	a.EvalCacheMisses += s.EvalCacheMisses
 	a.EvalCacheSkips += s.EvalCacheSkips
+	a.PiecesParallel += s.PiecesParallel
+	a.SplicesApplied += s.SplicesApplied
+	a.SpliceFallbacks += s.SpliceFallbacks
 	for _, p := range res.PassTrace {
+		h, ok := st.passLat[p.Pass]
+		if !ok {
+			h = newLatencyHist()
+			st.passLat[p.Pass] = h
+		}
+		h.observe(p.Duration.Seconds())
 		agg, ok := st.passes[p.Pass]
 		if !ok {
 			cp := p
