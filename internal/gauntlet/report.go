@@ -1,0 +1,241 @@
+package gauntlet
+
+import (
+	"github.com/invoke-deobfuscation/invokedeob/internal/obfuscate"
+	"github.com/invoke-deobfuscation/invokedeob/internal/score"
+)
+
+// Case outcomes.
+const (
+	// OutcomePass: deobfuscation succeeded and the recovered script is
+	// behaviorally equivalent to the original.
+	OutcomePass = "pass"
+	// OutcomeObfError: the obfuscator itself failed (a generator bug).
+	OutcomeObfError = "obf-error"
+	// OutcomeObfSkipped: no technique of the drawn stack applied; the
+	// case is excluded from the pass-rate denominator.
+	OutcomeObfSkipped = "obf-skipped"
+	// OutcomeDeobError: the engine errored or blew the envelope.
+	OutcomeDeobError = "deob-error"
+	// OutcomeDiverged: recovery succeeded but observable behaviour
+	// changed — the worst failure class, a semantics bug.
+	OutcomeDiverged = "behavior-diverged"
+	// OutcomeObfDiverged: the obfuscated input itself behaves
+	// differently from the clean original, and the recovered script
+	// reproduces the input's behaviour exactly. The engine preserved
+	// the semantics it was given; the defect is in the generator (or
+	// the sandbox's fidelity running the wrapped form), so the case is
+	// excluded from the engine pass-rate denominator but kept visible
+	// in the report and the worst-offender list.
+	OutcomeObfDiverged = "obf-diverged"
+)
+
+// Frozen baseline, recorded when the gauntlet landed. `make gauntlet`
+// (and the CI smoke) exit non-zero when a run drops below these: the
+// overall pass rate across the full default grid, and the ceiling on
+// the mean residual-obfuscation delta (recovered score minus clean
+// score, averaged over all scored cases). Raise the floor when the
+// engine improves; never lower it to paper over a regression.
+// At freeze time the default grid (seed 7, 24 samples, depth <= 3, all
+// five profiles, 240 cases) measured a 100% pass rate and a mean
+// residual delta of -0.33 (negative: recovery also folds legitimate
+// concat/join patterns already present in clean originals). The floors
+// leave room for two case regressions and ordinary corpus drift.
+const (
+	FrozenPassRate          = 0.99
+	FrozenMeanResidualDelta = 0.5
+)
+
+// SkipReport is one skipped technique with its reason.
+type SkipReport struct {
+	Technique string `json:"technique"`
+	Reason    string `json:"reason"`
+}
+
+// CaseResult is the outcome of one sample × profile × depth cell.
+type CaseResult struct {
+	Sample  string `json:"sample"`
+	Family  string `json:"family"`
+	Profile string `json:"profile"`
+	Depth   int    `json:"depth"`
+	// Seed is the derived obfuscator seed, enough to reproduce the
+	// cell in isolation.
+	Seed    int64        `json:"seed"`
+	Applied []string     `json:"applied,omitempty"`
+	Skipped []SkipReport `json:"skipped,omitempty"`
+	// Scores: clean original, obfuscated input, recovered output, and
+	// the recovery gap (residual minus original; 0 is full recovery).
+	OriginalScore   int    `json:"original_score"`
+	ObfuscatedScore int    `json:"obfuscated_score"`
+	ResidualScore   int    `json:"residual_score"`
+	ResidualDelta   int    `json:"residual_delta"`
+	Outcome         string `json:"outcome"`
+	Detail          string `json:"detail,omitempty"`
+}
+
+// ProfileSummary aggregates one profile's cells.
+type ProfileSummary struct {
+	Profile string `json:"profile"`
+	// Cases is the pass-rate denominator (obf-skipped cells excluded).
+	Cases               int     `json:"cases"`
+	Passes              int     `json:"passes"`
+	DeobErrors          int     `json:"deob_errors"`
+	Diverged            int     `json:"diverged"`
+	ObfErrors           int     `json:"obf_errors"`
+	ObfSkipped          int     `json:"obf_skipped"`
+	ObfDiverged         int     `json:"obf_diverged"`
+	PassRate            float64 `json:"pass_rate"`
+	MeanResidualDelta   float64 `json:"mean_residual_delta"`
+	MeanObfuscatedScore float64 `json:"mean_obfuscated_score"`
+
+	sumResidualDelta int
+	sumObfScore      int
+}
+
+// Offender is one failing case kept verbatim.
+type Offender struct {
+	Sample        string `json:"sample"`
+	Profile       string `json:"profile"`
+	Depth         int    `json:"depth"`
+	Outcome       string `json:"outcome"`
+	Detail        string `json:"detail,omitempty"`
+	ResidualDelta int    `json:"residual_delta"`
+	Original      string `json:"original"`
+	Obfuscated    string `json:"obfuscated,omitempty"`
+	Recovered     string `json:"recovered,omitempty"`
+}
+
+// Report is the machine-readable gap report.
+type Report struct {
+	Seed     int64 `json:"seed"`
+	Samples  int   `json:"samples"`
+	MaxDepth int   `json:"max_depth"`
+
+	TotalCases        int     `json:"total_cases"`
+	Passes            int     `json:"passes"`
+	PassRate          float64 `json:"pass_rate"`
+	MeanResidualDelta float64 `json:"mean_residual_delta"`
+
+	// Gate records the floors this run was judged against and the
+	// verdict; filled by Evaluate.
+	BaselinePassRate    float64 `json:"baseline_pass_rate"`
+	BaselineMaxResidual float64 `json:"baseline_max_residual"`
+	Pass                bool    `json:"pass"`
+
+	Profiles       []ProfileSummary `json:"profiles"`
+	WorstOffenders []Offender       `json:"worst_offenders,omitempty"`
+	Cases          []CaseResult     `json:"cases"`
+	ElapsedMS      int64            `json:"elapsed_ms"`
+}
+
+// Evaluate judges the run against pass-rate and residual floors,
+// records them in the report, and returns the verdict. Zero floors
+// fall back to the frozen baseline.
+func (r *Report) Evaluate(minPassRate, maxMeanResidual float64) bool {
+	if minPassRate == 0 {
+		minPassRate = FrozenPassRate
+	}
+	if maxMeanResidual == 0 {
+		maxMeanResidual = FrozenMeanResidualDelta
+	}
+	r.BaselinePassRate = minPassRate
+	r.BaselineMaxResidual = maxMeanResidual
+	r.Pass = r.PassRate >= minPassRate && r.MeanResidualDelta <= maxMeanResidual
+	return r.Pass
+}
+
+// DetectorTech maps an applied obfuscation technique to the name
+// internal/score reports when it detects it. The obfuscator and the
+// detector evolved separately; this mapping (and the recall test that
+// exercises it) is the contract keeping them from drifting apart.
+func DetectorTech(t obfuscate.Technique) string {
+	switch t {
+	case obfuscate.Ticking:
+		return score.TechTicking
+	case obfuscate.Whitespacing:
+		return score.TechWhitespacing
+	case obfuscate.RandomCase:
+		return score.TechRandomCase
+	case obfuscate.RandomName:
+		return score.TechRandomName
+	case obfuscate.Alias:
+		return score.TechAlias
+	case obfuscate.Concat:
+		return score.TechConcat
+	case obfuscate.Reorder:
+		return score.TechReorder
+	case obfuscate.Replace:
+		return score.TechReplace
+	case obfuscate.Reverse:
+		return score.TechReverse
+	case obfuscate.EncodeASCII, obfuscate.EncodeHex, obfuscate.EncodeBinary, obfuscate.EncodeOctal:
+		return score.TechNumericEnc
+	case obfuscate.EncodeBase64:
+		return score.TechBase64
+	case obfuscate.EncodeWhitespace:
+		return score.TechWhitespace
+	case obfuscate.EncodeSpecialChar:
+		return score.TechSpecialChar
+	case obfuscate.EncodeBxor:
+		return score.TechBxor
+	case obfuscate.SecureString:
+		return score.TechSecureString
+	case obfuscate.CompressDeflate, obfuscate.CompressGzip:
+		return score.TechCompress
+	}
+	return string(t)
+}
+
+// ExpectedDetections returns the subset of an applied stack that a
+// static detector must flag in the final text — the contract the
+// detector-recall test enforces. Three visibility rules, each derived
+// from how later layers rewrite the text that carries earlier
+// evidence:
+//
+//  1. Every L3 wrapper re-encodes the whole script, and after the last
+//     L3 any L2 transform operates on the wrapper's own text — which
+//     has few or no string literals, so the transform falls back to a
+//     whole-script wrap and hides everything it wraps. When the stack
+//     contains an L3 at all, the boundary is therefore the last
+//     level>=2 technique; everything before it lives inside a payload
+//     string and cannot be expected from static analysis.
+//  2. Alias rewrites the command tokens that carry ticking and
+//     random-case evidence, so those two are not expected when alias
+//     follows them.
+//  3. After an L3 wrapper, random-case evidence rides on a handful of
+//     short tokens (iex, char) where dense case flips are not
+//     statistically distinguishable from ordinary spelling, so it is
+//     not expected there.
+func ExpectedDetections(applied []obfuscate.Technique) []obfuscate.Technique {
+	hasL3 := false
+	boundary := 0
+	for i, t := range applied {
+		if obfuscate.Level(t) == 3 {
+			hasL3 = true
+		}
+		if hasL3 && obfuscate.Level(t) >= 2 {
+			boundary = i
+		}
+	}
+	suffix := applied[boundary:]
+	var out []obfuscate.Technique
+	for i, t := range suffix {
+		if t == obfuscate.Ticking || t == obfuscate.RandomCase {
+			aliasLater := false
+			for _, later := range suffix[i+1:] {
+				if later == obfuscate.Alias {
+					aliasLater = true
+					break
+				}
+			}
+			if aliasLater {
+				continue
+			}
+			if t == obfuscate.RandomCase && hasL3 {
+				continue
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}

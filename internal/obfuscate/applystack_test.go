@@ -1,0 +1,83 @@
+package obfuscate
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestApplyStackDetailedAccounting verifies that every requested
+// technique lands either in the applied list or in the skipped list
+// with a concrete reason — callers can now distinguish "skipped as not
+// applicable" from "applied".
+func TestApplyStackDetailedAccounting(t *testing.T) {
+	// A script with no variables and no known-alias cmdlets, so
+	// random-name and alias must be skipped while concat and base64
+	// apply.
+	src := "write-host 'hello world'"
+	stack := []Technique{RandomName, Alias, Concat, EncodeBase64}
+	out, applied, skipped, err := New(3).ApplyStackDetailed(src, stack)
+	if err != nil {
+		t.Fatalf("ApplyStackDetailed: %v", err)
+	}
+	if out == "" || out == src {
+		t.Fatalf("no obfuscation took place: %q", out)
+	}
+	if len(applied)+len(skipped) != len(stack) {
+		t.Fatalf("accounting leak: %d applied + %d skipped != %d requested",
+			len(applied), len(skipped), len(stack))
+	}
+	wantApplied := map[Technique]bool{Concat: true, EncodeBase64: true}
+	for _, tech := range applied {
+		if !wantApplied[tech] {
+			t.Errorf("unexpected applied technique %s", tech)
+		}
+	}
+	wantSkipped := map[Technique]string{
+		RandomName: "no renameable user variables",
+		Alias:      "no canonical cmdlet names with known aliases",
+	}
+	if len(skipped) != len(wantSkipped) {
+		t.Fatalf("skipped = %v, want %v", skipped, wantSkipped)
+	}
+	for _, s := range skipped {
+		want, ok := wantSkipped[s.Technique]
+		if !ok {
+			t.Errorf("unexpected skip of %s (%s)", s.Technique, s.Reason)
+			continue
+		}
+		if s.Reason != want {
+			t.Errorf("skip reason for %s = %q, want %q", s.Technique, s.Reason, want)
+		}
+	}
+}
+
+// TestApplyStackMatchesDetailed pins that the legacy ApplyStack view
+// is exactly the detailed result minus skip accounting.
+func TestApplyStackMatchesDetailed(t *testing.T) {
+	src := "$a = 'value123'\nwrite-output $a"
+	stack := []Technique{RandomName, Reverse, EncodeHex}
+	out1, applied1, err1 := New(11).ApplyStack(src, stack)
+	out2, applied2, _, err2 := New(11).ApplyStackDetailed(src, stack)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v / %v", err1, err2)
+	}
+	if out1 != out2 {
+		t.Fatal("ApplyStack and ApplyStackDetailed outputs diverge")
+	}
+	if len(applied1) != len(applied2) {
+		t.Fatal("applied lists diverge")
+	}
+}
+
+// TestSkipReasonFallback covers an unwrapped ErrNotApplicable.
+func TestSkipReasonFallback(t *testing.T) {
+	if got := skipReason(ErrNotApplicable); got != "not applicable" {
+		t.Errorf("skipReason(bare) = %q", got)
+	}
+	if got := skipReason(notApplicable("empty script")); got != "empty script" {
+		t.Errorf("skipReason(wrapped) = %q", got)
+	}
+	if !errors.Is(notApplicable("x"), ErrNotApplicable) {
+		t.Error("notApplicable must wrap ErrNotApplicable")
+	}
+}

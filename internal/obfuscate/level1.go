@@ -76,7 +76,7 @@ func (o *Obfuscator) ticking(src string) (string, error) {
 		return "", err
 	}
 	if !changed {
-		return "", ErrNotApplicable
+		return "", notApplicable("no command, member or bare-word tokens to tick")
 	}
 	return out, nil
 }
@@ -124,7 +124,7 @@ func (o *Obfuscator) whitespacing(src string) (string, error) {
 	}
 	if out == src {
 		if lastGap < 0 {
-			return "", ErrNotApplicable
+			return "", notApplicable("no inter-token gaps to widen")
 		}
 		// Guarantee at least one widened gap when any gap exists.
 		out = out[:lastGap] + strings.Repeat(" ", o.randRange(3, 6)) + out[lastGap:]
@@ -173,18 +173,34 @@ func (o *Obfuscator) randomCase(src string) (string, error) {
 		return "", err
 	}
 	if !changed {
-		return "", ErrNotApplicable
+		return "", notApplicable("no case-insensitive tokens")
 	}
 	return out, nil
 }
 
-// protectedVarNames must never be renamed.
+// protectedVarNames must never be renamed: PowerShell automatic
+// variables (about_Automatic_Variables — renaming $PSScriptRoot or
+// $MyInvocation silently changes what the script reads) and preference
+// variables (about_Preference_Variables — assigning to a renamed
+// $ErrorActionPreference no longer alters behaviour).
 var protectedVarNames = map[string]bool{
 	"_": true, "$": true, "?": true, "^": true, "args": true,
 	"input": true, "this": true, "true": true, "false": true,
 	"null": true, "error": true, "matches": true, "pshome": true,
 	"home": true, "pwd": true, "host": true, "executioncontext": true,
 	"psversiontable": true, "shellid": true, "pid": true, "ofs": true,
+	// Automatic variables.
+	"psscriptroot": true, "pscommandpath": true, "psboundparameters": true,
+	"psitem": true, "myinvocation": true, "pscmdlet": true,
+	"psculture": true, "psuiculture": true, "psedition": true,
+	"lastexitcode": true, "stacktrace": true, "nestedpromptlevel": true,
+	"env": true, "foreach": true, "switch": true, "sender": true,
+	"psdebugcontext": true, "pssenderinfo": true, "profile": true,
+	// Preference variables.
+	"erroractionpreference": true, "progresspreference": true,
+	"verbosepreference": true, "warningpreference": true,
+	"debugpreference": true, "informationpreference": true,
+	"confirmpreference": true, "whatifpreference": true,
 }
 
 // randomName renames user variables and functions to random
@@ -222,7 +238,7 @@ func (o *Obfuscator) randomName(src string) (string, error) {
 		changed = true
 	}
 	if !changed {
-		return "", ErrNotApplicable
+		return "", notApplicable("no renameable user variables")
 	}
 	return out, nil
 }
@@ -277,7 +293,7 @@ func (o *Obfuscator) alias(src string) (string, error) {
 		return "", err
 	}
 	if !changed {
-		return "", ErrNotApplicable
+		return "", notApplicable("no canonical cmdlet names with known aliases")
 	}
 	return out, nil
 }

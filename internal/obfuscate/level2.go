@@ -44,11 +44,11 @@ func (o *Obfuscator) stringTransform(src string, fn func(value string) (string, 
 	}
 	// No string literals: obfuscate the script text itself behind IEX.
 	if strings.ContainsAny(src, "\r") || len(src) > 1<<16 {
-		return "", ErrNotApplicable
+		return "", notApplicable("no transformable string literal; script has carriage returns or exceeds 64KiB")
 	}
 	expr, ok := fn(strings.TrimSpace(src))
 	if !ok {
-		return "", ErrNotApplicable
+		return "", notApplicable("no transformable string literal and the transform refused the whole script")
 	}
 	return o.iexPrefix() + " (" + expr + ")", nil
 }

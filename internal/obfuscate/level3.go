@@ -34,7 +34,7 @@ func (o *Obfuscator) iexPrefix() string {
 func (o *Obfuscator) numericWrap(src string, base int) (string, error) {
 	script := strings.TrimSpace(src)
 	if script == "" {
-		return "", ErrNotApplicable
+		return "", notApplicable("empty script")
 	}
 	if base == 10 {
 		codes := make([]string, 0, len(script))
@@ -58,7 +58,7 @@ func (o *Obfuscator) numericWrap(src string, base int) (string, error) {
 func (o *Obfuscator) base64Wrap(src string) (string, error) {
 	script := strings.TrimSpace(src)
 	if script == "" {
-		return "", ErrNotApplicable
+		return "", notApplicable("empty script")
 	}
 	switch o.rng.Intn(3) {
 	case 0:
@@ -96,12 +96,12 @@ func (o *Obfuscator) base64Wrap(src string) (string, error) {
 func (o *Obfuscator) whitespaceWrap(src string) (string, error) {
 	script := strings.TrimSpace(src)
 	if script == "" || len(script) > 4096 {
-		return "", ErrNotApplicable
+		return "", notApplicable("script empty or exceeds 4096 bytes")
 	}
 	var runs []string
 	for _, r := range script {
 		if r > 512 {
-			return "", ErrNotApplicable
+			return "", notApplicable("code point above 512")
 		}
 		runs = append(runs, strings.Repeat(" ", int(r)))
 	}
@@ -123,7 +123,7 @@ func (o *Obfuscator) whitespaceWrap(src string) (string, error) {
 func (o *Obfuscator) specialCharWrap(src string) (string, error) {
 	script := strings.TrimSpace(src)
 	if script == "" || len(script) > 2048 {
-		return "", ErrNotApplicable
+		return "", notApplicable("script empty or exceeds 2048 bytes")
 	}
 	specials := "!#%&*+;~"
 	bang := func(n int) string {
@@ -135,7 +135,7 @@ func (o *Obfuscator) specialCharWrap(src string) (string, error) {
 	for _, r := range script {
 		code := int(r)
 		if code > 1024 {
-			return "", ErrNotApplicable
+			return "", notApplicable("code point above 1024")
 		}
 		a := code / b
 		c := code % b
@@ -158,13 +158,13 @@ func (o *Obfuscator) specialCharWrap(src string) (string, error) {
 func (o *Obfuscator) bxorWrap(src string) (string, error) {
 	script := strings.TrimSpace(src)
 	if script == "" {
-		return "", ErrNotApplicable
+		return "", notApplicable("empty script")
 	}
 	key := o.randRange(1, 126)
 	codes := make([]string, 0, len(script))
 	for _, r := range script {
 		if r > 0xFFFF {
-			return "", ErrNotApplicable
+			return "", notApplicable("code point above U+FFFF")
 		}
 		codes = append(codes, strconv.Itoa(int(r)^key))
 	}
@@ -181,7 +181,7 @@ func (o *Obfuscator) bxorWrap(src string) (string, error) {
 func (o *Obfuscator) secureStringWrap(src string) (string, error) {
 	script := strings.TrimSpace(src)
 	if script == "" {
-		return "", ErrNotApplicable
+		return "", notApplicable("empty script")
 	}
 	key := make([]byte, 16)
 	keyParts := make([]string, 16)
@@ -203,7 +203,7 @@ func (o *Obfuscator) secureStringWrap(src string) (string, error) {
 func (o *Obfuscator) compressWrap(src string, algorithm string) (string, error) {
 	script := strings.TrimSpace(src)
 	if script == "" {
-		return "", ErrNotApplicable
+		return "", notApplicable("empty script")
 	}
 	var buf bytes.Buffer
 	switch algorithm {

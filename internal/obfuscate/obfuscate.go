@@ -76,6 +76,12 @@ func Level(t Technique) int {
 // given script (for example, renaming when there are no identifiers).
 var ErrNotApplicable = errors.New("obfuscate: technique not applicable")
 
+// notApplicable wraps ErrNotApplicable with the concrete reason, so
+// stack-level callers can report why a technique was skipped.
+func notApplicable(reason string) error {
+	return fmt.Errorf("%w: %s", ErrNotApplicable, reason)
+}
+
 // Obfuscator applies techniques with a deterministic random stream.
 type Obfuscator struct {
 	rng *rand.Rand
@@ -144,24 +150,55 @@ func (o *Obfuscator) Apply(src string, t Technique) (string, error) {
 	return out, nil
 }
 
+// Skip records one requested technique that did not take effect and
+// why, so corpus generators and the gauntlet can distinguish "skipped
+// as not applicable" from "applied". Reason is the technique's own
+// explanation (the detail ErrNotApplicable was wrapped with).
+type Skip struct {
+	Technique Technique
+	Reason    string
+}
+
 // ApplyStack applies techniques in order, skipping any that are not
 // applicable, and returns the result plus the techniques that took
 // effect.
 func (o *Obfuscator) ApplyStack(src string, ts []Technique) (string, []Technique, error) {
+	out, applied, _, err := o.ApplyStackDetailed(src, ts)
+	return out, applied, err
+}
+
+// ApplyStackDetailed is ApplyStack with full accounting: every
+// requested technique lands either in the applied list or in the
+// skipped list with the reason it was not applicable. Any other error
+// aborts the stack.
+func (o *Obfuscator) ApplyStackDetailed(src string, ts []Technique) (string, []Technique, []Skip, error) {
 	cur := src
 	var applied []Technique
+	var skipped []Skip
 	for _, t := range ts {
 		next, err := o.Apply(cur, t)
 		if err != nil {
 			if errors.Is(err, ErrNotApplicable) {
+				skipped = append(skipped, Skip{Technique: t, Reason: skipReason(err)})
 				continue
 			}
-			return "", nil, err
+			return "", nil, nil, err
 		}
 		cur = next
 		applied = append(applied, t)
 	}
-	return cur, applied, nil
+	return cur, applied, skipped, nil
+}
+
+// skipReason extracts the human-readable detail from a wrapped
+// ErrNotApplicable.
+func skipReason(err error) string {
+	msg := err.Error()
+	base := ErrNotApplicable.Error()
+	if detail := strings.TrimPrefix(msg, base+": "); detail != msg && detail != "" {
+		return detail
+	}
+	return "not applicable"
 }
 
 // randRange returns a value in [lo, hi].

@@ -1,0 +1,196 @@
+package obfuscate
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Profile is a named, seeded distribution over technique stacks and
+// wrapper depths, mirroring how obfuscation toolkits in the wild
+// organize their attack surface (safe < light < balanced < heavy <
+// paranoid in aggressiveness). A profile does not obfuscate by itself:
+// Stack draws one concrete technique stack from the distribution, and
+// Obfuscator.ApplyProfile draws and applies one.
+//
+// Stacks follow the layering shape observed in real samples (and in
+// the corpus generator): inner string transforms and randomization
+// first, then the requested number of L3 encoding wrappers, then
+// outer transforms on the wrapper's own text so every level stays
+// visible in the final sample. Whitespace encoding is deliberately
+// absent from every profile pool — it is ~0.1% of wild samples
+// (paper §IV-C1) and the known round-trip exclusion; the roundtrip
+// expected-failure table covers it instead.
+type Profile struct {
+	// Name identifies the profile ("safe" ... "paranoid").
+	Name string
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// MaxDepth caps the number of L3 wrapper layers this profile
+	// stacks. Zero means the profile never wraps.
+	MaxDepth int
+
+	l1          []Technique // randomization pool
+	l2          []Technique // string-transform pool
+	l3          []Technique // encoding-wrapper pool
+	innerL2Prob float64     // chance of an L2 transform before wrapping
+	innerL1Prob float64     // chance of inner randomization
+	innerL1Max  int         // max inner randomization techniques
+	interleave  bool        // re-obfuscate between wrapper layers
+	outerL2Prob float64     // chance of an L2 transform on the wrapper
+	outerL1Min  int         // outer randomization count range
+	outerL1Max  int
+}
+
+// profiles is ordered by aggressiveness.
+var profiles = []*Profile{
+	{
+		Name:        "safe",
+		Description: "textual randomization only: ticking, whitespacing, random case",
+		MaxDepth:    0,
+		l1:          []Technique{Ticking, Whitespacing, RandomCase},
+		outerL1Min:  2, outerL1Max: 3,
+	},
+	{
+		Name:        "light",
+		Description: "full L1 randomization, occasional concat, at most one gentle wrapper",
+		MaxDepth:    1,
+		l1:          []Technique{Ticking, Whitespacing, RandomCase, Alias},
+		l2:          []Technique{Concat},
+		l3:          []Technique{EncodeBase64, EncodeASCII},
+		innerL2Prob: 0.5,
+		outerL1Min:  1, outerL1Max: 2,
+	},
+	{
+		Name:        "balanced",
+		Description: "the Table I wild mix: L1+L2 inside and outside, up to two wrappers",
+		MaxDepth:    2,
+		l1:          []Technique{Ticking, Whitespacing, RandomCase, RandomName, Alias},
+		l2:          []Technique{Concat, Reorder, Replace, Reverse},
+		l3:          []Technique{EncodeBase64, EncodeASCII, EncodeHex, EncodeBxor},
+		innerL2Prob: 0.9,
+		innerL1Prob: 0.6, innerL1Max: 2,
+		outerL2Prob: 0.7,
+		outerL1Min:  1, outerL1Max: 3,
+	},
+	{
+		Name:        "heavy",
+		Description: "all numeric bases and compression wrappers, up to three layers",
+		MaxDepth:    3,
+		l1:          []Technique{Ticking, Whitespacing, RandomCase, RandomName, Alias},
+		l2:          []Technique{Concat, Reorder, Replace, Reverse},
+		l3: []Technique{
+			EncodeBase64, EncodeASCII, EncodeHex, EncodeBinary, EncodeOctal,
+			EncodeBxor, CompressDeflate, CompressGzip,
+		},
+		innerL2Prob: 0.95,
+		innerL1Prob: 0.8, innerL1Max: 2,
+		outerL2Prob: 0.95,
+		outerL1Min:  2, outerL1Max: 4,
+	},
+	{
+		Name:        "paranoid",
+		Description: "every encoder including SecureString and special characters, re-obfuscated between layers",
+		MaxDepth:    3,
+		l1:          []Technique{Ticking, Whitespacing, RandomCase, RandomName, Alias},
+		l2:          []Technique{Concat, Reorder, Replace, Reverse},
+		l3: []Technique{
+			EncodeBase64, EncodeASCII, EncodeHex, EncodeBinary, EncodeOctal,
+			EncodeBxor, SecureString, EncodeSpecialChar,
+			CompressDeflate, CompressGzip,
+		},
+		innerL2Prob: 1,
+		innerL1Prob: 0.9, innerL1Max: 2,
+		interleave:  true,
+		outerL2Prob: 1,
+		outerL1Min:  2, outerL1Max: 4,
+	},
+}
+
+// Profiles returns every built-in profile, ordered by aggressiveness.
+func Profiles() []*Profile {
+	out := make([]*Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// ProfileNames lists the built-in profile names in aggressiveness
+// order.
+func ProfileNames() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// GetProfile resolves a profile by name, case-insensitively.
+func GetProfile(name string) (*Profile, bool) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	for _, p := range profiles {
+		if p.Name == lower {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Stack draws one technique stack from the profile's distribution at
+// the given wrapper depth (clamped to [0, MaxDepth]). The draw is
+// deterministic for a given rng state.
+func (p *Profile) Stack(rng *rand.Rand, depth int) []Technique {
+	if depth > p.MaxDepth {
+		depth = p.MaxDepth
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	var stack []Technique
+	pick := func(pool []Technique) Technique { return pool[rng.Intn(len(pool))] }
+	appendL1 := func(count int) {
+		pool := append([]Technique(nil), p.l1...)
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		if count > len(pool) {
+			count = len(pool)
+		}
+		stack = append(stack, pool[:count]...)
+	}
+	// Inner string transforms and randomization, hidden by later
+	// wrappers but present once the sample is peeled.
+	if len(p.l2) > 0 && rng.Float64() < p.innerL2Prob {
+		stack = append(stack, pick(p.l2))
+	}
+	if len(p.l1) > 0 && p.innerL1Prob > 0 && rng.Float64() < p.innerL1Prob {
+		appendL1(1 + rng.Intn(p.innerL1Max))
+	}
+	// L3 wrapper layers, optionally re-obfuscated in between.
+	for i := 0; i < depth; i++ {
+		stack = append(stack, pick(p.l3))
+		if p.interleave && i < depth-1 {
+			if len(p.l2) > 0 && rng.Float64() < 0.5 {
+				stack = append(stack, pick(p.l2))
+			}
+			appendL1(1)
+		}
+	}
+	// Outer transforms keep L1/L2 visible on the final text.
+	if len(p.l2) > 0 && rng.Float64() < p.outerL2Prob {
+		stack = append(stack, pick(p.l2))
+	}
+	if p.outerL1Max > 0 {
+		n := p.outerL1Min
+		if p.outerL1Max > p.outerL1Min {
+			n += rng.Intn(p.outerL1Max - p.outerL1Min + 1)
+		}
+		appendL1(n)
+	}
+	return stack
+}
+
+// ApplyProfile draws one stack from the profile at the given depth and
+// applies it, returning the obfuscated script, the techniques that
+// took effect and the ones skipped with reasons. The whole operation
+// is deterministic for the Obfuscator's seed.
+func (o *Obfuscator) ApplyProfile(src string, p *Profile, depth int) (string, []Technique, []Skip, error) {
+	stack := p.Stack(o.rng, depth)
+	return o.ApplyStackDetailed(src, stack)
+}

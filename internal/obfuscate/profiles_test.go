@@ -1,0 +1,178 @@
+package obfuscate
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/invoke-deobfuscation/invokedeob/internal/psparser"
+)
+
+// profileTestScript exercises every technique class: string literals
+// (L2 targets), user variables (random-name), aliasable cmdlets, and
+// an automatic variable that must survive renaming.
+const profileTestScript = `$stage = 'https://cdn1.update2.example/payload.ps1'
+$dest = "$env:TEMP\stage2.ps1"
+Invoke-Expression ('write-host ' + 'ready')
+write-output $stage
+write-output $PSScriptRoot
+`
+
+// TestProfileStackDeterminism is the determinism pin: for every
+// profile × seed × depth, ApplyProfile output is byte-identical across
+// two independent runs with the same seed, and always parses.
+func TestProfileStackDeterminism(t *testing.T) {
+	for _, p := range Profiles() {
+		for seed := int64(1); seed <= 5; seed++ {
+			for depth := 0; depth <= p.MaxDepth; depth++ {
+				out1, applied1, skipped1, err1 := New(seed).ApplyProfile(profileTestScript, p, depth)
+				out2, applied2, skipped2, err2 := New(seed).ApplyProfile(profileTestScript, p, depth)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s/seed=%d/depth=%d: errors %v / %v", p.Name, seed, depth, err1, err2)
+				}
+				if out1 != out2 {
+					t.Fatalf("%s/seed=%d/depth=%d: nondeterministic output\nrun1: %.200s\nrun2: %.200s",
+						p.Name, seed, depth, out1, out2)
+				}
+				if len(applied1) != len(applied2) || len(skipped1) != len(skipped2) {
+					t.Fatalf("%s/seed=%d/depth=%d: nondeterministic accounting", p.Name, seed, depth)
+				}
+				for i := range applied1 {
+					if applied1[i] != applied2[i] {
+						t.Fatalf("%s/seed=%d/depth=%d: applied diverged at %d: %s vs %s",
+							p.Name, seed, depth, i, applied1[i], applied2[i])
+					}
+				}
+				if _, perr := psparser.Parse(out1); perr != nil {
+					t.Fatalf("%s/seed=%d/depth=%d: output does not parse: %v\n%.300s",
+						p.Name, seed, depth, perr, out1)
+				}
+			}
+		}
+	}
+}
+
+// TestProfileStackDrawDeterminism pins the stack draw itself (before
+// application): same seed, same stack.
+func TestProfileStackDrawDeterminism(t *testing.T) {
+	for _, p := range Profiles() {
+		for seed := int64(1); seed <= 10; seed++ {
+			s1 := p.Stack(New(seed).rng, p.MaxDepth)
+			s2 := p.Stack(New(seed).rng, p.MaxDepth)
+			if len(s1) != len(s2) {
+				t.Fatalf("%s/seed=%d: stack lengths differ", p.Name, seed)
+			}
+			for i := range s1 {
+				if s1[i] != s2[i] {
+					t.Fatalf("%s/seed=%d: stacks differ at %d", p.Name, seed, i)
+				}
+			}
+			if len(s1) == 0 {
+				t.Fatalf("%s/seed=%d: empty stack", p.Name, seed)
+			}
+		}
+	}
+}
+
+// TestProfileDepthClamp verifies depth is clamped to [0, MaxDepth]:
+// the number of L3 techniques drawn never exceeds the profile cap.
+func TestProfileDepthClamp(t *testing.T) {
+	for _, p := range Profiles() {
+		for _, depth := range []int{-1, 0, 1, 5, 100} {
+			stack := p.Stack(New(7).rng, depth)
+			l3 := 0
+			for _, tech := range stack {
+				if Level(tech) == 3 {
+					l3++
+				}
+			}
+			want := depth
+			if want > p.MaxDepth {
+				want = p.MaxDepth
+			}
+			if want < 0 {
+				want = 0
+			}
+			if l3 != want {
+				t.Errorf("%s: depth=%d drew %d L3 wrappers, want %d", p.Name, depth, l3, want)
+			}
+		}
+	}
+}
+
+// TestProfileReservedIdentifiers is the reserved-identifier guarantee:
+// automatic variables like $PSScriptRoot are never renamed by any
+// profile at any tested seed.
+func TestProfileReservedIdentifiers(t *testing.T) {
+	script := "$PSScriptRoot\n$myInvocation\n$ErrorActionPreference = 'Stop'\n$data = 'abcd1234'\nwrite-output $data\n"
+	for _, p := range Profiles() {
+		for seed := int64(1); seed <= 5; seed++ {
+			// Depth 0 keeps the text unwrapped so the variables stay
+			// visible for inspection.
+			out, applied, _, err := New(seed).ApplyProfile(script, p, 0)
+			if err != nil {
+				t.Fatalf("%s/seed=%d: %v", p.Name, seed, err)
+			}
+			renamed := false
+			for _, tech := range applied {
+				if tech == RandomName {
+					renamed = true
+				}
+			}
+			lower := strings.ToLower(out)
+			for _, name := range []string{"psscriptroot", "myinvocation", "erroractionpreference"} {
+				if !strings.Contains(lower, name) {
+					t.Errorf("%s/seed=%d: automatic variable $%s was renamed (renamed-pass=%v)\n%s",
+						p.Name, seed, name, renamed, out)
+				}
+			}
+		}
+	}
+}
+
+// TestGetProfile pins the lookup contract.
+func TestGetProfile(t *testing.T) {
+	for _, name := range ProfileNames() {
+		if _, ok := GetProfile(name); !ok {
+			t.Errorf("GetProfile(%q) not found", name)
+		}
+		if _, ok := GetProfile(strings.ToUpper(name)); !ok {
+			t.Errorf("GetProfile(%q) should be case-insensitive", strings.ToUpper(name))
+		}
+	}
+	if _, ok := GetProfile("no-such-profile"); ok {
+		t.Error("GetProfile accepted an unknown name")
+	}
+	if len(ProfileNames()) < 5 {
+		t.Errorf("expected at least 5 profiles, got %v", ProfileNames())
+	}
+}
+
+// FuzzProfileStack fuzzes (seed, depth) over every profile: output
+// must always parse and must be byte-identical across two runs with
+// the same seed.
+func FuzzProfileStack(f *testing.F) {
+	f.Add(int64(1), 1)
+	f.Add(int64(42), 3)
+	f.Add(int64(-9), 0)
+	f.Fuzz(func(t *testing.T, seed int64, depth int) {
+		if depth < -2 || depth > 4 {
+			depth = ((depth % 4) + 4) % 4
+		}
+		for _, p := range Profiles() {
+			out1, _, _, err1 := New(seed).ApplyProfile(profileTestScript, p, depth)
+			out2, _, _, err2 := New(seed).ApplyProfile(profileTestScript, p, depth)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s/seed=%d/depth=%d: nondeterministic error: %v vs %v", p.Name, seed, depth, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if out1 != out2 {
+				t.Fatalf("%s/seed=%d/depth=%d: nondeterministic output", p.Name, seed, depth)
+			}
+			if _, perr := psparser.Parse(out1); perr != nil {
+				t.Fatalf("%s/seed=%d/depth=%d: output does not parse: %v", p.Name, seed, depth, perr)
+			}
+		}
+	})
+}

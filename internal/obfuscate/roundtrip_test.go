@@ -9,9 +9,23 @@ import (
 	"github.com/invoke-deobfuscation/invokedeob/internal/obfuscate"
 )
 
+// expectedRoundTripFailures is the explicit carve-out table for
+// Table II: techniques the engine is KNOWN not to round-trip, with the
+// documented reason. The paper's Table II footnote marks whitespace
+// encoding as the one technique its tool does not recover: the decoder
+// accumulates the result inside a loop, and variable tracing refuses
+// to fold loop-carried assignments (§V-C). Keeping the exclusion in a
+// table makes both kinds of drift visible: an accidental fix fails the
+// test below ("unexpectedly recovered — remove it from the table") and
+// a regression in any other technique fails it as an ordinary
+// not-recovered error.
+var expectedRoundTripFailures = map[obfuscate.Technique]string{
+	obfuscate.EncodeWhitespace: "Table II footnote / §V-C: loop-carried decoder assignment defeats variable tracing",
+}
+
 // TestRoundTrip verifies the central claim of Table II: for every
-// technique except whitespace encoding, obfuscating `write-host hello`
-// and deobfuscating recovers the command.
+// technique outside the expected-failure table, obfuscating
+// `write-host hello` and deobfuscating recovers the command.
 func TestRoundTrip(t *testing.T) {
 	for _, tech := range obfuscate.All() {
 		tech := tech
@@ -41,11 +55,11 @@ func TestRoundTrip(t *testing.T) {
 			got := strings.ToLower(res.Script)
 			recovered := strings.Contains(got, want)
 			t.Logf("tech=%s\nOBF: %s\nOUT: %s", tech, truncate(obf), truncate(res.Script))
-			if tech == obfuscate.EncodeWhitespace {
+			if reason, expectFail := expectedRoundTripFailures[tech]; expectFail {
 				if recovered {
-					t.Log("note: whitespace encoding unexpectedly recovered")
+					t.Errorf("expected failure (%s) unexpectedly recovered — if the engine now handles %s, remove it from expectedRoundTripFailures", reason, tech)
 				}
-				return // paper's known limitation
+				return
 			}
 			if !recovered {
 				t.Errorf("not recovered")

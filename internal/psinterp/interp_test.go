@@ -53,6 +53,11 @@ func TestOperators(t *testing.T) {
 		{"6 -bor 3", "7"},
 		{"6 -bxor 3", "5"},
 		{"'0x4B' -bxor 0", "75"},
+		// A trailing hex digit d must not be taken as the decimal
+		// type suffix: 0x6d is 109, not 0x6.
+		{"'0x6D' -bxor 0", "109"},
+		{"0x6d", "109"},
+		{"0x6dl", "109"},
 		{"1 -shl 4", "16"},
 		{"16 -shr 2", "4"},
 		{"-bnot 0", "-1"},
@@ -473,6 +478,10 @@ func TestGetCommandDiscovery(t *testing.T) {
 func TestEncodedCommandHelpers(t *testing.T) {
 	if !IsEncodedCommandParameter("-e") || !IsEncodedCommandParameter("-EnCoDedCoMmAnD") {
 		t.Error("prefix matching broken")
+	}
+	// powershell.exe special-cases "-ec" outside prefix matching.
+	if !IsEncodedCommandParameter("-ec") || !IsEncodedCommandParameter("-eC") {
+		t.Error("-ec special case broken")
 	}
 	if IsEncodedCommandParameter("-x") || IsEncodedCommandParameter("-") {
 		t.Error("false positive")

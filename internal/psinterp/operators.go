@@ -402,7 +402,12 @@ func (in *Interp) rangeValues(l, r any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	const maxRange = 1 << 17
+	// Multi-layer encoded samples index whole wrapper texts with
+	// reversed ranges ('...'[400000..0]), so the hard cap has to admit
+	// ranges as long as the longest legal string; the 16-byte-per-
+	// element charge below still bounds total memory long before the
+	// cap is reached.
+	const maxRange = 1 << 23
 	size := hi - lo
 	if size < 0 {
 		size = -size

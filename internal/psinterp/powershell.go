@@ -29,7 +29,14 @@ func IsEncodedCommandParameter(param string) bool {
 	if p == "" {
 		return false
 	}
-	// -e, -ec, -en, ..., -encodedcommand; but -ep (ExecutionPolicy),
+	// powershell.exe's own command-line parser special-cases "-ec" as
+	// EncodedCommand even though "ec" is not a prefix of the name
+	// (CommandLineParameterParser matches "encodedcommand" OR "ec"),
+	// and obfuscators use that spelling in the wild.
+	if p == "ec" {
+		return true
+	}
+	// -e, -en, ..., -encodedcommand; but -ep (ExecutionPolicy),
 	// -ex and -exec collide and never mean EncodedCommand.
 	if !strings.HasPrefix("encodedcommand", p) {
 		return false

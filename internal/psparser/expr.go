@@ -601,13 +601,11 @@ func ParseNumber(s string) (any, error) {
 			break
 		}
 	}
-	isDecimal := false
-	if strings.HasSuffix(text, "d") {
-		isDecimal = true
-		text = strings.TrimSuffix(text, "d")
-	}
-	text = strings.TrimSuffix(text, "l")
 	if strings.HasPrefix(text, "0x") {
+		// Hex literals take only the long suffix; "d" is a hex digit
+		// (0x6d is 109, not decimal 0x6), so suffix stripping must not
+		// eat it.
+		text = strings.TrimSuffix(text, "l")
 		v, err := strconv.ParseUint(text[2:], 16, 64)
 		if err != nil {
 			return nil, err
@@ -618,6 +616,12 @@ func ParseNumber(s string) (any, error) {
 		}
 		return n, nil
 	}
+	isDecimal := false
+	if strings.HasSuffix(text, "d") {
+		isDecimal = true
+		text = strings.TrimSuffix(text, "d")
+	}
+	text = strings.TrimSuffix(text, "l")
 	if !isDecimal && !strings.ContainsAny(text, ".e") {
 		v, err := strconv.ParseInt(text, 10, 64)
 		if err == nil {

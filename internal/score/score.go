@@ -346,7 +346,10 @@ func analyzeAST(root psast.Node, src string, counts map[string]int) {
 
 func isEncParam(param string) bool {
 	p := strings.ToLower(strings.TrimPrefix(param, "-"))
-	return p != "" && strings.HasPrefix("encodedcommand", p) && p != "ep"
+	// "-ec" is powershell.exe's special-cased EncodedCommand spelling
+	// (not a name prefix); keep this in lockstep with
+	// psinterp.IsEncodedCommandParameter.
+	return p != "" && (p == "ec" || strings.HasPrefix("encodedcommand", p)) && p != "ep"
 }
 
 func isStringy(n psast.Node) bool {

@@ -481,6 +481,45 @@ func TechniqueLevel(technique string) int {
 	return 0
 }
 
+// ObfuscateProfile draws one technique stack from a named obfuscation
+// profile ("safe", "light", "balanced", "heavy" or "paranoid") at the
+// given wrapper depth and applies it. It returns the obfuscated script
+// and the names of the techniques that took effect; the result is
+// deterministic for a given (profile, seed, depth).
+func ObfuscateProfile(script, profile string, depth int, seed int64) (string, []string, error) {
+	p, ok := obfuscate.GetProfile(profile)
+	if !ok {
+		return "", nil, fmt.Errorf("invokedeob: unknown profile %q (have %v)", profile, obfuscate.ProfileNames())
+	}
+	out, applied, _, err := obfuscate.New(seed).ApplyProfile(script, p, depth)
+	if err != nil {
+		return "", nil, fmt.Errorf("invokedeob: %w", err)
+	}
+	names := make([]string, len(applied))
+	for i, t := range applied {
+		names[i] = string(t)
+	}
+	return out, names, nil
+}
+
+// ObfuscationProfile describes one built-in obfuscation profile.
+type ObfuscationProfile struct {
+	Name        string
+	Description string
+	MaxDepth    int
+}
+
+// ObfuscationProfiles lists the built-in profiles in aggressiveness
+// order.
+func ObfuscationProfiles() []ObfuscationProfile {
+	ps := obfuscate.Profiles()
+	out := make([]ObfuscationProfile, len(ps))
+	for i, p := range ps {
+		out[i] = ObfuscationProfile{Name: p.Name, Description: p.Description, MaxDepth: p.MaxDepth}
+	}
+	return out
+}
+
 // IOCs is the key information extracted from a script (paper Fig. 5).
 type IOCs struct {
 	Ps1Files           []string
